@@ -1,0 +1,590 @@
+//! Ergonomic shared-manager handles.
+//!
+//! [`BddMgr`] is a cheaply clonable handle to a [`BddManager`]; [`Bdd`] pairs
+//! a node with its manager so Boolean functions can be passed around as
+//! ordinary values. All the operations of the raw manager are mirrored here;
+//! the higher-level crates (`brel-relation`, `brel-core`, `brel-network`)
+//! exclusively use these handles.
+
+use std::cell::RefCell;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::ops::{BitAnd, BitOr, BitXor, Not};
+use std::rc::Rc;
+
+use crate::isop::IsopResult;
+use crate::manager::{BddManager, NodeId, Var};
+use crate::paths::PathCube;
+use crate::symmetry::SymmetryKind;
+
+/// A shared, clonable handle to a [`BddManager`].
+///
+/// Cloning the handle does not copy the node store; all clones refer to the
+/// same manager. The handle is single-threaded (`Rc<RefCell<..>>`), which is
+/// sufficient for the solver: the branch-and-bound exploration deliberately
+/// shares one manager so subrelations share BDD nodes (Section 7.1).
+#[derive(Clone)]
+pub struct BddMgr {
+    inner: Rc<RefCell<BddManager>>,
+}
+
+impl fmt::Debug for BddMgr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let m = self.inner.borrow();
+        write!(f, "BddMgr(vars={}, nodes={})", m.num_vars(), m.num_nodes())
+    }
+}
+
+impl BddMgr {
+    /// Creates a manager with `num_vars` variables named `x0..`.
+    pub fn new(num_vars: usize) -> Self {
+        BddMgr {
+            inner: Rc::new(RefCell::new(BddManager::new(num_vars))),
+        }
+    }
+
+    /// Returns `true` if two handles refer to the same underlying manager.
+    pub fn same_manager(&self, other: &BddMgr) -> bool {
+        Rc::ptr_eq(&self.inner, &other.inner)
+    }
+
+    fn wrap(&self, id: NodeId) -> Bdd {
+        Bdd {
+            mgr: self.clone(),
+            id,
+        }
+    }
+
+    /// Runs a closure with mutable access to the raw manager.
+    pub fn with<R>(&self, f: impl FnOnce(&mut BddManager) -> R) -> R {
+        f(&mut self.inner.borrow_mut())
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.inner.borrow().num_vars()
+    }
+
+    /// Number of allocated nodes (a proxy for memory usage).
+    pub fn num_nodes(&self) -> usize {
+        self.inner.borrow().num_nodes()
+    }
+
+    /// The constant-false function.
+    pub fn zero(&self) -> Bdd {
+        self.wrap(NodeId::ZERO)
+    }
+
+    /// The constant-true function.
+    pub fn one(&self) -> Bdd {
+        self.wrap(NodeId::ONE)
+    }
+
+    /// The projection function of variable `var`.
+    pub fn var(&self, var: impl Into<Var>) -> Bdd {
+        let v = var.into();
+        let id = self.inner.borrow_mut().literal(v, true);
+        self.wrap(id)
+    }
+
+    /// The complemented projection function of variable `var`.
+    pub fn nvar(&self, var: impl Into<Var>) -> Bdd {
+        let v = var.into();
+        let id = self.inner.borrow_mut().literal(v, false);
+        self.wrap(id)
+    }
+
+    /// Adds a fresh variable at the bottom of the order.
+    pub fn add_var(&self, name: impl Into<String>) -> Var {
+        self.inner.borrow_mut().add_var(name)
+    }
+
+    /// Display name of a variable.
+    pub fn var_name(&self, var: Var) -> String {
+        self.inner.borrow().var_name(var).to_string()
+    }
+
+    /// Renames a variable.
+    pub fn set_var_name(&self, var: Var, name: impl Into<String>) {
+        self.inner.borrow_mut().set_var_name(var, name);
+    }
+
+    /// Conjunction of an iterator of functions.
+    pub fn and_all<'a>(&self, fs: impl IntoIterator<Item = &'a Bdd>) -> Bdd {
+        let mut acc = self.one();
+        for f in fs {
+            acc = acc.and(f);
+            if acc.is_zero() {
+                break;
+            }
+        }
+        acc
+    }
+
+    /// Disjunction of an iterator of functions.
+    pub fn or_all<'a>(&self, fs: impl IntoIterator<Item = &'a Bdd>) -> Bdd {
+        let mut acc = self.zero();
+        for f in fs {
+            acc = acc.or(f);
+            if acc.is_one() {
+                break;
+            }
+        }
+        acc
+    }
+
+    /// Builds the BDD of a cube given as `(variable, polarity)` pairs.
+    pub fn cube(&self, literals: &[(Var, bool)]) -> Bdd {
+        let mut acc = self.one();
+        for &(v, pos) in literals {
+            let lit = if pos { self.var(v) } else { self.nvar(v) };
+            acc = acc.and(&lit);
+        }
+        acc
+    }
+
+    /// Builds the minterm BDD of a complete assignment.
+    pub fn minterm(&self, assignment: &[bool]) -> Bdd {
+        let literals: Vec<(Var, bool)> = assignment
+            .iter()
+            .enumerate()
+            .map(|(i, &b)| (Var(i as u32), b))
+            .collect();
+        self.cube(&literals)
+    }
+
+    /// Combined DAG size of several functions (shared nodes counted once).
+    pub fn shared_size(&self, fs: &[Bdd]) -> usize {
+        let ids: Vec<NodeId> = fs.iter().map(|f| f.id).collect();
+        self.inner.borrow().shared_size(&ids)
+    }
+
+    /// Clears the operation caches of the underlying manager.
+    pub fn clear_caches(&self) {
+        self.inner.borrow_mut().clear_caches();
+    }
+}
+
+/// A Boolean function: a node paired with its manager.
+#[derive(Clone)]
+pub struct Bdd {
+    mgr: BddMgr,
+    id: NodeId,
+}
+
+impl fmt::Debug for Bdd {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Bdd(node={}, size={})", self.id.index(), self.size())
+    }
+}
+
+impl PartialEq for Bdd {
+    fn eq(&self, other: &Self) -> bool {
+        self.mgr.same_manager(&other.mgr) && self.id == other.id
+    }
+}
+
+impl Eq for Bdd {}
+
+impl Hash for Bdd {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.id.hash(state);
+    }
+}
+
+impl Bdd {
+    fn assert_same_mgr(&self, other: &Bdd) {
+        assert!(
+            self.mgr.same_manager(&other.mgr),
+            "operands belong to different BDD managers"
+        );
+    }
+
+    /// The manager this function belongs to.
+    pub fn manager(&self) -> &BddMgr {
+        &self.mgr
+    }
+
+    /// The raw node identifier.
+    pub fn node_id(&self) -> NodeId {
+        self.id
+    }
+
+    /// Rebuilds a handle from a raw node id of the same manager.
+    pub fn from_node_id(mgr: &BddMgr, id: NodeId) -> Bdd {
+        mgr.wrap(id)
+    }
+
+    /// Returns `true` for the constant-false function.
+    pub fn is_zero(&self) -> bool {
+        self.id.is_zero()
+    }
+
+    /// Returns `true` for the constant-true function.
+    pub fn is_one(&self) -> bool {
+        self.id.is_one()
+    }
+
+    /// Returns `true` if the function is a constant.
+    pub fn is_constant(&self) -> bool {
+        self.id.is_terminal()
+    }
+
+    /// DAG size (number of decision nodes); the paper's BDD-size cost.
+    pub fn size(&self) -> usize {
+        self.mgr.inner.borrow().size(self.id)
+    }
+
+    /// Conjunction.
+    pub fn and(&self, other: &Bdd) -> Bdd {
+        self.assert_same_mgr(other);
+        let id = self.mgr.inner.borrow_mut().and(self.id, other.id);
+        self.mgr.wrap(id)
+    }
+
+    /// Disjunction.
+    pub fn or(&self, other: &Bdd) -> Bdd {
+        self.assert_same_mgr(other);
+        let id = self.mgr.inner.borrow_mut().or(self.id, other.id);
+        self.mgr.wrap(id)
+    }
+
+    /// Exclusive or.
+    pub fn xor(&self, other: &Bdd) -> Bdd {
+        self.assert_same_mgr(other);
+        let id = self.mgr.inner.borrow_mut().xor(self.id, other.id);
+        self.mgr.wrap(id)
+    }
+
+    /// Equivalence (`xnor`).
+    pub fn iff(&self, other: &Bdd) -> Bdd {
+        self.assert_same_mgr(other);
+        let id = self.mgr.inner.borrow_mut().iff(self.id, other.id);
+        self.mgr.wrap(id)
+    }
+
+    /// Implication `self → other`.
+    pub fn implies(&self, other: &Bdd) -> Bdd {
+        self.assert_same_mgr(other);
+        let id = self.mgr.inner.borrow_mut().implies(self.id, other.id);
+        self.mgr.wrap(id)
+    }
+
+    /// Returns `true` if `self → other` is a tautology (set inclusion of the
+    /// onsets).
+    pub fn is_subset_of(&self, other: &Bdd) -> bool {
+        self.implies(other).is_one()
+    }
+
+    /// Negation.
+    pub fn complement(&self) -> Bdd {
+        let id = self.mgr.inner.borrow_mut().not(self.id);
+        self.mgr.wrap(id)
+    }
+
+    /// Set difference `self · ¬other`.
+    pub fn diff(&self, other: &Bdd) -> Bdd {
+        self.and(&other.complement())
+    }
+
+    /// If-then-else with `self` as the selector.
+    pub fn ite(&self, then_f: &Bdd, else_f: &Bdd) -> Bdd {
+        self.assert_same_mgr(then_f);
+        self.assert_same_mgr(else_f);
+        let id = self
+            .mgr
+            .inner
+            .borrow_mut()
+            .ite(self.id, then_f.id, else_f.id);
+        self.mgr.wrap(id)
+    }
+
+    /// Shannon cofactor with respect to `var = value`.
+    pub fn cofactor(&self, var: Var, value: bool) -> Bdd {
+        let id = self.mgr.inner.borrow_mut().cofactor(self.id, var, value);
+        self.mgr.wrap(id)
+    }
+
+    /// Restriction by a partial assignment.
+    pub fn restrict_assignment(&self, assignment: &[(Var, bool)]) -> Bdd {
+        let id = self
+            .mgr
+            .inner
+            .borrow_mut()
+            .restrict_assignment(self.id, assignment);
+        self.mgr.wrap(id)
+    }
+
+    /// Functional composition: substitute `var` by `g`.
+    pub fn compose(&self, var: Var, g: &Bdd) -> Bdd {
+        self.assert_same_mgr(g);
+        let id = self.mgr.inner.borrow_mut().compose(self.id, var, g.id);
+        self.mgr.wrap(id)
+    }
+
+    /// Exchanges two variables.
+    pub fn swap_vars(&self, a: Var, b: Var) -> Bdd {
+        let id = self.mgr.inner.borrow_mut().swap_vars(self.id, a, b);
+        self.mgr.wrap(id)
+    }
+
+    /// Existential quantification of `vars`.
+    pub fn exists(&self, vars: &[Var]) -> Bdd {
+        let id = self.mgr.inner.borrow_mut().exists_many(self.id, vars);
+        self.mgr.wrap(id)
+    }
+
+    /// Universal quantification of `vars`.
+    pub fn forall(&self, vars: &[Var]) -> Bdd {
+        let id = self.mgr.inner.borrow_mut().forall_many(self.id, vars);
+        self.mgr.wrap(id)
+    }
+
+    /// The `constrain` generalized cofactor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `care` is the constant-false function.
+    pub fn constrain(&self, care: &Bdd) -> Bdd {
+        self.assert_same_mgr(care);
+        let id = self.mgr.inner.borrow_mut().constrain(self.id, care.id);
+        self.mgr.wrap(id)
+    }
+
+    /// The `restrict` generalized cofactor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `care` is the constant-false function.
+    pub fn restrict(&self, care: &Bdd) -> Bdd {
+        self.assert_same_mgr(care);
+        let id = self.mgr.inner.borrow_mut().restrict(self.id, care.id);
+        self.mgr.wrap(id)
+    }
+
+    /// Safe (never-growing) don't-care minimization.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `care` is the constant-false function.
+    pub fn li_compact(&self, care: &Bdd) -> Bdd {
+        self.assert_same_mgr(care);
+        let id = self.mgr.inner.borrow_mut().li_compact(self.id, care.id);
+        self.mgr.wrap(id)
+    }
+
+    /// Minato–Morreale ISOP for the interval `[self, upper]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self` does not imply `upper`.
+    pub fn isop_interval(&self, upper: &Bdd) -> IsopResult {
+        self.assert_same_mgr(upper);
+        self.mgr.inner.borrow_mut().isop(self.id, upper.id)
+    }
+
+    /// Minato–Morreale ISOP of a completely specified function.
+    pub fn isop(&self) -> IsopResult {
+        self.mgr.inner.borrow_mut().isop_exact(self.id)
+    }
+
+    /// Support: sorted list of variables the function depends on.
+    pub fn support(&self) -> Vec<Var> {
+        self.mgr.inner.borrow().support(self.id)
+    }
+
+    /// Evaluates the function under a complete assignment.
+    pub fn eval(&self, assignment: &[bool]) -> bool {
+        self.mgr.inner.borrow().eval(self.id, assignment)
+    }
+
+    /// Number of satisfying assignments over `num_vars` variables.
+    pub fn sat_count(&self, num_vars: usize) -> u128 {
+        self.mgr.inner.borrow().sat_count(self.id, num_vars)
+    }
+
+    /// All satisfying minterms over `num_vars` variables.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_vars` exceeds [`crate::EXHAUSTIVE_VAR_LIMIT`].
+    pub fn minterms(&self, num_vars: usize) -> Vec<Vec<bool>> {
+        self.mgr.inner.borrow().minterms(self.id, num_vars)
+    }
+
+    /// The cube with the fewest literals reaching the 1-terminal, or `None`
+    /// if the function is unsatisfiable.
+    pub fn shortest_path(&self) -> Option<PathCube> {
+        self.mgr.inner.borrow().shortest_path(self.id)
+    }
+
+    /// One satisfying cube, or `None` if unsatisfiable.
+    pub fn pick_cube(&self) -> Option<PathCube> {
+        self.mgr.inner.borrow().pick_cube(self.id)
+    }
+
+    /// First-order symmetry check between two variables.
+    pub fn is_symmetric(&self, a: Var, b: Var) -> bool {
+        self.mgr.inner.borrow_mut().is_symmetric(self.id, a, b)
+    }
+
+    /// All first-order symmetry kinds between two variables.
+    pub fn symmetries(&self, a: Var, b: Var) -> Vec<SymmetryKind> {
+        self.mgr.inner.borrow_mut().symmetries(self.id, a, b)
+    }
+
+    /// Second-order symmetry check between two pairs of variables.
+    pub fn is_second_order_symmetric(&self, a1: Var, a2: Var, b1: Var, b2: Var) -> bool {
+        self.mgr
+            .inner
+            .borrow_mut()
+            .is_second_order_symmetric(self.id, a1, a2, b1, b2)
+    }
+
+    /// Graphviz rendering of this function.
+    pub fn to_dot(&self, label: &str) -> String {
+        crate::dot::to_dot(&self.mgr.inner.borrow(), &[self.id], &[label])
+    }
+}
+
+impl BitAnd for &Bdd {
+    type Output = Bdd;
+    fn bitand(self, rhs: &Bdd) -> Bdd {
+        self.and(rhs)
+    }
+}
+
+impl BitOr for &Bdd {
+    type Output = Bdd;
+    fn bitor(self, rhs: &Bdd) -> Bdd {
+        self.or(rhs)
+    }
+}
+
+impl BitXor for &Bdd {
+    type Output = Bdd;
+    fn bitxor(self, rhs: &Bdd) -> Bdd {
+        self.xor(rhs)
+    }
+}
+
+impl Not for &Bdd {
+    type Output = Bdd;
+    fn not(self) -> Bdd {
+        self.complement()
+    }
+}
+
+impl BitAnd for Bdd {
+    type Output = Bdd;
+    fn bitand(self, rhs: Bdd) -> Bdd {
+        self.and(&rhs)
+    }
+}
+
+impl BitOr for Bdd {
+    type Output = Bdd;
+    fn bitor(self, rhs: Bdd) -> Bdd {
+        self.or(&rhs)
+    }
+}
+
+impl BitXor for Bdd {
+    type Output = Bdd;
+    fn bitxor(self, rhs: Bdd) -> Bdd {
+        self.xor(&rhs)
+    }
+}
+
+impl Not for Bdd {
+    type Output = Bdd;
+    fn not(self) -> Bdd {
+        self.complement()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn operators_match_methods() {
+        let mgr = BddMgr::new(2);
+        let a = mgr.var(0);
+        let b = mgr.var(1);
+        assert_eq!(&a & &b, a.and(&b));
+        assert_eq!(&a | &b, a.or(&b));
+        assert_eq!(&a ^ &b, a.xor(&b));
+        assert_eq!(!&a, a.complement());
+        assert_eq!(a.clone() & b.clone(), a.and(&b));
+    }
+
+    #[test]
+    fn cube_and_minterm_builders() {
+        let mgr = BddMgr::new(3);
+        let cube = mgr.cube(&[(Var(0), true), (Var(2), false)]);
+        assert!(cube.eval(&[true, false, false]));
+        assert!(cube.eval(&[true, true, false]));
+        assert!(!cube.eval(&[true, true, true]));
+        let mt = mgr.minterm(&[true, false, true]);
+        assert_eq!(mt.sat_count(3), 1);
+    }
+
+    #[test]
+    fn subset_and_diff() {
+        let mgr = BddMgr::new(2);
+        let a = mgr.var(0);
+        let b = mgr.var(1);
+        let ab = a.and(&b);
+        assert!(ab.is_subset_of(&a));
+        assert!(!a.is_subset_of(&ab));
+        let only_a = a.diff(&b);
+        assert!(only_a.eval(&[true, false]));
+        assert!(!only_a.eval(&[true, true]));
+    }
+
+    #[test]
+    fn and_all_or_all() {
+        let mgr = BddMgr::new(3);
+        let vars: Vec<Bdd> = (0..3).map(|i| mgr.var(i as u32)).collect();
+        let all = mgr.and_all(vars.iter());
+        let any = mgr.or_all(vars.iter());
+        assert!(all.eval(&[true, true, true]));
+        assert!(!all.eval(&[true, false, true]));
+        assert!(any.eval(&[false, true, false]));
+        assert!(!any.eval(&[false, false, false]));
+    }
+
+    #[test]
+    #[should_panic]
+    fn cross_manager_operations_panic() {
+        let m1 = BddMgr::new(1);
+        let m2 = BddMgr::new(1);
+        let a = m1.var(0);
+        let b = m2.var(0);
+        let _ = a.and(&b);
+    }
+
+    #[test]
+    fn shared_size_counts_once() {
+        let mgr = BddMgr::new(3);
+        let a = mgr.var(0);
+        let b = mgr.var(1);
+        let f = a.and(&b);
+        let g = a.or(&b);
+        let total = mgr.shared_size(&[f.clone(), g.clone(), f.clone()]);
+        assert!(total <= f.size() + g.size());
+    }
+
+    #[test]
+    fn handle_equality_is_canonical() {
+        let mgr = BddMgr::new(2);
+        let a = mgr.var(0);
+        let b = mgr.var(1);
+        let f1 = a.and(&b);
+        let f2 = b.and(&a);
+        assert_eq!(f1, f2);
+        let g = a.or(&b);
+        assert_ne!(f1, g);
+    }
+}

@@ -1,0 +1,64 @@
+//! # brel-bdd
+//!
+//! A self-contained reduced ordered binary decision diagram (ROBDD) package.
+//!
+//! This crate is the foundational substrate of the BREL reproduction: the
+//! paper ("A Recursive Paradigm to Solve Boolean Relations", Baneres,
+//! Cortadella, Kishinevsky) represents every Boolean relation by its
+//! characteristic function stored as a BDD, and implements all of the
+//! solver's primitive steps (projection, splitting, cost evaluation and ISF
+//! minimization) as BDD operations. The original implementation used CUDD;
+//! this crate provides the equivalent operations from scratch:
+//!
+//! * canonical node storage with a unique table and operation caches,
+//! * the `ite` operator and the usual Boolean connectives,
+//! * cofactors, functional composition and variable swapping,
+//! * existential and universal quantification,
+//! * the generalized cofactors `constrain` and `restrict` (Coudert–Madre),
+//! * Minato–Morreale irredundant sum-of-products (ISOP) generation,
+//! * shortest-path (largest-cube) extraction, minterm counting and
+//!   enumeration,
+//! * first-order and second-order symmetry checks used by the solver's
+//!   symmetry pruning,
+//! * Graphviz export for debugging.
+//!
+//! ## Handles
+//!
+//! The low-level [`BddManager`] owns the node store and exposes operations on
+//! raw [`NodeId`]s. Most users should use the shared, clonable [`BddMgr`]
+//! handle together with the [`Bdd`] value type, which supports the standard
+//! Boolean operators:
+//!
+//! ```
+//! use brel_bdd::BddMgr;
+//!
+//! let mgr = BddMgr::new(3);
+//! let (a, b, c) = (mgr.var(0), mgr.var(1), mgr.var(2));
+//! let f = a.and(&b).or(&a.complement().and(&c));
+//! assert!(f.eval(&[true, true, false]));
+//! assert!(!f.eval(&[true, false, false]));
+//! assert_eq!(f.support(), vec![0.into(), 1.into(), 2.into()]);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod dot;
+mod gencof;
+mod handle;
+mod isop;
+mod manager;
+mod paths;
+mod quant;
+mod symmetry;
+
+pub use dot::to_dot;
+pub use handle::{Bdd, BddMgr};
+pub use isop::{IsopCube, IsopResult};
+pub use manager::{BddManager, NodeId, Var};
+pub use paths::PathCube;
+pub use symmetry::SymmetryKind;
+
+/// The number of variables above which exhaustive truth-table style
+/// operations (such as [`Bdd::minterms`]) refuse to run.
+pub const EXHAUSTIVE_VAR_LIMIT: usize = 24;

@@ -1,0 +1,784 @@
+//! The low-level ROBDD node store and core operations.
+//!
+//! Nodes are stored in a single arena ([`BddManager::nodes`]) indexed by
+//! [`NodeId`]. Canonicity is maintained by the *unique table*: a node
+//! `(var, lo, hi)` exists at most once, and no node with `lo == hi` is ever
+//! created. The two terminals occupy the first two slots of the arena
+//! (`NodeId::ZERO` and `NodeId::ONE`).
+//!
+//! All Boolean connectives are implemented on top of the ternary `ite`
+//! (if-then-else) operator, which is memoized in [`BddManager::ite_cache`].
+//! Because every subrelation manipulated by the BREL solver is derived from a
+//! single original relation, the cache hit rate is very high in practice;
+//! this mirrors the observation made in Section 7.1 of the paper.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// Index of a BDD variable.
+///
+/// In this package the variable index *is* the level in the global order:
+/// variable 0 is closest to the root. The higher-level crates allocate input
+/// variables before output variables, which matches the ordering used by the
+/// paper's characteristic functions `R(X, Y)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Var(pub u32);
+
+impl Var {
+    /// Returns the raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl From<u32> for Var {
+    fn from(v: u32) -> Self {
+        Var(v)
+    }
+}
+
+impl From<usize> for Var {
+    fn from(v: usize) -> Self {
+        Var(v as u32)
+    }
+}
+
+impl From<i32> for Var {
+    fn from(v: i32) -> Self {
+        debug_assert!(v >= 0, "variable indices are non-negative");
+        Var(v as u32)
+    }
+}
+
+impl fmt::Display for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "x{}", self.0)
+    }
+}
+
+/// Identifier of a node in the manager's arena.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub(crate) u32);
+
+impl NodeId {
+    /// The constant-false terminal.
+    pub const ZERO: NodeId = NodeId(0);
+    /// The constant-true terminal.
+    pub const ONE: NodeId = NodeId(1);
+
+    /// Returns `true` for the two terminal nodes.
+    pub fn is_terminal(self) -> bool {
+        self.0 <= 1
+    }
+
+    /// Returns `true` for the constant-false terminal.
+    pub fn is_zero(self) -> bool {
+        self == NodeId::ZERO
+    }
+
+    /// Returns `true` for the constant-true terminal.
+    pub fn is_one(self) -> bool {
+        self == NodeId::ONE
+    }
+
+    /// Raw arena index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A decision node: `if var then hi else lo`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub(crate) struct Node {
+    pub var: Var,
+    pub lo: NodeId,
+    pub hi: NodeId,
+}
+
+/// Level used for terminals so that they order after every variable.
+const TERMINAL_LEVEL: u32 = u32::MAX;
+
+/// The ROBDD manager: node arena, unique table and operation caches.
+///
+/// Most users should prefer the shared [`crate::BddMgr`] handle; the raw
+/// manager is exposed for callers that want explicit control over mutability
+/// (for example, the benchmark harness).
+pub struct BddManager {
+    pub(crate) nodes: Vec<Node>,
+    unique: HashMap<(Var, NodeId, NodeId), NodeId>,
+    ite_cache: HashMap<(NodeId, NodeId, NodeId), NodeId>,
+    pub(crate) var_names: Vec<String>,
+}
+
+impl fmt::Debug for BddManager {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("BddManager")
+            .field("num_vars", &self.var_names.len())
+            .field("num_nodes", &self.nodes.len())
+            .finish()
+    }
+}
+
+impl BddManager {
+    /// Creates a manager with `num_vars` variables named `x0..x{n-1}`.
+    pub fn new(num_vars: usize) -> Self {
+        let mut mgr = BddManager {
+            nodes: Vec::with_capacity(1024),
+            unique: HashMap::new(),
+            ite_cache: HashMap::new(),
+            var_names: (0..num_vars).map(|i| format!("x{i}")).collect(),
+        };
+        // Terminal placeholders. `var` is unused for terminals.
+        mgr.nodes.push(Node {
+            var: Var(TERMINAL_LEVEL),
+            lo: NodeId::ZERO,
+            hi: NodeId::ZERO,
+        });
+        mgr.nodes.push(Node {
+            var: Var(TERMINAL_LEVEL),
+            lo: NodeId::ONE,
+            hi: NodeId::ONE,
+        });
+        mgr
+    }
+
+    /// Number of variables known to the manager.
+    pub fn num_vars(&self) -> usize {
+        self.var_names.len()
+    }
+
+    /// Total number of nodes allocated so far (including the two terminals).
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Appends a new variable (placed at the bottom of the order) and
+    /// returns it.
+    pub fn add_var(&mut self, name: impl Into<String>) -> Var {
+        let v = Var(self.var_names.len() as u32);
+        self.var_names.push(name.into());
+        v
+    }
+
+    /// Sets the display name of a variable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var` is not a variable of this manager.
+    pub fn set_var_name(&mut self, var: Var, name: impl Into<String>) {
+        self.var_names[var.index()] = name.into();
+    }
+
+    /// Returns the display name of a variable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var` is not a variable of this manager.
+    pub fn var_name(&self, var: Var) -> &str {
+        &self.var_names[var.index()]
+    }
+
+    /// Level of a node: its variable index, or `u32::MAX` for terminals.
+    pub(crate) fn level(&self, id: NodeId) -> u32 {
+        if id.is_terminal() {
+            TERMINAL_LEVEL
+        } else {
+            self.nodes[id.index()].var.0
+        }
+    }
+
+    /// Variable labelling an internal node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is a terminal.
+    pub fn node_var(&self, id: NodeId) -> Var {
+        assert!(!id.is_terminal(), "terminal nodes carry no variable");
+        self.nodes[id.index()].var
+    }
+
+    /// `(lo, hi)` children of an internal node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is a terminal.
+    pub fn node_children(&self, id: NodeId) -> (NodeId, NodeId) {
+        assert!(!id.is_terminal(), "terminal nodes have no children");
+        let n = &self.nodes[id.index()];
+        (n.lo, n.hi)
+    }
+
+    /// Finds or creates the canonical node `(var, lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var` is ordered at or below the top variable of `lo`/`hi`
+    /// (which would violate the variable order invariant).
+    pub fn mk(&mut self, var: Var, lo: NodeId, hi: NodeId) -> NodeId {
+        if lo == hi {
+            return lo;
+        }
+        debug_assert!(
+            var.0 < self.level(lo) && var.0 < self.level(hi),
+            "mk would violate the variable order: var {:?} lo-level {} hi-level {}",
+            var,
+            self.level(lo),
+            self.level(hi)
+        );
+        if let Some(&id) = self.unique.get(&(var, lo, hi)) {
+            return id;
+        }
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(Node { var, lo, hi });
+        self.unique.insert((var, lo, hi), id);
+        id
+    }
+
+    /// The constant-false function.
+    pub fn zero(&self) -> NodeId {
+        NodeId::ZERO
+    }
+
+    /// The constant-true function.
+    pub fn one(&self) -> NodeId {
+        NodeId::ONE
+    }
+
+    /// The projection function of variable `var`.
+    pub fn literal(&mut self, var: Var, positive: bool) -> NodeId {
+        if positive {
+            self.mk(var, NodeId::ZERO, NodeId::ONE)
+        } else {
+            self.mk(var, NodeId::ONE, NodeId::ZERO)
+        }
+    }
+
+    /// Shannon cofactors of `f` with respect to the variable at the node's
+    /// top level `v`: returns `(f_{v=0}, f_{v=1})`. If `v` is not the top
+    /// variable of `f` both cofactors are `f` itself.
+    fn top_cofactors(&self, f: NodeId, v: Var) -> (NodeId, NodeId) {
+        if f.is_terminal() || self.nodes[f.index()].var != v {
+            (f, f)
+        } else {
+            let n = &self.nodes[f.index()];
+            (n.lo, n.hi)
+        }
+    }
+
+    /// The if-then-else operator: `ite(f, g, h) = f·g + f'·h`.
+    ///
+    /// Every Boolean connective in this package is expressed via `ite`,
+    /// which is memoized.
+    pub fn ite(&mut self, f: NodeId, g: NodeId, h: NodeId) -> NodeId {
+        // Terminal cases.
+        if f.is_one() {
+            return g;
+        }
+        if f.is_zero() {
+            return h;
+        }
+        if g == h {
+            return g;
+        }
+        if g.is_one() && h.is_zero() {
+            return f;
+        }
+        if let Some(&r) = self.ite_cache.get(&(f, g, h)) {
+            return r;
+        }
+        let lf = self.level(f);
+        let lg = self.level(g);
+        let lh = self.level(h);
+        let top = lf.min(lg).min(lh);
+        let v = Var(top);
+        let (f0, f1) = self.top_cofactors(f, v);
+        let (g0, g1) = self.top_cofactors(g, v);
+        let (h0, h1) = self.top_cofactors(h, v);
+        let lo = self.ite(f0, g0, h0);
+        let hi = self.ite(f1, g1, h1);
+        let r = self.mk(v, lo, hi);
+        self.ite_cache.insert((f, g, h), r);
+        r
+    }
+
+    /// Logical negation.
+    pub fn not(&mut self, f: NodeId) -> NodeId {
+        self.ite(f, NodeId::ZERO, NodeId::ONE)
+    }
+
+    /// Logical conjunction.
+    pub fn and(&mut self, f: NodeId, g: NodeId) -> NodeId {
+        self.ite(f, g, NodeId::ZERO)
+    }
+
+    /// Logical disjunction.
+    pub fn or(&mut self, f: NodeId, g: NodeId) -> NodeId {
+        self.ite(f, NodeId::ONE, g)
+    }
+
+    /// Exclusive or.
+    pub fn xor(&mut self, f: NodeId, g: NodeId) -> NodeId {
+        let ng = self.not(g);
+        self.ite(f, ng, g)
+    }
+
+    /// Logical equivalence (`xnor`).
+    pub fn iff(&mut self, f: NodeId, g: NodeId) -> NodeId {
+        let ng = self.not(g);
+        self.ite(f, g, ng)
+    }
+
+    /// Implication `f → g`.
+    pub fn implies(&mut self, f: NodeId, g: NodeId) -> NodeId {
+        self.ite(f, g, NodeId::ONE)
+    }
+
+    /// Conjunction of a slice of functions.
+    pub fn and_many(&mut self, fs: &[NodeId]) -> NodeId {
+        let mut acc = NodeId::ONE;
+        for &f in fs {
+            acc = self.and(acc, f);
+            if acc.is_zero() {
+                break;
+            }
+        }
+        acc
+    }
+
+    /// Disjunction of a slice of functions.
+    pub fn or_many(&mut self, fs: &[NodeId]) -> NodeId {
+        let mut acc = NodeId::ZERO;
+        for &f in fs {
+            acc = self.or(acc, f);
+            if acc.is_one() {
+                break;
+            }
+        }
+        acc
+    }
+
+    /// Cofactor of `f` with respect to `var = value`.
+    pub fn cofactor(&mut self, f: NodeId, var: Var, value: bool) -> NodeId {
+        if f.is_terminal() {
+            return f;
+        }
+        // A dedicated cache keyed by (f, var, value) would be possible; reuse
+        // the ite cache by expressing the cofactor as compose with a constant.
+        let mut memo = HashMap::new();
+        self.cofactor_rec(f, var, value, &mut memo)
+    }
+
+    fn cofactor_rec(
+        &mut self,
+        f: NodeId,
+        var: Var,
+        value: bool,
+        memo: &mut HashMap<NodeId, NodeId>,
+    ) -> NodeId {
+        if f.is_terminal() || self.level(f) > var.0 {
+            return f;
+        }
+        if let Some(&r) = memo.get(&f) {
+            return r;
+        }
+        let n = self.nodes[f.index()];
+        let r = if n.var == var {
+            if value {
+                n.hi
+            } else {
+                n.lo
+            }
+        } else {
+            let lo = self.cofactor_rec(n.lo, var, value, memo);
+            let hi = self.cofactor_rec(n.hi, var, value, memo);
+            self.mk(n.var, lo, hi)
+        };
+        memo.insert(f, r);
+        r
+    }
+
+    /// Restriction of `f` by a (possibly partial) assignment given as
+    /// `(var, value)` pairs.
+    pub fn restrict_assignment(&mut self, f: NodeId, assignment: &[(Var, bool)]) -> NodeId {
+        let mut acc = f;
+        for &(v, b) in assignment {
+            acc = self.cofactor(acc, v, b);
+        }
+        acc
+    }
+
+    /// Functional composition: substitutes variable `var` in `f` by `g`.
+    pub fn compose(&mut self, f: NodeId, var: Var, g: NodeId) -> NodeId {
+        let f1 = self.cofactor(f, var, true);
+        let f0 = self.cofactor(f, var, false);
+        self.ite(g, f1, f0)
+    }
+
+    /// Simultaneously exchanges two variables of `f` (i.e. computes
+    /// `f` with the roles of `a` and `b` swapped).
+    pub fn swap_vars(&mut self, f: NodeId, a: Var, b: Var) -> NodeId {
+        if a == b {
+            return f;
+        }
+        let f0 = self.cofactor(f, a, false);
+        let f1 = self.cofactor(f, a, true);
+        let f00 = self.cofactor(f0, b, false);
+        let f01 = self.cofactor(f0, b, true);
+        let f10 = self.cofactor(f1, b, false);
+        let f11 = self.cofactor(f1, b, true);
+        // g(a, b) = f(b, a): g with a=1,b=0 must equal f with a=0,b=1.
+        let lit_a = self.literal(a, true);
+        let lit_b = self.literal(b, true);
+        let when_a1 = self.ite(lit_b, f11, f01);
+        let when_a0 = self.ite(lit_b, f10, f00);
+        self.ite(lit_a, when_a1, when_a0)
+    }
+
+    /// Renames variables of `f` according to `map`, which sends old
+    /// variables to new variables. Unmapped variables are left untouched.
+    ///
+    /// The mapping must be injective on the support of `f`; this is enforced
+    /// only through debug assertions. The implementation substitutes one
+    /// variable at a time via [`BddManager::compose`], going through fresh
+    /// intermediate literals when the ranges overlap would not be safe; for
+    /// the simple "shift outputs after inputs" renamings used by the
+    /// relation layer a direct recursive rebuild is used instead when the map
+    /// is strictly monotone.
+    pub fn rename_vars(&mut self, f: NodeId, map: &HashMap<Var, Var>) -> NodeId {
+        if map.is_empty() || f.is_terminal() {
+            return f;
+        }
+        let monotone = {
+            let mut pairs: Vec<(Var, Var)> = map.iter().map(|(a, b)| (*a, *b)).collect();
+            pairs.sort();
+            pairs.windows(2).all(|w| w[0].1 < w[1].1)
+        };
+        if monotone {
+            let mut memo = HashMap::new();
+            return self.rename_rec(f, map, &mut memo);
+        }
+        // General case: go through temporary variables far above all in use.
+        let base = self.var_names.len() as u32;
+        let temp_map: HashMap<Var, Var> = map
+            .keys()
+            .enumerate()
+            .map(|(i, &v)| (v, Var(base + i as u32)))
+            .collect();
+        for _ in 0..temp_map.len() {
+            self.add_var("__tmp_rename");
+        }
+        let mut acc = f;
+        for (&old, &tmp) in &temp_map {
+            let lit = self.literal(tmp, true);
+            acc = self.compose(acc, old, lit);
+        }
+        for (&old, &tmp) in &temp_map {
+            let new = map[&old];
+            let lit = self.literal(new, true);
+            acc = self.compose(acc, tmp, lit);
+        }
+        acc
+    }
+
+    fn rename_rec(
+        &mut self,
+        f: NodeId,
+        map: &HashMap<Var, Var>,
+        memo: &mut HashMap<NodeId, NodeId>,
+    ) -> NodeId {
+        if f.is_terminal() {
+            return f;
+        }
+        if let Some(&r) = memo.get(&f) {
+            return r;
+        }
+        let n = self.nodes[f.index()];
+        let lo = self.rename_rec(n.lo, map, memo);
+        let hi = self.rename_rec(n.hi, map, memo);
+        let var = *map.get(&n.var).unwrap_or(&n.var);
+        let r = self.mk(var, lo, hi);
+        memo.insert(f, r);
+        r
+    }
+
+    /// Number of distinct decision nodes in the DAG rooted at `f`
+    /// (terminals excluded). This is the paper's "BDD size" cost metric.
+    pub fn size(&self, f: NodeId) -> usize {
+        let mut seen = std::collections::HashSet::new();
+        let mut stack = vec![f];
+        let mut count = 0usize;
+        while let Some(id) = stack.pop() {
+            if id.is_terminal() || !seen.insert(id) {
+                continue;
+            }
+            count += 1;
+            let n = &self.nodes[id.index()];
+            stack.push(n.lo);
+            stack.push(n.hi);
+        }
+        count
+    }
+
+    /// Combined DAG size of several functions (shared nodes counted once).
+    pub fn shared_size(&self, fs: &[NodeId]) -> usize {
+        let mut seen = std::collections::HashSet::new();
+        let mut stack: Vec<NodeId> = fs.to_vec();
+        let mut count = 0usize;
+        while let Some(id) = stack.pop() {
+            if id.is_terminal() || !seen.insert(id) {
+                continue;
+            }
+            count += 1;
+            let n = &self.nodes[id.index()];
+            stack.push(n.lo);
+            stack.push(n.hi);
+        }
+        count
+    }
+
+    /// Support of `f`: the sorted list of variables it depends on.
+    pub fn support(&self, f: NodeId) -> Vec<Var> {
+        let mut seen = std::collections::HashSet::new();
+        let mut vars = std::collections::BTreeSet::new();
+        let mut stack = vec![f];
+        while let Some(id) = stack.pop() {
+            if id.is_terminal() || !seen.insert(id) {
+                continue;
+            }
+            let n = &self.nodes[id.index()];
+            vars.insert(n.var);
+            stack.push(n.lo);
+            stack.push(n.hi);
+        }
+        vars.into_iter().collect()
+    }
+
+    /// Evaluates `f` under a complete assignment indexed by variable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the assignment is shorter than the index of a variable
+    /// encountered along the evaluation path.
+    pub fn eval(&self, f: NodeId, assignment: &[bool]) -> bool {
+        let mut id = f;
+        while !id.is_terminal() {
+            let n = &self.nodes[id.index()];
+            id = if assignment[n.var.index()] { n.hi } else { n.lo };
+        }
+        id.is_one()
+    }
+
+    /// Clears the operation caches (the unique table is preserved, so node
+    /// identity is unaffected). Useful to bound memory in long runs.
+    pub fn clear_caches(&mut self) {
+        self.ite_cache.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mgr3() -> (BddManager, NodeId, NodeId, NodeId) {
+        let mut m = BddManager::new(3);
+        let a = m.literal(Var(0), true);
+        let b = m.literal(Var(1), true);
+        let c = m.literal(Var(2), true);
+        (m, a, b, c)
+    }
+
+    #[test]
+    fn terminals_are_distinct_and_fixed() {
+        let m = BddManager::new(2);
+        assert!(NodeId::ZERO.is_zero());
+        assert!(NodeId::ONE.is_one());
+        assert_ne!(m.zero(), m.one());
+        assert_eq!(m.num_nodes(), 2);
+    }
+
+    #[test]
+    fn mk_is_canonical() {
+        let (mut m, _a, _b, _c) = mgr3();
+        let n1 = m.mk(Var(1), NodeId::ZERO, NodeId::ONE);
+        let n2 = m.mk(Var(1), NodeId::ZERO, NodeId::ONE);
+        assert_eq!(n1, n2);
+        let collapsed = m.mk(Var(0), n1, n1);
+        assert_eq!(collapsed, n1);
+    }
+
+    #[test]
+    fn basic_connectives_match_truth_table() {
+        let (mut m, a, b, _c) = mgr3();
+        let and = m.and(a, b);
+        let or = m.or(a, b);
+        let xor = m.xor(a, b);
+        let iff = m.iff(a, b);
+        let imp = m.implies(a, b);
+        for va in [false, true] {
+            for vb in [false, true] {
+                let asg = [va, vb, false];
+                assert_eq!(m.eval(and, &asg), va && vb);
+                assert_eq!(m.eval(or, &asg), va || vb);
+                assert_eq!(m.eval(xor, &asg), va ^ vb);
+                assert_eq!(m.eval(iff, &asg), va == vb);
+                assert_eq!(m.eval(imp, &asg), !va || vb);
+            }
+        }
+    }
+
+    #[test]
+    fn double_negation_is_identity() {
+        let (mut m, a, b, c) = mgr3();
+        let f = m.ite(a, b, c);
+        let nf = m.not(f);
+        let nnf = m.not(nf);
+        assert_eq!(f, nnf);
+    }
+
+    #[test]
+    fn ite_of_equal_branches_collapses() {
+        let (mut m, a, b, _c) = mgr3();
+        assert_eq!(m.ite(a, b, b), b);
+        assert_eq!(m.ite(a, NodeId::ONE, NodeId::ZERO), a);
+    }
+
+    #[test]
+    fn and_or_many() {
+        let (mut m, a, b, c) = mgr3();
+        let all = m.and_many(&[a, b, c]);
+        let any = m.or_many(&[a, b, c]);
+        assert!(m.eval(all, &[true, true, true]));
+        assert!(!m.eval(all, &[true, true, false]));
+        assert!(m.eval(any, &[false, false, true]));
+        assert!(!m.eval(any, &[false, false, false]));
+        assert_eq!(m.and_many(&[]), NodeId::ONE);
+        assert_eq!(m.or_many(&[]), NodeId::ZERO);
+    }
+
+    #[test]
+    fn cofactor_shannon_expansion() {
+        let (mut m, a, b, c) = mgr3();
+        let f = {
+            let t = m.and(a, b);
+            let e = m.and(c, b);
+            m.or(t, e)
+        };
+        let f1 = m.cofactor(f, Var(0), true);
+        let f0 = m.cofactor(f, Var(0), false);
+        // Shannon: f = a·f1 + a'·f0
+        let rebuilt = m.ite(a, f1, f0);
+        assert_eq!(rebuilt, f);
+        // cofactor removes the variable from the support
+        assert!(!m.support(f1).contains(&Var(0)));
+    }
+
+    #[test]
+    fn compose_substitutes_function() {
+        let (mut m, a, b, c) = mgr3();
+        // f = a xor b ; compose b := (a and c)  =>  a xor (a and c)
+        let f = m.xor(a, b);
+        let g = m.and(a, c);
+        let h = m.compose(f, Var(1), g);
+        for va in [false, true] {
+            for vc in [false, true] {
+                let expected = va ^ (va && vc);
+                assert_eq!(m.eval(h, &[va, false, vc]), expected);
+            }
+        }
+    }
+
+    #[test]
+    fn swap_vars_exchanges_roles() {
+        let (mut m, a, b, c) = mgr3();
+        // f = a and (not b) and c
+        let nb = m.not(b);
+        let t = m.and(a, nb);
+        let f = m.and(t, c);
+        let g = m.swap_vars(f, Var(0), Var(1));
+        for va in [false, true] {
+            for vb in [false, true] {
+                for vc in [false, true] {
+                    assert_eq!(m.eval(g, &[va, vb, vc]), m.eval(f, &[vb, va, vc]));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rename_monotone_shift() {
+        let mut m = BddManager::new(6);
+        let a = m.literal(Var(0), true);
+        let b = m.literal(Var(1), true);
+        let f = m.and(a, b);
+        let map: HashMap<Var, Var> = [(Var(0), Var(2)), (Var(1), Var(4))].into_iter().collect();
+        let g = m.rename_vars(f, &map);
+        assert_eq!(m.support(g), vec![Var(2), Var(4)]);
+        assert!(m.eval(g, &[false, false, true, false, true, false]));
+        assert!(!m.eval(g, &[true, true, false, false, true, false]));
+    }
+
+    #[test]
+    fn rename_swap_via_temporaries() {
+        let mut m = BddManager::new(2);
+        let a = m.literal(Var(0), true);
+        let nb = {
+            let b = m.literal(Var(1), true);
+            m.not(b)
+        };
+        let f = m.and(a, nb); // a · b'
+        let map: HashMap<Var, Var> = [(Var(0), Var(1)), (Var(1), Var(0))].into_iter().collect();
+        let g = m.rename_vars(f, &map); // b · a'
+        assert!(m.eval(g, &[false, true]));
+        assert!(!m.eval(g, &[true, false]));
+    }
+
+    #[test]
+    fn size_counts_distinct_nodes() {
+        let (mut m, a, b, c) = mgr3();
+        assert_eq!(m.size(NodeId::ZERO), 0);
+        assert_eq!(m.size(a), 1);
+        let f = {
+            let t = m.and(a, b);
+            m.or(t, c)
+        };
+        assert!(m.size(f) >= 3);
+        let total = m.shared_size(&[f, c]);
+        assert_eq!(total, m.size(f), "the literal c is shared inside f");
+    }
+
+    #[test]
+    fn support_is_sorted_and_minimal() {
+        let (mut m, a, _b, c) = mgr3();
+        let f = m.or(a, c);
+        assert_eq!(m.support(f), vec![Var(0), Var(2)]);
+        // b is redundant in (a·b + a·b')
+        let b = m.literal(Var(1), true);
+        let nb = m.not(b);
+        let t1 = m.and(a, b);
+        let t2 = m.and(a, nb);
+        let g = m.or(t1, t2);
+        assert_eq!(m.support(g), vec![Var(0)]);
+        assert_eq!(g, a);
+    }
+
+    #[test]
+    fn add_var_and_names() {
+        let mut m = BddManager::new(1);
+        assert_eq!(m.var_name(Var(0)), "x0");
+        let v = m.add_var("sel");
+        assert_eq!(v, Var(1));
+        assert_eq!(m.var_name(v), "sel");
+        m.set_var_name(Var(0), "data");
+        assert_eq!(m.var_name(Var(0)), "data");
+        assert_eq!(m.num_vars(), 2);
+    }
+
+    #[test]
+    fn clear_caches_preserves_results() {
+        let (mut m, a, b, _c) = mgr3();
+        let f = m.and(a, b);
+        m.clear_caches();
+        let g = m.and(a, b);
+        assert_eq!(f, g, "canonical nodes survive cache clearing");
+    }
+}

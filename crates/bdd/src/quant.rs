@@ -1,0 +1,195 @@
+//! Existential and universal quantification.
+//!
+//! The BREL solver quantifies output variables in two places: the
+//! consistency check of Boolean-equation systems (`∃X 𝔼(X) = 1`, Section 8)
+//! and the split-point selection, which abstracts the outputs away from the
+//! conflict relation (`C = ∃Y Incomp`, Section 7.4).
+
+use std::collections::{HashMap, HashSet};
+
+use crate::manager::{BddManager, NodeId, Var};
+
+impl BddManager {
+    /// Existential quantification of a single variable:
+    /// `∃v. f = f|v=0 + f|v=1`.
+    pub fn exists(&mut self, f: NodeId, var: Var) -> NodeId {
+        let mut memo = HashMap::new();
+        self.exists_rec(f, var, &mut memo)
+    }
+
+    fn exists_rec(&mut self, f: NodeId, var: Var, memo: &mut HashMap<NodeId, NodeId>) -> NodeId {
+        if f.is_terminal() || self.level(f) > var.0 {
+            return f;
+        }
+        if let Some(&r) = memo.get(&f) {
+            return r;
+        }
+        let (lo, hi) = self.node_children(f);
+        let v = self.node_var(f);
+        let r = if v == var {
+            self.or(lo, hi)
+        } else {
+            let lo_q = self.exists_rec(lo, var, memo);
+            let hi_q = self.exists_rec(hi, var, memo);
+            self.mk(v, lo_q, hi_q)
+        };
+        memo.insert(f, r);
+        r
+    }
+
+    /// Universal quantification of a single variable:
+    /// `∀v. f = f|v=0 · f|v=1`.
+    pub fn forall(&mut self, f: NodeId, var: Var) -> NodeId {
+        let nf = self.not(f);
+        let e = self.exists(nf, var);
+        self.not(e)
+    }
+
+    /// Existential quantification of a set of variables.
+    pub fn exists_many(&mut self, f: NodeId, vars: &[Var]) -> NodeId {
+        let set: HashSet<Var> = vars.iter().copied().collect();
+        let mut memo = HashMap::new();
+        self.exists_set_rec(f, &set, &mut memo)
+    }
+
+    fn exists_set_rec(
+        &mut self,
+        f: NodeId,
+        vars: &HashSet<Var>,
+        memo: &mut HashMap<NodeId, NodeId>,
+    ) -> NodeId {
+        if f.is_terminal() {
+            return f;
+        }
+        if let Some(&r) = memo.get(&f) {
+            return r;
+        }
+        let (lo, hi) = self.node_children(f);
+        let v = self.node_var(f);
+        let lo_q = self.exists_set_rec(lo, vars, memo);
+        let hi_q = self.exists_set_rec(hi, vars, memo);
+        let r = if vars.contains(&v) {
+            self.or(lo_q, hi_q)
+        } else {
+            self.mk(v, lo_q, hi_q)
+        };
+        memo.insert(f, r);
+        r
+    }
+
+    /// Universal quantification of a set of variables.
+    pub fn forall_many(&mut self, f: NodeId, vars: &[Var]) -> NodeId {
+        let nf = self.not(f);
+        let e = self.exists_many(nf, vars);
+        self.not(e)
+    }
+
+    /// Relational product `∃vars. (f · g)`, the workhorse of image
+    /// computations. Implemented as conjunction followed by quantification;
+    /// adequate for the problem sizes of this reproduction.
+    pub fn and_exists(&mut self, f: NodeId, g: NodeId, vars: &[Var]) -> NodeId {
+        let c = self.and(f, g);
+        self.exists_many(c, vars)
+    }
+
+    /// Returns `true` if `f` is a tautology once the given variables are
+    /// existentially quantified — i.e. for every assignment to the remaining
+    /// variables there exists an assignment to `vars` satisfying `f`.
+    ///
+    /// With `vars` covering all of `f`'s support this is the consistency
+    /// check of Property 8.2 in the paper.
+    pub fn exists_is_tautology(&mut self, f: NodeId, vars: &[Var]) -> bool {
+        self.exists_many(f, vars).is_one()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exists_single_variable() {
+        let mut m = BddManager::new(3);
+        let a = m.literal(Var(0), true);
+        let b = m.literal(Var(1), true);
+        let f = m.and(a, b);
+        // ∃b. a·b = a
+        assert_eq!(m.exists(f, Var(1)), a);
+        // ∃a. a·b = b
+        assert_eq!(m.exists(f, Var(0)), b);
+        // quantifying a variable outside the support is a no-op
+        assert_eq!(m.exists(f, Var(2)), f);
+    }
+
+    #[test]
+    fn forall_single_variable() {
+        let mut m = BddManager::new(2);
+        let a = m.literal(Var(0), true);
+        let b = m.literal(Var(1), true);
+        let f = m.or(a, b);
+        // ∀b. a+b = a
+        assert_eq!(m.forall(f, Var(1)), a);
+        let g = m.and(a, b);
+        // ∀b. a·b = 0
+        assert_eq!(m.forall(g, Var(1)), NodeId::ZERO);
+    }
+
+    #[test]
+    fn exists_many_matches_iterated() {
+        let mut m = BddManager::new(4);
+        let a = m.literal(Var(0), true);
+        let b = m.literal(Var(1), true);
+        let c = m.literal(Var(2), true);
+        let d = m.literal(Var(3), true);
+        let t1 = m.and(a, b);
+        let t2 = m.and(c, d);
+        let f = m.xor(t1, t2);
+        let via_set = m.exists_many(f, &[Var(1), Var(3)]);
+        let step1 = m.exists(f, Var(1));
+        let via_iter = m.exists(step1, Var(3));
+        assert_eq!(via_set, via_iter);
+    }
+
+    #[test]
+    fn duality_of_quantifiers() {
+        let mut m = BddManager::new(3);
+        let a = m.literal(Var(0), true);
+        let b = m.literal(Var(1), true);
+        let c = m.literal(Var(2), true);
+        let t = m.and(a, b);
+        let f = m.or(t, c);
+        let vars = [Var(1), Var(2)];
+        let forall = m.forall_many(f, &vars);
+        let nf = m.not(f);
+        let exists_not = m.exists_many(nf, &vars);
+        let dual = m.not(exists_not);
+        assert_eq!(forall, dual);
+    }
+
+    #[test]
+    fn and_exists_equals_conjoin_then_quantify() {
+        let mut m = BddManager::new(3);
+        let a = m.literal(Var(0), true);
+        let b = m.literal(Var(1), true);
+        let c = m.literal(Var(2), true);
+        let f = m.or(a, b);
+        let g = m.iff(b, c);
+        let direct = m.and_exists(f, g, &[Var(1)]);
+        let conj = m.and(f, g);
+        let expect = m.exists_many(conj, &[Var(1)]);
+        assert_eq!(direct, expect);
+    }
+
+    #[test]
+    fn consistency_check_tautology() {
+        let mut m = BddManager::new(2);
+        // f = (a ⊕ b): for every a there is a b making it true.
+        let a = m.literal(Var(0), true);
+        let b = m.literal(Var(1), true);
+        let f = m.xor(a, b);
+        assert!(m.exists_is_tautology(f, &[Var(1)]));
+        // g = a·b: for a=0 no b works.
+        let g = m.and(a, b);
+        assert!(!m.exists_is_tautology(g, &[Var(1)]));
+    }
+}

@@ -1,0 +1,185 @@
+//! Variable symmetry detection.
+//!
+//! Section 7.7 of the paper prunes the branch-and-bound exploration by
+//! detecting relations that are symmetric in a pair of *output* variables:
+//! two subrelations that only differ by a permutation of symmetric outputs
+//! lead to solutions of equal cost, so only one of them needs to be solved.
+//!
+//! The checks implemented here are the classical first-order symmetries
+//! (non-skew and skew, in both equivalence and non-equivalence flavours) and
+//! the non-skew non-equivalence second-order symmetry used by BREL.
+
+use crate::manager::{BddManager, NodeId, Var};
+
+/// The kind of two-variable symmetry detected between a pair of variables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SymmetryKind {
+    /// Classical (non-skew, non-equivalence) symmetry:
+    /// `f(..xi=1, xj=0..) = f(..xi=0, xj=1..)` — the function is invariant
+    /// under exchanging the two variables.
+    NonSkewNonEquivalence,
+    /// Equivalence symmetry: `f(..0,0..) = f(..1,1..)`.
+    NonSkewEquivalence,
+    /// Skew symmetry: `f(..0,0..) = ¬f(..1,1..)`.
+    SkewEquivalence,
+    /// Skew non-equivalence symmetry: `f(..1,0..) = ¬f(..0,1..)`.
+    SkewNonEquivalence,
+}
+
+impl BddManager {
+    /// Returns `true` if `f` is invariant under exchanging variables `a`
+    /// and `b` (the classical first-order symmetry `f_{a b'} = f_{a' b}`).
+    pub fn is_symmetric(&mut self, f: NodeId, a: Var, b: Var) -> bool {
+        if a == b {
+            return true;
+        }
+        let f1 = self.cofactor(f, a, true);
+        let f10 = self.cofactor(f1, b, false);
+        let f0 = self.cofactor(f, a, false);
+        let f01 = self.cofactor(f0, b, true);
+        f10 == f01
+    }
+
+    /// Detects every first-order symmetry kind holding between `a` and `b`
+    /// in `f`.
+    pub fn symmetries(&mut self, f: NodeId, a: Var, b: Var) -> Vec<SymmetryKind> {
+        let mut out = Vec::new();
+        if a == b {
+            return out;
+        }
+        let f1 = self.cofactor(f, a, true);
+        let f0 = self.cofactor(f, a, false);
+        let f11 = self.cofactor(f1, b, true);
+        let f10 = self.cofactor(f1, b, false);
+        let f01 = self.cofactor(f0, b, true);
+        let f00 = self.cofactor(f0, b, false);
+        if f10 == f01 {
+            out.push(SymmetryKind::NonSkewNonEquivalence);
+        }
+        if f00 == f11 {
+            out.push(SymmetryKind::NonSkewEquivalence);
+        }
+        let n11 = self.not(f11);
+        if f00 == n11 {
+            out.push(SymmetryKind::SkewEquivalence);
+        }
+        let n01 = self.not(f01);
+        if f10 == n01 {
+            out.push(SymmetryKind::SkewNonEquivalence);
+        }
+        out
+    }
+
+    /// Returns all unordered pairs out of `vars` in which `f` is
+    /// (non-skew, non-equivalence) symmetric.
+    pub fn symmetric_pairs(&mut self, f: NodeId, vars: &[Var]) -> Vec<(Var, Var)> {
+        let mut out = Vec::new();
+        for i in 0..vars.len() {
+            for j in (i + 1)..vars.len() {
+                if self.is_symmetric(f, vars[i], vars[j]) {
+                    out.push((vars[i], vars[j]));
+                }
+            }
+        }
+        out
+    }
+
+    /// Second-order (non-skew, non-equivalence) symmetry between the
+    /// variable *pairs* `(a1, a2)` and `(b1, b2)`: the function is invariant
+    /// under simultaneously exchanging `a1↔b1` and `a2↔b2`.
+    ///
+    /// In BREL this generalizes the output-permutation pruning to buses of
+    /// two outputs feeding a symmetric gate.
+    pub fn is_second_order_symmetric(
+        &mut self,
+        f: NodeId,
+        a1: Var,
+        a2: Var,
+        b1: Var,
+        b2: Var,
+    ) -> bool {
+        let g = self.swap_vars(f, a1, b1);
+        let g = self.swap_vars(g, a2, b2);
+        g == f
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn symmetric_function_detected() {
+        let mut m = BddManager::new(3);
+        let a = m.literal(Var(0), true);
+        let b = m.literal(Var(1), true);
+        let c = m.literal(Var(2), true);
+        // a·b + c is symmetric in (a, b) but not in (a, c).
+        let ab = m.and(a, b);
+        let f = m.or(ab, c);
+        assert!(m.is_symmetric(f, Var(0), Var(1)));
+        assert!(!m.is_symmetric(f, Var(0), Var(2)));
+        // Exchanging symmetric variables leaves the function unchanged.
+        let swapped = m.swap_vars(f, Var(0), Var(1));
+        assert_eq!(swapped, f);
+    }
+
+    #[test]
+    fn symmetry_kinds_on_xor_and_xnor() {
+        let mut m = BddManager::new(2);
+        let a = m.literal(Var(0), true);
+        let b = m.literal(Var(1), true);
+        // XOR: f(1,0) = f(0,1) and f(0,0) = f(1,1), but f(0,0) ≠ ¬f(1,1).
+        let xor = m.xor(a, b);
+        let kinds = m.symmetries(xor, Var(0), Var(1));
+        assert!(kinds.contains(&SymmetryKind::NonSkewNonEquivalence));
+        assert!(kinds.contains(&SymmetryKind::NonSkewEquivalence));
+        assert!(!kinds.contains(&SymmetryKind::SkewEquivalence));
+        // AND: f(0,0) = 0 = ¬f(1,1) — skew-equivalence holds.
+        let and = m.and(a, b);
+        let kinds = m.symmetries(and, Var(0), Var(1));
+        assert!(kinds.contains(&SymmetryKind::NonSkewNonEquivalence));
+        assert!(kinds.contains(&SymmetryKind::SkewEquivalence));
+        assert!(!kinds.contains(&SymmetryKind::NonSkewEquivalence));
+    }
+
+    #[test]
+    fn symmetric_pairs_of_majority() {
+        let mut m = BddManager::new(3);
+        let a = m.literal(Var(0), true);
+        let b = m.literal(Var(1), true);
+        let c = m.literal(Var(2), true);
+        let ab = m.and(a, b);
+        let ac = m.and(a, c);
+        let bc = m.and(b, c);
+        let maj = m.or_many(&[ab, ac, bc]);
+        let pairs = m.symmetric_pairs(maj, &[Var(0), Var(1), Var(2)]);
+        assert_eq!(pairs.len(), 3, "majority is totally symmetric");
+    }
+
+    #[test]
+    fn second_order_symmetry() {
+        let mut m = BddManager::new(4);
+        let a1 = m.literal(Var(0), true);
+        let a2 = m.literal(Var(1), true);
+        let b1 = m.literal(Var(2), true);
+        let b2 = m.literal(Var(3), true);
+        // f = (a1·a2) + (b1·b2): invariant under swapping the pairs.
+        let p = m.and(a1, a2);
+        let q = m.and(b1, b2);
+        let f = m.or(p, q);
+        assert!(m.is_second_order_symmetric(f, Var(0), Var(1), Var(2), Var(3)));
+        // g = (a1·a2) + (b1 ⊕ b2) is not.
+        let q2 = m.xor(b1, b2);
+        let g = m.or(p, q2);
+        assert!(!m.is_second_order_symmetric(g, Var(0), Var(1), Var(2), Var(3)));
+    }
+
+    #[test]
+    fn same_variable_is_trivially_symmetric() {
+        let mut m = BddManager::new(2);
+        let a = m.literal(Var(0), true);
+        assert!(m.is_symmetric(a, Var(0), Var(0)));
+        assert!(m.symmetries(a, Var(0), Var(0)).is_empty());
+    }
+}

@@ -1,0 +1,59 @@
+//! Micro-benchmarks of the BDD substrate: the primitive operations every
+//! solver step is built from (ite, quantification, ISOP, projection).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+use brel_benchdata::table2;
+use brel_relation::RelationSpace;
+
+fn build_relation() -> (RelationSpace, brel_relation::BooleanRelation) {
+    let instance = table2::instance("int9").expect("known instance");
+    table2::generate(&instance)
+}
+
+fn bench_bdd_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bdd_ops");
+    group.sample_size(20);
+
+    group.bench_function("characteristic_construction_int9", |b| {
+        let instance = table2::instance("int9").unwrap();
+        b.iter(|| table2::generate(&instance).1.size())
+    });
+
+    let (space, relation) = build_relation();
+    group.bench_function("projection_all_outputs_int9", |b| {
+        b.iter(|| {
+            (0..space.num_outputs())
+                .map(|i| relation.projection(i).on().size())
+                .sum::<usize>()
+        })
+    });
+
+    group.bench_function("misf_overapproximation_int9", |b| {
+        b.iter(|| relation.to_misf().to_relation().size())
+    });
+
+    group.bench_function("isop_of_characteristic_int9", |b| {
+        b.iter(|| relation.characteristic().isop().num_literals())
+    });
+
+    group.bench_function("split_on_flexible_vertex_int9", |b| {
+        let flexible = relation.projection_flexible_inputs(0);
+        let cube = flexible.shortest_path().expect("flexibility exists");
+        let vertex: Vec<bool> = space
+            .input_vars()
+            .iter()
+            .map(|&v| cube.value_of(v).unwrap_or(true))
+            .collect();
+        b.iter_batched(
+            || vertex.clone(),
+            |v| relation.split(&v, 0).unwrap().0.size(),
+            BatchSize::SmallInput,
+        )
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_bdd_ops);
+criterion_main!(benches);

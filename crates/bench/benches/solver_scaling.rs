@@ -1,0 +1,60 @@
+//! Scaling of the BREL solver and the baselines with relation size and with
+//! the exploration budget (the runtime knob of Section 7.6).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use brel_benchdata::random_well_defined_relation;
+use brel_core::{BrelConfig, BrelSolver, QuickSolver};
+use brel_gyocro::GyocroSolver;
+
+fn bench_solver_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("solver_scaling");
+    group.sample_size(10);
+
+    for &num_inputs in &[4usize, 6, 8] {
+        let (_space, relation) = random_well_defined_relation(num_inputs, 3, 0.25, 7_000 + num_inputs as u64);
+        group.bench_with_input(
+            BenchmarkId::new("quick", num_inputs),
+            &relation,
+            |b, r| b.iter(|| QuickSolver::new().solve(r).unwrap().sum_of_sizes()),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("brel_budget10", num_inputs),
+            &relation,
+            |b, r| {
+                b.iter(|| {
+                    BrelSolver::new(BrelConfig::table2())
+                        .solve(r)
+                        .unwrap()
+                        .cost
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("gyocro", num_inputs),
+            &relation,
+            |b, r| b.iter(|| GyocroSolver::default().solve(r).unwrap().final_cost),
+        );
+    }
+
+    // Exploration-budget sweep on a fixed relation.
+    let (_space, relation) = random_well_defined_relation(6, 3, 0.3, 99);
+    for &budget in &[1usize, 5, 20, 50] {
+        group.bench_with_input(
+            BenchmarkId::new("brel_budget_sweep", budget),
+            &budget,
+            |b, &budget| {
+                b.iter(|| {
+                    BrelSolver::new(BrelConfig::default().with_max_explored(Some(budget)))
+                        .solve(&relation)
+                        .unwrap()
+                        .cost
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_solver_scaling);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Section 7.7 symmetry-detection ablation: prints the quality/runtime
+//! comparison and times the solver with the pruning on and off.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use brel_benchdata::table2;
+use brel_core::{BrelConfig, BrelSolver};
+
+fn print_table() {
+    let rows = brel_bench::symmetry_ablation::run(8, 30);
+    println!("\n{}", brel_bench::symmetry_ablation::render(&rows));
+}
+
+fn bench_symmetry(c: &mut Criterion) {
+    print_table();
+    let mut group = c.benchmark_group("symmetry_ablation");
+    group.sample_size(10);
+    let (_space, relation) = table2::generate(&table2::instance("int5").unwrap());
+    for (label, enabled) in [("off", false), ("on", true)] {
+        group.bench_with_input(BenchmarkId::new("brel_int5", label), &enabled, |b, &enabled| {
+            b.iter(|| {
+                BrelSolver::new(
+                    BrelConfig::default()
+                        .with_max_explored(Some(30))
+                        .with_symmetry(enabled),
+                )
+                .solve(&relation)
+                .unwrap()
+                .cost
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_symmetry);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Table 1 reproduction: prints the normalized ISF-minimization comparison,
+//! then times each strategy inside the solver loop with Criterion.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use brel_benchdata::table2;
+use brel_core::{BrelConfig, BrelSolver, IsfMinimizer};
+
+fn print_table() {
+    // A moderate subset keeps `cargo bench` turnaround reasonable; run the
+    // `table1_isf` binary for the full family.
+    let rows = brel_bench::table1::run(6);
+    println!("\n{}", brel_bench::table1::render(&rows));
+}
+
+fn bench_strategies(c: &mut Criterion) {
+    print_table();
+    let mut group = c.benchmark_group("table1_isf");
+    group.sample_size(10);
+    let instance = table2::instance("int3").expect("known instance");
+    let (_space, relation) = table2::generate(&instance);
+    for (name, minimizer) in IsfMinimizer::table1_strategies() {
+        group.bench_with_input(BenchmarkId::new("brel_int3", name), &minimizer, |b, &m| {
+            b.iter(|| {
+                let config = BrelConfig {
+                    minimizer: m,
+                    ..BrelConfig::table2()
+                };
+                BrelSolver::new(config).solve(&relation).unwrap().cost
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_strategies);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Table 2 reproduction: prints the BREL-vs-gyocro comparison, then times
+//! both solvers on a representative instance with Criterion.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use brel_benchdata::table2;
+use brel_core::{BrelConfig, BrelSolver};
+use brel_gyocro::GyocroSolver;
+
+fn print_table() {
+    // A subset keeps `cargo bench` turnaround reasonable; run the
+    // `table2_gyocro` binary for the full family.
+    let rows = brel_bench::table2::run(8);
+    println!("\n{}", brel_bench::table2::render(&rows));
+}
+
+fn bench_solvers(c: &mut Criterion) {
+    print_table();
+    let mut group = c.benchmark_group("table2_gyocro");
+    group.sample_size(10);
+    let instance = table2::instance("b9").expect("known instance");
+    let (_space, relation) = table2::generate(&instance);
+    group.bench_function("gyocro_b9", |b| {
+        b.iter(|| GyocroSolver::default().solve(&relation).unwrap().final_cost)
+    });
+    group.bench_function("brel_b9", |b| {
+        b.iter(|| {
+            BrelSolver::new(BrelConfig::table2())
+                .solve(&relation)
+                .unwrap()
+                .cost
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_solvers);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Table 3 reproduction: prints the mux-latch decomposition results for both
+//! cost functions, then times the per-flip-flop decomposition kernel.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use brel_benchdata::iscas_like;
+use brel_core::BrelConfig;
+use brel_network::decompose::decompose_mux_latches;
+
+fn print_table() {
+    // A subset of the circuits and a reduced exploration budget keep
+    // `cargo bench` turnaround reasonable; the `table3_decomposition` binary
+    // runs the full family with the paper's budget of 200.
+    for delay_oriented in [true, false] {
+        let rows = brel_bench::table3::run(6, delay_oriented, 50);
+        println!("\n{}", brel_bench::table3::render(&rows, delay_oriented));
+    }
+}
+
+fn bench_decomposition(c: &mut Criterion) {
+    print_table();
+    let mut group = c.benchmark_group("table3_decomposition");
+    group.sample_size(10);
+    let net = iscas_like::generate(&iscas_like::instance("s27").unwrap());
+    for (label, delay_oriented) in [("area", false), ("delay", true)] {
+        group.bench_with_input(
+            BenchmarkId::new("decompose_s27", label),
+            &delay_oriented,
+            |b, &delay_oriented| {
+                b.iter(|| {
+                    decompose_mux_latches(&net, delay_oriented, 50)
+                        .unwrap()
+                        .latches
+                        .len()
+                })
+            },
+        );
+    }
+    // The per-function kernel used inside the flow.
+    let _ = BrelConfig::decomposition(true);
+    group.finish();
+}
+
+criterion_group!(benches, bench_decomposition);
+criterion_main!(benches);

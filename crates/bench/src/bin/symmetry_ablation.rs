@@ -1,0 +1,17 @@
+//! Prints the Section 7.7 symmetry-detection ablation.
+//!
+//! Usage: `cargo run --release -p brel-bench --bin symmetry_ablation
+//!         [num_instances] [max_explored]`
+
+fn main() {
+    let num = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(usize::MAX);
+    let max_explored = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(50);
+    let rows = brel_bench::symmetry_ablation::run(num, max_explored);
+    print!("{}", brel_bench::symmetry_ablation::render(&rows));
+}

@@ -1,0 +1,12 @@
+//! Prints the reproduction of Table 2 (BREL vs gyocro).
+//!
+//! Usage: `cargo run --release -p brel-bench --bin table2_gyocro [num_instances]`
+
+fn main() {
+    let num = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(usize::MAX);
+    let rows = brel_bench::table2::run(num);
+    print!("{}", brel_bench::table2::render(&rows));
+}

@@ -1,0 +1,21 @@
+//! Prints the reproduction of Table 3 (mux-latch decomposition) for both
+//! cost functions.
+//!
+//! Usage: `cargo run --release -p brel-bench --bin table3_decomposition
+//!         [num_instances] [max_explored]`
+
+fn main() {
+    let num = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(usize::MAX);
+    let max_explored = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(200);
+    for delay_oriented in [true, false] {
+        let rows = brel_bench::table3::run(num, delay_oriented, max_explored);
+        print!("{}", brel_bench::table3::render(&rows, delay_oriented));
+        println!();
+    }
+}

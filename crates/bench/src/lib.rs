@@ -1,0 +1,57 @@
+//! # brel-bench
+//!
+//! The experiment harness of the reproduction: one module per table or
+//! prose experiment of the paper's evaluation. Each module exposes a `run`
+//! function returning structured rows plus a `render` helper producing the
+//! table in the same layout as the paper; the `--bin` targets print the
+//! tables and the Criterion benches (in `benches/`) time the underlying
+//! kernels.
+//!
+//! | Paper artefact | Module | Binary |
+//! |---|---|---|
+//! | Table 1 (ISF-minimization comparison) | [`table1`] | `table1_isf` |
+//! | Table 2 (BREL vs gyocro) | [`table2`] | `table2_gyocro` |
+//! | Table 3 (mux-latch decomposition) | [`table3`] | `table3_decomposition` |
+//! | §7.7 symmetry experiment | [`symmetry_ablation`] | `symmetry_ablation` |
+
+#![warn(missing_docs)]
+
+use brel_bdd::Var;
+use brel_network::{Network, SignalId};
+use brel_relation::MultiOutputFunction;
+use brel_sop::Cover;
+
+pub mod symmetry_ablation;
+pub mod table1;
+pub mod table2;
+pub mod table3;
+
+/// Builds a combinational [`Network`] computing a multiple-output function
+/// (one SOP node per output), the bridge between solver output and the
+/// technology-mapping flow used by Tables 2 and 3.
+pub fn network_from_function(name: &str, f: &MultiOutputFunction) -> Network {
+    let space = f.space();
+    let mut net = Network::new(name);
+    let inputs: Vec<SignalId> = (0..space.num_inputs())
+        .map(|i| net.add_input(space.input_name(i)).expect("fresh input name"))
+        .collect();
+    let input_vars: Vec<Var> = space.input_vars().to_vec();
+    for (i, g) in f.outputs().iter().enumerate() {
+        let cover = Cover::from_isop(&g.isop(), &input_vars);
+        let node = net
+            .add_node(&format!("{}_n", space.output_name(i)), inputs.clone(), cover)
+            .expect("fresh node name");
+        net.add_output(node);
+    }
+    net
+}
+
+/// Formats a ratio as the normalized percentages used by Table 1
+/// (1.00 = the reference strategy).
+pub fn normalized(value: f64, reference: f64) -> f64 {
+    if reference == 0.0 {
+        1.0
+    } else {
+        value / reference
+    }
+}

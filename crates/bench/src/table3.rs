@@ -1,0 +1,162 @@
+//! Table 3: logic decomposition for mux latches on the sequential benchmark
+//! family, for the delay-oriented (sum of squared BDD sizes) and the
+//! area-oriented (sum of BDD sizes) cost functions.
+//!
+//! For every circuit the baseline is the collapsed original next-state /
+//! output logic, technology mapped; the decomposed variant replaces each
+//! next-state function by the three mux-input functions synthesized with
+//! BREL (the mux itself being absorbed by the flip-flop, as the paper
+//! assumes).
+
+use std::time::{Duration, Instant};
+
+use brel_benchdata::iscas_like as family;
+use brel_network::decompose::decompose_mux_latches;
+use brel_network::mapper::{map, MappingOptions};
+use brel_network::speedup::collapse;
+use brel_network::Library;
+
+/// One row of Table 3 (for one cost function).
+#[derive(Debug, Clone)]
+pub struct Table3Row {
+    /// Circuit name.
+    pub name: &'static str,
+    /// Primary inputs.
+    pub num_inputs: usize,
+    /// Primary outputs.
+    pub num_outputs: usize,
+    /// Flip-flops.
+    pub num_flip_flops: usize,
+    /// Mapped area of the baseline (original next-state logic).
+    pub baseline_area: f64,
+    /// Mapped delay of the baseline.
+    pub baseline_delay: f64,
+    /// Mapped area after mux-latch decomposition.
+    pub decomposed_area: f64,
+    /// Mapped delay after mux-latch decomposition.
+    pub decomposed_delay: f64,
+    /// Decomposition + mapping runtime.
+    pub cpu: Duration,
+}
+
+/// Runs the flow over the first `num_instances` circuits with the given
+/// cost orientation and per-relation exploration budget.
+pub fn run(num_instances: usize, delay_oriented: bool, max_explored: usize) -> Vec<Table3Row> {
+    let library = Library::lib2_like();
+    let options = MappingOptions::default();
+    let mut rows = Vec::new();
+    for instance in family::instances().into_iter().take(num_instances) {
+        let net = family::generate(&instance);
+        let baseline_net = collapse(&net).expect("generated circuits are acyclic");
+        let baseline = map(&baseline_net, &library, &options).expect("acyclic");
+
+        let start = Instant::now();
+        let decomposed =
+            decompose_mux_latches(&net, delay_oriented, max_explored).expect("solvable");
+        let mapped = map(&decomposed.network, &library, &options).expect("acyclic");
+        let cpu = start.elapsed();
+
+        rows.push(Table3Row {
+            name: instance.name,
+            num_inputs: instance.num_inputs,
+            num_outputs: instance.num_outputs,
+            num_flip_flops: instance.num_flip_flops,
+            baseline_area: baseline.area,
+            baseline_delay: baseline.delay,
+            decomposed_area: mapped.area,
+            decomposed_delay: mapped.delay,
+            cpu,
+        });
+    }
+    rows
+}
+
+/// Totals over the rows: `(baseline area, decomposed area, baseline delay,
+/// decomposed delay)` — the "global improvement" row of the paper's table.
+pub fn totals(rows: &[Table3Row]) -> (f64, f64, f64, f64) {
+    rows.iter().fold((0.0, 0.0, 0.0, 0.0), |acc, r| {
+        (
+            acc.0 + r.baseline_area,
+            acc.1 + r.decomposed_area,
+            acc.2 + r.baseline_delay,
+            acc.3 + r.decomposed_delay,
+        )
+    })
+}
+
+/// Renders the rows in the layout of the paper's Table 3.
+pub fn render(rows: &[Table3Row], delay_oriented: bool) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "Table 3 ({} cost): logic decomposition for mux latches\n",
+        if delay_oriented {
+            "delay-oriented, sum of squared BDD sizes"
+        } else {
+            "area-oriented, sum of BDD sizes"
+        }
+    ));
+    out.push_str(
+        "name     PI PO FF |   base area  base delay |   mux area   mux delay |   CPU[s]\n",
+    );
+    for r in rows {
+        out.push_str(&format!(
+            "{:8} {:2} {:2} {:2} | {:10.1} {:11.2} | {:10.1} {:11.2} | {:8.3}\n",
+            r.name,
+            r.num_inputs,
+            r.num_outputs,
+            r.num_flip_flops,
+            r.baseline_area,
+            r.baseline_delay,
+            r.decomposed_area,
+            r.decomposed_delay,
+            r.cpu.as_secs_f64(),
+        ));
+    }
+    let (ba, da, bd, dd) = totals(rows);
+    out.push_str(&format!(
+        "TOTAL                 | {:10.1} {:11.2} | {:10.1} {:11.2} |  area x{:.3}, delay x{:.3}\n",
+        ba,
+        bd,
+        da,
+        dd,
+        if ba > 0.0 { da / ba } else { 1.0 },
+        if bd > 0.0 { dd / bd } else { 1.0 },
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_run_produces_plausible_rows() {
+        let rows = run(2, false, 20);
+        assert_eq!(rows.len(), 2);
+        for r in &rows {
+            assert!(r.baseline_area > 0.0);
+            assert!(r.decomposed_area > 0.0);
+            assert!(r.baseline_delay > 0.0);
+            assert!(r.decomposed_delay > 0.0);
+        }
+    }
+
+    #[test]
+    fn delay_cost_tends_to_reduce_delay_relative_to_area_cost() {
+        // Shape expectation: with the delay-oriented cost the decomposed
+        // delay total is not worse than with the area-oriented cost.
+        let area_rows = run(2, false, 20);
+        let delay_rows = run(2, true, 20);
+        let (_, _, _, area_cost_delay) = totals(&area_rows);
+        let (_, _, _, delay_cost_delay) = totals(&delay_rows);
+        assert!(delay_cost_delay <= area_cost_delay * 1.25);
+    }
+
+    #[test]
+    fn render_has_a_total_row() {
+        let rows = run(1, true, 10);
+        let text = render(&rows, true);
+        assert!(text.contains("TOTAL"));
+        assert!(text.contains(rows[0].name));
+    }
+}

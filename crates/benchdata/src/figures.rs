@@ -1,0 +1,96 @@
+//! The exact small relations used in the paper's worked examples.
+
+use brel_relation::{BooleanRelation, RelationSpace};
+
+/// Fig. 1a: the 2-input, 2-output relation whose flexibility at vertex `10`
+/// ({00, 11}) cannot be expressed with don't cares.
+pub fn fig1() -> (RelationSpace, BooleanRelation) {
+    let space = RelationSpace::new(2, 2);
+    let r = BooleanRelation::from_table(
+        &space,
+        "00 : {00}\n01 : {00}\n10 : {00, 11}\n11 : {10, 11}",
+    )
+    .expect("static table");
+    (space, r)
+}
+
+/// Fig. 5 / Example 6.1: the relation on which the quick solver produces an
+/// unbalanced solution because the first output steals the flexibility.
+pub fn fig5() -> (RelationSpace, BooleanRelation) {
+    let space = RelationSpace::with_names(&["a", "b"], &["x", "y"]);
+    let r = BooleanRelation::from_table(
+        &space,
+        "00 : {00, 11}\n01 : {10}\n10 : {01, 10}\n11 : {11}",
+    )
+    .expect("static table");
+    (space, r)
+}
+
+/// Fig. 7 / Example 6.2: a 3-input, 2-output relation solved by BREL in two
+/// recursions (the first MISF minimization conflicts on two vertices).
+pub fn fig7() -> (RelationSpace, BooleanRelation) {
+    let space = RelationSpace::with_names(&["a", "b", "c"], &["x", "y"]);
+    let r = BooleanRelation::from_table(
+        &space,
+        "000 : {00, 10}\n001 : {01, 10}\n010 : {01, 10}\n011 : {11}\n\
+         100 : {00, 10}\n101 : {01, 10}\n110 : {11}\n111 : {01, 11}",
+    )
+    .expect("static table");
+    (space, r)
+}
+
+/// Fig. 8: a relation symmetric in its two outputs (`x` and `y` are
+/// interchangeable), whose split children are output permutations of each
+/// other (used by the symmetry-pruning tests).
+pub fn fig8() -> (RelationSpace, BooleanRelation) {
+    let space = RelationSpace::with_names(&["a", "b"], &["x", "y"]);
+    let r = BooleanRelation::from_table(
+        &space,
+        "00 : {01, 10}\n01 : {01, 10}\n10 : {01, 10}\n11 : {11}",
+    )
+    .expect("static table");
+    (space, r)
+}
+
+/// Fig. 10 / Section 9.1: the relation on which the reduce–expand–
+/// irredundant local search (gyocro) gets trapped in the quick solver's
+/// local minimum `(x ⇔ 1)(y ⇔ a·b + ā·b̄)` while the optimum is
+/// `(x ⇔ b)(y ⇔ a)`.
+pub fn fig10() -> (RelationSpace, BooleanRelation) {
+    fig5()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_figure_relations_are_well_defined_and_not_functions() {
+        for (name, (_s, r)) in [
+            ("fig1", fig1()),
+            ("fig5", fig5()),
+            ("fig7", fig7()),
+            ("fig8", fig8()),
+        ] {
+            assert!(r.is_well_defined(), "{name} must be well defined");
+            assert!(!r.is_function(), "{name} must have flexibility");
+        }
+    }
+
+    #[test]
+    fn fig1_has_non_cube_flexibility() {
+        let (_space, r) = fig1();
+        // Vertex 10 maps to {00, 11}: the projection of both outputs is {0,1}
+        // there, yet the image is not the full cross product {00,01,10,11}.
+        assert_eq!(r.image(&[true, false]).unwrap().len(), 2);
+        let misf = r.to_misf().to_relation();
+        assert_eq!(misf.image(&[true, false]).unwrap().len(), 4);
+    }
+
+    #[test]
+    fn fig10_and_fig5_share_the_same_relation() {
+        let (_s1, a) = fig5();
+        let (_s2, b) = fig10();
+        assert_eq!(a.num_pairs(), b.num_pairs());
+    }
+}

@@ -1,0 +1,179 @@
+//! Synthetic sequential circuits with the interface shape (primary inputs,
+//! primary outputs, flip-flops) of the ISCAS'89 benchmarks used in Table 3
+//! of the paper.
+//!
+//! The original netlists are not redistributed here; instead, each instance
+//! is generated deterministically as a random reconvergent multilevel
+//! network: every next-state and output function is a small multilevel
+//! expression over a bounded random subset of the combinational inputs.
+//! This preserves what the Table 3 experiment actually measures — how much
+//! the mux-latch decomposition (a per-flip-flop BREL run) reshapes the
+//! next-state logic — while keeping every instance solvable on a laptop.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use brel_sop::{Cover, Cube, CubeValue};
+
+use brel_network::{Network, SignalId};
+
+/// One named sequential instance of the Table 3 family.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IscasInstance {
+    /// Benchmark name (matching the rows of Table 3).
+    pub name: &'static str,
+    /// Number of primary inputs.
+    pub num_inputs: usize,
+    /// Number of primary outputs.
+    pub num_outputs: usize,
+    /// Number of flip-flops.
+    pub num_flip_flops: usize,
+    /// Generator seed.
+    pub seed: u64,
+}
+
+/// The instance list, with the PI/PO/FF counts of the corresponding
+/// ISCAS'89 circuits (the structural contents are synthetic).
+pub fn instances() -> Vec<IscasInstance> {
+    vec![
+        IscasInstance { name: "s27", num_inputs: 4, num_outputs: 1, num_flip_flops: 3, seed: 2027 },
+        IscasInstance { name: "s208", num_inputs: 10, num_outputs: 1, num_flip_flops: 8, seed: 2208 },
+        IscasInstance { name: "s298", num_inputs: 3, num_outputs: 6, num_flip_flops: 14, seed: 2298 },
+        IscasInstance { name: "s349", num_inputs: 9, num_outputs: 11, num_flip_flops: 15, seed: 2349 },
+        IscasInstance { name: "s382", num_inputs: 3, num_outputs: 6, num_flip_flops: 21, seed: 2382 },
+        IscasInstance { name: "s420", num_inputs: 18, num_outputs: 1, num_flip_flops: 16, seed: 2420 },
+        IscasInstance { name: "s444", num_inputs: 3, num_outputs: 6, num_flip_flops: 21, seed: 2444 },
+        IscasInstance { name: "s526", num_inputs: 3, num_outputs: 6, num_flip_flops: 21, seed: 2526 },
+        IscasInstance { name: "s641", num_inputs: 35, num_outputs: 24, num_flip_flops: 19, seed: 2641 },
+        IscasInstance { name: "s832", num_inputs: 18, num_outputs: 19, num_flip_flops: 5, seed: 2832 },
+        IscasInstance { name: "s953", num_inputs: 16, num_outputs: 23, num_flip_flops: 29, seed: 2953 },
+        IscasInstance { name: "s1196", num_inputs: 14, num_outputs: 14, num_flip_flops: 18, seed: 3196 },
+        IscasInstance { name: "s1488", num_inputs: 8, num_outputs: 19, num_flip_flops: 6, seed: 3488 },
+        IscasInstance { name: "sbc", num_inputs: 40, num_outputs: 56, num_flip_flops: 28, seed: 4001 },
+    ]
+}
+
+/// Looks up an instance by name.
+pub fn instance(name: &str) -> Option<IscasInstance> {
+    instances().into_iter().find(|i| i.name == name)
+}
+
+/// Maximum number of distinct fanins of any generated next-state or output
+/// function: keeps every per-flip-flop Boolean relation comfortably small.
+pub const MAX_SUPPORT: usize = 6;
+
+/// Generates the sequential network of one instance.
+pub fn generate(instance: &IscasInstance) -> Network {
+    let mut rng = StdRng::seed_from_u64(instance.seed);
+    let mut net = Network::new(instance.name);
+    let mut cis: Vec<SignalId> = Vec::new();
+    for i in 0..instance.num_inputs {
+        cis.push(net.add_input(&format!("pi{i}")).expect("fresh name"));
+    }
+    // Flip-flop outputs are combinational inputs too; create them with
+    // placeholder next-state inputs and patch once the logic exists.
+    let mut latch_outputs = Vec::new();
+    for i in 0..instance.num_flip_flops {
+        let placeholder = net
+            .add_constant(&format!("__ph{i}"), false)
+            .expect("fresh name");
+        let q = net
+            .add_latch(placeholder, &format!("q{i}"), rng.gen_bool(0.2))
+            .expect("fresh name");
+        latch_outputs.push(q);
+        cis.push(q);
+    }
+
+    // Next-state functions.
+    for (i, _q) in latch_outputs.iter().enumerate() {
+        let node = random_node(&mut net, &cis, &mut rng, &format!("ns{i}"));
+        net.set_latch_input(i, node);
+    }
+    // Primary outputs.
+    for i in 0..instance.num_outputs {
+        let node = random_node(&mut net, &cis, &mut rng, &format!("po{i}"));
+        net.add_output(node);
+    }
+    net
+}
+
+/// Adds one random two-level node over a random bounded subset of `cis`.
+fn random_node(
+    net: &mut Network,
+    cis: &[SignalId],
+    rng: &mut StdRng,
+    name: &str,
+) -> SignalId {
+    let support_size = rng.gen_range(2..=MAX_SUPPORT.min(cis.len()));
+    // Choose distinct fanins.
+    let mut fanins: Vec<SignalId> = Vec::new();
+    while fanins.len() < support_size {
+        let candidate = cis[rng.gen_range(0..cis.len())];
+        if !fanins.contains(&candidate) {
+            fanins.push(candidate);
+        }
+    }
+    let num_cubes = rng.gen_range(2..=4);
+    let mut cover = Cover::empty(support_size);
+    for _ in 0..num_cubes {
+        let mut values = vec![CubeValue::DontCare; support_size];
+        let lits = rng.gen_range(1..=support_size);
+        for _ in 0..lits {
+            let pos = rng.gen_range(0..support_size);
+            values[pos] = if rng.gen_bool(0.5) {
+                CubeValue::One
+            } else {
+                CubeValue::Zero
+            };
+        }
+        cover.push(Cube::new(values)).expect("width matches");
+    }
+    cover.remove_contained_cubes();
+    net.add_node(name, fanins, cover).expect("fresh name")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn instances_have_the_declared_interface() {
+        for inst in instances().into_iter().take(6) {
+            let net = generate(&inst);
+            assert_eq!(net.primary_inputs().len(), inst.num_inputs, "{}", inst.name);
+            assert_eq!(net.primary_outputs().len(), inst.num_outputs, "{}", inst.name);
+            assert_eq!(net.latches().len(), inst.num_flip_flops, "{}", inst.name);
+            assert!(net.topological_order().is_ok());
+        }
+    }
+
+    #[test]
+    fn next_state_functions_have_bounded_support() {
+        let inst = instance("s298").unwrap();
+        let net = generate(&inst);
+        let (_mgr, _vars, funcs) = net.global_functions().unwrap();
+        for latch in net.latches() {
+            let support = funcs[&latch.input].support().len();
+            assert!(support <= MAX_SUPPORT, "support {support} too large");
+            assert!(support >= 1);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let inst = instance("s27").unwrap();
+        let a = generate(&inst);
+        let b = generate(&inst);
+        assert_eq!(a.literal_count(), b.literal_count());
+        assert_eq!(a.num_nodes(), b.num_nodes());
+    }
+
+    #[test]
+    fn instance_lookup_matches_table3_rows() {
+        assert_eq!(instances().len(), 14);
+        let s641 = instance("s641").unwrap();
+        assert_eq!(s641.num_inputs, 35);
+        assert_eq!(s641.num_flip_flops, 19);
+        assert!(instance("s9999").is_none());
+    }
+}

@@ -1,0 +1,33 @@
+//! # brel-benchdata
+//!
+//! Workload generators for the BREL reproduction's benchmark harness.
+//!
+//! The paper evaluates on two input families that are not publicly
+//! archived: a set of Boolean-relation benchmarks (`int*`, `b9`, `vtx`,
+//! `gr`, `she*`, …) used in Table 2, and the ISCAS'89 sequential circuits
+//! used in Table 3. This crate synthesizes stand-ins with the same
+//! interface shape (same input/output/flip-flop counts, same *kind* of
+//! flexibility), as documented in `DESIGN.md`:
+//!
+//! * [`figures`] — the exact small relations used in the paper's worked
+//!   examples (Fig. 1, Fig. 5, Fig. 7, Fig. 8, Fig. 10, Example 8.1),
+//! * [`table2`] — Boolean relations generated from cuts of reconvergent
+//!   logic (a hidden function composed with a hidden gate), matching the
+//!   PI/PO counts reported in Table 2,
+//! * [`iscas_like`] — synthetic sequential circuits with the PI/PO/FF
+//!   counts of the ISCAS'89 benchmarks referenced in Table 3,
+//! * [`random_relation`] — parameterized random well-defined relations for
+//!   property-based tests and scaling studies.
+//!
+//! All generators are deterministic for a given seed so benchmark runs are
+//! reproducible.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod figures;
+pub mod iscas_like;
+pub mod random_relation;
+pub mod table2;
+
+pub use random_relation::random_well_defined_relation;

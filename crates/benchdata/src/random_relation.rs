@@ -1,0 +1,79 @@
+//! Parameterized random well-defined Boolean relations.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use brel_relation::{BooleanRelation, RelationSpace};
+
+/// Generates a random *well-defined* Boolean relation over `num_inputs`
+/// inputs and `num_outputs` outputs.
+///
+/// Every input vertex receives at least one output vertex; with probability
+/// `extra_pair_prob` additional output vertices are related, which creates
+/// the kind of non-cube-expressible flexibility the BREL solver exists for.
+/// The construction enumerates the input space, so `num_inputs` is limited
+/// to 16.
+///
+/// # Panics
+///
+/// Panics if `num_inputs > 16` or `num_outputs > 16`.
+pub fn random_well_defined_relation(
+    num_inputs: usize,
+    num_outputs: usize,
+    extra_pair_prob: f64,
+    seed: u64,
+) -> (RelationSpace, BooleanRelation) {
+    assert!(num_inputs <= 16, "input space must stay enumerable");
+    assert!(num_outputs <= 16, "output space must stay enumerable");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let space = RelationSpace::new(num_inputs, num_outputs);
+    let mut pairs: Vec<(Vec<bool>, Vec<bool>)> = Vec::new();
+    let output_count = 1u64 << num_outputs;
+    for input in space.enumerate_inputs() {
+        // One mandatory image vertex.
+        let first = rng.gen_range(0..output_count);
+        pairs.push((input.clone(), to_bits(first, num_outputs)));
+        // Optional extra vertices.
+        for candidate in 0..output_count {
+            if candidate != first && rng.gen_bool(extra_pair_prob) {
+                pairs.push((input.clone(), to_bits(candidate, num_outputs)));
+            }
+        }
+    }
+    let relation = BooleanRelation::from_pairs(&space, &pairs).expect("arities match");
+    (space, relation)
+}
+
+fn to_bits(value: u64, width: usize) -> Vec<bool> {
+    (0..width).map(|i| value & (1 << i) != 0).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generated_relations_are_well_defined() {
+        for seed in 0..5 {
+            let (_space, r) = random_well_defined_relation(4, 3, 0.2, seed);
+            assert!(r.is_well_defined());
+            assert!(r.num_pairs() >= 1 << 4);
+        }
+    }
+
+    #[test]
+    fn zero_extra_probability_yields_a_function() {
+        let (_space, r) = random_well_defined_relation(3, 2, 0.0, 7);
+        assert!(r.is_function());
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let (_s1, a) = random_well_defined_relation(4, 2, 0.3, 42);
+        let (_s2, b) = random_well_defined_relation(4, 2, 0.3, 42);
+        assert_eq!(a.num_pairs(), b.num_pairs());
+        let (_s3, c) = random_well_defined_relation(4, 2, 0.3, 43);
+        // Different seeds almost surely differ in the number of pairs.
+        assert!(a.num_pairs() != c.num_pairs() || a.to_table().unwrap() != c.to_table().unwrap());
+    }
+}

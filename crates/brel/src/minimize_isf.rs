@@ -1,0 +1,213 @@
+//! ISF minimization strategies (Section 7.5, Table 1 of the paper).
+//!
+//! Each ISF of the projected MISF is minimized individually. The paper
+//! compares four BDD-based strategies — irredundant SOP generation
+//! (Minato–Morreale), the `constrain` and `restrict` generalized cofactors
+//! and the `LICompact` safe minimization — each optionally preceded by the
+//! greedy elimination of non-essential variables, and selects ISOP with
+//! variable elimination as the default.
+
+use brel_bdd::Bdd;
+use brel_relation::Isf;
+
+/// The underlying don't-care exploitation method.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum MinimizerKind {
+    /// Minato–Morreale irredundant sum of products (the default).
+    #[default]
+    Isop,
+    /// The `constrain` generalized cofactor of the onset by the care set.
+    Constrain,
+    /// The `restrict` generalized cofactor.
+    Restrict,
+    /// Safe (never-growing) BDD minimization, in the spirit of LICompact.
+    LiCompact,
+}
+
+/// An ISF minimizer: a [`MinimizerKind`] plus the optional non-essential
+/// variable elimination pre-pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct IsfMinimizer {
+    /// The don't-care exploitation method.
+    pub kind: MinimizerKind,
+    /// Whether to eliminate non-essential variables before minimizing.
+    pub eliminate_non_essential: bool,
+}
+
+impl Default for IsfMinimizer {
+    fn default() -> Self {
+        IsfMinimizer {
+            kind: MinimizerKind::Isop,
+            eliminate_non_essential: true,
+        }
+    }
+}
+
+impl IsfMinimizer {
+    /// Creates a minimizer with variable elimination enabled.
+    pub fn new(kind: MinimizerKind) -> Self {
+        IsfMinimizer {
+            kind,
+            eliminate_non_essential: true,
+        }
+    }
+
+    /// Creates a minimizer without the variable-elimination pre-pass.
+    pub fn without_elimination(kind: MinimizerKind) -> Self {
+        IsfMinimizer {
+            kind,
+            eliminate_non_essential: false,
+        }
+    }
+
+    /// Minimizes the ISF: returns a completely specified function lying in
+    /// the interval `[on, on ∪ dc]`.
+    pub fn minimize(&self, isf: &Isf) -> Bdd {
+        let (mut lower, mut upper) = (isf.on().clone(), isf.upper());
+        if self.eliminate_non_essential {
+            // Greedily drop variables (top to bottom of the order) as long as
+            // the interval [∃z lower, ∀z upper] stays non-empty.
+            for &z in isf.space().input_vars() {
+                let lower_q = lower.exists(&[z]);
+                let upper_q = upper.forall(&[z]);
+                if lower_q.is_subset_of(&upper_q) {
+                    lower = lower_q;
+                    upper = upper_q;
+                }
+            }
+        }
+        let result = match self.kind {
+            MinimizerKind::Isop => {
+                let isop = lower.isop_interval(&upper);
+                Bdd::from_node_id(lower.manager(), isop.function)
+            }
+            MinimizerKind::Constrain => {
+                let care = lower.or(&upper.complement());
+                if care.is_zero() {
+                    lower.clone()
+                } else {
+                    Self::clamp(lower.constrain(&care), &lower, &upper)
+                }
+            }
+            MinimizerKind::Restrict => {
+                let care = lower.or(&upper.complement());
+                if care.is_zero() {
+                    lower.clone()
+                } else {
+                    Self::clamp(lower.restrict(&care), &lower, &upper)
+                }
+            }
+            MinimizerKind::LiCompact => {
+                let care = lower.or(&upper.complement());
+                if care.is_zero() {
+                    lower.clone()
+                } else {
+                    Self::clamp(lower.li_compact(&care), &lower, &upper)
+                }
+            }
+        };
+        debug_assert!(lower.is_subset_of(&result) && result.is_subset_of(&upper));
+        result
+    }
+
+    /// Generalized cofactors guarantee agreement on the care set but may
+    /// stray outside the interval on the don't-care set only in pathological
+    /// orderings; clamp back into the interval to be safe.
+    fn clamp(candidate: Bdd, lower: &Bdd, upper: &Bdd) -> Bdd {
+        candidate.or(lower).and(upper)
+    }
+
+    /// The four strategy combinations compared in Table 1 of the paper, in
+    /// the order used by the benchmark harness.
+    pub fn table1_strategies() -> Vec<(&'static str, IsfMinimizer)> {
+        vec![
+            ("ISOP+elim", IsfMinimizer::new(MinimizerKind::Isop)),
+            ("ISOP", IsfMinimizer::without_elimination(MinimizerKind::Isop)),
+            ("Constrain+elim", IsfMinimizer::new(MinimizerKind::Constrain)),
+            (
+                "Constrain",
+                IsfMinimizer::without_elimination(MinimizerKind::Constrain),
+            ),
+            ("Restrict+elim", IsfMinimizer::new(MinimizerKind::Restrict)),
+            (
+                "Restrict",
+                IsfMinimizer::without_elimination(MinimizerKind::Restrict),
+            ),
+            ("LICompact+elim", IsfMinimizer::new(MinimizerKind::LiCompact)),
+            (
+                "LICompact",
+                IsfMinimizer::without_elimination(MinimizerKind::LiCompact),
+            ),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use brel_relation::RelationSpace;
+
+    fn sample_isf(space: &RelationSpace) -> Isf {
+        let a = space.input(0);
+        let b = space.input(1);
+        let c = space.input(2);
+        // on = a·b·c ; dc = a·(b ⊕ c) ∪ ¬a·¬b·¬c
+        let on = a.and(&b).and(&c);
+        let dc = a.and(&b.xor(&c)).or(&a.complement().and(&b.complement()).and(&c.complement()));
+        Isf::new(space, on, dc)
+    }
+
+    #[test]
+    fn every_strategy_stays_in_the_interval() {
+        let space = RelationSpace::new(3, 1);
+        let isf = sample_isf(&space);
+        for (name, strategy) in IsfMinimizer::table1_strategies() {
+            let f = strategy.minimize(&isf);
+            assert!(isf.admits(&f), "strategy {name} left the interval");
+        }
+    }
+
+    #[test]
+    fn elimination_never_hurts_admissibility_and_reduces_support() {
+        let space = RelationSpace::new(2, 1);
+        let a = space.input(0);
+        let b = space.input(1);
+        // on = a·b, dc = a·b' : implementable as `a` alone.
+        let isf = Isf::new(&space, a.and(&b), a.and(&b.complement()));
+        let with = IsfMinimizer::new(MinimizerKind::Isop).minimize(&isf);
+        let without = IsfMinimizer::without_elimination(MinimizerKind::Isop).minimize(&isf);
+        assert!(isf.admits(&with));
+        assert!(isf.admits(&without));
+        assert!(with.support().len() <= without.support().len());
+        assert_eq!(with.support(), vec![space.input_var(0)]);
+    }
+
+    #[test]
+    fn completely_specified_isf_is_returned_exactly() {
+        let space = RelationSpace::new(2, 1);
+        let a = space.input(0);
+        let b = space.input(1);
+        let isf = Isf::completely_specified(&space, a.xor(&b));
+        for (_, strategy) in IsfMinimizer::table1_strategies() {
+            assert_eq!(strategy.minimize(&isf), a.xor(&b));
+        }
+    }
+
+    #[test]
+    fn full_dc_isf_minimizes_to_a_constant() {
+        let space = RelationSpace::new(2, 1);
+        let isf = Isf::new(&space, space.mgr().zero(), space.mgr().one());
+        let f = IsfMinimizer::default().minimize(&isf);
+        assert!(f.is_constant());
+    }
+
+    #[test]
+    fn isop_tends_to_be_smallest_in_literals() {
+        let space = RelationSpace::new(3, 1);
+        let isf = sample_isf(&space);
+        let isop = IsfMinimizer::new(MinimizerKind::Isop).minimize(&isf);
+        let constrain = IsfMinimizer::new(MinimizerKind::Constrain).minimize(&isf);
+        let lits = |f: &Bdd| f.isop().num_literals();
+        assert!(lits(&isop) <= lits(&constrain));
+    }
+}

@@ -1,0 +1,501 @@
+//! The recursive BREL solver (Fig. 6 of the paper) with the partial
+//! breadth-first exploration, cost pruning and symmetry pruning of Section 7.
+//!
+//! The solver maintains a bounded FIFO of pending subrelations. For each
+//! subrelation it:
+//!
+//! 1. projects the relation onto each output and minimizes the resulting
+//!    MISF output by output (a unate problem),
+//! 2. prunes the branch if the minimized candidate already costs at least as
+//!    much as the best known compatible solution,
+//! 3. accepts the candidate if it is compatible with the subrelation,
+//! 4. otherwise selects a conflicting input vertex (largest conflict cube)
+//!    and an output with `{0,1}` flexibility there, splits the subrelation
+//!    in two (Definition 5.4) and enqueues both halves.
+//!
+//! The quick solver is run on every explored subrelation so that a
+//! compatible solution is always available even if the FIFO bound or the
+//! exploration budget truncates the search (Section 7.6).
+
+use std::collections::VecDeque;
+
+use brel_relation::{BooleanRelation, MultiOutputFunction, RelationError};
+
+use crate::cost::{CostFn, CostFunction};
+use crate::minimize_isf::IsfMinimizer;
+use crate::quick::QuickSolver;
+use crate::symmetry::SymmetryCache;
+
+/// Configuration of the BREL solver.
+#[derive(Debug)]
+pub struct BrelConfig {
+    /// The cost function to minimize (default: sum of BDD sizes).
+    pub cost: CostFn,
+    /// The ISF minimization strategy (default: ISOP with non-essential
+    /// variable elimination).
+    pub minimizer: IsfMinimizer,
+    /// Maximum number of subrelations explored (the paper uses 10 for the
+    /// Table 2 runs and 200 for the decomposition flow). `None` means
+    /// unbounded (exact mode if the FIFO is also unbounded).
+    pub max_explored: Option<usize>,
+    /// Capacity of the FIFO of pending subrelations. `None` means unbounded.
+    pub fifo_capacity: Option<usize>,
+    /// Enable output-symmetry pruning (Section 7.7).
+    pub use_symmetry: bool,
+    /// Only check symmetries for subrelations created within this depth from
+    /// the root (the paper limits the check to the initial recursions).
+    pub symmetry_depth: usize,
+    /// Record a step-by-step trace of the exploration.
+    pub trace: bool,
+}
+
+impl Default for BrelConfig {
+    fn default() -> Self {
+        BrelConfig {
+            cost: CostFn::SumBddSize,
+            minimizer: IsfMinimizer::default(),
+            max_explored: Some(10),
+            fifo_capacity: Some(64),
+            use_symmetry: false,
+            symmetry_depth: 4,
+            trace: false,
+        }
+    }
+}
+
+impl BrelConfig {
+    /// An exact configuration: unbounded exploration and FIFO. Only
+    /// practical for small relations.
+    pub fn exact() -> Self {
+        BrelConfig {
+            max_explored: None,
+            fifo_capacity: None,
+            ..BrelConfig::default()
+        }
+    }
+
+    /// The heuristic configuration used for the paper's Table 2 runs:
+    /// sum-of-BDD-sizes cost, exploration limited to 10 subrelations.
+    pub fn table2() -> Self {
+        BrelConfig::default()
+    }
+
+    /// The heuristic configuration used for the decomposition experiments of
+    /// Table 3: exploration limited to 200 subrelations.
+    pub fn decomposition(delay_oriented: bool) -> Self {
+        BrelConfig {
+            cost: if delay_oriented {
+                CostFn::SumSquaredBddSize
+            } else {
+                CostFn::SumBddSize
+            },
+            max_explored: Some(200),
+            ..BrelConfig::default()
+        }
+    }
+
+    /// Sets the cost function.
+    pub fn with_cost(mut self, cost: CostFn) -> Self {
+        self.cost = cost;
+        self
+    }
+
+    /// Sets the exploration budget.
+    pub fn with_max_explored(mut self, max: Option<usize>) -> Self {
+        self.max_explored = max;
+        self
+    }
+
+    /// Enables or disables symmetry pruning.
+    pub fn with_symmetry(mut self, enable: bool) -> Self {
+        self.use_symmetry = enable;
+        self
+    }
+
+    /// Enables trace recording.
+    pub fn with_trace(mut self, enable: bool) -> Self {
+        self.trace = enable;
+        self
+    }
+}
+
+/// One step of the recorded exploration trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// A subrelation was popped from the FIFO and its MISF minimized; the
+    /// payload is the cost of the candidate function.
+    Explored {
+        /// Index of the explored subrelation (0 = the original relation).
+        index: usize,
+        /// Cost of the MISF-minimized candidate.
+        candidate_cost: u64,
+        /// Whether the candidate was compatible with the subrelation.
+        compatible: bool,
+    },
+    /// A new best compatible solution was recorded.
+    Improved {
+        /// Cost of the new best solution.
+        cost: u64,
+    },
+    /// A branch was pruned because its candidate cost could not improve on
+    /// the best known solution.
+    PrunedByCost {
+        /// Cost of the rejected candidate.
+        candidate_cost: u64,
+        /// Cost of the best solution at that time.
+        best_cost: u64,
+    },
+    /// A split was performed at the given input vertex and output index.
+    Split {
+        /// The conflicting input vertex chosen (§7.4).
+        vertex: Vec<bool>,
+        /// The output chosen for the split.
+        output: usize,
+    },
+    /// A subrelation was skipped because a symmetric variant had already
+    /// been explored.
+    SkippedBySymmetry,
+}
+
+/// Statistics of one solver run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SolveStats {
+    /// Number of subrelations whose MISF was minimized.
+    pub explored: usize,
+    /// Number of splits performed.
+    pub splits: usize,
+    /// Number of branches pruned by the cost bound.
+    pub pruned_by_cost: usize,
+    /// Number of subrelations skipped by symmetry pruning.
+    pub skipped_by_symmetry: usize,
+    /// Number of subrelations dropped because the FIFO was full.
+    pub dropped_by_fifo: usize,
+    /// Number of times the incumbent solution was improved.
+    pub improvements: usize,
+    /// `true` if the search ran to completion (empty FIFO) rather than
+    /// hitting the exploration budget.
+    pub complete: bool,
+}
+
+/// The result of a solver run: the best compatible function found, its cost
+/// and the exploration statistics.
+#[derive(Debug, Clone)]
+pub struct Solution {
+    /// The best compatible multiple-output function found.
+    pub function: MultiOutputFunction,
+    /// Its cost under the configured cost function.
+    pub cost: u64,
+    /// Exploration statistics.
+    pub stats: SolveStats,
+    /// The exploration trace (empty unless [`BrelConfig::trace`] is set).
+    pub trace: Vec<TraceEvent>,
+}
+
+/// The recursive branch-and-bound Boolean-relation solver.
+#[derive(Debug, Default)]
+pub struct BrelSolver {
+    config: BrelConfig,
+}
+
+impl BrelSolver {
+    /// Creates a solver with the given configuration.
+    pub fn new(config: BrelConfig) -> Self {
+        BrelSolver { config }
+    }
+
+    /// The configuration of this solver.
+    pub fn config(&self) -> &BrelConfig {
+        &self.config
+    }
+
+    /// Solves the relation: returns the best compatible multiple-output
+    /// function found within the configured budgets.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RelationError::NotWellDefined`] if the relation is not well
+    /// defined (no compatible function exists).
+    pub fn solve(&self, relation: &BooleanRelation) -> Result<Solution, RelationError> {
+        if !relation.is_well_defined() {
+            return Err(RelationError::NotWellDefined);
+        }
+        let mut stats = SolveStats::default();
+        let mut trace = Vec::new();
+        let quick = QuickSolver::new().with_minimizer(self.config.minimizer);
+
+        // Seed: the quick solver guarantees a compatible incumbent.
+        let mut best = quick.solve(relation)?;
+        let mut best_cost = self.config.cost.cost(&best);
+        stats.improvements += 1;
+        if self.config.trace {
+            trace.push(TraceEvent::Improved { cost: best_cost });
+        }
+
+        let mut fifo: VecDeque<(BooleanRelation, usize)> = VecDeque::new();
+        fifo.push_back((relation.clone(), 0));
+        let mut symmetry = SymmetryCache::new();
+        if self.config.use_symmetry {
+            symmetry.check_and_insert(relation);
+        }
+
+        let mut explored = 0usize;
+        while let Some((current, depth)) = fifo.pop_front() {
+            if let Some(max) = self.config.max_explored {
+                if explored >= max {
+                    // Budget exhausted: stop exploring, keep the incumbent.
+                    stats.complete = false;
+                    return Ok(self.finish(best, best_cost, stats, trace));
+                }
+            }
+            explored += 1;
+            stats.explored += 1;
+
+            // Step (a)+(b): over-approximate by the MISF and minimize it.
+            let misf = current.to_misf();
+            let candidate_outputs: Vec<_> = misf
+                .outputs()
+                .iter()
+                .map(|isf| self.config.minimizer.minimize(isf))
+                .collect();
+            let candidate = MultiOutputFunction::new(current.space(), candidate_outputs)?;
+            let candidate_cost = self.config.cost.cost(&candidate);
+            let compatible = current.is_compatible(&candidate);
+            if self.config.trace {
+                trace.push(TraceEvent::Explored {
+                    index: explored - 1,
+                    candidate_cost,
+                    compatible,
+                });
+            }
+
+            // Step: prune by cost. Constraining the relation further cannot
+            // beat a candidate obtained with strictly more flexibility.
+            if candidate_cost >= best_cost {
+                stats.pruned_by_cost += 1;
+                if self.config.trace {
+                    trace.push(TraceEvent::PrunedByCost {
+                        candidate_cost,
+                        best_cost,
+                    });
+                }
+                continue;
+            }
+
+            if compatible {
+                best = candidate;
+                best_cost = candidate_cost;
+                stats.improvements += 1;
+                if self.config.trace {
+                    trace.push(TraceEvent::Improved { cost: best_cost });
+                }
+                continue;
+            }
+
+            // Incompatible: make sure this subrelation still contributes a
+            // compatible incumbent (partial-BFS guarantee of §7.2)…
+            if let Ok(q) = quick.solve(&current) {
+                let q_cost = self.config.cost.cost(&q);
+                if q_cost < best_cost {
+                    best = q;
+                    best_cost = q_cost;
+                    stats.improvements += 1;
+                    if self.config.trace {
+                        trace.push(TraceEvent::Improved { cost: best_cost });
+                    }
+                }
+            }
+
+            // …then split on a conflicting vertex and enqueue both halves.
+            let conflicts = current.conflicting_inputs(&candidate);
+            let Some((vertex, output)) = current.select_split_point(&conflicts) else {
+                // No valid split point (should not happen for incompatible
+                // candidates, but stay safe): keep the quick solution.
+                continue;
+            };
+            if self.config.trace {
+                trace.push(TraceEvent::Split {
+                    vertex: vertex.clone(),
+                    output,
+                });
+            }
+            let (r_neg, r_pos) = current.split(&vertex, output)?;
+            stats.splits += 1;
+            for child in [r_neg, r_pos] {
+                debug_assert!(child.is_well_defined(), "Theorem 5.2 guarantees well-definedness");
+                if self.config.use_symmetry
+                    && depth < self.config.symmetry_depth
+                    && symmetry.check_and_insert(&child)
+                {
+                    stats.skipped_by_symmetry += 1;
+                    if self.config.trace {
+                        trace.push(TraceEvent::SkippedBySymmetry);
+                    }
+                    continue;
+                }
+                if let Some(cap) = self.config.fifo_capacity {
+                    if fifo.len() >= cap {
+                        stats.dropped_by_fifo += 1;
+                        continue;
+                    }
+                }
+                fifo.push_back((child, depth + 1));
+            }
+        }
+        stats.complete = true;
+        Ok(self.finish(best, best_cost, stats, trace))
+    }
+
+    fn finish(
+        &self,
+        function: MultiOutputFunction,
+        cost: u64,
+        stats: SolveStats,
+        trace: Vec<TraceEvent>,
+    ) -> Solution {
+        Solution {
+            function,
+            cost,
+            stats,
+            trace,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use brel_relation::RelationSpace;
+
+    fn fig1(space: &RelationSpace) -> BooleanRelation {
+        BooleanRelation::from_table(space, "00:{00}\n01:{00}\n10:{00,11}\n11:{10,11}").unwrap()
+    }
+
+    #[test]
+    fn solves_fig1_with_a_compatible_function() {
+        let space = RelationSpace::new(2, 2);
+        let r = fig1(&space);
+        let sol = BrelSolver::new(BrelConfig::default()).solve(&r).unwrap();
+        assert!(r.is_compatible(&sol.function));
+        assert!(sol.stats.explored >= 1);
+        assert_eq!(sol.cost, CostFn::SumBddSize.cost(&sol.function));
+    }
+
+    #[test]
+    fn rejects_ill_defined_relation() {
+        let space = RelationSpace::new(1, 1);
+        let r = BooleanRelation::from_table(&space, "1 : {1}").unwrap();
+        assert!(matches!(
+            BrelSolver::default().solve(&r),
+            Err(RelationError::NotWellDefined)
+        ));
+    }
+
+    #[test]
+    fn exact_mode_finds_the_optimum_on_fig10() {
+        // Fig. 10 / Section 9.1: the best solution is (x ⇔ b)(y ⇔ a) with
+        // two single-literal outputs, while the quick initial solution is the
+        // unbalanced (x ⇔ 1)(y ⇔ ab + a'b'). BREL in exact mode must escape
+        // that local minimum and find the cost-2 solution.
+        let space = RelationSpace::with_names(&["a", "b"], &["x", "y"]);
+        let r = BooleanRelation::from_table(
+            &space,
+            "00 : {00, 11}\n01 : {10}\n10 : {01, 10}\n11 : {11}",
+        )
+        .unwrap();
+        let sol = BrelSolver::new(BrelConfig::exact()).solve(&r).unwrap();
+        assert!(r.is_compatible(&sol.function));
+        assert_eq!(sol.cost, 2, "both outputs should be single literals");
+        assert!(sol.stats.complete);
+        assert_eq!(sol.function.output(0), &space.input(1), "x ⇔ b");
+        assert_eq!(sol.function.output(1), &space.input(0), "y ⇔ a");
+    }
+
+    #[test]
+    fn fig7_example_is_solved_with_one_split() {
+        // Fig. 7: R(a, b, c; x, y); the first MISF minimization conflicts on
+        // vertices 010 and 101 and one split resolves it.
+        let space = RelationSpace::with_names(&["a", "b", "c"], &["x", "y"]);
+        let r = BooleanRelation::from_table(
+            &space,
+            "000 : {00, 10}\n001 : {01, 10}\n010 : {01, 10}\n011 : {11}\n100 : {00, 10}\n101 : {01, 10}\n110 : {11}\n111 : {01, 11}",
+        )
+        .unwrap();
+        let config = BrelConfig::exact().with_trace(true);
+        let sol = BrelSolver::new(config).solve(&r).unwrap();
+        assert!(r.is_compatible(&sol.function));
+        assert!(sol.stats.splits >= 1);
+        assert!(sol
+            .trace
+            .iter()
+            .any(|e| matches!(e, TraceEvent::Split { .. })));
+    }
+
+    #[test]
+    fn budget_of_one_still_returns_a_solution() {
+        let space = RelationSpace::new(2, 2);
+        let r = fig1(&space);
+        let config = BrelConfig::default().with_max_explored(Some(1));
+        let sol = BrelSolver::new(config).solve(&r).unwrap();
+        assert!(r.is_compatible(&sol.function));
+    }
+
+    #[test]
+    fn symmetry_pruning_reduces_exploration() {
+        // A relation with two fully symmetric outputs.
+        let space = RelationSpace::with_names(&["a", "b"], &["x", "y"]);
+        let r = BooleanRelation::from_table(
+            &space,
+            "00 : {01, 10}\n01 : {01, 10}\n10 : {01, 10}\n11 : {11}",
+        )
+        .unwrap();
+        let without = BrelSolver::new(BrelConfig::exact().with_symmetry(false))
+            .solve(&r)
+            .unwrap();
+        let with = BrelSolver::new(BrelConfig::exact().with_symmetry(true))
+            .solve(&r)
+            .unwrap();
+        assert!(r.is_compatible(&without.function));
+        assert!(r.is_compatible(&with.function));
+        assert_eq!(without.cost, with.cost, "symmetry pruning must not change quality");
+        assert!(with.stats.explored <= without.stats.explored);
+    }
+
+    #[test]
+    fn functional_relation_short_circuits() {
+        let space = RelationSpace::new(2, 1);
+        let a = space.input(0);
+        let b = space.input(1);
+        let f = MultiOutputFunction::new(&space, vec![a.iff(&b)]).unwrap();
+        let r = BooleanRelation::from_function(&f);
+        let sol = BrelSolver::default().solve(&r).unwrap();
+        assert_eq!(sol.function.output(0), f.output(0));
+        assert_eq!(sol.stats.splits, 0);
+    }
+
+    #[test]
+    fn custom_cost_function_is_respected() {
+        let space = RelationSpace::new(2, 2);
+        let r = fig1(&space);
+        let config = BrelConfig::exact().with_cost(CostFn::LiteralCount);
+        let sol = BrelSolver::new(config).solve(&r).unwrap();
+        assert!(r.is_compatible(&sol.function));
+        assert_eq!(sol.cost, CostFn::LiteralCount.cost(&sol.function));
+    }
+
+    #[test]
+    fn brel_strictly_beats_the_quick_solver_on_fig10() {
+        let space = RelationSpace::with_names(&["a", "b"], &["x", "y"]);
+        let r = BooleanRelation::from_table(
+            &space,
+            "00 : {00, 11}\n01 : {10}\n10 : {01, 10}\n11 : {11}",
+        )
+        .unwrap();
+        let quick = QuickSolver::new().solve(&r).unwrap();
+        let quick_cost = CostFn::SumBddSize.cost(&quick);
+        let sol = BrelSolver::new(BrelConfig::exact()).solve(&r).unwrap();
+        assert!(
+            sol.cost < quick_cost,
+            "the branch-and-bound must escape the quick solver's local minimum"
+        );
+    }
+}

@@ -1,0 +1,110 @@
+//! Symmetry pruning of the branch-and-bound exploration (Section 7.7).
+//!
+//! Two subrelations that only differ by a permutation of output variables in
+//! which the original relation is symmetric lead to solutions of equal cost
+//! (with any of the BDD-based cost functions), so only one of them needs to
+//! be explored. BREL keeps a cache of the characteristic functions of the
+//! relations already processed and skips a new relation when a symmetric
+//! variant is in the cache.
+
+use std::collections::HashSet;
+
+use brel_bdd::NodeId;
+use brel_relation::BooleanRelation;
+
+/// A cache of already-explored relations with output-symmetry lookups.
+#[derive(Debug, Default)]
+pub struct SymmetryCache {
+    seen: HashSet<NodeId>,
+    hits: usize,
+}
+
+impl SymmetryCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        SymmetryCache::default()
+    }
+
+    /// Number of relations skipped thanks to a symmetric hit.
+    pub fn hits(&self) -> usize {
+        self.hits
+    }
+
+    /// Number of distinct relations recorded.
+    pub fn len(&self) -> usize {
+        self.seen.len()
+    }
+
+    /// Returns `true` if no relation has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.seen.is_empty()
+    }
+
+    /// Records `relation` and reports whether it (or an output-permuted
+    /// variant of it) had already been recorded. Only first-order output
+    /// symmetries (single swaps of two output variables) are considered,
+    /// matching the implementation choices described in the paper.
+    pub fn check_and_insert(&mut self, relation: &BooleanRelation) -> bool {
+        let chi = relation.characteristic();
+        let id = chi.node_id();
+        if self.seen.contains(&id) {
+            self.hits += 1;
+            return true;
+        }
+        let outputs = relation.space().output_vars();
+        for i in 0..outputs.len() {
+            for j in (i + 1)..outputs.len() {
+                let swapped = chi.swap_vars(outputs[i], outputs[j]);
+                if swapped.node_id() != id && self.seen.contains(&swapped.node_id()) {
+                    self.hits += 1;
+                    self.seen.insert(id);
+                    return true;
+                }
+            }
+        }
+        self.seen.insert(id);
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use brel_relation::RelationSpace;
+
+    #[test]
+    fn detects_output_swapped_relation() {
+        // In the spirit of Fig. 8a: a 1-input, 2-output relation symmetric in
+        // (x, y) whose split children are output-permuted images of each other.
+        let space = RelationSpace::with_names(&["a"], &["x", "y"]);
+        let r = BooleanRelation::from_table(&space, "0 : {01, 10}\n1 : {11}").unwrap();
+        // Split on vertex 0 and output x: the two children are symmetric to
+        // each other under swapping x and y.
+        let (r_neg, r_pos) = r.split(&[false], 0).unwrap();
+        let mut cache = SymmetryCache::new();
+        assert!(!cache.check_and_insert(&r_neg));
+        assert!(cache.check_and_insert(&r_pos), "symmetric variant already explored");
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn identical_relation_is_a_hit() {
+        let space = RelationSpace::new(1, 1);
+        let r = BooleanRelation::full(&space);
+        let mut cache = SymmetryCache::new();
+        assert!(!cache.check_and_insert(&r));
+        assert!(cache.check_and_insert(&r));
+    }
+
+    #[test]
+    fn asymmetric_relations_are_kept_separate() {
+        let space = RelationSpace::new(1, 2);
+        let r1 = BooleanRelation::from_table(&space, "0 : {01}\n1 : {01}").unwrap();
+        let r2 = BooleanRelation::from_table(&space, "0 : {00}\n1 : {11}").unwrap();
+        let mut cache = SymmetryCache::new();
+        assert!(!cache.check_and_insert(&r1));
+        assert!(!cache.check_and_insert(&r2));
+        assert_eq!(cache.hits(), 0);
+    }
+}

@@ -1,0 +1,364 @@
+//! A reader and writer for a practical subset of the Berkeley BLIF format
+//! (`.model`, `.inputs`, `.outputs`, `.names`, `.latch`, `.end`).
+
+use std::collections::HashMap;
+
+use brel_sop::{Cover, Cube};
+
+use crate::netlist::{Network, NetworkError, SignalKind};
+
+/// Parses a BLIF description into a [`Network`].
+///
+/// Supported constructs: `.model`, `.inputs`, `.outputs`, `.names` with
+/// on-set rows (output value `1`), `.latch <in> <out> [type clock] [init]`,
+/// `.end`, comments (`#`) and line continuations (`\`).
+///
+/// # Errors
+///
+/// Returns [`NetworkError::Parse`] on malformed text and
+/// [`NetworkError::UnknownSignal`] for references to undeclared signals.
+pub fn parse(text: &str) -> Result<Network, NetworkError> {
+    // Join continued lines and strip comments.
+    let mut logical_lines: Vec<String> = Vec::new();
+    let mut pending = String::new();
+    for raw in text.lines() {
+        let line = raw.split('#').next().unwrap_or("").trim_end();
+        if let Some(stripped) = line.strip_suffix('\\') {
+            pending.push_str(stripped);
+            pending.push(' ');
+            continue;
+        }
+        pending.push_str(line);
+        let full = pending.trim().to_string();
+        pending.clear();
+        if !full.is_empty() {
+            logical_lines.push(full);
+        }
+    }
+
+    let mut model_name = String::from("model");
+    let mut inputs: Vec<String> = Vec::new();
+    let mut outputs: Vec<String> = Vec::new();
+    // (output name, fanin names, rows)
+    let mut names_blocks: Vec<(String, Vec<String>, Vec<String>)> = Vec::new();
+    // (input, output, init)
+    let mut latches: Vec<(String, String, bool)> = Vec::new();
+
+    let mut i = 0usize;
+    while i < logical_lines.len() {
+        let line = &logical_lines[i];
+        i += 1;
+        let mut parts = line.split_whitespace();
+        let head = parts.next().unwrap_or("");
+        match head {
+            ".model" => {
+                model_name = parts.next().unwrap_or("model").to_string();
+            }
+            ".inputs" => inputs.extend(parts.map(str::to_string)),
+            ".outputs" => outputs.extend(parts.map(str::to_string)),
+            ".latch" => {
+                let toks: Vec<&str> = parts.collect();
+                if toks.len() < 2 {
+                    return Err(NetworkError::Parse(
+                        ".latch needs an input and an output".to_string(),
+                    ));
+                }
+                let init = toks
+                    .last()
+                    .and_then(|t| t.parse::<u8>().ok())
+                    .map(|v| v == 1)
+                    .unwrap_or(false);
+                latches.push((toks[0].to_string(), toks[1].to_string(), init));
+            }
+            ".names" => {
+                let signals: Vec<String> = parts.map(str::to_string).collect();
+                if signals.is_empty() {
+                    return Err(NetworkError::Parse(".names needs at least an output".to_string()));
+                }
+                let output = signals.last().cloned().expect("non-empty");
+                let fanins = signals[..signals.len() - 1].to_vec();
+                // Collect the following cover rows.
+                let mut rows = Vec::new();
+                while i < logical_lines.len() && !logical_lines[i].starts_with('.') {
+                    rows.push(logical_lines[i].clone());
+                    i += 1;
+                }
+                names_blocks.push((output, fanins, rows));
+            }
+            ".end" => break,
+            ".exdc" | ".clock" | ".area" | ".delay" => { /* ignored */ }
+            _ => {
+                return Err(NetworkError::Parse(format!("unexpected line `{line}`")));
+            }
+        }
+    }
+
+    let mut net = Network::new(model_name);
+    for name in &inputs {
+        net.add_input(name)?;
+    }
+    // Latch outputs are combinational inputs and must exist before nodes.
+    // The latch input node may not exist yet, so latches are connected last;
+    // declare the outputs now through a placeholder map.
+    let mut latch_outputs: Vec<String> = Vec::new();
+    for (_, out, _) in &latches {
+        latch_outputs.push(out.clone());
+    }
+
+    // First pass: create all internal nodes with empty fanins resolved later
+    // is complex; instead create nodes in dependency order by iterating until
+    // fixpoint (covers reference only signals that exist).
+    // Simpler: create latch output signals first (they behave like inputs).
+    let mut declared: HashMap<String, ()> = HashMap::new();
+    for name in &inputs {
+        declared.insert(name.clone(), ());
+    }
+
+    // Create latch outputs as LatchOutput signals with a placeholder input;
+    // we patch the input at the end (it must be an existing signal by then).
+    // To do that we need add_latch with the real input signal, so defer.
+
+    // Topologically order the .names blocks.
+    let mut remaining: Vec<(String, Vec<String>, Vec<String>)> = names_blocks;
+    // Latch outputs are available as sources.
+    for out in &latch_outputs {
+        declared.insert(out.clone(), ());
+    }
+    // Also constants can be declared by .names with zero fanins.
+    let mut ordered: Vec<(String, Vec<String>, Vec<String>)> = Vec::new();
+    while !remaining.is_empty() {
+        let before = remaining.len();
+        remaining.retain(|(out, fanins, rows)| {
+            if fanins.iter().all(|f| declared.contains_key(f)) {
+                declared.insert(out.clone(), ());
+                ordered.push((out.clone(), fanins.clone(), rows.clone()));
+                false
+            } else {
+                true
+            }
+        });
+        if remaining.len() == before {
+            let unresolved: Vec<String> = remaining.iter().map(|(o, _, _)| o.clone()).collect();
+            return Err(NetworkError::Parse(format!(
+                "could not order .names blocks (cycle or missing signals): {unresolved:?}"
+            )));
+        }
+    }
+
+    // Create the latch output signals (with a dummy input pointing to the
+    // first declared signal; patched below once all nodes exist). To avoid a
+    // dummy, create the latch outputs as LatchOutput *before* the nodes via a
+    // dedicated constructor path: we insert a temporary constant and patch.
+    let mut latch_idx: Vec<(usize, String)> = Vec::new();
+    for (idx, (_, out, init)) in latches.iter().enumerate() {
+        // Temporarily use a constant-zero placeholder signal as the input.
+        let placeholder = net.add_constant(&format!("__latch_ph_{idx}"), false)?;
+        net.add_latch(placeholder, out, *init)?;
+        latch_idx.push((idx, latches[idx].0.clone()));
+    }
+
+    for (out, fanins, rows) in ordered {
+        let fanin_ids = fanins
+            .iter()
+            .map(|f| {
+                net.signal(f)
+                    .ok_or_else(|| NetworkError::UnknownSignal(f.clone()))
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        let width = fanin_ids.len();
+        let mut cover = Cover::empty(width);
+        let mut constant_one = false;
+        for row in &rows {
+            let mut parts = row.split_whitespace();
+            let (in_part, out_part) = if width == 0 {
+                (String::new(), parts.next().unwrap_or("1").to_string())
+            } else {
+                let a = parts.next().unwrap_or_default().to_string();
+                let b = parts.next().unwrap_or("1").to_string();
+                (a, b)
+            };
+            if out_part != "1" {
+                // Offset rows are ignored (onset-only subset).
+                continue;
+            }
+            if width == 0 {
+                constant_one = true;
+                continue;
+            }
+            if in_part.len() != width {
+                return Err(NetworkError::Parse(format!(
+                    "row `{row}` does not match .names arity {width}"
+                )));
+            }
+            let cube = Cube::parse(&in_part)
+                .map_err(|e| NetworkError::Parse(format!("bad cube `{in_part}`: {e}")))?;
+            cover.push(cube).expect("width checked");
+        }
+        if width == 0 {
+            net.add_constant(&out, constant_one)?;
+        } else {
+            net.add_node(&out, fanin_ids, cover)?;
+        }
+    }
+
+    // Patch latch inputs now that every signal exists.
+    for (idx, input_name) in latch_idx {
+        let input = net
+            .signal(&input_name)
+            .ok_or_else(|| NetworkError::UnknownSignal(input_name.clone()))?;
+        net.set_latch_input(idx, input);
+    }
+
+    for out in &outputs {
+        let id = net
+            .signal(out)
+            .ok_or_else(|| NetworkError::UnknownSignal(out.clone()))?;
+        net.add_output(id);
+    }
+    Ok(net)
+}
+
+/// Writes a [`Network`] in BLIF syntax.
+pub fn write(net: &Network) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(".model {}\n", net.name()));
+    let inputs: Vec<&str> = net
+        .primary_inputs()
+        .iter()
+        .map(|&s| net.signal_name(s))
+        .collect();
+    out.push_str(&format!(".inputs {}\n", inputs.join(" ")));
+    let outputs: Vec<&str> = net
+        .primary_outputs()
+        .iter()
+        .map(|&s| net.signal_name(s))
+        .collect();
+    out.push_str(&format!(".outputs {}\n", outputs.join(" ")));
+    for latch in net.latches() {
+        out.push_str(&format!(
+            ".latch {} {} {}\n",
+            net.signal_name(latch.input),
+            net.signal_name(latch.output),
+            if latch.init { 1 } else { 0 }
+        ));
+    }
+    // Signals referenced anywhere (as a fanin, a latch input or a primary
+    // output); unreferenced constants (e.g. parser placeholders) are skipped.
+    let mut referenced: std::collections::HashSet<crate::netlist::SignalId> =
+        net.primary_outputs().iter().copied().collect();
+    for latch in net.latches() {
+        referenced.insert(latch.input);
+    }
+    for s in net.signals() {
+        if let SignalKind::Internal { fanins, .. } = net.kind(s) {
+            referenced.extend(fanins.iter().copied());
+        }
+    }
+    for s in net.signals() {
+        match net.kind(s) {
+            SignalKind::Constant(_) if !referenced.contains(&s) => continue,
+            SignalKind::Internal { fanins, cover } => {
+                let names: Vec<&str> = fanins.iter().map(|&f| net.signal_name(f)).collect();
+                out.push_str(&format!(
+                    ".names {} {}\n",
+                    names.join(" "),
+                    net.signal_name(s)
+                ));
+                for cube in cover.cubes() {
+                    out.push_str(&format!("{} 1\n", cube));
+                }
+            }
+            SignalKind::Constant(value) => {
+                out.push_str(&format!(".names {}\n", net.signal_name(s)));
+                if *value {
+                    out.push_str("1\n");
+                }
+            }
+            _ => {}
+        }
+    }
+    out.push_str(".end\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+# a tiny sequential benchmark
+.model tiny
+.inputs a b c
+.outputs out
+.latch n2 q 0
+.names a b n1
+11 1
+.names n1 c n2
+1- 1
+-1 1
+.names q a out
+10 1
+01 1
+.end
+";
+
+    #[test]
+    fn parse_sample_network() {
+        let net = parse(SAMPLE).unwrap();
+        assert_eq!(net.name(), "tiny");
+        assert_eq!(net.primary_inputs().len(), 3);
+        assert_eq!(net.primary_outputs().len(), 1);
+        assert_eq!(net.latches().len(), 1);
+        assert_eq!(net.num_nodes(), 3);
+        // The latch input must be patched to n2.
+        let latch = net.latches()[0];
+        assert_eq!(net.signal_name(latch.input), "n2");
+        assert_eq!(net.signal_name(latch.output), "q");
+    }
+
+    #[test]
+    fn round_trip_preserves_structure_and_function() {
+        let net = parse(SAMPLE).unwrap();
+        let text = write(&net);
+        let net2 = parse(&text).unwrap();
+        assert_eq!(net.num_nodes(), net2.num_nodes());
+        assert_eq!(net.latches().len(), net2.latches().len());
+        // Compare simulated behaviour on all input combinations.
+        let n = net.combinational_inputs().len();
+        for bits in 0..(1u32 << n) {
+            let asg: Vec<bool> = (0..n).map(|i| bits & (1 << i) != 0).collect();
+            let v1 = net.simulate(&asg).unwrap();
+            let v2 = net2.simulate(&asg).unwrap();
+            for (&o1, &o2) in net
+                .primary_outputs()
+                .iter()
+                .zip(net2.primary_outputs().iter())
+            {
+                assert_eq!(v1[&o1], v2[&o2]);
+            }
+        }
+    }
+
+    #[test]
+    fn constant_nodes() {
+        let text = ".model c\n.inputs a\n.outputs y one\n.names one\n1\n.names a one y\n11 1\n.end\n";
+        let net = parse(text).unwrap();
+        let y = net.signal("y").unwrap();
+        let sim = net.simulate(&[true]).unwrap();
+        assert!(sim[&y]);
+    }
+
+    #[test]
+    fn malformed_inputs_are_rejected() {
+        // Unknown directive.
+        assert!(parse(".model x\n.bogus\n.end\n").is_err());
+        // .latch with too few tokens.
+        assert!(parse(".model x\n.inputs a\n.latch a\n.end\n").is_err());
+        // .names referencing an undeclared signal.
+        assert!(parse(".model x\n.inputs a\n.outputs y\n.names a missing y\n11 1\n.end\n").is_err());
+        // Row arity mismatch.
+        assert!(parse(".model x\n.inputs a b\n.outputs y\n.names a b y\n1 1\n.end\n").is_err());
+        // Output never defined.
+        assert!(parse(".model x\n.inputs a\n.outputs nope\n.end\n").is_err());
+    }
+}

@@ -1,0 +1,53 @@
+//! Error type of the relation layer.
+
+use std::fmt;
+
+/// Errors produced by relation constructors and solvers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RelationError {
+    /// The relation is not well defined (some input vertex has no related
+    /// output vertex), so it has no compatible function.
+    NotWellDefined,
+    /// Vector lengths do not match the number of inputs/outputs of the space.
+    DimensionMismatch {
+        /// Expected length.
+        expected: usize,
+        /// Provided length.
+        found: usize,
+    },
+    /// Two objects belong to different [`crate::RelationSpace`]s.
+    SpaceMismatch,
+    /// A textual description could not be parsed.
+    Parse(String),
+    /// A Boolean-equation system is inconsistent (has no solution).
+    Inconsistent,
+    /// An operation requires exhaustive enumeration but the space is too
+    /// large for it.
+    TooLarge {
+        /// Number of variables requested.
+        vars: usize,
+        /// Supported maximum.
+        limit: usize,
+    },
+}
+
+impl fmt::Display for RelationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RelationError::NotWellDefined => {
+                write!(f, "relation is not well defined (an input vertex has no image)")
+            }
+            RelationError::DimensionMismatch { expected, found } => {
+                write!(f, "expected a vector of length {expected}, found {found}")
+            }
+            RelationError::SpaceMismatch => write!(f, "objects belong to different relation spaces"),
+            RelationError::Parse(msg) => write!(f, "parse error: {msg}"),
+            RelationError::Inconsistent => write!(f, "boolean system is inconsistent"),
+            RelationError::TooLarge { vars, limit } => {
+                write!(f, "operation requires enumerating {vars} variables, limit is {limit}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RelationError {}

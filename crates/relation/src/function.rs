@@ -1,0 +1,203 @@
+//! Multiple-output Boolean functions over the input variables of a space.
+
+use brel_bdd::{Bdd, Var};
+use brel_sop::{Cover, MultiCover};
+
+use crate::error::RelationError;
+use crate::space::RelationSpace;
+
+/// A completely specified multiple-output function `F : 𝔹ⁿ → 𝔹ᵐ`, stored as
+/// one BDD per output over the input variables of a [`RelationSpace`]
+/// (Definition 4.3 of the paper).
+///
+/// Multiple-output functions are both the *solutions* returned by the BR
+/// solvers and the leaves of the semilattice of well-defined relations
+/// (Theorem 5.1).
+#[derive(Debug, Clone)]
+pub struct MultiOutputFunction {
+    space: RelationSpace,
+    outputs: Vec<Bdd>,
+}
+
+impl MultiOutputFunction {
+    /// Creates a function from one BDD per output.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RelationError::DimensionMismatch`] if the number of BDDs
+    /// differs from the number of outputs of the space, and
+    /// [`RelationError::Parse`] if an output depends on an output variable.
+    pub fn new(space: &RelationSpace, outputs: Vec<Bdd>) -> Result<Self, RelationError> {
+        if outputs.len() != space.num_outputs() {
+            return Err(RelationError::DimensionMismatch {
+                expected: space.num_outputs(),
+                found: outputs.len(),
+            });
+        }
+        for f in &outputs {
+            let support = f.support();
+            if support.iter().any(|v| space.output_vars().contains(v)) {
+                return Err(RelationError::Parse(
+                    "output function depends on an output variable".to_string(),
+                ));
+            }
+        }
+        Ok(MultiOutputFunction {
+            space: space.clone(),
+            outputs,
+        })
+    }
+
+    /// The space this function belongs to.
+    pub fn space(&self) -> &RelationSpace {
+        &self.space
+    }
+
+    /// The per-output BDDs.
+    pub fn outputs(&self) -> &[Bdd] {
+        &self.outputs
+    }
+
+    /// The BDD of output `i`.
+    pub fn output(&self, i: usize) -> &Bdd {
+        &self.outputs[i]
+    }
+
+    /// Evaluates the function on an input vertex.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RelationError::DimensionMismatch`] if `input` has the wrong
+    /// length.
+    pub fn eval(&self, input: &[bool]) -> Result<Vec<bool>, RelationError> {
+        if input.len() != self.space.num_inputs() {
+            return Err(RelationError::DimensionMismatch {
+                expected: self.space.num_inputs(),
+                found: input.len(),
+            });
+        }
+        let asg = self
+            .space
+            .full_assignment(input, &vec![false; self.space.num_outputs()]);
+        Ok(self.outputs.iter().map(|f| f.eval(&asg)).collect())
+    }
+
+    /// The characteristic function of the function seen as a relation:
+    /// `⋀ᵢ (yᵢ ≡ fᵢ(X))`.
+    pub fn characteristic(&self) -> Bdd {
+        let mut acc = self.space.mgr().one();
+        for (i, f) in self.outputs.iter().enumerate() {
+            let y = self.space.output(i);
+            acc = acc.and(&y.iff(f));
+        }
+        acc
+    }
+
+    /// Sum of the BDD sizes of the outputs — the paper's area-oriented cost.
+    pub fn sum_of_sizes(&self) -> usize {
+        self.outputs.iter().map(Bdd::size).sum()
+    }
+
+    /// Sum of squared BDD sizes — the paper's delay-oriented (balancing)
+    /// cost.
+    pub fn sum_of_squared_sizes(&self) -> usize {
+        self.outputs.iter().map(|f| f.size() * f.size()).sum()
+    }
+
+    /// Shared BDD size of all outputs (common nodes counted once).
+    pub fn shared_size(&self) -> usize {
+        self.space.mgr().shared_size(&self.outputs)
+    }
+
+    /// Derives a two-level cover for every output via ISOP, giving the
+    /// `CB`/`LIT` metrics of the paper's Table 2.
+    pub fn to_multicover(&self) -> MultiCover {
+        let input_vars: Vec<Var> = self.space.input_vars().to_vec();
+        let covers: Vec<Cover> = self
+            .outputs
+            .iter()
+            .map(|f| {
+                let isop = f.isop();
+                Cover::from_isop(&isop, &input_vars)
+            })
+            .collect();
+        MultiCover::from_outputs(covers).expect("covers share the input width")
+    }
+
+    /// Total number of cubes of the ISOP covers.
+    pub fn num_cubes(&self) -> usize {
+        self.to_multicover().num_cubes()
+    }
+
+    /// Total number of literals of the ISOP covers.
+    pub fn num_literals(&self) -> usize {
+        self.to_multicover().num_literals()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_validates_dimensions_and_support() {
+        let space = RelationSpace::new(2, 2);
+        let a = space.input(0);
+        let b = space.input(1);
+        assert!(MultiOutputFunction::new(&space, vec![a.clone()]).is_err());
+        let y = space.output(0);
+        assert!(MultiOutputFunction::new(&space, vec![a.clone(), y]).is_err());
+        assert!(MultiOutputFunction::new(&space, vec![a, b]).is_ok());
+    }
+
+    #[test]
+    fn eval_and_characteristic_agree() {
+        let space = RelationSpace::new(2, 2);
+        let a = space.input(0);
+        let b = space.input(1);
+        let f = MultiOutputFunction::new(&space, vec![a.and(&b), a.xor(&b)]).unwrap();
+        let chi = f.characteristic();
+        for input in space.enumerate_inputs() {
+            let out = f.eval(&input).unwrap();
+            for candidate in space.enumerate_outputs() {
+                let asg = space.full_assignment(&input, &candidate);
+                assert_eq!(chi.eval(&asg), candidate == out);
+            }
+        }
+    }
+
+    #[test]
+    fn characteristic_counts_one_output_per_input() {
+        let space = RelationSpace::new(3, 2);
+        let a = space.input(0);
+        let c = space.input(2);
+        let f = MultiOutputFunction::new(&space, vec![a.clone(), a.or(&c)]).unwrap();
+        let chi = f.characteristic();
+        let total_vars = space.num_inputs() + space.num_outputs();
+        assert_eq!(chi.sat_count(total_vars), 1 << space.num_inputs());
+    }
+
+    #[test]
+    fn cost_metrics() {
+        let space = RelationSpace::new(2, 2);
+        let a = space.input(0);
+        let b = space.input(1);
+        let f = MultiOutputFunction::new(&space, vec![a.and(&b), space.mgr().one()]).unwrap();
+        assert_eq!(f.sum_of_sizes(), 2);
+        assert_eq!(f.sum_of_squared_sizes(), 4);
+        assert!(f.shared_size() <= f.sum_of_sizes());
+        let mc = f.to_multicover();
+        assert_eq!(mc.num_outputs(), 2);
+        assert_eq!(f.num_literals(), 2);
+        assert_eq!(f.num_cubes(), 2, "a·b plus the universal cube");
+    }
+
+    #[test]
+    fn eval_checks_arity() {
+        let space = RelationSpace::new(2, 1);
+        let a = space.input(0);
+        let f = MultiOutputFunction::new(&space, vec![a]).unwrap();
+        assert!(f.eval(&[true]).is_err());
+        assert_eq!(f.eval(&[true, false]).unwrap(), vec![true]);
+    }
+}

@@ -1,0 +1,257 @@
+//! ESPRESSO-style cover optimization against an incompletely specified
+//! function.
+//!
+//! The gyocro baseline of the paper (Watanabe & Brayton) repeatedly applies
+//! the `reduce` → `expand` → `irredundant` loop on a cover whose freedom is
+//! given by an interval `[On, On ∪ Dc]`. The functions in this module
+//! implement those three operations for a single-output cover, using BDDs as
+//! the oracle for validity checks (a cube may expand only while it stays
+//! inside `On ∪ Dc`; a cover is valid only while it still covers `On`).
+
+use brel_bdd::{Bdd, BddMgr, Var};
+
+use crate::cover::Cover;
+use crate::cube::{Cube, CubeValue};
+
+/// The don't-care interval `[on, on ∪ dc]` an optimized cover must respect.
+#[derive(Debug, Clone)]
+pub struct Interval {
+    /// Minterms that must be covered.
+    pub on: Bdd,
+    /// Upper bound: minterms that may be covered (`on ∪ dc`).
+    pub upper: Bdd,
+}
+
+impl Interval {
+    /// Creates an interval from the onset and the don't-care set.
+    pub fn new(on: Bdd, dc: &Bdd) -> Self {
+        let upper = on.or(dc);
+        Interval { on, upper }
+    }
+
+    /// Creates the exact interval of a completely specified function.
+    pub fn exact(f: Bdd) -> Self {
+        Interval {
+            upper: f.clone(),
+            on: f,
+        }
+    }
+
+    /// Returns `true` if `cover` implements the interval: it covers `on`
+    /// and stays within `upper`.
+    pub fn admits(&self, cover: &Cover, mgr: &BddMgr, vars: &[Var]) -> bool {
+        let f = cover.to_bdd_with_vars(mgr, vars);
+        self.on.is_subset_of(&f) && f.is_subset_of(&self.upper)
+    }
+}
+
+/// Expands every cube of the cover as much as possible (removing literals)
+/// while the cube stays inside `interval.upper`. Literals are tried in
+/// ascending variable order, matching the greedy single-variable expansion
+/// described for Herb/gyocro in the paper.
+pub fn expand(cover: &mut Cover, interval: &Interval, mgr: &BddMgr, vars: &[Var]) {
+    let upper = &interval.upper;
+    let width = cover.width();
+    let cubes: Vec<Cube> = cover
+        .cubes()
+        .iter()
+        .map(|cube| {
+            let mut best = cube.clone();
+            for v in 0..width {
+                if best.value(v) == CubeValue::DontCare {
+                    continue;
+                }
+                let mut candidate = best.clone();
+                candidate.set(v, CubeValue::DontCare);
+                let cbdd = candidate.to_bdd_with_vars(mgr, vars);
+                if cbdd.is_subset_of(upper) {
+                    best = candidate;
+                }
+            }
+            best
+        })
+        .collect();
+    *cover = Cover::from_cubes(width, cubes).expect("expand preserves the width");
+    cover.remove_contained_cubes();
+}
+
+/// Reduces every cube to the smallest cube that still covers the part of
+/// `interval.on` not covered by the other cubes. Cubes that become empty
+/// are dropped.
+pub fn reduce(cover: &mut Cover, interval: &Interval, mgr: &BddMgr, vars: &[Var]) {
+    let width = cover.width();
+    let cubes: Vec<Cube> = cover.cubes().to_vec();
+    let mut result: Vec<Cube> = Vec::new();
+    for (i, cube) in cubes.iter().enumerate() {
+        // Required part: on-set minterms inside this cube not covered by the
+        // other cubes (taking already-reduced versions for the earlier ones).
+        let mut others = mgr.zero();
+        for (j, other) in cubes.iter().enumerate() {
+            if i == j {
+                continue;
+            }
+            let c = if j < result.len() { &result[j] } else { other };
+            others = others.or(&c.to_bdd_with_vars(mgr, vars));
+        }
+        let cube_bdd = cube.to_bdd_with_vars(mgr, vars);
+        let required = interval.on.and(&cube_bdd).diff(&others);
+        if required.is_zero() {
+            // Keep the cube untouched; irredundant removal will decide later.
+            result.push(cube.clone());
+            continue;
+        }
+        // Smallest enclosing cube of `required` within this cube.
+        let mut reduced = cube.clone();
+        for (pos, &var) in vars.iter().enumerate().take(width) {
+            if reduced.value(pos) != CubeValue::DontCare {
+                continue;
+            }
+            let req0 = required.cofactor(var, false);
+            let req1 = required.cofactor(var, true);
+            if req0.is_zero() {
+                reduced.set(pos, CubeValue::One);
+            } else if req1.is_zero() {
+                reduced.set(pos, CubeValue::Zero);
+            }
+        }
+        result.push(reduced);
+    }
+    *cover = Cover::from_cubes(width, result).expect("reduce preserves the width");
+}
+
+/// Removes cubes not needed to cover `interval.on`.
+pub fn irredundant(cover: &mut Cover, interval: &Interval, mgr: &BddMgr, vars: &[Var]) {
+    cover.remove_contained_cubes();
+    let mut i = 0;
+    while i < cover.num_cubes() {
+        let mut others = mgr.zero();
+        for (j, c) in cover.cubes().iter().enumerate() {
+            if j != i {
+                others = others.or(&c.to_bdd_with_vars(mgr, vars));
+            }
+        }
+        if interval.on.is_subset_of(&others) {
+            let mut cubes = cover.cubes().to_vec();
+            cubes.remove(i);
+            *cover = Cover::from_cubes(cover.width(), cubes).expect("same width");
+        } else {
+            i += 1;
+        }
+    }
+}
+
+/// Runs the reduce–expand–irredundant loop until the `(cubes, literals)`
+/// cost stops improving, returning the number of iterations performed.
+pub fn reduce_expand_irredundant(
+    cover: &mut Cover,
+    interval: &Interval,
+    mgr: &BddMgr,
+    vars: &[Var],
+    max_iterations: usize,
+) -> usize {
+    let mut best_cost = (cover.num_cubes(), cover.num_literals());
+    let mut iterations = 0;
+    for _ in 0..max_iterations {
+        iterations += 1;
+        reduce(cover, interval, mgr, vars);
+        expand(cover, interval, mgr, vars);
+        irredundant(cover, interval, mgr, vars);
+        let cost = (cover.num_cubes(), cover.num_literals());
+        if cost >= best_cost {
+            break;
+        }
+        best_cost = cost;
+    }
+    iterations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vars(n: usize) -> Vec<Var> {
+        (0..n).map(|i| Var(i as u32)).collect()
+    }
+
+    fn cover(width: usize, rows: &[&str]) -> Cover {
+        Cover::from_cubes(
+            width,
+            rows.iter().map(|r| Cube::parse(r).unwrap()).collect(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn expand_uses_dont_cares() {
+        let mgr = BddMgr::new(2);
+        let vs = vars(2);
+        // on = a·b ; dc = a·b'  → the cube 11 can expand to 1-.
+        let on = cover(2, &["11"]).to_bdd(&mgr);
+        let dc = cover(2, &["10"]).to_bdd(&mgr);
+        let interval = Interval::new(on, &dc);
+        let mut c = cover(2, &["11"]);
+        expand(&mut c, &interval, &mgr, &vs);
+        assert_eq!(c.num_cubes(), 1);
+        assert_eq!(c.cubes()[0].to_text(), "1-");
+        assert!(interval.admits(&c, &mgr, &vs));
+    }
+
+    #[test]
+    fn reduce_shrinks_overlapping_cube() {
+        let mgr = BddMgr::new(2);
+        let vs = vars(2);
+        // on = a + b, cover = {1-, -1}; reducing either cube must keep validity.
+        let on = cover(2, &["1-", "-1"]).to_bdd(&mgr);
+        let interval = Interval::exact(on);
+        let mut c = cover(2, &["1-", "-1"]);
+        reduce(&mut c, &interval, &mgr, &vs);
+        expand(&mut c, &interval, &mgr, &vs);
+        irredundant(&mut c, &interval, &mgr, &vs);
+        assert!(interval.admits(&c, &mgr, &vs));
+        assert_eq!(c.num_cubes(), 2);
+    }
+
+    #[test]
+    fn irredundant_drops_consensus_cube() {
+        let mgr = BddMgr::new(3);
+        let vs = vars(3);
+        let full = cover(3, &["11-", "0-1", "-11"]);
+        let on = full.to_bdd(&mgr);
+        let interval = Interval::exact(on);
+        let mut c = full.clone();
+        irredundant(&mut c, &interval, &mgr, &vs);
+        assert_eq!(c.num_cubes(), 2);
+        assert!(interval.admits(&c, &mgr, &vs));
+    }
+
+    #[test]
+    fn loop_converges_and_preserves_interval() {
+        let mgr = BddMgr::new(3);
+        let vs = vars(3);
+        // on covers the odd-parity minterms of (a, b) plus dc on c.
+        let on = cover(3, &["100", "010", "111", "001"]).to_bdd(&mgr);
+        let dc = cover(3, &["110"]).to_bdd(&mgr);
+        let interval = Interval::new(on, &dc);
+        let mut c = cover(3, &["100", "010", "111", "001"]);
+        let before = (c.num_cubes(), c.num_literals());
+        let iters = reduce_expand_irredundant(&mut c, &interval, &mgr, &vs, 10);
+        assert!(iters >= 1);
+        assert!(interval.admits(&c, &mgr, &vs));
+        let after = (c.num_cubes(), c.num_literals());
+        assert!(after <= before, "cost must not increase");
+    }
+
+    #[test]
+    fn interval_admits_detects_violations() {
+        let mgr = BddMgr::new(2);
+        let vs = vars(2);
+        let on = cover(2, &["11"]).to_bdd(&mgr);
+        let interval = Interval::exact(on);
+        let good = cover(2, &["11"]);
+        let too_big = cover(2, &["1-"]);
+        let too_small = Cover::empty(2);
+        assert!(interval.admits(&good, &mgr, &vs));
+        assert!(!interval.admits(&too_big, &mgr, &vs));
+        assert!(!interval.admits(&too_small, &mgr, &vs));
+    }
+}

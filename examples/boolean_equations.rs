@@ -1,0 +1,66 @@
+//! Section 8: solving a system of Boolean equations through a Boolean
+//! relation (Examples 8.1–8.3 of the paper).
+//!
+//! The system over independent variables {a, b} and dependent {x, y, z}:
+//!
+//! ```text
+//!   x + b·ȳ·z̄ + b·z = a
+//!   x·y + x·z + y·z = 0
+//! ```
+//!
+//! Run with `cargo run --example boolean_equations`.
+
+use brel_core::{BooleanSystem, BrelConfig, Equation};
+use brel_relation::RelationSpace;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let space = RelationSpace::with_names(&["a", "b"], &["x", "y", "z"]);
+    let a = space.input(0);
+    let b = space.input(1);
+    let x = space.output(0);
+    let y = space.output(1);
+    let z = space.output(2);
+
+    let mut system = BooleanSystem::new(&space);
+    // x + b·ȳ·z̄ + b·z = a
+    system.push(Equation::equal(
+        x.or(&b.and(&y.complement()).and(&z.complement())).or(&b.and(&z)),
+        a.clone(),
+    ));
+    // x·y + x·z + y·z = 0
+    system.push(Equation::equal(
+        x.and(&y).or(&x.and(&z)).or(&y.and(&z)),
+        space.mgr().zero(),
+    ));
+
+    println!("consistent: {}", system.is_consistent());
+    println!("\nThe system as a Boolean relation (Theorem 8.1):");
+    print!("{}", system.to_relation());
+
+    let solution = system.solve(BrelConfig::exact())?;
+    println!("\nparticular solution found by BREL (cost {}):", solution.cost);
+    for (i, f) in solution.function.outputs().iter().enumerate() {
+        let cover = brel_sop::Cover::from_isop(&f.isop(), space.input_vars());
+        let text = if cover.is_empty() {
+            "0".to_string()
+        } else if cover.cubes().iter().any(|c| c.num_literals() == 0) {
+            "1".to_string()
+        } else {
+            cover
+                .cubes()
+                .iter()
+                .map(|c| c.to_text())
+                .collect::<Vec<_>>()
+                .join(" + ")
+        };
+        println!("  {}(a, b) = {}   (cubes over a b)", space.output_name(i), text);
+    }
+    assert!(system.is_solution(&solution.function));
+
+    // An inconsistent system is reported as such.
+    let mut bad = BooleanSystem::new(&space);
+    bad.push(Equation::equal(x.clone(), a.clone()));
+    bad.push(Equation::equal(x.clone(), a.complement()));
+    println!("\ncontradictory system consistent? {}", bad.is_consistent());
+    Ok(())
+}

@@ -1,0 +1,52 @@
+//! Solve one instance of the Table 2 benchmark family with both solvers and
+//! compare the metrics the paper reports (cubes, literals, runtime).
+//!
+//! Run with `cargo run --example table2_instance -- [instance-name]`
+//! (default `int1`; see `brel_benchdata::table2::instances()` for names).
+
+use std::time::Instant;
+
+use brel_benchdata::table2;
+use brel_core::{BrelConfig, BrelSolver};
+use brel_gyocro::GyocroSolver;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "int1".to_string());
+    let instance = table2::instance(&name)
+        .ok_or_else(|| format!("unknown instance `{name}`; try int1..int10, b9, vtx, gr, she1"))?;
+    let (_space, relation) = table2::generate(&instance);
+    println!(
+        "instance {}: {} inputs, {} outputs, {} pairs",
+        instance.name,
+        instance.num_inputs,
+        instance.num_outputs,
+        relation.num_pairs()
+    );
+
+    let start = Instant::now();
+    let gyocro = GyocroSolver::default().solve(&relation)?;
+    let gyocro_time = start.elapsed();
+    let gyocro_cover = gyocro.function.to_multicover();
+    println!(
+        "gyocro: {:3} cubes  {:3} literals   {:?}",
+        gyocro_cover.num_cubes(),
+        gyocro_cover.num_literals(),
+        gyocro_time
+    );
+
+    let start = Instant::now();
+    let brel = BrelSolver::new(BrelConfig::table2()).solve(&relation)?;
+    let brel_time = start.elapsed();
+    let brel_cover = brel.function.to_multicover();
+    println!(
+        "BREL:   {:3} cubes  {:3} literals   {:?}   (explored {} subrelations)",
+        brel_cover.num_cubes(),
+        brel_cover.num_literals(),
+        brel_time,
+        brel.stats.explored
+    );
+
+    assert!(relation.is_compatible(&gyocro.function));
+    assert!(relation.is_compatible(&brel.function));
+    Ok(())
+}

@@ -1,0 +1,12 @@
+//! Umbrella crate for the BREL reproduction workspace.
+//!
+//! Re-exports the member crates under short names so the examples and
+//! integration tests can use a single dependency.
+
+pub use brel_bdd as bdd;
+pub use brel_benchdata as benchdata;
+pub use brel_core as brel;
+pub use brel_gyocro as gyocro;
+pub use brel_network as network;
+pub use brel_relation as relation;
+pub use brel_sop as sop;

@@ -1,0 +1,68 @@
+//! End-to-end Boolean-equation solving (Section 8, Examples 8.1–8.3),
+//! exercised through the umbrella crate's re-exports.
+
+use brel_suite::brel::{BooleanSystem, BrelConfig, Equation};
+use brel_suite::relation::RelationSpace;
+
+fn example81_system(space: &RelationSpace) -> BooleanSystem {
+    let a = space.input(0);
+    let b = space.input(1);
+    let x = space.output(0);
+    let y = space.output(1);
+    let z = space.output(2);
+    let mut system = BooleanSystem::new(space);
+    system.push(Equation::equal(
+        x.or(&b.and(&y.complement()).and(&z.complement())).or(&b.and(&z)),
+        a.clone(),
+    ));
+    system.push(Equation::equal(
+        x.and(&y).or(&x.and(&z)).or(&y.and(&z)),
+        space.mgr().zero(),
+    ));
+    system
+}
+
+#[test]
+fn example_81_reduction_and_consistency() {
+    let space = RelationSpace::with_names(&["a", "b"], &["x", "y", "z"]);
+    let system = example81_system(&space);
+    // Theorem 8.1: the conjunction of the per-equation characteristic
+    // functions is the characteristic function of the system.
+    let chi = system.characteristic();
+    let manual = system.equations()[0]
+        .characteristic()
+        .and(&system.equations()[1].characteristic());
+    assert_eq!(chi, manual);
+    // Property 8.2: consistency.
+    assert!(system.is_consistent());
+}
+
+#[test]
+fn example_83_particular_solution_via_brel() {
+    let space = RelationSpace::with_names(&["a", "b"], &["x", "y", "z"]);
+    let system = example81_system(&space);
+    let solution = system.solve(BrelConfig::exact()).unwrap();
+    assert!(system.is_solution(&solution.function));
+    // Substituting the solution into both equations yields tautologies.
+    for eq in system.equations() {
+        let mut t = eq.characteristic();
+        for (i, f) in solution.function.outputs().iter().enumerate() {
+            t = t.compose(space.output_var(i), f);
+        }
+        assert!(t.is_one(), "equation not satisfied by the returned solution");
+    }
+}
+
+#[test]
+fn inconsistent_systems_have_no_relation_solution() {
+    let space = RelationSpace::with_names(&["a"], &["x"]);
+    let a = space.input(0);
+    let x = space.output(0);
+    let mut system = BooleanSystem::new(&space);
+    system.push(Equation::equal(x.clone(), a.clone()));
+    system.push(Equation::equal(x, a.complement()));
+    assert!(!system.is_consistent());
+    assert!(system.solve(BrelConfig::default()).is_err());
+    // The associated relation is not well defined, matching Property 8.2.
+    assert!(!system.to_relation().is_well_defined());
+}

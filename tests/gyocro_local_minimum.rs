@@ -1,0 +1,42 @@
+//! Section 9.1: the expand–reduce–irredundant paradigm gets trapped in a
+//! local minimum on the Fig. 10 relation; BREL escapes it.
+
+use brel_benchdata::figures;
+use brel_core::{BrelConfig, BrelSolver, CostFn, CostFunction};
+use brel_gyocro::{ExpandMode, GyocroConfig, GyocroSolver};
+
+#[test]
+fn brel_escapes_the_local_minimum_gyocro_cannot() {
+    let (space, r) = figures::fig10();
+    let gyocro = GyocroSolver::default().solve(&r).unwrap();
+    let brel = BrelSolver::new(BrelConfig::exact()).solve(&r).unwrap();
+
+    assert!(r.is_compatible(&gyocro.function));
+    assert!(r.is_compatible(&brel.function));
+
+    // BREL finds the two single-literal outputs (x ⇔ b, y ⇔ a)…
+    assert_eq!(brel.cost, 2);
+    assert_eq!(brel.function.output(0), &space.input(1));
+    assert_eq!(brel.function.output(1), &space.input(0));
+    // …which is strictly better than what the local search reaches.
+    let gyocro_cost = CostFn::SumBddSize.cost(&gyocro.function);
+    assert!(brel.cost < gyocro_cost);
+    // In two-level terms: the paper's best answer has 2 literals, while the
+    // quick/local-search answer keeps the equivalence function (4 literals).
+    assert!(gyocro.final_cost.1 >= 4);
+    assert_eq!(brel.function.num_literals(), 2);
+}
+
+#[test]
+fn herb_style_single_literal_expansion_is_also_trapped() {
+    let (_space, r) = figures::fig10();
+    let herb = GyocroSolver::new(GyocroConfig {
+        expand_mode: ExpandMode::SingleLiteral,
+        ..GyocroConfig::default()
+    })
+    .solve(&r)
+    .unwrap();
+    assert!(r.is_compatible(&herb.function));
+    let brel = BrelSolver::new(BrelConfig::exact()).solve(&r).unwrap();
+    assert!(brel.cost <= CostFn::SumBddSize.cost(&herb.function));
+}

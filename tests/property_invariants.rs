@@ -1,0 +1,131 @@
+//! Property-based tests of the core invariants the paper's algorithm rests
+//! on, over randomly generated relations and functions.
+
+use proptest::prelude::*;
+
+use brel_core::{BrelConfig, BrelSolver, CostFn, CostFunction, IsfMinimizer, MinimizerKind, QuickSolver};
+use brel_relation::{BooleanRelation, MultiOutputFunction};
+use brel_suite::benchdata::random_well_defined_relation;
+
+/// Strategy: a seed plus small dimensions for a random well-defined relation.
+fn relation_params() -> impl Strategy<Value = (usize, usize, u64)> {
+    (2usize..=4, 1usize..=3, any::<u64>())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Property 5.2 / 5.3: the MISF obtained by projection covers the
+    /// relation, and projecting the MISF again changes nothing (it is the
+    /// tightest MISF over-approximation).
+    #[test]
+    fn misf_is_the_tightest_overapproximation((ni, no, seed) in relation_params()) {
+        let (_space, r) = random_well_defined_relation(ni, no, 0.25, seed);
+        let misf_rel = r.to_misf().to_relation();
+        prop_assert!(r.is_subset_of(&misf_rel).unwrap());
+        let again = misf_rel.to_misf().to_relation();
+        prop_assert_eq!(misf_rel, again);
+    }
+
+    /// Property 5.4 / Theorem 5.2: splitting on a flexible vertex keeps both
+    /// halves well defined, partitions the relation's pairs at that vertex
+    /// and reconstructs the relation by union.
+    #[test]
+    fn split_partitions_the_relation((ni, no, seed) in relation_params()) {
+        let (space, r) = random_well_defined_relation(ni, no, 0.35, seed);
+        // Find a vertex/output with {0,1} flexibility, if any.
+        let mut split_point = None;
+        'outer: for input in space.enumerate_inputs() {
+            for output in 0..no {
+                let flexible = r.projection_flexible_inputs(output);
+                let x = space.input_minterm(&input).unwrap();
+                if !x.and(&flexible).is_zero() {
+                    split_point = Some((input, output));
+                    break 'outer;
+                }
+            }
+        }
+        if let Some((input, output)) = split_point {
+            let (r_neg, r_pos) = r.split(&input, output).unwrap();
+            prop_assert!(r_neg.is_well_defined());
+            prop_assert!(r_pos.is_well_defined());
+            prop_assert!(r_neg.is_subset_of(&r).unwrap());
+            prop_assert!(r_pos.is_subset_of(&r).unwrap());
+            prop_assert_eq!(r_neg.union(&r_pos).unwrap(), r.clone());
+            prop_assert!(r_neg != r && r_pos != r);
+        }
+    }
+
+    /// The quick solver always returns a compatible function (Fig. 4).
+    #[test]
+    fn quick_solver_solutions_are_compatible((ni, no, seed) in relation_params()) {
+        let (_space, r) = random_well_defined_relation(ni, no, 0.3, seed);
+        let f = QuickSolver::new().solve(&r).unwrap();
+        prop_assert!(r.is_compatible(&f));
+    }
+
+    /// The BREL solver always returns a compatible function and never does
+    /// worse than the quick seed under its own cost function.
+    #[test]
+    fn brel_solutions_are_compatible_and_no_worse_than_quick((ni, no, seed) in relation_params()) {
+        let (_space, r) = random_well_defined_relation(ni, no, 0.3, seed);
+        let quick = QuickSolver::new().solve(&r).unwrap();
+        let solution = BrelSolver::new(BrelConfig::default()).solve(&r).unwrap();
+        prop_assert!(r.is_compatible(&solution.function));
+        prop_assert!(solution.cost <= CostFn::SumBddSize.cost(&quick));
+        prop_assert_eq!(solution.cost, CostFn::SumBddSize.cost(&solution.function));
+    }
+
+    /// Every ISF-minimization strategy of Table 1 produces an implementation
+    /// inside the projected interval, for every output of a random relation.
+    #[test]
+    fn every_isf_minimizer_respects_the_projection_interval((ni, no, seed) in relation_params()) {
+        let (_space, r) = random_well_defined_relation(ni, no, 0.3, seed);
+        for output in 0..no {
+            let isf = r.projection(output);
+            for kind in [
+                MinimizerKind::Isop,
+                MinimizerKind::Constrain,
+                MinimizerKind::Restrict,
+                MinimizerKind::LiCompact,
+            ] {
+                for minimizer in [IsfMinimizer::new(kind), IsfMinimizer::without_elimination(kind)] {
+                    let f = minimizer.minimize(&isf);
+                    prop_assert!(isf.admits(&f), "{kind:?} left the interval");
+                }
+            }
+        }
+    }
+
+    /// A functional relation round-trips through `to_function` and the
+    /// relation built from a function is compatible only with itself.
+    #[test]
+    fn functional_relations_round_trip((ni, no, seed) in relation_params()) {
+        let (space, r) = random_well_defined_relation(ni, no, 0.0, seed);
+        prop_assert!(r.is_function());
+        let f = r.to_function().unwrap();
+        let back = BooleanRelation::from_function(&f);
+        prop_assert_eq!(back, r.clone());
+        // Any other function differing at one vertex is incompatible.
+        let mut outputs = f.outputs().to_vec();
+        let flip = space.input_minterm(&vec![false; ni]).unwrap();
+        outputs[0] = outputs[0].xor(&flip);
+        let other = MultiOutputFunction::new(&space, outputs).unwrap();
+        prop_assert!(!r.is_compatible(&other));
+    }
+
+    /// Compatibility is monotone: a solution of a subrelation is a solution
+    /// of every enclosing relation.
+    #[test]
+    fn compatibility_is_monotone_along_the_semilattice((ni, no, seed) in relation_params()) {
+        let (_space, r) = random_well_defined_relation(ni, no, 0.4, seed);
+        let solution = BrelSolver::new(BrelConfig::default()).solve(&r).unwrap();
+        // Enlarge the relation by adding random extra pairs: still compatible.
+        let (_s2, extra) = random_well_defined_relation(ni, no, 0.2, seed.wrapping_add(1));
+        // Rebuild `extra` inside r's space via its table (same dimensions).
+        let extra_in_space =
+            BooleanRelation::from_table(r.space(), &extra.to_table().unwrap()).unwrap();
+        let bigger = r.union(&extra_in_space).unwrap();
+        prop_assert!(bigger.is_compatible(&solution.function));
+    }
+}

@@ -1,0 +1,36 @@
+//! The quick solver of Fig. 4 and its order-dependence (Example 6.1).
+
+use brel_benchdata::figures;
+use brel_core::{CostFn, CostFunction, QuickSolver};
+
+#[test]
+fn quick_solution_is_always_compatible() {
+    for (_space, r) in [figures::fig1(), figures::fig5(), figures::fig7(), figures::fig8()] {
+        let f = QuickSolver::new().solve(&r).unwrap();
+        assert!(r.is_compatible(&f));
+    }
+}
+
+#[test]
+fn fig5_order_dependence_produces_unbalanced_solutions() {
+    // Example 6.1: solving x first steals the flexibility from y, giving the
+    // unbalanced (x ⇔ 1)(y ⇔ a·b + ā·b̄) instead of the optimal (x ⇔ b)(y ⇔ a).
+    let (space, r) = figures::fig5();
+    let f = QuickSolver::new().with_order(vec![0, 1]).solve(&r).unwrap();
+    assert!(r.is_compatible(&f));
+    // The first output ends up constant (all the flexibility used)…
+    assert!(f.output(0).is_one());
+    // …and the second inherits the expensive equivalence function.
+    assert_eq!(f.output(1), &space.input(0).iff(&space.input(1)));
+    // Total cost is strictly worse than the optimum of 2.
+    assert!(CostFn::SumBddSize.cost(&f) > 2);
+}
+
+#[test]
+fn different_orders_remain_compatible_even_when_costs_differ() {
+    let (_space, r) = figures::fig5();
+    let forward = QuickSolver::new().with_order(vec![0, 1]).solve(&r).unwrap();
+    let backward = QuickSolver::new().with_order(vec![1, 0]).solve(&r).unwrap();
+    assert!(r.is_compatible(&forward));
+    assert!(r.is_compatible(&backward));
+}

@@ -1,0 +1,48 @@
+//! Output-symmetry pruning (Section 7.7, Fig. 8).
+
+use brel_benchdata::figures;
+use brel_core::{BrelConfig, BrelSolver, SymmetryCache};
+
+#[test]
+fn fig8_children_are_symmetric_variants_of_each_other() {
+    let (space, r) = figures::fig8();
+    // The relation is symmetric in its two outputs.
+    assert!(r
+        .characteristic()
+        .is_symmetric(space.output_var(0), space.output_var(1)));
+    // Splitting a flexible vertex on output x produces two subrelations that
+    // are output permutations of each other, so the cache flags the second.
+    let conflicts = space.input_minterm(&[false, false]).unwrap();
+    let (vertex, output) = r.select_split_point(&conflicts).unwrap();
+    let (r_neg, r_pos) = r.split(&vertex, output).unwrap();
+    let mut cache = SymmetryCache::new();
+    assert!(!cache.check_and_insert(&r_neg));
+    assert!(cache.check_and_insert(&r_pos));
+}
+
+#[test]
+fn symmetry_pruning_preserves_quality_and_never_explores_more() {
+    for (_space, r) in [figures::fig1(), figures::fig7(), figures::fig8()] {
+        let without = BrelSolver::new(BrelConfig::exact().with_symmetry(false))
+            .solve(&r)
+            .unwrap();
+        let with = BrelSolver::new(BrelConfig::exact().with_symmetry(true))
+            .solve(&r)
+            .unwrap();
+        assert_eq!(without.cost, with.cost, "symmetry pruning must not change the best cost");
+        assert!(with.stats.explored <= without.stats.explored);
+        assert!(r.is_compatible(&with.function));
+    }
+}
+
+#[test]
+fn symmetric_relation_benefits_from_pruning() {
+    let (_space, r) = figures::fig8();
+    let with = BrelSolver::new(BrelConfig::exact().with_symmetry(true))
+        .solve(&r)
+        .unwrap();
+    assert!(
+        with.stats.skipped_by_symmetry >= 1,
+        "the fully symmetric Fig. 8 relation must produce at least one symmetric hit"
+    );
+}
