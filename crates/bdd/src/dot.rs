@@ -33,7 +33,12 @@ pub fn to_dot(mgr: &BddManager, roots: &[NodeId], labels: &[&str]) -> String {
             id.index(),
             mgr.var_name(var)
         );
-        let _ = writeln!(out, "  node{} -> node{} [style=dashed];", id.index(), lo.index());
+        let _ = writeln!(
+            out,
+            "  node{} -> node{} [style=dashed];",
+            id.index(),
+            lo.index()
+        );
         let _ = writeln!(out, "  node{} -> node{};", id.index(), hi.index());
         stack.push(lo);
         stack.push(hi);

@@ -213,7 +213,11 @@ mod tests {
         for bits in 0..(1u32 << nvars) {
             let asg: Vec<bool> = (0..nvars).map(|i| bits & (1 << i) != 0).collect();
             if m.eval(c, &asg) {
-                assert_eq!(m.eval(g, &asg), m.eval(f, &asg), "disagrees on care minterm");
+                assert_eq!(
+                    m.eval(g, &asg),
+                    m.eval(f, &asg),
+                    "disagrees on care minterm"
+                );
             }
         }
     }
@@ -246,7 +250,10 @@ mod tests {
         check_agrees_on_care(&mut m, f, care, g, 4);
         let sup_f = m.support(f);
         let sup_g = m.support(g);
-        assert!(sup_g.iter().all(|v| sup_f.contains(v)), "restrict must not grow support");
+        assert!(
+            sup_g.iter().all(|v| sup_f.contains(v)),
+            "restrict must not grow support"
+        );
     }
 
     #[test]

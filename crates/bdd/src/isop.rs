@@ -20,7 +20,9 @@ pub struct IsopCube {
 impl IsopCube {
     /// The empty cube (the constant-true product).
     pub fn tautology() -> Self {
-        IsopCube { literals: Vec::new() }
+        IsopCube {
+            literals: Vec::new(),
+        }
     }
 
     /// Literals of the cube, sorted by variable.

@@ -563,7 +563,11 @@ impl BddManager {
         let mut id = f;
         while !id.is_terminal() {
             let n = &self.nodes[id.index()];
-            id = if assignment[n.var.index()] { n.hi } else { n.lo };
+            id = if assignment[n.var.index()] {
+                n.hi
+            } else {
+                n.lo
+            };
         }
         id.is_one()
     }

@@ -12,29 +12,19 @@ fn bench_solver_scaling(c: &mut Criterion) {
     group.sample_size(10);
 
     for &num_inputs in &[4usize, 6, 8] {
-        let (_space, relation) = random_well_defined_relation(num_inputs, 3, 0.25, 7_000 + num_inputs as u64);
-        group.bench_with_input(
-            BenchmarkId::new("quick", num_inputs),
-            &relation,
-            |b, r| b.iter(|| QuickSolver::new().solve(r).unwrap().sum_of_sizes()),
-        );
+        let (_space, relation) =
+            random_well_defined_relation(num_inputs, 3, 0.25, 7_000 + num_inputs as u64);
+        group.bench_with_input(BenchmarkId::new("quick", num_inputs), &relation, |b, r| {
+            b.iter(|| QuickSolver::new().solve(r).unwrap().sum_of_sizes())
+        });
         group.bench_with_input(
             BenchmarkId::new("brel_budget10", num_inputs),
             &relation,
-            |b, r| {
-                b.iter(|| {
-                    BrelSolver::new(BrelConfig::table2())
-                        .solve(r)
-                        .unwrap()
-                        .cost
-                })
-            },
+            |b, r| b.iter(|| BrelSolver::new(BrelConfig::table2()).solve(r).unwrap().cost),
         );
-        group.bench_with_input(
-            BenchmarkId::new("gyocro", num_inputs),
-            &relation,
-            |b, r| b.iter(|| GyocroSolver::default().solve(r).unwrap().final_cost),
-        );
+        group.bench_with_input(BenchmarkId::new("gyocro", num_inputs), &relation, |b, r| {
+            b.iter(|| GyocroSolver::default().solve(r).unwrap().final_cost)
+        });
     }
 
     // Exploration-budget sweep on a fixed relation.

@@ -17,18 +17,22 @@ fn bench_symmetry(c: &mut Criterion) {
     group.sample_size(10);
     let (_space, relation) = table2::generate(&table2::instance("int5").unwrap());
     for (label, enabled) in [("off", false), ("on", true)] {
-        group.bench_with_input(BenchmarkId::new("brel_int5", label), &enabled, |b, &enabled| {
-            b.iter(|| {
-                BrelSolver::new(
-                    BrelConfig::default()
-                        .with_max_explored(Some(30))
-                        .with_symmetry(enabled),
-                )
-                .solve(&relation)
-                .unwrap()
-                .cost
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("brel_int5", label),
+            &enabled,
+            |b, &enabled| {
+                b.iter(|| {
+                    BrelSolver::new(
+                        BrelConfig::default()
+                            .with_max_explored(Some(30))
+                            .with_symmetry(enabled),
+                    )
+                    .solve(&relation)
+                    .unwrap()
+                    .cost
+                })
+            },
+        );
     }
     group.finish();
 }

@@ -33,13 +33,20 @@ pub fn network_from_function(name: &str, f: &MultiOutputFunction) -> Network {
     let space = f.space();
     let mut net = Network::new(name);
     let inputs: Vec<SignalId> = (0..space.num_inputs())
-        .map(|i| net.add_input(space.input_name(i)).expect("fresh input name"))
+        .map(|i| {
+            net.add_input(space.input_name(i))
+                .expect("fresh input name")
+        })
         .collect();
     let input_vars: Vec<Var> = space.input_vars().to_vec();
     for (i, g) in f.outputs().iter().enumerate() {
         let cover = Cover::from_isop(&g.isop(), &input_vars);
         let node = net
-            .add_node(&format!("{}_n", space.output_name(i)), inputs.clone(), cover)
+            .add_node(
+                &format!("{}_n", space.output_name(i)),
+                inputs.clone(),
+                cover,
+            )
             .expect("fresh node name");
         net.add_output(node);
     }

@@ -43,14 +43,18 @@ pub fn run(num_instances: usize, max_explored: usize) -> Vec<AblationRow> {
             .with_max_explored(Some(max_explored))
             .with_symmetry(false);
         let start = Instant::now();
-        let without = BrelSolver::new(config_off).solve(&relation).expect("well defined");
+        let without = BrelSolver::new(config_off)
+            .solve(&relation)
+            .expect("well defined");
         let cpu_without = start.elapsed();
 
         let config_on = BrelConfig::default()
             .with_max_explored(Some(max_explored))
             .with_symmetry(true);
         let start = Instant::now();
-        let with = BrelSolver::new(config_on).solve(&relation).expect("well defined");
+        let with = BrelSolver::new(config_on)
+            .solve(&relation)
+            .expect("well defined");
         let cpu_with = start.elapsed();
 
         rows.push(AblationRow {

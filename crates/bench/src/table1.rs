@@ -31,7 +31,10 @@ pub struct Table1Row {
 /// Runs the experiment over the first `num_instances` relations of the
 /// Table 2 family (use `usize::MAX` for all of them).
 pub fn run(num_instances: usize) -> Vec<Table1Row> {
-    let instances: Vec<_> = family::instances().into_iter().take(num_instances).collect();
+    let instances: Vec<_> = family::instances()
+        .into_iter()
+        .take(num_instances)
+        .collect();
     let relations: Vec<_> = instances.iter().map(family::generate).collect();
 
     let mut raw: Vec<(&'static str, usize, Duration)> = Vec::new();

@@ -84,7 +84,11 @@ pub fn run(num_instances: usize) -> Vec<Table2Row> {
             name: instance.name,
             num_inputs: instance.num_inputs,
             num_outputs: instance.num_outputs,
-            gyocro: downstream(&format!("{}_gyocro", instance.name), &gyocro.function, gyocro_cpu),
+            gyocro: downstream(
+                &format!("{}_gyocro", instance.name),
+                &gyocro.function,
+                gyocro_cpu,
+            ),
             brel: downstream(&format!("{}_brel", instance.name), &brel.function, brel_cpu),
         });
     }
@@ -115,9 +119,7 @@ pub fn summary(rows: &[Table2Row]) -> (f64, f64) {
 pub fn render(rows: &[Table2Row]) -> String {
     let mut out = String::new();
     out.push_str("Table 2: comparison with gyocro\n");
-    out.push_str(
-        "               |            gyocro                  |             BREL\n",
-    );
+    out.push_str("               |            gyocro                  |             BREL\n");
     out.push_str(
         "name     PI PO |  CB  LIT  ALG    AREA    CPU[s]    |  CB  LIT  ALG    AREA    CPU[s]\n",
     );

@@ -6,11 +6,9 @@ use brel_relation::{BooleanRelation, RelationSpace};
 /// ({00, 11}) cannot be expressed with don't cares.
 pub fn fig1() -> (RelationSpace, BooleanRelation) {
     let space = RelationSpace::new(2, 2);
-    let r = BooleanRelation::from_table(
-        &space,
-        "00 : {00}\n01 : {00}\n10 : {00, 11}\n11 : {10, 11}",
-    )
-    .expect("static table");
+    let r =
+        BooleanRelation::from_table(&space, "00 : {00}\n01 : {00}\n10 : {00, 11}\n11 : {10, 11}")
+            .expect("static table");
     (space, r)
 }
 
@@ -18,11 +16,9 @@ pub fn fig1() -> (RelationSpace, BooleanRelation) {
 /// unbalanced solution because the first output steals the flexibility.
 pub fn fig5() -> (RelationSpace, BooleanRelation) {
     let space = RelationSpace::with_names(&["a", "b"], &["x", "y"]);
-    let r = BooleanRelation::from_table(
-        &space,
-        "00 : {00, 11}\n01 : {10}\n10 : {01, 10}\n11 : {11}",
-    )
-    .expect("static table");
+    let r =
+        BooleanRelation::from_table(&space, "00 : {00, 11}\n01 : {10}\n10 : {01, 10}\n11 : {11}")
+            .expect("static table");
     (space, r)
 }
 

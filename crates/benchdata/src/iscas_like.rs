@@ -36,20 +36,104 @@ pub struct IscasInstance {
 /// ISCAS'89 circuits (the structural contents are synthetic).
 pub fn instances() -> Vec<IscasInstance> {
     vec![
-        IscasInstance { name: "s27", num_inputs: 4, num_outputs: 1, num_flip_flops: 3, seed: 2027 },
-        IscasInstance { name: "s208", num_inputs: 10, num_outputs: 1, num_flip_flops: 8, seed: 2208 },
-        IscasInstance { name: "s298", num_inputs: 3, num_outputs: 6, num_flip_flops: 14, seed: 2298 },
-        IscasInstance { name: "s349", num_inputs: 9, num_outputs: 11, num_flip_flops: 15, seed: 2349 },
-        IscasInstance { name: "s382", num_inputs: 3, num_outputs: 6, num_flip_flops: 21, seed: 2382 },
-        IscasInstance { name: "s420", num_inputs: 18, num_outputs: 1, num_flip_flops: 16, seed: 2420 },
-        IscasInstance { name: "s444", num_inputs: 3, num_outputs: 6, num_flip_flops: 21, seed: 2444 },
-        IscasInstance { name: "s526", num_inputs: 3, num_outputs: 6, num_flip_flops: 21, seed: 2526 },
-        IscasInstance { name: "s641", num_inputs: 35, num_outputs: 24, num_flip_flops: 19, seed: 2641 },
-        IscasInstance { name: "s832", num_inputs: 18, num_outputs: 19, num_flip_flops: 5, seed: 2832 },
-        IscasInstance { name: "s953", num_inputs: 16, num_outputs: 23, num_flip_flops: 29, seed: 2953 },
-        IscasInstance { name: "s1196", num_inputs: 14, num_outputs: 14, num_flip_flops: 18, seed: 3196 },
-        IscasInstance { name: "s1488", num_inputs: 8, num_outputs: 19, num_flip_flops: 6, seed: 3488 },
-        IscasInstance { name: "sbc", num_inputs: 40, num_outputs: 56, num_flip_flops: 28, seed: 4001 },
+        IscasInstance {
+            name: "s27",
+            num_inputs: 4,
+            num_outputs: 1,
+            num_flip_flops: 3,
+            seed: 2027,
+        },
+        IscasInstance {
+            name: "s208",
+            num_inputs: 10,
+            num_outputs: 1,
+            num_flip_flops: 8,
+            seed: 2208,
+        },
+        IscasInstance {
+            name: "s298",
+            num_inputs: 3,
+            num_outputs: 6,
+            num_flip_flops: 14,
+            seed: 2298,
+        },
+        IscasInstance {
+            name: "s349",
+            num_inputs: 9,
+            num_outputs: 11,
+            num_flip_flops: 15,
+            seed: 2349,
+        },
+        IscasInstance {
+            name: "s382",
+            num_inputs: 3,
+            num_outputs: 6,
+            num_flip_flops: 21,
+            seed: 2382,
+        },
+        IscasInstance {
+            name: "s420",
+            num_inputs: 18,
+            num_outputs: 1,
+            num_flip_flops: 16,
+            seed: 2420,
+        },
+        IscasInstance {
+            name: "s444",
+            num_inputs: 3,
+            num_outputs: 6,
+            num_flip_flops: 21,
+            seed: 2444,
+        },
+        IscasInstance {
+            name: "s526",
+            num_inputs: 3,
+            num_outputs: 6,
+            num_flip_flops: 21,
+            seed: 2526,
+        },
+        IscasInstance {
+            name: "s641",
+            num_inputs: 35,
+            num_outputs: 24,
+            num_flip_flops: 19,
+            seed: 2641,
+        },
+        IscasInstance {
+            name: "s832",
+            num_inputs: 18,
+            num_outputs: 19,
+            num_flip_flops: 5,
+            seed: 2832,
+        },
+        IscasInstance {
+            name: "s953",
+            num_inputs: 16,
+            num_outputs: 23,
+            num_flip_flops: 29,
+            seed: 2953,
+        },
+        IscasInstance {
+            name: "s1196",
+            num_inputs: 14,
+            num_outputs: 14,
+            num_flip_flops: 18,
+            seed: 3196,
+        },
+        IscasInstance {
+            name: "s1488",
+            num_inputs: 8,
+            num_outputs: 19,
+            num_flip_flops: 6,
+            seed: 3488,
+        },
+        IscasInstance {
+            name: "sbc",
+            num_inputs: 40,
+            num_outputs: 56,
+            num_flip_flops: 28,
+            seed: 4001,
+        },
     ]
 }
 
@@ -98,12 +182,7 @@ pub fn generate(instance: &IscasInstance) -> Network {
 }
 
 /// Adds one random two-level node over a random bounded subset of `cis`.
-fn random_node(
-    net: &mut Network,
-    cis: &[SignalId],
-    rng: &mut StdRng,
-    name: &str,
-) -> SignalId {
+fn random_node(net: &mut Network, cis: &[SignalId], rng: &mut StdRng, name: &str) -> SignalId {
     let support_size = rng.gen_range(2..=MAX_SUPPORT.min(cis.len()));
     // Choose distinct fanins.
     let mut fanins: Vec<SignalId> = Vec::new();
@@ -113,22 +192,31 @@ fn random_node(
             fanins.push(candidate);
         }
     }
-    let num_cubes = rng.gen_range(2..=4);
-    let mut cover = Cover::empty(support_size);
-    for _ in 0..num_cubes {
-        let mut values = vec![CubeValue::DontCare; support_size];
-        let lits = rng.gen_range(1..=support_size);
-        for _ in 0..lits {
-            let pos = rng.gen_range(0..support_size);
-            values[pos] = if rng.gen_bool(0.5) {
-                CubeValue::One
-            } else {
-                CubeValue::Zero
-            };
+    // Reject covers that collapse to a constant (e.g. "1-" + "0-"): every
+    // generated function must have nonempty support, which the benchdata
+    // tests and the decomposition flow rely on. (Individual fanins may
+    // still be dead — only constancy is excluded.)
+    let cover = loop {
+        let num_cubes = rng.gen_range(2..=4);
+        let mut cover = Cover::empty(support_size);
+        for _ in 0..num_cubes {
+            let mut values = vec![CubeValue::DontCare; support_size];
+            let lits = rng.gen_range(1..=support_size);
+            for _ in 0..lits {
+                let pos = rng.gen_range(0..support_size);
+                values[pos] = if rng.gen_bool(0.5) {
+                    CubeValue::One
+                } else {
+                    CubeValue::Zero
+                };
+            }
+            cover.push(Cube::new(values)).expect("width matches");
         }
-        cover.push(Cube::new(values)).expect("width matches");
-    }
-    cover.remove_contained_cubes();
+        cover.remove_contained_cubes();
+        if !cover.is_empty() && !cover.is_tautology() {
+            break cover;
+        }
+    };
     net.add_node(name, fanins, cover).expect("fresh name")
 }
 
@@ -141,7 +229,12 @@ mod tests {
         for inst in instances().into_iter().take(6) {
             let net = generate(&inst);
             assert_eq!(net.primary_inputs().len(), inst.num_inputs, "{}", inst.name);
-            assert_eq!(net.primary_outputs().len(), inst.num_outputs, "{}", inst.name);
+            assert_eq!(
+                net.primary_outputs().len(),
+                inst.num_outputs,
+                "{}",
+                inst.name
+            );
             assert_eq!(net.latches().len(), inst.num_flip_flops, "{}", inst.name);
             assert!(net.topological_order().is_ok());
         }

@@ -37,21 +37,96 @@ pub struct Table2Instance {
 /// 4–10 inputs and 2–5 outputs); the names match Table 2 of the paper.
 pub fn instances() -> Vec<Table2Instance> {
     vec![
-        Table2Instance { name: "int1", num_inputs: 4, num_outputs: 3, seed: 101 },
-        Table2Instance { name: "int2", num_inputs: 5, num_outputs: 3, seed: 102 },
-        Table2Instance { name: "int3", num_inputs: 6, num_outputs: 3, seed: 103 },
-        Table2Instance { name: "int4", num_inputs: 6, num_outputs: 4, seed: 104 },
-        Table2Instance { name: "int5", num_inputs: 7, num_outputs: 4, seed: 105 },
-        Table2Instance { name: "int6", num_inputs: 8, num_outputs: 4, seed: 106 },
-        Table2Instance { name: "int7", num_inputs: 8, num_outputs: 5, seed: 107 },
-        Table2Instance { name: "int8", num_inputs: 9, num_outputs: 5, seed: 108 },
-        Table2Instance { name: "int9", num_inputs: 10, num_outputs: 5, seed: 109 },
-        Table2Instance { name: "int10", num_inputs: 10, num_outputs: 4, seed: 110 },
-        Table2Instance { name: "b9", num_inputs: 8, num_outputs: 4, seed: 201 },
-        Table2Instance { name: "vtx", num_inputs: 9, num_outputs: 4, seed: 202 },
-        Table2Instance { name: "gr", num_inputs: 7, num_outputs: 5, seed: 203 },
-        Table2Instance { name: "she1", num_inputs: 6, num_outputs: 4, seed: 204 },
-        Table2Instance { name: "she2", num_inputs: 8, num_outputs: 5, seed: 205 },
+        Table2Instance {
+            name: "int1",
+            num_inputs: 4,
+            num_outputs: 3,
+            seed: 101,
+        },
+        Table2Instance {
+            name: "int2",
+            num_inputs: 5,
+            num_outputs: 3,
+            seed: 102,
+        },
+        Table2Instance {
+            name: "int3",
+            num_inputs: 6,
+            num_outputs: 3,
+            seed: 103,
+        },
+        Table2Instance {
+            name: "int4",
+            num_inputs: 6,
+            num_outputs: 4,
+            seed: 104,
+        },
+        Table2Instance {
+            name: "int5",
+            num_inputs: 7,
+            num_outputs: 4,
+            seed: 105,
+        },
+        Table2Instance {
+            name: "int6",
+            num_inputs: 8,
+            num_outputs: 4,
+            seed: 106,
+        },
+        Table2Instance {
+            name: "int7",
+            num_inputs: 8,
+            num_outputs: 5,
+            seed: 107,
+        },
+        Table2Instance {
+            name: "int8",
+            num_inputs: 9,
+            num_outputs: 5,
+            seed: 108,
+        },
+        Table2Instance {
+            name: "int9",
+            num_inputs: 10,
+            num_outputs: 5,
+            seed: 109,
+        },
+        Table2Instance {
+            name: "int10",
+            num_inputs: 10,
+            num_outputs: 4,
+            seed: 110,
+        },
+        Table2Instance {
+            name: "b9",
+            num_inputs: 8,
+            num_outputs: 4,
+            seed: 201,
+        },
+        Table2Instance {
+            name: "vtx",
+            num_inputs: 9,
+            num_outputs: 4,
+            seed: 202,
+        },
+        Table2Instance {
+            name: "gr",
+            num_inputs: 7,
+            num_outputs: 5,
+            seed: 203,
+        },
+        Table2Instance {
+            name: "she1",
+            num_inputs: 6,
+            num_outputs: 4,
+            seed: 204,
+        },
+        Table2Instance {
+            name: "she2",
+            num_inputs: 8,
+            num_outputs: 5,
+            seed: 205,
+        },
     ]
 }
 

@@ -59,7 +59,10 @@ impl fmt::Debug for CostFn {
 
 impl CostFn {
     /// Wraps a closure as a cost function.
-    pub fn custom(name: impl Into<String>, eval: impl Fn(&MultiOutputFunction) -> u64 + 'static) -> Self {
+    pub fn custom(
+        name: impl Into<String>,
+        eval: impl Fn(&MultiOutputFunction) -> u64 + 'static,
+    ) -> Self {
         CostFn::Custom {
             name: name.into(),
             eval: Box::new(eval),
@@ -129,11 +132,9 @@ mod tests {
         let d = space.input(3);
         // Unbalanced: one big function, one trivial.
         let big = a.and(&b).or(&c.and(&d)).xor(&a.or(&d));
-        let unbalanced =
-            MultiOutputFunction::new(&space, vec![big, space.mgr().one()]).unwrap();
+        let unbalanced = MultiOutputFunction::new(&space, vec![big, space.mgr().one()]).unwrap();
         // Balanced: two medium functions.
-        let balanced =
-            MultiOutputFunction::new(&space, vec![a.and(&b), c.and(&d)]).unwrap();
+        let balanced = MultiOutputFunction::new(&space, vec![a.and(&b), c.and(&d)]).unwrap();
         let sq = CostFn::SumSquaredBddSize;
         let lin = CostFn::SumBddSize;
         // The squared metric penalizes the unbalanced pair relatively more.

@@ -196,7 +196,10 @@ mod tests {
         for input in space.enumerate_inputs() {
             let out = solution.eval(&input).unwrap();
             let asg = space.full_assignment(&input, &out);
-            assert!(chi.eval(&asg), "solution must satisfy the system at {input:?}");
+            assert!(
+                chi.eval(&asg),
+                "solution must satisfy the system at {input:?}"
+            );
         }
     }
 
@@ -231,7 +234,10 @@ mod tests {
         system.push(Equation::equal(x.clone(), a.clone()));
         system.push(Equation::equal(x, a.complement()));
         assert!(!system.is_consistent());
-        assert!(matches!(system.solve_quick(), Err(RelationError::Inconsistent)));
+        assert!(matches!(
+            system.solve_quick(),
+            Err(RelationError::Inconsistent)
+        ));
         assert!(matches!(
             system.solve(BrelConfig::default()),
             Err(RelationError::Inconsistent)

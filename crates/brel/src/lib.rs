@@ -52,5 +52,5 @@ pub use cost::{CostFn, CostFunction};
 pub use equation::{BooleanSystem, Equation, EquationOperator};
 pub use minimize_isf::{IsfMinimizer, MinimizerKind};
 pub use quick::QuickSolver;
-pub use solver::{BrelConfig, BrelSolver, SolveStats, Solution, TraceEvent};
+pub use solver::{BrelConfig, BrelSolver, Solution, SolveStats, TraceEvent};
 pub use symmetry::SymmetryCache;

@@ -122,8 +122,14 @@ impl IsfMinimizer {
     pub fn table1_strategies() -> Vec<(&'static str, IsfMinimizer)> {
         vec![
             ("ISOP+elim", IsfMinimizer::new(MinimizerKind::Isop)),
-            ("ISOP", IsfMinimizer::without_elimination(MinimizerKind::Isop)),
-            ("Constrain+elim", IsfMinimizer::new(MinimizerKind::Constrain)),
+            (
+                "ISOP",
+                IsfMinimizer::without_elimination(MinimizerKind::Isop),
+            ),
+            (
+                "Constrain+elim",
+                IsfMinimizer::new(MinimizerKind::Constrain),
+            ),
             (
                 "Constrain",
                 IsfMinimizer::without_elimination(MinimizerKind::Constrain),
@@ -133,7 +139,10 @@ impl IsfMinimizer {
                 "Restrict",
                 IsfMinimizer::without_elimination(MinimizerKind::Restrict),
             ),
-            ("LICompact+elim", IsfMinimizer::new(MinimizerKind::LiCompact)),
+            (
+                "LICompact+elim",
+                IsfMinimizer::new(MinimizerKind::LiCompact),
+            ),
             (
                 "LICompact",
                 IsfMinimizer::without_elimination(MinimizerKind::LiCompact),
@@ -153,7 +162,9 @@ mod tests {
         let c = space.input(2);
         // on = a·b·c ; dc = a·(b ⊕ c) ∪ ¬a·¬b·¬c
         let on = a.and(&b).and(&c);
-        let dc = a.and(&b.xor(&c)).or(&a.complement().and(&b.complement()).and(&c.complement()));
+        let dc = a
+            .and(&b.xor(&c))
+            .or(&a.complement().and(&b.complement()).and(&c.complement()));
         Isf::new(space, on, dc)
     }
 

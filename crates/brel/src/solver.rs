@@ -321,7 +321,10 @@ impl BrelSolver {
             let (r_neg, r_pos) = current.split(&vertex, output)?;
             stats.splits += 1;
             for child in [r_neg, r_pos] {
-                debug_assert!(child.is_well_defined(), "Theorem 5.2 guarantees well-definedness");
+                debug_assert!(
+                    child.is_well_defined(),
+                    "Theorem 5.2 guarantees well-definedness"
+                );
                 if self.config.use_symmetry
                     && depth < self.config.symmetry_depth
                     && symmetry.check_and_insert(&child)
@@ -456,7 +459,10 @@ mod tests {
             .unwrap();
         assert!(r.is_compatible(&without.function));
         assert!(r.is_compatible(&with.function));
-        assert_eq!(without.cost, with.cost, "symmetry pruning must not change quality");
+        assert_eq!(
+            without.cost, with.cost,
+            "symmetry pruning must not change quality"
+        );
         assert!(with.stats.explored <= without.stats.explored);
     }
 

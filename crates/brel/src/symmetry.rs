@@ -83,7 +83,10 @@ mod tests {
         let (r_neg, r_pos) = r.split(&[false], 0).unwrap();
         let mut cache = SymmetryCache::new();
         assert!(!cache.check_and_insert(&r_neg));
-        assert!(cache.check_and_insert(&r_pos), "symmetric variant already explored");
+        assert!(
+            cache.check_and_insert(&r_pos),
+            "symmetric variant already explored"
+        );
         assert_eq!(cache.hits(), 1);
         assert_eq!(cache.len(), 2);
     }

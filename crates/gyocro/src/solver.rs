@@ -94,10 +94,7 @@ impl GyocroSolver {
         // Initial solution: the quick solver (the same seeding gyocro uses).
         let initial = QuickSolver::new().solve(relation)?;
         let mut functions: Vec<_> = initial.outputs().to_vec();
-        let mut covers: Vec<Cover> = initial
-            .to_multicover()
-            .outputs()
-            .to_vec();
+        let mut covers: Vec<Cover> = initial.to_multicover().outputs().to_vec();
         let initial_cost = cost_of(&covers);
 
         let mut best_cost = initial_cost;
@@ -158,8 +155,8 @@ impl GyocroSolver {
 
         let function = MultiOutputFunction::new(&space, functions)?;
         debug_assert!(relation.is_compatible(&function));
-        let cover = MultiCover::from_outputs(covers)
-            .expect("covers share the relation's input width");
+        let cover =
+            MultiCover::from_outputs(covers).expect("covers share the relation's input width");
         let final_cost = cost_of(cover.outputs());
         Ok(GyocroSolution {
             function,

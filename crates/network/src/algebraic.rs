@@ -59,7 +59,10 @@ fn replace_fanin_everywhere(
     new: SignalId,
 ) -> Result<bool, NetworkError> {
     if net.primary_outputs().contains(&old)
-        || net.latches().iter().any(|l| l.input == old || l.output == old)
+        || net
+            .latches()
+            .iter()
+            .any(|l| l.input == old || l.output == old)
     {
         return Ok(false);
     }
@@ -90,9 +93,7 @@ pub fn eliminate(net: &mut Network) -> Result<usize, NetworkError> {
         let SignalKind::Internal { cover, .. } = net.kind(node).clone() else {
             continue;
         };
-        if net.primary_outputs().contains(&node)
-            || net.latches().iter().any(|l| l.input == node)
-        {
+        if net.primary_outputs().contains(&node) || net.latches().iter().any(|l| l.input == node) {
             continue;
         }
         // Cheap nodes only: a single cube, or a pair of single-literal cubes.
@@ -149,11 +150,7 @@ fn collapse_into_fanouts(net: &mut Network, node: SignalId) -> Result<bool, Netw
         };
         let pos = fanins.iter().position(|&f| f == node).expect("is a fanout");
         // New fanin list: old fanins minus `node`, plus node's fanins.
-        let mut new_fanins: Vec<SignalId> = fanins
-            .iter()
-            .copied()
-            .filter(|&f| f != node)
-            .collect();
+        let mut new_fanins: Vec<SignalId> = fanins.iter().copied().filter(|&f| f != node).collect();
         for &f in &node_fanins {
             if !new_fanins.contains(&f) {
                 new_fanins.push(f);
@@ -213,10 +210,13 @@ fn collapse_into_fanouts(net: &mut Network, node: SignalId) -> Result<bool, Netw
 /// into every cover that contains it. Repeats until no divisor saves
 /// literals. Returns the number of new nodes created.
 pub fn extract_common_cubes(net: &mut Network) -> Result<usize, NetworkError> {
+    // A literal is a (signal, polarity) pair; divisors are ordered pairs of
+    // literals.
+    type Literal = (SignalId, bool);
     let mut created = 0usize;
     loop {
         // Count two-literal sub-cubes (pairs of (signal, polarity)).
-        let mut counts: HashMap<((SignalId, bool), (SignalId, bool)), usize> = HashMap::new();
+        let mut counts: HashMap<(Literal, Literal), usize> = HashMap::new();
         for node in net.signals().collect::<Vec<_>>() {
             let SignalKind::Internal { fanins, cover } = net.kind(node) else {
                 continue;
@@ -263,8 +263,16 @@ pub fn extract_common_cubes(net: &mut Network) -> Result<usize, NetworkError> {
         let new_cover = Cover::from_cubes(
             2,
             vec![Cube::new(vec![
-                if lit_a.1 { CubeValue::One } else { CubeValue::Zero },
-                if lit_b.1 { CubeValue::One } else { CubeValue::Zero },
+                if lit_a.1 {
+                    CubeValue::One
+                } else {
+                    CubeValue::Zero
+                },
+                if lit_b.1 {
+                    CubeValue::One
+                } else {
+                    CubeValue::Zero
+                },
             ])],
         )
         .expect("two-literal cube");
@@ -280,7 +288,9 @@ pub fn extract_common_cubes(net: &mut Network) -> Result<usize, NetworkError> {
             };
             let pa = fanins.iter().position(|&f| f == lit_a.0);
             let pb = fanins.iter().position(|&f| f == lit_b.0);
-            let (Some(pa), Some(pb)) = (pa, pb) else { continue };
+            let (Some(pa), Some(pb)) = (pa, pb) else {
+                continue;
+            };
             let matches_cube = |cube: &Cube| {
                 cube.value(pa) == polarity(lit_a.1) && cube.value(pb) == polarity(lit_b.1)
             };
@@ -394,7 +404,11 @@ mod tests {
     use super::*;
 
     fn cover(width: usize, rows: &[&str]) -> Cover {
-        Cover::from_cubes(width, rows.iter().map(|r| Cube::parse(r).unwrap()).collect()).unwrap()
+        Cover::from_cubes(
+            width,
+            rows.iter().map(|r| Cube::parse(r).unwrap()).collect(),
+        )
+        .unwrap()
     }
 
     fn functional_equivalence(a: &Network, b: &Network) -> bool {
@@ -404,11 +418,7 @@ mod tests {
             let asg: Vec<bool> = (0..n).map(|i| bits & (1 << i) != 0).collect();
             let va = a.simulate(&asg).unwrap();
             let vb = b.simulate(&asg).unwrap();
-            for (&oa, &ob) in a
-                .primary_outputs()
-                .iter()
-                .zip(b.primary_outputs().iter())
-            {
+            for (&oa, &ob) in a.primary_outputs().iter().zip(b.primary_outputs().iter()) {
                 if va[&oa] != vb[&ob] {
                     return false;
                 }

@@ -73,7 +73,9 @@ pub fn parse(text: &str) -> Result<Network, NetworkError> {
             ".names" => {
                 let signals: Vec<String> = parts.map(str::to_string).collect();
                 if signals.is_empty() {
-                    return Err(NetworkError::Parse(".names needs at least an output".to_string()));
+                    return Err(NetworkError::Parse(
+                        ".names needs at least an output".to_string(),
+                    ));
                 }
                 let output = signals.last().cloned().expect("non-empty");
                 let fanins = signals[..signals.len() - 1].to_vec();
@@ -341,7 +343,8 @@ mod tests {
 
     #[test]
     fn constant_nodes() {
-        let text = ".model c\n.inputs a\n.outputs y one\n.names one\n1\n.names a one y\n11 1\n.end\n";
+        let text =
+            ".model c\n.inputs a\n.outputs y one\n.names one\n1\n.names a one y\n11 1\n.end\n";
         let net = parse(text).unwrap();
         let y = net.signal("y").unwrap();
         let sim = net.simulate(&[true]).unwrap();
@@ -355,7 +358,9 @@ mod tests {
         // .latch with too few tokens.
         assert!(parse(".model x\n.inputs a\n.latch a\n.end\n").is_err());
         // .names referencing an undeclared signal.
-        assert!(parse(".model x\n.inputs a\n.outputs y\n.names a missing y\n11 1\n.end\n").is_err());
+        assert!(
+            parse(".model x\n.inputs a\n.outputs y\n.names a missing y\n11 1\n.end\n").is_err()
+        );
         // Row arity mismatch.
         assert!(parse(".model x\n.inputs a b\n.outputs y\n.names a b y\n1 1\n.end\n").is_err());
         // Output never defined.

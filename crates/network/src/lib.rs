@@ -36,4 +36,4 @@ pub mod speedup;
 
 pub use library::{Gate, GateKind, Library};
 pub use mapper::{MappedNetlist, MappingOptions};
-pub use netlist::{Latch, Network, NetworkError, SignalId, SignalKind};
+pub use netlist::{GlobalFunctions, Latch, Network, NetworkError, SignalId, SignalKind};

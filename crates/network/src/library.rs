@@ -69,25 +69,139 @@ impl Library {
     /// The default `lib2`-like library.
     pub fn lib2_like() -> Self {
         let gates = vec![
-            Gate { name: "inv", kind: GateKind::Inv, inputs: 1, area: 1.0, delay: 0.4 },
-            Gate { name: "buf", kind: GateKind::Buf, inputs: 1, area: 1.5, delay: 0.6 },
-            Gate { name: "nand2", kind: GateKind::Nand(2), inputs: 2, area: 2.0, delay: 0.6 },
-            Gate { name: "nand3", kind: GateKind::Nand(3), inputs: 3, area: 3.0, delay: 0.8 },
-            Gate { name: "nand4", kind: GateKind::Nand(4), inputs: 4, area: 4.0, delay: 1.0 },
-            Gate { name: "nor2", kind: GateKind::Nor(2), inputs: 2, area: 2.0, delay: 0.7 },
-            Gate { name: "nor3", kind: GateKind::Nor(3), inputs: 3, area: 3.0, delay: 0.9 },
-            Gate { name: "nor4", kind: GateKind::Nor(4), inputs: 4, area: 4.0, delay: 1.1 },
-            Gate { name: "and2", kind: GateKind::And(2), inputs: 2, area: 3.0, delay: 0.8 },
-            Gate { name: "and3", kind: GateKind::And(3), inputs: 3, area: 4.0, delay: 1.0 },
-            Gate { name: "and4", kind: GateKind::And(4), inputs: 4, area: 5.0, delay: 1.2 },
-            Gate { name: "or2", kind: GateKind::Or(2), inputs: 2, area: 3.0, delay: 0.9 },
-            Gate { name: "or3", kind: GateKind::Or(3), inputs: 3, area: 4.0, delay: 1.1 },
-            Gate { name: "or4", kind: GateKind::Or(4), inputs: 4, area: 5.0, delay: 1.3 },
-            Gate { name: "xor2", kind: GateKind::Xor2, inputs: 2, area: 5.0, delay: 1.2 },
-            Gate { name: "xnor2", kind: GateKind::Xnor2, inputs: 2, area: 5.0, delay: 1.2 },
-            Gate { name: "aoi21", kind: GateKind::Aoi21, inputs: 3, area: 3.0, delay: 0.9 },
-            Gate { name: "oai21", kind: GateKind::Oai21, inputs: 3, area: 3.0, delay: 0.9 },
-            Gate { name: "mux2", kind: GateKind::Mux2, inputs: 3, area: 6.0, delay: 1.3 },
+            Gate {
+                name: "inv",
+                kind: GateKind::Inv,
+                inputs: 1,
+                area: 1.0,
+                delay: 0.4,
+            },
+            Gate {
+                name: "buf",
+                kind: GateKind::Buf,
+                inputs: 1,
+                area: 1.5,
+                delay: 0.6,
+            },
+            Gate {
+                name: "nand2",
+                kind: GateKind::Nand(2),
+                inputs: 2,
+                area: 2.0,
+                delay: 0.6,
+            },
+            Gate {
+                name: "nand3",
+                kind: GateKind::Nand(3),
+                inputs: 3,
+                area: 3.0,
+                delay: 0.8,
+            },
+            Gate {
+                name: "nand4",
+                kind: GateKind::Nand(4),
+                inputs: 4,
+                area: 4.0,
+                delay: 1.0,
+            },
+            Gate {
+                name: "nor2",
+                kind: GateKind::Nor(2),
+                inputs: 2,
+                area: 2.0,
+                delay: 0.7,
+            },
+            Gate {
+                name: "nor3",
+                kind: GateKind::Nor(3),
+                inputs: 3,
+                area: 3.0,
+                delay: 0.9,
+            },
+            Gate {
+                name: "nor4",
+                kind: GateKind::Nor(4),
+                inputs: 4,
+                area: 4.0,
+                delay: 1.1,
+            },
+            Gate {
+                name: "and2",
+                kind: GateKind::And(2),
+                inputs: 2,
+                area: 3.0,
+                delay: 0.8,
+            },
+            Gate {
+                name: "and3",
+                kind: GateKind::And(3),
+                inputs: 3,
+                area: 4.0,
+                delay: 1.0,
+            },
+            Gate {
+                name: "and4",
+                kind: GateKind::And(4),
+                inputs: 4,
+                area: 5.0,
+                delay: 1.2,
+            },
+            Gate {
+                name: "or2",
+                kind: GateKind::Or(2),
+                inputs: 2,
+                area: 3.0,
+                delay: 0.9,
+            },
+            Gate {
+                name: "or3",
+                kind: GateKind::Or(3),
+                inputs: 3,
+                area: 4.0,
+                delay: 1.1,
+            },
+            Gate {
+                name: "or4",
+                kind: GateKind::Or(4),
+                inputs: 4,
+                area: 5.0,
+                delay: 1.3,
+            },
+            Gate {
+                name: "xor2",
+                kind: GateKind::Xor2,
+                inputs: 2,
+                area: 5.0,
+                delay: 1.2,
+            },
+            Gate {
+                name: "xnor2",
+                kind: GateKind::Xnor2,
+                inputs: 2,
+                area: 5.0,
+                delay: 1.2,
+            },
+            Gate {
+                name: "aoi21",
+                kind: GateKind::Aoi21,
+                inputs: 3,
+                area: 3.0,
+                delay: 0.9,
+            },
+            Gate {
+                name: "oai21",
+                kind: GateKind::Oai21,
+                inputs: 3,
+                area: 3.0,
+                delay: 0.9,
+            },
+            Gate {
+                name: "mux2",
+                kind: GateKind::Mux2,
+                inputs: 3,
+                area: 6.0,
+                delay: 1.3,
+            },
         ];
         Library { gates }
     }

@@ -103,13 +103,7 @@ pub fn map(
             .iter()
             .map(|f| arrival.get(f).copied().unwrap_or(0.0))
             .collect();
-        let out_arrival = map_node(
-            cover,
-            &fanin_arrivals,
-            library,
-            options,
-            &mut result,
-        );
+        let out_arrival = map_node(cover, &fanin_arrivals, library, options, &mut result);
         arrival.insert(node, out_arrival);
     }
 
@@ -242,7 +236,11 @@ mod tests {
     use brel_sop::{Cover, Cube};
 
     fn cover(width: usize, rows: &[&str]) -> Cover {
-        Cover::from_cubes(width, rows.iter().map(|r| Cube::parse(r).unwrap()).collect()).unwrap()
+        Cover::from_cubes(
+            width,
+            rows.iter().map(|r| Cube::parse(r).unwrap()).collect(),
+        )
+        .unwrap()
     }
 
     fn two_level_net(rows: &[&str], width: usize) -> Network {

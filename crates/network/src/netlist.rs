@@ -90,6 +90,11 @@ impl fmt::Display for NetworkError {
 
 impl std::error::Error for NetworkError {}
 
+/// The result of [`Network::global_functions`]: the BDD manager, the
+/// variable assigned to each combinational input, and the global function of
+/// every signal.
+pub type GlobalFunctions = (BddMgr, HashMap<SignalId, Var>, HashMap<SignalId, Bdd>);
+
 /// A multilevel Boolean network: primary inputs and outputs, internal
 /// sum-of-products nodes and D flip-flops.
 #[derive(Debug, Clone, Default)]
@@ -367,9 +372,7 @@ impl Network {
     /// # Errors
     ///
     /// Returns [`NetworkError::CombinationalCycle`] on cyclic networks.
-    pub fn global_functions(
-        &self,
-    ) -> Result<(BddMgr, HashMap<SignalId, Var>, HashMap<SignalId, Bdd>), NetworkError> {
+    pub fn global_functions(&self) -> Result<GlobalFunctions, NetworkError> {
         let inputs = self.combinational_inputs();
         let mgr = BddMgr::new(inputs.len());
         let mut input_vars = HashMap::new();
@@ -446,7 +449,11 @@ mod tests {
     use brel_sop::Cube;
 
     fn cover(width: usize, rows: &[&str]) -> Cover {
-        Cover::from_cubes(width, rows.iter().map(|r| Cube::parse(r).unwrap()).collect()).unwrap()
+        Cover::from_cubes(
+            width,
+            rows.iter().map(|r| Cube::parse(r).unwrap()).collect(),
+        )
+        .unwrap()
     }
 
     /// Builds a tiny sequential circuit:
@@ -457,7 +464,9 @@ mod tests {
         let b = net.add_input("b").unwrap();
         let c = net.add_input("c").unwrap();
         let n1 = net.add_node("n1", vec![a, b], cover(2, &["11"])).unwrap();
-        let n2 = net.add_node("n2", vec![n1, c], cover(2, &["1-", "-1"])).unwrap();
+        let n2 = net
+            .add_node("n2", vec![n1, c], cover(2, &["1-", "-1"]))
+            .unwrap();
         let q = net.add_latch(n2, "q", false).unwrap();
         let out = net
             .add_node("out", vec![q, a], cover(2, &["10", "01"]))
@@ -532,7 +541,12 @@ mod tests {
             let asg: Vec<bool> = (0..cis.len()).map(|i| bits & (1 << i) != 0).collect();
             let sim = net.simulate(&asg).unwrap();
             for co in net.combinational_outputs() {
-                assert_eq!(funcs[&co].eval(&asg), sim[&co], "mismatch at signal {}", net.signal_name(co));
+                assert_eq!(
+                    funcs[&co].eval(&asg),
+                    sim[&co],
+                    "mismatch at signal {}",
+                    net.signal_name(co)
+                );
             }
         }
     }

@@ -82,7 +82,11 @@ mod tests {
     use brel_sop::Cube;
 
     fn cover(width: usize, rows: &[&str]) -> Cover {
-        Cover::from_cubes(width, rows.iter().map(|r| Cube::parse(r).unwrap()).collect()).unwrap()
+        Cover::from_cubes(
+            width,
+            rows.iter().map(|r| Cube::parse(r).unwrap()).collect(),
+        )
+        .unwrap()
     }
 
     fn deep_chain() -> Network {
@@ -95,9 +99,15 @@ mod tests {
         let n1 = net
             .add_node("n1", vec![inputs[0], inputs[1]], cover(2, &["11"]))
             .unwrap();
-        let n2 = net.add_node("n2", vec![n1, inputs[2]], cover(2, &["11"])).unwrap();
-        let n3 = net.add_node("n3", vec![n2, inputs[3]], cover(2, &["11"])).unwrap();
-        let out = net.add_node("out", vec![n3, inputs[4]], cover(2, &["11"])).unwrap();
+        let n2 = net
+            .add_node("n2", vec![n1, inputs[2]], cover(2, &["11"]))
+            .unwrap();
+        let n3 = net
+            .add_node("n3", vec![n2, inputs[3]], cover(2, &["11"]))
+            .unwrap();
+        let out = net
+            .add_node("out", vec![n3, inputs[4]], cover(2, &["11"]))
+            .unwrap();
         net.add_output(out);
         net
     }

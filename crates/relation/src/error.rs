@@ -35,16 +35,24 @@ impl fmt::Display for RelationError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             RelationError::NotWellDefined => {
-                write!(f, "relation is not well defined (an input vertex has no image)")
+                write!(
+                    f,
+                    "relation is not well defined (an input vertex has no image)"
+                )
             }
             RelationError::DimensionMismatch { expected, found } => {
                 write!(f, "expected a vector of length {expected}, found {found}")
             }
-            RelationError::SpaceMismatch => write!(f, "objects belong to different relation spaces"),
+            RelationError::SpaceMismatch => {
+                write!(f, "objects belong to different relation spaces")
+            }
             RelationError::Parse(msg) => write!(f, "parse error: {msg}"),
             RelationError::Inconsistent => write!(f, "boolean system is inconsistent"),
             RelationError::TooLarge { vars, limit } => {
-                write!(f, "operation requires enumerating {vars} variables, limit is {limit}")
+                write!(
+                    f,
+                    "operation requires enumerating {vars} variables, limit is {limit}"
+                )
             }
         }
     }

@@ -91,7 +91,9 @@ impl Isf {
                 found: input.len(),
             });
         }
-        let asg = self.space.full_assignment(input, &vec![false; self.space.num_outputs()]);
+        let asg = self
+            .space
+            .full_assignment(input, &vec![false; self.space.num_outputs()]);
         let in_on = self.on.eval(&asg);
         let in_dc = self.dc.eval(&asg);
         // (may be 0, may be 1)

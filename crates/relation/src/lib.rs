@@ -43,5 +43,5 @@ pub use error::RelationError;
 pub use function::MultiOutputFunction;
 pub use isf::Isf;
 pub use misf::Misf;
-pub use relation::BooleanRelation;
+pub use relation::{BooleanRelation, RelationRow};
 pub use space::RelationSpace;

@@ -137,11 +137,8 @@ mod tests {
         let good = misf.onset_implementation().unwrap();
         assert!(misf.admits(&good));
         // An implementation violating output 0 at vertex 10 (must be 0).
-        let bad = MultiOutputFunction::new(
-            &space,
-            vec![space.mgr().one(), good.output(1).clone()],
-        )
-        .unwrap();
+        let bad = MultiOutputFunction::new(&space, vec![space.mgr().one(), good.output(1).clone()])
+            .unwrap();
         assert!(!misf.admits(&bad));
     }
 

@@ -10,6 +10,10 @@ use crate::isf::Isf;
 use crate::misf::Misf;
 use crate::space::RelationSpace;
 
+/// One tabular row of a relation: an input vertex and the set of output
+/// vertices it is related to.
+pub type RelationRow = (Vec<bool>, Vec<Vec<bool>>);
+
 /// A Boolean relation `R ⊆ 𝔹ⁿ × 𝔹ᵐ` stored as its characteristic function
 /// `χR : 𝔹ⁿ⁺ᵐ → 𝔹` (Definitions 4.6 and 6.1 of the paper).
 #[derive(Debug, Clone)]
@@ -415,7 +419,7 @@ impl BooleanRelation {
     ///
     /// Returns [`RelationError::TooLarge`] if the space cannot be
     /// enumerated exhaustively.
-    pub fn rows(&self) -> Result<Vec<(Vec<bool>, Vec<Vec<bool>>)>, RelationError> {
+    pub fn rows(&self) -> Result<Vec<RelationRow>, RelationError> {
         if self.space.num_inputs() > 16 || self.space.num_outputs() > 16 {
             return Err(RelationError::TooLarge {
                 vars: self.space.num_inputs().max(self.space.num_outputs()),
@@ -501,10 +505,7 @@ mod tests {
         assert!(r.undefined_inputs().is_zero());
         // Removing all outputs of vertex 00 breaks left-totality.
         let x00 = space.input_minterm(&bits("00")).unwrap();
-        let broken = BooleanRelation::from_characteristic(
-            &space,
-            r.characteristic().diff(&x00),
-        );
+        let broken = BooleanRelation::from_characteristic(&space, r.characteristic().diff(&x00));
         assert!(!broken.is_well_defined());
         assert!(!broken.undefined_inputs().is_zero());
         assert!(!broken.is_function());
@@ -530,13 +531,13 @@ mod tests {
         let space = RelationSpace::new(2, 2);
         let r = fig1(&space);
         let p0 = r.projection(0); // output y1 in the paper
-        // y1: 00 -> 0, 01 -> 0, 10 -> {0,1}, 11 -> 1
+                                  // y1: 00 -> 0, 01 -> 0, 10 -> {0,1}, 11 -> 1
         assert_eq!(p0.values_at(&bits("00")).unwrap(), (true, false));
         assert_eq!(p0.values_at(&bits("01")).unwrap(), (true, false));
         assert_eq!(p0.values_at(&bits("10")).unwrap(), (true, true));
         assert_eq!(p0.values_at(&bits("11")).unwrap(), (false, true));
         let p1 = r.projection(1); // output y2
-        // y2: 00 -> 0, 01 -> 0, 10 -> {0,1}, 11 -> {0,1}
+                                  // y2: 00 -> 0, 01 -> 0, 10 -> {0,1}, 11 -> {0,1}
         assert_eq!(p1.values_at(&bits("10")).unwrap(), (true, true));
         assert_eq!(p1.values_at(&bits("11")).unwrap(), (true, true));
     }
@@ -565,8 +566,7 @@ mod tests {
         let a = space.input(0);
         let b = space.input(1);
         // Fig. 1b: y1 = a·b, y2 = 0  — compatible.
-        let good =
-            MultiOutputFunction::new(&space, vec![a.and(&b), space.mgr().zero()]).unwrap();
+        let good = MultiOutputFunction::new(&space, vec![a.and(&b), space.mgr().zero()]).unwrap();
         assert!(r.is_compatible(&good));
         assert!(r.incompatibility(&good).is_zero());
         // Example 5.4: y1 = a, y2 = 0  maps 10 → 10 which is not in R(10).

@@ -44,7 +44,9 @@ impl RelationSpace {
     pub fn new(num_inputs: usize, num_outputs: usize) -> Self {
         let mgr = BddMgr::new(num_inputs + num_outputs);
         let inputs: Vec<Var> = (0..num_inputs).map(Var::from).collect();
-        let outputs: Vec<Var> = (num_inputs..num_inputs + num_outputs).map(Var::from).collect();
+        let outputs: Vec<Var> = (num_inputs..num_inputs + num_outputs)
+            .map(Var::from)
+            .collect();
         let input_names: Vec<String> = (0..num_inputs).map(|i| format!("x{i}")).collect();
         let output_names: Vec<String> = (0..num_outputs).map(|i| format!("y{i}")).collect();
         for (v, n) in inputs.iter().zip(&input_names) {
@@ -81,7 +83,9 @@ impl RelationSpace {
             input_names: input_names.iter().map(|s| s.to_string()).collect(),
             output_names: output_names.iter().map(|s| s.to_string()).collect(),
         };
-        RelationSpace { inner: Rc::new(inner) }
+        RelationSpace {
+            inner: Rc::new(inner),
+        }
     }
 
     /// Returns `true` if both handles denote the same space.

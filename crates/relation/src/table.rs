@@ -50,9 +50,9 @@ impl BooleanRelation {
             if line.is_empty() {
                 continue;
             }
-            let (lhs, rhs) = line.split_once(':').ok_or_else(|| {
-                RelationError::Parse(format!("line `{line}` is missing `:`"))
-            })?;
+            let (lhs, rhs) = line
+                .split_once(':')
+                .ok_or_else(|| RelationError::Parse(format!("line `{line}` is missing `:`")))?;
             let input = parse_vertex(lhs, space.num_inputs(), "input")?;
             let rhs = rhs.trim().trim_start_matches('{').trim_end_matches('}');
             if rhs.trim().is_empty() {

@@ -71,7 +71,11 @@ impl Cover {
                 for &(v, positive) in c.literals() {
                     cube.set(
                         pos_of(v),
-                        if positive { CubeValue::One } else { CubeValue::Zero },
+                        if positive {
+                            CubeValue::One
+                        } else {
+                            CubeValue::Zero
+                        },
                     );
                 }
                 cube
@@ -303,7 +307,13 @@ mod tests {
     #[test]
     fn width_mismatch_is_rejected() {
         let err = Cover::from_cubes(3, vec![Cube::parse("10").unwrap()]).unwrap_err();
-        assert!(matches!(err, SopError::WidthMismatch { expected: 3, found: 2 }));
+        assert!(matches!(
+            err,
+            SopError::WidthMismatch {
+                expected: 3,
+                found: 2
+            }
+        ));
         let mut c = Cover::empty(2);
         assert!(c.push(Cube::parse("111").unwrap()).is_err());
     }

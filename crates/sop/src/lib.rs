@@ -60,7 +60,10 @@ impl std::fmt::Display for SopError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             SopError::WidthMismatch { expected, found } => {
-                write!(f, "cube width {found} does not match cover width {expected}")
+                write!(
+                    f,
+                    "cube width {found} does not match cover width {expected}"
+                )
             }
             SopError::Parse(msg) => write!(f, "parse error: {msg}"),
         }

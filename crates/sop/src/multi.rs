@@ -146,11 +146,8 @@ mod tests {
 
     #[test]
     fn counts_share_identical_cubes() {
-        let mc = MultiCover::from_outputs(vec![
-            cover(2, &["1-", "01"]),
-            cover(2, &["1-"]),
-        ])
-        .unwrap();
+        let mc =
+            MultiCover::from_outputs(vec![cover(2, &["1-", "01"]), cover(2, &["1-"])]).unwrap();
         assert_eq!(mc.num_inputs(), 2);
         assert_eq!(mc.num_outputs(), 2);
         // "1-" is shared between the outputs, so only two distinct cubes.
@@ -175,7 +172,8 @@ mod tests {
     #[test]
     fn to_bdds_match_eval() {
         let mgr = BddMgr::new(2);
-        let mc = MultiCover::from_outputs(vec![cover(2, &["11"]), cover(2, &["0-", "-0"])]).unwrap();
+        let mc =
+            MultiCover::from_outputs(vec![cover(2, &["11"]), cover(2, &["0-", "-0"])]).unwrap();
         let bdds = mc.to_bdds(&mgr);
         for bits in 0..4u32 {
             let asg: Vec<bool> = (0..2).map(|i| bits & (1 << i) != 0).collect();

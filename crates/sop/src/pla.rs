@@ -89,10 +89,10 @@ impl PlaFile {
             rows.push((cube, output_part.chars().collect()));
         }
 
-        let num_inputs = num_inputs
-            .ok_or_else(|| SopError::Parse("missing .i directive".to_string()))?;
-        let num_outputs = num_outputs
-            .ok_or_else(|| SopError::Parse("missing .o directive".to_string()))?;
+        let num_inputs =
+            num_inputs.ok_or_else(|| SopError::Parse("missing .i directive".to_string()))?;
+        let num_outputs =
+            num_outputs.ok_or_else(|| SopError::Parse("missing .o directive".to_string()))?;
 
         let mut on_outputs = vec![Cover::empty(num_inputs); num_outputs];
         let mut dc_outputs = vec![Cover::empty(num_inputs); num_outputs];

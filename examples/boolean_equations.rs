@@ -24,7 +24,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut system = BooleanSystem::new(&space);
     // x + b·ȳ·z̄ + b·z = a
     system.push(Equation::equal(
-        x.or(&b.and(&y.complement()).and(&z.complement())).or(&b.and(&z)),
+        x.or(&b.and(&y.complement()).and(&z.complement()))
+            .or(&b.and(&z)),
         a.clone(),
     ));
     // x·y + x·z + y·z = 0
@@ -38,7 +39,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     print!("{}", system.to_relation());
 
     let solution = system.solve(BrelConfig::exact())?;
-    println!("\nparticular solution found by BREL (cost {}):", solution.cost);
+    println!(
+        "\nparticular solution found by BREL (cost {}):",
+        solution.cost
+    );
     for (i, f) in solution.function.outputs().iter().enumerate() {
         let cover = brel_sop::Cover::from_isop(&f.isop(), space.input_vars());
         let text = if cover.is_empty() {
@@ -53,7 +57,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 .collect::<Vec<_>>()
                 .join(" + ")
         };
-        println!("  {}(a, b) = {}   (cubes over a b)", space.output_name(i), text);
+        println!(
+            "  {}(a, b) = {}   (cubes over a b)",
+            space.output_name(i),
+            text
+        );
     }
     assert!(system.is_solution(&solution.function));
 

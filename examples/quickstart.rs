@@ -13,10 +13,8 @@ use brel_relation::{BooleanRelation, RelationSpace};
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The relation of Fig. 1a, written in the paper's tabular notation.
     let space = RelationSpace::with_names(&["x1", "x2"], &["y1", "y2"]);
-    let relation = BooleanRelation::from_table(
-        &space,
-        "00 : {00}\n01 : {00}\n10 : {00, 11}\n11 : {10, 11}",
-    )?;
+    let relation =
+        BooleanRelation::from_table(&space, "00 : {00}\n01 : {00}\n10 : {00, 11}\n11 : {10, 11}")?;
 
     println!("Boolean relation R:");
     print!("{relation}");

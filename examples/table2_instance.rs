@@ -11,9 +11,16 @@ use brel_core::{BrelConfig, BrelSolver};
 use brel_gyocro::GyocroSolver;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let name = std::env::args().nth(1).unwrap_or_else(|| "int1".to_string());
-    let instance = table2::instance(&name)
-        .ok_or_else(|| format!("unknown instance `{name}`; try int1..int10, b9, vtx, gr, she1"))?;
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "int1".to_string());
+    let instance = table2::instance(&name).ok_or_else(|| {
+        let known: Vec<&str> = table2::instances().iter().map(|i| i.name).collect();
+        format!(
+            "unknown instance `{name}`; try one of: {}",
+            known.join(", ")
+        )
+    })?;
     let (_space, relation) = table2::generate(&instance);
     println!(
         "instance {}: {} inputs, {} outputs, {} pairs",

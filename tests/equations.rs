@@ -12,7 +12,8 @@ fn example81_system(space: &RelationSpace) -> BooleanSystem {
     let z = space.output(2);
     let mut system = BooleanSystem::new(space);
     system.push(Equation::equal(
-        x.or(&b.and(&y.complement()).and(&z.complement())).or(&b.and(&z)),
+        x.or(&b.and(&y.complement()).and(&z.complement()))
+            .or(&b.and(&z)),
         a.clone(),
     ));
     system.push(Equation::equal(
@@ -49,7 +50,10 @@ fn example_83_particular_solution_via_brel() {
         for (i, f) in solution.function.outputs().iter().enumerate() {
             t = t.compose(space.output_var(i), f);
         }
-        assert!(t.is_one(), "equation not satisfied by the returned solution");
+        assert!(
+            t.is_one(),
+            "equation not satisfied by the returned solution"
+        );
     }
 }
 

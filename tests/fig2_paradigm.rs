@@ -24,7 +24,11 @@ fn step_b_and_c_minimization_may_conflict_only_at_vertex_10() {
     let (space, r) = figures::fig1();
     let misf = r.to_misf();
     let minimizer = IsfMinimizer::default();
-    let outputs: Vec<_> = misf.outputs().iter().map(|isf| minimizer.minimize(isf)).collect();
+    let outputs: Vec<_> = misf
+        .outputs()
+        .iter()
+        .map(|isf| minimizer.minimize(isf))
+        .collect();
     let candidate = MultiOutputFunction::new(&space, outputs).unwrap();
     // The candidate implements the MISF…
     assert!(misf.admits(&candidate));

@@ -11,7 +11,11 @@ fn first_misf_minimization_conflicts_then_split_resolves() {
     // First recursion: minimize the MISF projections.
     let misf = r.to_misf();
     let minimizer = IsfMinimizer::default();
-    let outputs: Vec<_> = misf.outputs().iter().map(|i| minimizer.minimize(i)).collect();
+    let outputs: Vec<_> = misf
+        .outputs()
+        .iter()
+        .map(|i| minimizer.minimize(i))
+        .collect();
     let candidate = MultiOutputFunction::new(&space, outputs).unwrap();
     assert!(
         !r.is_compatible(&candidate),
@@ -42,5 +46,9 @@ fn exact_solution_is_no_worse_than_the_paper_style_answer() {
     // solution whose sum of BDD sizes is at most 1 + 2 = 3.
     let (_space, r) = figures::fig7();
     let solution = BrelSolver::new(BrelConfig::exact()).solve(&r).unwrap();
-    assert!(solution.cost <= 3, "cost {} exceeds the paper's solution", solution.cost);
+    assert!(
+        solution.cost <= 3,
+        "cost {} exceeds the paper's solution",
+        solution.cost
+    );
 }

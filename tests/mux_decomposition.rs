@@ -28,10 +28,12 @@ fn fig11_multiplexor_decomposition_matches_the_paper() {
     // Where f = 0 the mux output must be 0: e.g. vertex 010 (x1=0,x2=1,x3=0).
     // The permissible mux inputs there are exactly {A·C̄ + B·C = 0}.
     let image = relation.image(&[false, true, false]).unwrap();
-    assert!(image
-        .iter()
-        .all(|y| !((y[0] && !y[2]) || (y[1] && y[2]))));
-    assert_eq!(image.len(), 4, "exactly {{000, 010, 001, 101}} keep the mux at 0");
+    assert!(image.iter().all(|y| !((y[0] && !y[2]) || (y[1] && y[2]))));
+    assert_eq!(
+        image.len(),
+        4,
+        "exactly {{000, 010, 001, 101}} keep the mux at 0"
+    );
 
     // One of the paper's decompositions (Fig. 11) picks C = x1, A = x̄2·x̄3,
     // B = x2 + x3; check that it is admitted by the relation.
@@ -47,7 +49,8 @@ fn fig11_multiplexor_decomposition_matches_the_paper() {
     assert!(relation.is_compatible(&manual));
 
     // And BREL finds some valid decomposition automatically.
-    let solved = decompose_function(&space, &f, mux_gate, BrelConfig::decomposition(false)).unwrap();
+    let solved =
+        decompose_function(&space, &f, mux_gate, BrelConfig::decomposition(false)).unwrap();
     assert!(verify_decomposition(&space, &f, &solved));
 }
 

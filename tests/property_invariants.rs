@@ -3,7 +3,9 @@
 
 use proptest::prelude::*;
 
-use brel_core::{BrelConfig, BrelSolver, CostFn, CostFunction, IsfMinimizer, MinimizerKind, QuickSolver};
+use brel_core::{
+    BrelConfig, BrelSolver, CostFn, CostFunction, IsfMinimizer, MinimizerKind, QuickSolver,
+};
 use brel_relation::{BooleanRelation, MultiOutputFunction};
 use brel_suite::benchdata::random_well_defined_relation;
 

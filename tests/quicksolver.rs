@@ -5,7 +5,12 @@ use brel_core::{CostFn, CostFunction, QuickSolver};
 
 #[test]
 fn quick_solution_is_always_compatible() {
-    for (_space, r) in [figures::fig1(), figures::fig5(), figures::fig7(), figures::fig8()] {
+    for (_space, r) in [
+        figures::fig1(),
+        figures::fig5(),
+        figures::fig7(),
+        figures::fig8(),
+    ] {
         let f = QuickSolver::new().solve(&r).unwrap();
         assert!(r.is_compatible(&f));
     }

@@ -1,0 +1,48 @@
+//! Smoke test that the `brel_suite` umbrella re-exports resolve for every
+//! member crate, so wiring regressions surface here instead of in
+//! downstream examples.
+
+#[test]
+fn bdd_reexport_resolves() {
+    let mgr = brel_suite::bdd::BddMgr::new(2);
+    let f = mgr.var(0).and(&mgr.var(1));
+    assert!(f.eval(&[true, true]));
+}
+
+#[test]
+fn sop_reexport_resolves() {
+    let cube = brel_suite::sop::Cube::parse("1-0").unwrap();
+    assert_eq!(cube.num_literals(), 2);
+}
+
+#[test]
+fn relation_reexport_resolves() {
+    let space = brel_suite::relation::RelationSpace::new(1, 1);
+    let rel = brel_suite::relation::BooleanRelation::full(&space);
+    assert!(rel.is_well_defined());
+}
+
+#[test]
+fn core_reexport_resolves() {
+    let config = brel_suite::brel::BrelConfig::default();
+    let _solver = brel_suite::brel::BrelSolver::new(config);
+}
+
+#[test]
+fn network_reexport_resolves() {
+    let mut net = brel_suite::network::Network::new("smoke");
+    let a = net.add_input("a").unwrap();
+    net.add_output(a);
+    assert_eq!(net.primary_inputs().len(), 1);
+}
+
+#[test]
+fn gyocro_reexport_resolves() {
+    let _solver = brel_suite::gyocro::GyocroSolver::default();
+}
+
+#[test]
+fn benchdata_reexport_resolves() {
+    let (_space, rel) = brel_suite::benchdata::random_well_defined_relation(2, 1, 0.0, 1);
+    assert!(rel.is_well_defined());
+}

@@ -29,7 +29,10 @@ fn symmetry_pruning_preserves_quality_and_never_explores_more() {
         let with = BrelSolver::new(BrelConfig::exact().with_symmetry(true))
             .solve(&r)
             .unwrap();
-        assert_eq!(without.cost, with.cost, "symmetry pruning must not change the best cost");
+        assert_eq!(
+            without.cost, with.cost,
+            "symmetry pruning must not change the best cost"
+        );
         assert!(with.stats.explored <= without.stats.explored);
         assert!(r.is_compatible(&with.function));
     }

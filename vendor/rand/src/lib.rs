@@ -1,0 +1,145 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no crates.io access, so this vendored stub
+//! provides the small slice of the `rand 0.8` API the workspace uses:
+//! [`rngs::StdRng`], [`SeedableRng::seed_from_u64`], [`Rng::gen_range`] over
+//! integer ranges and [`Rng::gen_bool`]. The generator is SplitMix64 — not
+//! the real `StdRng` (ChaCha12) — but every consumer in this workspace only
+//! requires determinism for a given seed, which SplitMix64 provides.
+//!
+//! See `vendor/README.md` for the policy on replacing these stubs with the
+//! real crates once registry access is available.
+
+#![warn(missing_docs)]
+
+use core::ops::{Range, RangeInclusive};
+
+/// Minimal core RNG interface: a source of uniformly distributed `u64`s.
+pub trait RngCore {
+    /// Returns the next 64 uniformly distributed random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Types that can be sampled uniformly from a range, mirroring
+/// `rand::distributions::uniform::SampleRange`.
+pub trait SampleRange<T> {
+    /// Samples a value from the range using `rng`.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! impl_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let offset = (rng.next_u64() as u128) % span;
+                (self.start as i128 + offset as i128) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "cannot sample empty range");
+                let span = (end as i128 - start as i128) as u128 + 1;
+                let offset = (rng.next_u64() as u128) % span;
+                (start as i128 + offset as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_range!(usize, u8, u16, u32, u64, i8, i16, i32, i64);
+
+/// User-facing random-value methods, mirroring `rand::Rng`.
+pub trait Rng: RngCore {
+    /// Samples a value uniformly from `range`.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "p={p} is not a probability");
+        // 53 random bits give a uniform double in [0, 1).
+        let unit = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        unit < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Seedable construction, mirroring `rand::SeedableRng` (the `seed_from_u64`
+/// subset).
+pub trait SeedableRng: Sized {
+    /// Builds the generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Concrete RNG types.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic stand-in for `rand::rngs::StdRng` (SplitMix64).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            // SplitMix64 (Steele, Lea, Flood 2014): full-period, passes
+            // BigCrush on its own; more than adequate for workload synthesis.
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng { state: seed }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_for_a_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0usize..1000), b.gen_range(0usize..1000));
+        }
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let x = rng.gen_range(3usize..=9);
+            assert!((3..=9).contains(&x));
+            let y = rng.gen_range(-5i32..5);
+            assert!((-5..5).contains(&y));
+        }
+    }
+
+    #[test]
+    fn gen_bool_respects_probability_extremes() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(!(0..100).any(|_| rng.gen_bool(0.0)));
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
+        let heads = (0..10_000).filter(|_| rng.gen_bool(0.5)).count();
+        assert!((4_000..6_000).contains(&heads), "heads={heads}");
+    }
+}
