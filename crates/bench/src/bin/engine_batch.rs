@@ -1,0 +1,112 @@
+//! Streams the Table-2 family plus seeded random relations through the
+//! `brel-engine` portfolio worker pool and prints a summary.
+//!
+//! Usage: `cargo run --release -p brel-bench --bin engine_batch -- [flags]`
+//!
+//! Flags:
+//!
+//! * `--smoke`      small corpus on 2 workers; re-runs the batch on 1
+//!   worker and fails (exit 1) if the deterministic output differs
+//! * `--workers N`  worker-thread count (default: available parallelism)
+//! * `--instances N` number of Table-2 instances (default: all)
+//! * `--random N`   number of seeded random relations (default: 8)
+//! * `--json`       emit the batch as JSON instead of the human table
+//! * `--csv`        emit the batch as CSV instead of the human table
+//! * `--timing`     include wall-clock fields in `--json`/`--csv` output
+//!   (timing makes the output run-dependent, so it is off by default)
+
+use std::process::ExitCode;
+
+use brel_bench::engine_batch::{corpus, render, run, CorpusOptions};
+use brel_engine::EngineConfig;
+
+fn main() -> ExitCode {
+    let mut options = CorpusOptions::full();
+    let mut workers: Option<usize> = None;
+    let mut smoke = false;
+    let mut json = false;
+    let mut csv = false;
+    let mut timing = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--smoke" => {
+                smoke = true;
+                options = CorpusOptions::smoke();
+            }
+            "--workers" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) => workers = Some(n),
+                None => return usage("--workers needs a number"),
+            },
+            "--instances" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) => options.table2_instances = n,
+                None => return usage("--instances needs a number"),
+            },
+            "--random" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) => options.random_relations = n,
+                None => return usage("--random needs a number"),
+            },
+            "--json" => json = true,
+            "--csv" => csv = true,
+            "--timing" => timing = true,
+            other => return usage(&format!("unknown flag `{other}`")),
+        }
+    }
+
+    let jobs = corpus(&options);
+    // Smoke pins 2 workers (the determinism gate re-runs on 1); otherwise
+    // default to the machine's parallelism.
+    let num_workers = workers.unwrap_or(if smoke {
+        2
+    } else {
+        EngineConfig::default().num_workers
+    });
+    let report = run(&jobs, num_workers);
+
+    if json {
+        print!("{}", report.to_json(timing));
+    } else if csv {
+        print!("{}", report.to_csv(timing));
+    } else {
+        print!("{}", render(&report));
+    }
+
+    if report.num_solved() != report.jobs.len() {
+        eprintln!(
+            "engine_batch: {} of {} jobs failed to solve",
+            report.jobs.len() - report.num_solved(),
+            report.jobs.len()
+        );
+        return ExitCode::FAILURE;
+    }
+
+    if smoke {
+        // The determinism gate: the same corpus on one worker must produce
+        // byte-identical timing-free output.
+        let single = run(&jobs, 1);
+        if single.to_json(false) != report.to_json(false)
+            || single.to_csv(false) != report.to_csv(false)
+        {
+            eprintln!(
+                "engine_batch: output differs between 1 and {} workers",
+                report.num_workers
+            );
+            return ExitCode::FAILURE;
+        }
+        eprintln!(
+            "engine_batch: smoke OK ({} jobs, {} workers, deterministic vs 1 worker)",
+            report.jobs.len(),
+            report.num_workers
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+fn usage(error: &str) -> ExitCode {
+    eprintln!("engine_batch: {error}");
+    eprintln!(
+        "usage: engine_batch [--smoke] [--workers N] [--instances N] [--random N] [--json|--csv] [--timing]"
+    );
+    ExitCode::FAILURE
+}

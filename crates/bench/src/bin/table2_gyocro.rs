@@ -1,12 +1,27 @@
 //! Prints the reproduction of Table 2 (BREL vs gyocro).
 //!
-//! Usage: `cargo run --release -p brel-bench --bin table2_gyocro [num_instances]`
+//! Usage: `cargo run --release -p brel-bench --bin table2_gyocro [num_instances] [--json]`
+//!
+//! With `--json` the rows are emitted through the shared `brel-engine`
+//! serializer (redirect to a `BENCH_*.json` file to capture a perf
+//! trajectory).
 
-fn main() {
-    let num = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(usize::MAX);
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let (num, json) = match brel_bench::parse_table_args(std::env::args().skip(1)) {
+        Ok(parsed) => parsed,
+        Err(error) => {
+            eprintln!("table2_gyocro: {error}");
+            eprintln!("usage: table2_gyocro [num_instances] [--json]");
+            return ExitCode::FAILURE;
+        }
+    };
     let rows = brel_bench::table2::run(num);
-    print!("{}", brel_bench::table2::render(&rows));
+    if json {
+        print!("{}", brel_bench::table2::to_json(&rows));
+    } else {
+        print!("{}", brel_bench::table2::render(&rows));
+    }
+    ExitCode::SUCCESS
 }

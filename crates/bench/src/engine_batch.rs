@@ -1,0 +1,177 @@
+//! The batch-engine experiment: streams the Table-2 relation family plus
+//! seeded `random_well_defined_relation` corpora through `brel-engine`'s
+//! portfolio mode and summarizes which backend wins each job.
+//!
+//! This is the throughput-layer counterpart of [`crate::table2`]: instead
+//! of comparing two solvers instance by instance on one thread, a mixed
+//! corpus is fanned out over a worker pool and every job races the full
+//! backend portfolio.
+
+use brel_benchdata::random_relation::random_well_defined_relation;
+use brel_benchdata::table2 as family;
+use brel_engine::{BatchReport, Engine, JobSpec, RelationSpec};
+
+/// Shape of the mixed corpus.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CorpusOptions {
+    /// How many instances of the Table-2 family to include (clamped to the
+    /// family size).
+    pub table2_instances: usize,
+    /// How many seeded random well-defined relations to include.
+    pub random_relations: usize,
+    /// Inputs of each random relation.
+    pub random_inputs: usize,
+    /// Outputs of each random relation.
+    pub random_outputs: usize,
+    /// Probability of extra related output vertices per input (the source
+    /// of non-functional flexibility).
+    pub extra_pair_prob: f64,
+}
+
+impl CorpusOptions {
+    /// The full corpus: every Table-2 instance plus eight random relations.
+    pub fn full() -> Self {
+        CorpusOptions {
+            table2_instances: usize::MAX,
+            random_relations: 8,
+            random_inputs: 5,
+            random_outputs: 3,
+            extra_pair_prob: 0.25,
+        }
+    }
+
+    /// The CI smoke corpus: small instances only, so the batch solves in
+    /// seconds even on one core.
+    pub fn smoke() -> Self {
+        CorpusOptions {
+            table2_instances: 4,
+            random_relations: 4,
+            random_inputs: 4,
+            random_outputs: 3,
+            extra_pair_prob: 0.2,
+        }
+    }
+}
+
+/// Builds the mixed portfolio corpus: Table-2 instances first (in family
+/// order), then the seeded random relations. Deterministic: the same
+/// options always produce the same job list.
+pub fn corpus(options: &CorpusOptions) -> Vec<JobSpec> {
+    let mut jobs = Vec::new();
+    for instance in family::instances()
+        .into_iter()
+        .take(options.table2_instances)
+    {
+        let (_space, relation) = family::generate(&instance);
+        let spec = RelationSpec::from_relation(&relation).expect("family spaces are enumerable");
+        jobs.push(JobSpec::portfolio(instance.name, spec));
+    }
+    for seed in 0..options.random_relations as u64 {
+        let (_space, relation) = random_well_defined_relation(
+            options.random_inputs,
+            options.random_outputs,
+            options.extra_pair_prob,
+            seed,
+        );
+        let spec = RelationSpec::from_relation(&relation).expect("random spaces are enumerable");
+        jobs.push(JobSpec::portfolio(format!("rand{seed}"), spec));
+    }
+    jobs
+}
+
+/// Runs a corpus through the engine with the given worker count.
+pub fn run(jobs: &[JobSpec], num_workers: usize) -> BatchReport {
+    Engine::with_workers(num_workers).solve_batch(jobs)
+}
+
+/// Renders the batch as a human-readable table: one line per job with every
+/// backend's cost and the selected winner.
+pub fn render(report: &BatchReport) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "Batch engine: {} jobs, {} solved, {} workers, {:.3}s\n",
+        report.jobs.len(),
+        report.num_solved(),
+        report.num_workers,
+        report.wall_micros as f64 / 1e6,
+    ));
+    out.push_str("name     PI PO | backend    cost cubes lits expl     cpu[s] | winner\n");
+    for job in &report.jobs {
+        if let Some(error) = &job.error {
+            out.push_str(&format!(
+                "{:8} {:2} {:2} | error: {error}\n",
+                job.name, job.num_inputs, job.num_outputs
+            ));
+            continue;
+        }
+        for (i, attempt) in job.attempts.iter().enumerate() {
+            let prefix = if i == 0 {
+                format!("{:8} {:2} {:2}", job.name, job.num_inputs, job.num_outputs)
+            } else {
+                " ".repeat(14)
+            };
+            out.push_str(&format!(
+                "{prefix} | {:8} {:6} {:5} {:4} {:4} {:10.4} | {}\n",
+                attempt.backend.name(),
+                attempt.cost,
+                attempt.cubes,
+                attempt.literals,
+                attempt.explored,
+                attempt.wall_micros as f64 / 1e6,
+                if job.winner == Some(i) {
+                    "<-- winner"
+                } else {
+                    ""
+                },
+            ));
+        }
+    }
+    for (kind, wins) in report.wins_by_backend() {
+        out.push_str(&format!("wins[{}] = {}\n", kind.name(), wins));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_corpus_mixes_family_and_random_jobs() {
+        let jobs = corpus(&CorpusOptions::smoke());
+        assert_eq!(jobs.len(), 8);
+        assert_eq!(jobs[0].name, "int1");
+        assert_eq!(jobs[4].name, "rand0");
+        assert!(jobs.iter().all(|j| j.backends.len() == 3));
+    }
+
+    #[test]
+    fn smoke_batch_solves_everything_and_is_worker_count_invariant() {
+        let jobs = corpus(&CorpusOptions {
+            table2_instances: 2,
+            random_relations: 2,
+            ..CorpusOptions::smoke()
+        });
+        let one = run(&jobs, 1);
+        let two = run(&jobs, 2);
+        assert_eq!(one.num_solved(), jobs.len());
+        assert_eq!(one.to_json(false), two.to_json(false));
+        assert_eq!(one.to_csv(false), two.to_csv(false));
+    }
+
+    #[test]
+    fn render_mentions_every_job_and_the_winner_tally() {
+        let jobs = corpus(&CorpusOptions {
+            table2_instances: 1,
+            random_relations: 1,
+            ..CorpusOptions::smoke()
+        });
+        let report = run(&jobs, 2);
+        let text = render(&report);
+        for job in &jobs {
+            assert!(text.contains(&job.name));
+        }
+        assert!(text.contains("<-- winner"));
+        assert!(text.contains("wins[brel]"));
+    }
+}

@@ -13,6 +13,11 @@
 //! | Table 2 (BREL vs gyocro) | [`table2`] | `table2_gyocro` |
 //! | Table 3 (mux-latch decomposition) | [`table3`] | `table3_decomposition` |
 //! | §7.7 symmetry experiment | [`symmetry_ablation`] | `symmetry_ablation` |
+//! | Parallel portfolio batch run | [`engine_batch`] | `engine_batch` |
+//!
+//! The table binaries accept `--json` to emit their rows through the shared
+//! `brel-engine` serializer (for `BENCH_*.json` perf trajectories); the
+//! `engine_batch` binary fans the corpora over a `brel-engine` worker pool.
 
 #![warn(missing_docs)]
 
@@ -21,6 +26,7 @@ use brel_network::{Network, SignalId};
 use brel_relation::MultiOutputFunction;
 use brel_sop::Cover;
 
+pub mod engine_batch;
 pub mod symmetry_ablation;
 pub mod table1;
 pub mod table2;
@@ -60,5 +66,47 @@ pub fn normalized(value: f64, reference: f64) -> f64 {
         1.0
     } else {
         value / reference
+    }
+}
+
+/// Parses the `[num_instances] [--json]` argument convention shared by the
+/// `table1_isf` and `table2_gyocro` binaries.
+///
+/// # Errors
+///
+/// Returns a message naming the first argument that is neither a count nor
+/// `--json`, so typos fail loudly instead of silently running the default
+/// configuration.
+pub fn parse_table_args<I: IntoIterator<Item = String>>(args: I) -> Result<(usize, bool), String> {
+    let mut num = usize::MAX;
+    let mut json = false;
+    for arg in args {
+        if arg == "--json" {
+            json = true;
+        } else if let Ok(n) = arg.parse() {
+            num = n;
+        } else {
+            return Err(format!(
+                "unknown argument `{arg}` (expected an instance count or --json)"
+            ));
+        }
+    }
+    Ok((num, json))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_args_accept_count_and_json_in_any_order() {
+        let to_args = |v: &[&str]| v.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        assert_eq!(parse_table_args(to_args(&[])), Ok((usize::MAX, false)));
+        assert_eq!(parse_table_args(to_args(&["3"])), Ok((3, false)));
+        assert_eq!(parse_table_args(to_args(&["--json", "2"])), Ok((2, true)));
+        assert_eq!(parse_table_args(to_args(&["2", "--json"])), Ok((2, true)));
+        assert!(parse_table_args(to_args(&["--jsonn"]))
+            .unwrap_err()
+            .contains("--jsonn"));
     }
 }

@@ -12,6 +12,7 @@ use std::time::{Duration, Instant};
 
 use brel_benchdata::table2 as family;
 use brel_core::{BrelConfig, BrelSolver, IsfMinimizer};
+use brel_engine::Json;
 
 /// One row of Table 1.
 #[derive(Debug, Clone)]
@@ -84,9 +85,45 @@ pub fn render(rows: &[Table1Row]) -> String {
     out
 }
 
+/// Serializes the rows through the shared `brel-engine` JSON writer (the
+/// `--json` output of the `table1_isf` binary, suitable for `BENCH_*.json`
+/// perf trajectories).
+pub fn to_json(rows: &[Table1Row]) -> String {
+    Json::object(vec![
+        ("schema", Json::str("brel-bench/table1-v1")),
+        (
+            "rows",
+            Json::Array(
+                rows.iter()
+                    .map(|r| {
+                        Json::object(vec![
+                            ("strategy", Json::str(r.strategy)),
+                            ("literals", Json::UInt(r.literals as u64)),
+                            ("cpu_micros", Json::UInt(r.cpu.as_micros() as u64)),
+                            ("lit_ratio", Json::Float(r.lit_ratio)),
+                            ("cpu_ratio", Json::Float(r.cpu_ratio)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+    .render_pretty()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn json_output_lists_every_strategy() {
+        let rows = run(1);
+        let text = to_json(&rows);
+        assert!(text.contains("\"schema\": \"brel-bench/table1-v1\""));
+        for r in &rows {
+            assert!(text.contains(&format!("\"strategy\": \"{}\"", r.strategy)));
+        }
+    }
 
     #[test]
     fn reference_strategy_is_normalized_to_one() {

@@ -10,6 +10,7 @@ use std::time::{Duration, Instant};
 
 use brel_benchdata::table2 as family;
 use brel_core::{BrelConfig, BrelSolver};
+use brel_engine::Json;
 use brel_gyocro::GyocroSolver;
 use brel_network::algebraic;
 use brel_network::mapper::{map, MappingOptions};
@@ -149,9 +150,62 @@ pub fn render(rows: &[Table2Row]) -> String {
     out
 }
 
+fn metrics_json(m: &SolverMetrics) -> Json {
+    Json::object(vec![
+        ("cubes", Json::UInt(m.cubes as u64)),
+        ("literals", Json::UInt(m.literals as u64)),
+        (
+            "algebraic_literals",
+            Json::UInt(m.algebraic_literals as u64),
+        ),
+        ("area", Json::Float(m.area)),
+        ("cpu_micros", Json::UInt(m.cpu.as_micros() as u64)),
+    ])
+}
+
+/// Serializes the rows through the shared `brel-engine` JSON writer (the
+/// `--json` output of the `table2_gyocro` binary, suitable for
+/// `BENCH_*.json` perf trajectories).
+pub fn to_json(rows: &[Table2Row]) -> String {
+    let (alg, area) = summary(rows);
+    Json::object(vec![
+        ("schema", Json::str("brel-bench/table2-v1")),
+        (
+            "rows",
+            Json::Array(
+                rows.iter()
+                    .map(|r| {
+                        Json::object(vec![
+                            ("name", Json::str(r.name)),
+                            ("inputs", Json::UInt(r.num_inputs as u64)),
+                            ("outputs", Json::UInt(r.num_outputs as u64)),
+                            ("gyocro", metrics_json(&r.gyocro)),
+                            ("brel", metrics_json(&r.brel)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        ("avg_alg_ratio", Json::Float(alg)),
+        ("avg_area_ratio", Json::Float(area)),
+    ])
+    .render_pretty()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn json_output_lists_every_instance() {
+        let rows = run(2);
+        let text = to_json(&rows);
+        assert!(text.contains("\"schema\": \"brel-bench/table2-v1\""));
+        for r in &rows {
+            assert!(text.contains(&format!("\"name\": \"{}\"", r.name)));
+        }
+        assert!(text.contains("\"avg_area_ratio\""));
+    }
 
     #[test]
     fn rows_carry_consistent_metrics() {

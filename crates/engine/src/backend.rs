@@ -1,0 +1,205 @@
+//! The uniform backend interface over the workspace's three solvers.
+
+use std::time::Instant;
+
+use brel_core::{BrelConfig, BrelSolver, CostFunction, QuickSolver};
+use brel_gyocro::{GyocroConfig, GyocroSolver};
+use brel_relation::{BooleanRelation, MultiOutputFunction, RelationError};
+
+use crate::job::{BackendKind, CostSpec, JobBudget};
+
+/// What a backend hands back before uniform scoring: the compatible
+/// multiple-output function it found and how much of the search space it
+/// visited to find it.
+#[derive(Debug, Clone)]
+pub struct BackendRun {
+    /// The compatible solution.
+    pub function: MultiOutputFunction,
+    /// Backend-specific exploration count (subrelations for BREL, passes
+    /// for gyocro, 1 for the quick solver).
+    pub explored: usize,
+}
+
+/// A uniform interface over Boolean-relation solvers, so the engine can
+/// race heterogeneous backends on the same job.
+pub trait SolverBackend {
+    /// Short stable name used in reports.
+    fn name(&self) -> &'static str;
+
+    /// Solves the relation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RelationError::NotWellDefined`] if the relation has no
+    /// compatible function.
+    fn run(&self, relation: &BooleanRelation) -> Result<BackendRun, RelationError>;
+}
+
+impl SolverBackend for QuickSolver {
+    fn name(&self) -> &'static str {
+        BackendKind::Quick.name()
+    }
+
+    fn run(&self, relation: &BooleanRelation) -> Result<BackendRun, RelationError> {
+        let function = QuickSolver::solve(self, relation)?;
+        Ok(BackendRun {
+            function,
+            explored: 1,
+        })
+    }
+}
+
+impl SolverBackend for GyocroSolver {
+    fn name(&self) -> &'static str {
+        BackendKind::Gyocro.name()
+    }
+
+    fn run(&self, relation: &BooleanRelation) -> Result<BackendRun, RelationError> {
+        let solution = GyocroSolver::solve(self, relation)?;
+        Ok(BackendRun {
+            function: solution.function,
+            explored: solution.passes,
+        })
+    }
+}
+
+impl SolverBackend for BrelSolver {
+    fn name(&self) -> &'static str {
+        BackendKind::Brel.name()
+    }
+
+    fn run(&self, relation: &BooleanRelation) -> Result<BackendRun, RelationError> {
+        let solution = BrelSolver::solve(self, relation)?;
+        Ok(BackendRun {
+            function: solution.function,
+            explored: solution.stats.explored,
+        })
+    }
+}
+
+/// Instantiates a backend configured with the job's cost and budget.
+pub fn instantiate(
+    kind: BackendKind,
+    cost: CostSpec,
+    budget: &JobBudget,
+) -> Box<dyn SolverBackend> {
+    match kind {
+        BackendKind::Quick => Box::new(QuickSolver::new()),
+        BackendKind::Gyocro => Box::new(GyocroSolver::new(GyocroConfig {
+            max_passes: budget.gyocro_max_passes,
+            ..GyocroConfig::default()
+        })),
+        BackendKind::Brel => Box::new(BrelSolver::new(BrelConfig {
+            cost: cost.to_cost_fn(),
+            max_explored: budget.max_explored,
+            fifo_capacity: budget.fifo_capacity,
+            ..BrelConfig::default()
+        })),
+    }
+}
+
+/// The uniform per-backend result: every field except the wall time is a
+/// pure function of the job spec, which is what makes batch output
+/// reproducible across worker counts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SolutionReport {
+    /// Which backend produced the solution.
+    pub backend: BackendKind,
+    /// Cost of the solution under the job's [`CostSpec`].
+    pub cost: u64,
+    /// Number of cubes of the ISOP covers of the outputs.
+    pub cubes: usize,
+    /// Number of literals of the ISOP covers of the outputs.
+    pub literals: usize,
+    /// Backend-specific exploration count.
+    pub explored: usize,
+    /// Wall-clock solve time in microseconds. Excluded from deterministic
+    /// serializations (see [`crate::report`]).
+    pub wall_micros: u64,
+}
+
+/// Runs one backend on one (already rehydrated) relation and scores the
+/// solution under the job's cost function.
+///
+/// # Errors
+///
+/// Returns [`RelationError::NotWellDefined`] if the relation has no
+/// compatible function.
+pub fn execute(
+    kind: BackendKind,
+    cost: CostSpec,
+    budget: &JobBudget,
+    relation: &BooleanRelation,
+) -> Result<SolutionReport, RelationError> {
+    let backend = instantiate(kind, cost, budget);
+    let start = Instant::now();
+    let run = backend.run(relation)?;
+    let wall = start.elapsed();
+    debug_assert!(relation.is_compatible(&run.function));
+    Ok(SolutionReport {
+        backend: kind,
+        cost: cost.to_cost_fn().cost(&run.function),
+        cubes: run.function.num_cubes(),
+        literals: run.function.num_literals(),
+        explored: run.explored,
+        wall_micros: u64::try_from(wall.as_micros()).unwrap_or(u64::MAX),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use brel_relation::RelationSpace;
+
+    fn fig10() -> (RelationSpace, BooleanRelation) {
+        let space = RelationSpace::with_names(&["a", "b"], &["x", "y"]);
+        let r = BooleanRelation::from_table(&space, "00:{00,11}\n01:{10}\n10:{01,10}\n11:{11}")
+            .unwrap();
+        (space, r)
+    }
+
+    #[test]
+    fn every_backend_produces_a_scored_report() {
+        let (_space, r) = fig10();
+        for kind in BackendKind::all() {
+            let report =
+                execute(kind, CostSpec::SumBddSize, &JobBudget::default(), &r).expect("solvable");
+            assert_eq!(report.backend, kind);
+            assert!(report.cost > 0);
+            assert!(report.literals >= report.cubes);
+            assert!(report.explored >= 1);
+        }
+    }
+
+    #[test]
+    fn brel_beats_quick_on_the_local_minimum_relation() {
+        // Section 9.1: BREL (unbounded here via a generous budget) escapes
+        // the quick solver's local minimum on the Fig. 10 relation.
+        let (_space, r) = fig10();
+        let budget = JobBudget {
+            max_explored: None,
+            fifo_capacity: None,
+            ..JobBudget::default()
+        };
+        let quick = execute(BackendKind::Quick, CostSpec::SumBddSize, &budget, &r).unwrap();
+        let brel = execute(BackendKind::Brel, CostSpec::SumBddSize, &budget, &r).unwrap();
+        assert!(brel.cost < quick.cost);
+    }
+
+    #[test]
+    fn ill_defined_relations_error_on_every_backend() {
+        let space = RelationSpace::new(1, 1);
+        let r = BooleanRelation::from_table(&space, "1 : {1}").unwrap();
+        for kind in BackendKind::all() {
+            assert!(execute(kind, CostSpec::default(), &JobBudget::default(), &r).is_err());
+        }
+    }
+
+    #[test]
+    fn trait_objects_report_their_names() {
+        for kind in BackendKind::all() {
+            let backend = instantiate(kind, CostSpec::default(), &JobBudget::default());
+            assert_eq!(backend.name(), kind.name());
+        }
+    }
+}

@@ -1,0 +1,306 @@
+//! Portable job descriptions.
+//!
+//! The BDD layer is `Rc`-based and therefore `!Send`: a [`brel_relation::BooleanRelation`]
+//! can never cross a thread boundary. The engine instead ships jobs as plain
+//! owned data — a [`RelationSpec`] (tabular rows) plus solver configuration —
+//! and every worker rehydrates the relation into a private BDD manager before
+//! solving. Rehydration is deterministic, so the same [`JobSpec`] produces
+//! the same solution on every worker and at every worker count.
+
+use brel_core::CostFn;
+use brel_relation::{BooleanRelation, RelationError, RelationRow, RelationSpace};
+
+/// Which solver implementation a job runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BackendKind {
+    /// The output-ordered quick solver (Fig. 4 of the paper).
+    Quick,
+    /// The gyocro-style reduce–expand–irredundant baseline.
+    Gyocro,
+    /// The BREL recursive branch-and-bound solver (Fig. 6).
+    Brel,
+}
+
+impl BackendKind {
+    /// Short stable name used in reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            BackendKind::Quick => "quick",
+            BackendKind::Gyocro => "gyocro",
+            BackendKind::Brel => "brel",
+        }
+    }
+
+    /// Every backend, in the deterministic portfolio order.
+    pub fn all() -> [BackendKind; 3] {
+        [BackendKind::Quick, BackendKind::Gyocro, BackendKind::Brel]
+    }
+}
+
+/// The cost function a job minimizes: the clonable, thread-portable subset
+/// of [`brel_core::CostFn`] (the `Custom` closure variant cannot cross
+/// threads and is deliberately not representable here).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CostSpec {
+    /// Sum of the BDD sizes of the outputs (area-oriented; the default).
+    #[default]
+    SumBddSize,
+    /// Sum of the squared BDD sizes (delay-oriented).
+    SumSquaredBddSize,
+    /// Shared BDD size of all outputs.
+    SharedBddSize,
+    /// Number of cubes of the ISOP covers.
+    CubeCount,
+    /// Number of literals of the ISOP covers.
+    LiteralCount,
+}
+
+impl CostSpec {
+    /// Short stable name used in reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            CostSpec::SumBddSize => "sum-bdd-size",
+            CostSpec::SumSquaredBddSize => "sum-squared-bdd-size",
+            CostSpec::SharedBddSize => "shared-bdd-size",
+            CostSpec::CubeCount => "cube-count",
+            CostSpec::LiteralCount => "literal-count",
+        }
+    }
+
+    /// Materializes the corresponding solver cost function.
+    pub fn to_cost_fn(self) -> CostFn {
+        match self {
+            CostSpec::SumBddSize => CostFn::SumBddSize,
+            CostSpec::SumSquaredBddSize => CostFn::SumSquaredBddSize,
+            CostSpec::SharedBddSize => CostFn::SharedBddSize,
+            CostSpec::CubeCount => CostFn::CubeCount,
+            CostSpec::LiteralCount => CostFn::LiteralCount,
+        }
+    }
+}
+
+/// An owned, manager-free description of a Boolean relation: the dimension
+/// of its space plus its tabular rows (see [`BooleanRelation::to_rows`]).
+/// This is the serialization boundary jobs ride across threads.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RelationSpec {
+    num_inputs: usize,
+    num_outputs: usize,
+    rows: Vec<RelationRow>,
+}
+
+impl RelationSpec {
+    /// Builds a spec from explicit rows, validating every vertex arity up
+    /// front so that [`RelationSpec::rehydrate`] cannot fail later on a
+    /// worker thread.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RelationError::DimensionMismatch`] if any vertex has the
+    /// wrong arity.
+    pub fn new(
+        num_inputs: usize,
+        num_outputs: usize,
+        rows: Vec<RelationRow>,
+    ) -> Result<Self, RelationError> {
+        for (input, outputs) in &rows {
+            if input.len() != num_inputs {
+                return Err(RelationError::DimensionMismatch {
+                    expected: num_inputs,
+                    found: input.len(),
+                });
+            }
+            for output in outputs {
+                if output.len() != num_outputs {
+                    return Err(RelationError::DimensionMismatch {
+                        expected: num_outputs,
+                        found: output.len(),
+                    });
+                }
+            }
+        }
+        Ok(RelationSpec {
+            num_inputs,
+            num_outputs,
+            rows,
+        })
+    }
+
+    /// Exports a live relation into a portable spec.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RelationError::TooLarge`] if the relation's space cannot be
+    /// enumerated exhaustively.
+    pub fn from_relation(relation: &BooleanRelation) -> Result<Self, RelationError> {
+        Ok(RelationSpec {
+            num_inputs: relation.space().num_inputs(),
+            num_outputs: relation.space().num_outputs(),
+            rows: relation.to_rows()?,
+        })
+    }
+
+    /// Rebuilds the relation inside a fresh, private BDD manager. Called by
+    /// each worker; the result never leaves the worker's thread.
+    pub fn rehydrate(&self) -> (RelationSpace, BooleanRelation) {
+        let space = RelationSpace::new(self.num_inputs, self.num_outputs);
+        let relation = BooleanRelation::from_rows(&space, &self.rows)
+            .expect("arities were validated at construction");
+        (space, relation)
+    }
+
+    /// Number of input variables.
+    pub fn num_inputs(&self) -> usize {
+        self.num_inputs
+    }
+
+    /// Number of output variables.
+    pub fn num_outputs(&self) -> usize {
+        self.num_outputs
+    }
+
+    /// The tabular rows.
+    pub fn rows(&self) -> &[RelationRow] {
+        &self.rows
+    }
+}
+
+/// Per-job exploration budget, mapped onto each backend's own knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JobBudget {
+    /// BREL: maximum number of subrelations explored (`None` = unbounded).
+    pub max_explored: Option<usize>,
+    /// BREL: capacity of the pending-subrelation FIFO (`None` = unbounded).
+    pub fifo_capacity: Option<usize>,
+    /// gyocro: maximum number of full reduce–expand–irredundant passes.
+    pub gyocro_max_passes: usize,
+}
+
+impl Default for JobBudget {
+    fn default() -> Self {
+        JobBudget {
+            max_explored: Some(10),
+            fifo_capacity: Some(64),
+            gyocro_max_passes: 10,
+        }
+    }
+}
+
+/// One unit of work: a relation, the backends to race on it, the cost
+/// function that scores them, and the exploration budget.
+#[derive(Debug, Clone)]
+pub struct JobSpec {
+    /// Human-readable job name (instance name in the benchmark corpora).
+    pub name: String,
+    /// The relation to solve.
+    pub relation: RelationSpec,
+    /// Backends to run on this job, in order. One backend is a plain solve;
+    /// several form a portfolio whose cheapest solution wins.
+    pub backends: Vec<BackendKind>,
+    /// The cost function used both inside BREL and to score/compare results.
+    pub cost: CostSpec,
+    /// The exploration budget.
+    pub budget: JobBudget,
+}
+
+impl JobSpec {
+    /// A job solved by a single backend.
+    pub fn single(name: impl Into<String>, relation: RelationSpec, backend: BackendKind) -> Self {
+        JobSpec {
+            name: name.into(),
+            relation,
+            backends: vec![backend],
+            cost: CostSpec::default(),
+            budget: JobBudget::default(),
+        }
+    }
+
+    /// A portfolio job racing every available backend.
+    pub fn portfolio(name: impl Into<String>, relation: RelationSpec) -> Self {
+        JobSpec {
+            name: name.into(),
+            relation,
+            backends: BackendKind::all().to_vec(),
+            cost: CostSpec::default(),
+            budget: JobBudget::default(),
+        }
+    }
+
+    /// Sets the cost function.
+    pub fn with_cost(mut self, cost: CostSpec) -> Self {
+        self.cost = cost;
+        self
+    }
+
+    /// Sets the exploration budget.
+    pub fn with_budget(mut self, budget: JobBudget) -> Self {
+        self.budget = budget;
+        self
+    }
+}
+
+// The whole point of the job layer: specs must be free to cross threads.
+const _: fn() = || {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<JobSpec>();
+    assert_send_sync::<RelationSpec>();
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fig1_spec() -> RelationSpec {
+        let space = RelationSpace::new(2, 2);
+        let r = BooleanRelation::from_table(&space, "00:{00}\n01:{00}\n10:{00,11}\n11:{10,11}")
+            .unwrap();
+        RelationSpec::from_relation(&r).unwrap()
+    }
+
+    #[test]
+    fn spec_round_trips_through_a_private_manager() {
+        let spec = fig1_spec();
+        assert_eq!(spec.num_inputs(), 2);
+        assert_eq!(spec.num_outputs(), 2);
+        let (_space, r) = spec.rehydrate();
+        assert!(r.is_well_defined());
+        assert_eq!(r.num_pairs(), 6);
+        assert_eq!(RelationSpec::from_relation(&r).unwrap(), spec);
+    }
+
+    #[test]
+    fn spec_validates_arities_up_front() {
+        assert!(RelationSpec::new(2, 2, vec![(vec![true], vec![])]).is_err());
+        assert!(RelationSpec::new(2, 2, vec![(vec![true, false], vec![vec![true]])]).is_err());
+        assert!(RelationSpec::new(2, 2, vec![(vec![true, false], vec![])]).is_ok());
+    }
+
+    #[test]
+    fn cost_spec_matches_core_cost_functions() {
+        use brel_core::CostFunction;
+        for cost in [
+            CostSpec::SumBddSize,
+            CostSpec::SumSquaredBddSize,
+            CostSpec::SharedBddSize,
+            CostSpec::CubeCount,
+            CostSpec::LiteralCount,
+        ] {
+            assert_eq!(cost.name(), cost.to_cost_fn().name());
+        }
+    }
+
+    #[test]
+    fn builders_compose() {
+        let job = JobSpec::portfolio("fig1", fig1_spec())
+            .with_cost(CostSpec::LiteralCount)
+            .with_budget(JobBudget {
+                max_explored: None,
+                ..JobBudget::default()
+            });
+        assert_eq!(job.backends.len(), 3);
+        assert_eq!(job.cost, CostSpec::LiteralCount);
+        assert_eq!(job.budget.max_explored, None);
+        let single = JobSpec::single("fig1", fig1_spec(), BackendKind::Brel);
+        assert_eq!(single.backends, vec![BackendKind::Brel]);
+    }
+}

@@ -1,0 +1,53 @@
+//! # brel-engine
+//!
+//! A parallel, deterministic batch-solving engine for Boolean relations:
+//! the throughput layer over the workspace's three solvers (the BREL
+//! branch-and-bound solver, the gyocro-style baseline, and the quick
+//! output-ordered solver).
+//!
+//! The BDD substrate is `Rc`-based and `!Send`, so nothing BDD-shaped ever
+//! crosses a thread. Instead:
+//!
+//! * a [`JobSpec`] carries an owned, manager-free [`RelationSpec`] (tabular
+//!   rows, see [`brel_relation::BooleanRelation::to_rows`]) plus a backend
+//!   list, a [`CostSpec`] and a [`JobBudget`];
+//! * each pool worker rehydrates the relation into a private BDD manager
+//!   and runs every requested backend through the uniform [`SolverBackend`]
+//!   trait — several backends form a *portfolio* whose cheapest solution
+//!   (under the job's cost function) is selected as the winner;
+//! * the [`Engine`] fans a batch of jobs over a worker pool and collects
+//!   [`JobReport`]s sorted by job id, so batch output is byte-identical
+//!   regardless of the worker count (see [`report`] for the JSON/CSV
+//!   serializations that pin this down).
+//!
+//! ```
+//! use brel_engine::{Engine, JobSpec, RelationSpec};
+//! use brel_relation::{BooleanRelation, RelationSpace};
+//!
+//! // Fig. 1a of the paper, shipped to a 2-worker pool as a portfolio job.
+//! let space = RelationSpace::new(2, 2);
+//! let r = BooleanRelation::from_table(
+//!     &space,
+//!     "00 : {00}\n01 : {00}\n10 : {00, 11}\n11 : {10, 11}",
+//! ).unwrap();
+//! let job = JobSpec::portfolio("fig1", RelationSpec::from_relation(&r).unwrap());
+//! let batch = Engine::with_workers(2).solve_batch(&[job]);
+//! assert_eq!(batch.num_solved(), 1);
+//! let winner = batch.jobs[0].winning().unwrap();
+//! assert!(winner.cost > 0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod backend;
+mod job;
+mod pool;
+mod portfolio;
+pub mod report;
+
+pub use backend::{execute, instantiate, BackendRun, SolutionReport, SolverBackend};
+pub use job::{BackendKind, CostSpec, JobBudget, JobSpec, RelationSpec};
+pub use pool::{BatchReport, Engine, EngineConfig};
+pub use portfolio::{run_job, JobReport};
+pub use report::Json;

@@ -1,0 +1,202 @@
+//! A std-only worker pool that solves batches of jobs in parallel.
+//!
+//! Workers share a single job queue behind a mutex (jobs are coarse enough
+//! that queue contention is negligible) and stream finished [`JobReport`]s
+//! back over an mpsc channel. Because each job is a pure function of its
+//! spec — every worker rehydrates the relation into a private BDD manager —
+//! the collected batch, sorted by job id, is byte-identical no matter how
+//! many workers ran it or how the scheduler interleaved them.
+
+use std::collections::VecDeque;
+use std::sync::mpsc;
+use std::sync::Mutex;
+use std::thread;
+use std::time::Instant;
+
+use crate::job::{BackendKind, JobSpec};
+use crate::portfolio::{run_job, JobReport};
+
+/// Engine configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineConfig {
+    /// Number of worker threads. Zero is treated as one.
+    pub num_workers: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            num_workers: thread::available_parallelism().map_or(1, |n| n.get()),
+        }
+    }
+}
+
+/// The result of one batch run.
+#[derive(Debug, Clone)]
+pub struct BatchReport {
+    /// One report per submitted job, sorted by job id.
+    pub jobs: Vec<JobReport>,
+    /// Number of workers that actually ran (after clamping).
+    pub num_workers: usize,
+    /// Wall-clock time of the whole batch in microseconds.
+    pub wall_micros: u64,
+}
+
+impl BatchReport {
+    /// Number of jobs whose portfolio produced at least one solution.
+    pub fn num_solved(&self) -> usize {
+        self.jobs.iter().filter(|j| j.winner.is_some()).count()
+    }
+
+    /// How many jobs each backend won, in the deterministic
+    /// [`BackendKind::all`] order. Backends that won nothing are included
+    /// with a zero count.
+    pub fn wins_by_backend(&self) -> Vec<(BackendKind, usize)> {
+        BackendKind::all()
+            .into_iter()
+            .map(|kind| {
+                let wins = self
+                    .jobs
+                    .iter()
+                    .filter(|j| j.winning().is_some_and(|w| w.backend == kind))
+                    .count();
+                (kind, wins)
+            })
+            .collect()
+    }
+}
+
+/// The parallel batch-solving engine.
+#[derive(Debug, Clone, Default)]
+pub struct Engine {
+    config: EngineConfig,
+}
+
+impl Engine {
+    /// Creates an engine with the given configuration.
+    pub fn new(config: EngineConfig) -> Self {
+        Engine { config }
+    }
+
+    /// Creates an engine with a fixed worker count.
+    pub fn with_workers(num_workers: usize) -> Self {
+        Engine::new(EngineConfig { num_workers })
+    }
+
+    /// The configuration of this engine.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Solves every job of the batch and returns the reports sorted by job
+    /// id. The output (modulo wall-clock fields) does not depend on the
+    /// worker count.
+    pub fn solve_batch(&self, jobs: &[JobSpec]) -> BatchReport {
+        let start = Instant::now();
+        // Never spin up more workers than jobs; never fewer than one.
+        let num_workers = self.config.num_workers.clamp(1, jobs.len().max(1));
+        let queue: Mutex<VecDeque<(usize, &JobSpec)>> =
+            Mutex::new(jobs.iter().enumerate().collect());
+        let (tx, rx) = mpsc::channel::<JobReport>();
+        let mut reports: Vec<JobReport> = thread::scope(|scope| {
+            for _ in 0..num_workers {
+                let tx = tx.clone();
+                let queue = &queue;
+                scope.spawn(move || loop {
+                    // Take the lock only to pop; the solve runs unlocked.
+                    let next = queue.lock().expect("job queue poisoned").pop_front();
+                    match next {
+                        Some((id, job)) => {
+                            // The receiver outlives the scope; a send can
+                            // only fail if the collector stopped early.
+                            let _ = tx.send(run_job(id, job));
+                        }
+                        None => break,
+                    }
+                });
+            }
+            // Drop the original sender so the channel closes once every
+            // worker finishes, then drain it from this thread.
+            drop(tx);
+            rx.iter().collect()
+        });
+        reports.sort_by_key(|r| r.job_id);
+        BatchReport {
+            jobs: reports,
+            num_workers,
+            wall_micros: u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::{CostSpec, RelationSpec};
+    use brel_relation::{BooleanRelation, RelationSpace};
+
+    fn job(name: &str, table: &str, inputs: usize, outputs: usize) -> JobSpec {
+        let space = RelationSpace::new(inputs, outputs);
+        let r = BooleanRelation::from_table(&space, table).unwrap();
+        JobSpec::portfolio(name, RelationSpec::from_relation(&r).unwrap())
+    }
+
+    fn sample_batch() -> Vec<JobSpec> {
+        vec![
+            job("fig1", "00:{00}\n01:{00}\n10:{00,11}\n11:{10,11}", 2, 2),
+            job("fig10", "00:{00,11}\n01:{10}\n10:{01,10}\n11:{11}", 2, 2),
+            job("broken", "1 : {1}", 1, 1),
+            job("fig5", "00:{01,10}\n01:{11}\n10:{11}\n11:{01,10}", 2, 2)
+                .with_cost(CostSpec::LiteralCount),
+        ]
+    }
+
+    #[test]
+    fn reports_come_back_in_job_id_order() {
+        let batch = sample_batch();
+        let report = Engine::with_workers(3).solve_batch(&batch);
+        assert_eq!(report.jobs.len(), batch.len());
+        for (i, j) in report.jobs.iter().enumerate() {
+            assert_eq!(j.job_id, i);
+            assert_eq!(j.name, batch[i].name);
+        }
+        assert_eq!(report.num_solved(), 3);
+        let total_wins: usize = report.wins_by_backend().iter().map(|(_, w)| w).sum();
+        assert_eq!(total_wins, 3);
+    }
+
+    #[test]
+    fn worker_count_does_not_change_the_results() {
+        let batch = sample_batch();
+        let one = Engine::with_workers(1).solve_batch(&batch);
+        let many = Engine::with_workers(8).solve_batch(&batch);
+        assert_eq!(one.jobs.len(), many.jobs.len());
+        for (a, b) in one.jobs.iter().zip(&many.jobs) {
+            // Wall-clock fields aside, the reports are structurally equal;
+            // compare them with timings masked out.
+            let mask = |j: &JobReport| {
+                let mut j = j.clone();
+                for attempt in &mut j.attempts {
+                    attempt.wall_micros = 0;
+                }
+                j
+            };
+            assert_eq!(mask(a), mask(b));
+        }
+    }
+
+    #[test]
+    fn zero_workers_is_clamped_to_one() {
+        let batch = sample_batch();
+        let report = Engine::with_workers(0).solve_batch(&batch);
+        assert_eq!(report.num_workers, 1);
+        assert_eq!(report.jobs.len(), batch.len());
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        let report = Engine::default().solve_batch(&[]);
+        assert!(report.jobs.is_empty());
+        assert_eq!(report.num_solved(), 0);
+    }
+}

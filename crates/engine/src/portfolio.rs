@@ -1,0 +1,126 @@
+//! Portfolio execution: race several backends on one job and keep the
+//! winner under the job's cost function.
+
+use crate::backend::{execute, SolutionReport};
+use crate::job::JobSpec;
+
+/// The outcome of one job: every backend attempt (in the job's backend
+/// order) plus the index of the selected winner.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobReport {
+    /// Position of the job in the submitted batch; reports are always
+    /// delivered sorted by this id.
+    pub job_id: usize,
+    /// The job's name.
+    pub name: String,
+    /// Number of input variables of the relation.
+    pub num_inputs: usize,
+    /// Number of output variables of the relation.
+    pub num_outputs: usize,
+    /// One report per backend that completed, in backend order.
+    pub attempts: Vec<SolutionReport>,
+    /// Index into `attempts` of the cheapest solution (ties broken towards
+    /// the earlier backend). `None` iff no backend completed.
+    pub winner: Option<usize>,
+    /// The failure message when no backend completed (e.g. the relation is
+    /// not well defined).
+    pub error: Option<String>,
+}
+
+impl JobReport {
+    /// The winning attempt, if any backend completed.
+    pub fn winning(&self) -> Option<&SolutionReport> {
+        self.winner.map(|i| &self.attempts[i])
+    }
+}
+
+/// Runs every backend of `job` on a freshly rehydrated relation and selects
+/// the cheapest solution. This is the unit of work executed by pool
+/// workers; it is a pure function of `(job_id, job)`, independent of the
+/// thread it runs on.
+pub fn run_job(job_id: usize, job: &JobSpec) -> JobReport {
+    let (_space, relation) = job.relation.rehydrate();
+    let mut attempts = Vec::with_capacity(job.backends.len());
+    let mut error = None;
+    for &kind in &job.backends {
+        match execute(kind, job.cost, &job.budget, &relation) {
+            Ok(report) => attempts.push(report),
+            Err(e) => error = Some(e.to_string()),
+        }
+    }
+    // `min_by_key` keeps the first of equal minima, so ties deterministically
+    // go to the earlier backend in the job's list.
+    let winner = attempts
+        .iter()
+        .enumerate()
+        .min_by_key(|(_, a)| a.cost)
+        .map(|(i, _)| i);
+    JobReport {
+        job_id,
+        name: job.name.clone(),
+        num_inputs: job.relation.num_inputs(),
+        num_outputs: job.relation.num_outputs(),
+        attempts,
+        winner,
+        error: if winner.is_none() { error } else { None },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::{BackendKind, JobBudget, RelationSpec};
+    use brel_relation::{BooleanRelation, RelationSpace};
+
+    fn spec(table: &str, inputs: usize, outputs: usize) -> RelationSpec {
+        let space = RelationSpace::new(inputs, outputs);
+        let r = BooleanRelation::from_table(&space, table).unwrap();
+        RelationSpec::from_relation(&r).unwrap()
+    }
+
+    #[test]
+    fn portfolio_winner_is_the_cheapest_attempt() {
+        // Fig. 10: BREL finds the cost-2 optimum, the quick solver does not.
+        let job = JobSpec::portfolio(
+            "fig10",
+            spec("00:{00,11}\n01:{10}\n10:{01,10}\n11:{11}", 2, 2),
+        )
+        .with_budget(JobBudget {
+            max_explored: None,
+            fifo_capacity: None,
+            ..JobBudget::default()
+        });
+        let report = run_job(7, &job);
+        assert_eq!(report.job_id, 7);
+        assert_eq!(report.attempts.len(), 3);
+        let winner = report.winning().expect("well defined");
+        assert_eq!(winner.backend, BackendKind::Brel);
+        assert_eq!(winner.cost, 2);
+        assert!(report.attempts.iter().all(|a| a.cost >= winner.cost));
+        assert!(report.error.is_none());
+    }
+
+    #[test]
+    fn ties_go_to_the_earlier_backend() {
+        // A functional relation: every backend returns the same unique
+        // solution, so the first backend in the list must win.
+        let job = JobSpec::portfolio("func", spec("00:{0}\n01:{1}\n10:{1}\n11:{0}", 2, 1));
+        let report = run_job(0, &job);
+        assert_eq!(report.winner, Some(0));
+        assert_eq!(report.winning().unwrap().backend, BackendKind::Quick);
+    }
+
+    #[test]
+    fn ill_defined_jobs_report_the_error() {
+        let job = JobSpec::portfolio("broken", spec("1 : {1}", 1, 1));
+        let report = run_job(3, &job);
+        assert!(report.attempts.is_empty());
+        assert_eq!(report.winner, None);
+        assert!(report.winning().is_none());
+        assert!(report
+            .error
+            .as_deref()
+            .unwrap()
+            .contains("not well defined"));
+    }
+}

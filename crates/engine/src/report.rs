@@ -1,0 +1,384 @@
+//! Report serialization: a minimal JSON value tree (the workspace has no
+//! serde; see `vendor/README.md`) plus JSON/CSV renderers for batch
+//! results. The bench binaries reuse [`Json`] for their own `--json`
+//! output so every emitted artefact shares one serializer.
+//!
+//! Wall-clock fields are only emitted when `include_timing` is set; with it
+//! off, the serialized batch is a pure function of the job specs and is
+//! byte-identical across worker counts — the property the determinism
+//! tests pin down.
+
+use std::fmt::Write as _;
+
+use crate::backend::SolutionReport;
+use crate::pool::BatchReport;
+use crate::portfolio::JobReport;
+
+/// A JSON value. Object keys keep their insertion order, so rendering is
+/// deterministic.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An unsigned integer.
+    UInt(u64),
+    /// A floating-point number (rendered with Rust's shortest-round-trip
+    /// formatting).
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An ordered array.
+    Array(Vec<Json>),
+    /// An object with insertion-ordered keys.
+    Object(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Convenience constructor for strings.
+    pub fn str(s: impl Into<String>) -> Json {
+        Json::Str(s.into())
+    }
+
+    /// Convenience constructor for objects.
+    pub fn object(fields: Vec<(&str, Json)>) -> Json {
+        Json::Object(
+            fields
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+        )
+    }
+
+    /// Renders the value as compact JSON.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    /// Renders the value with two-space indentation and a trailing newline,
+    /// the format the `BENCH_*.json` artefacts are stored in.
+    pub fn render_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write_pretty(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::UInt(n) => {
+                let _ = write!(out, "{n}");
+            }
+            Json::Float(x) => {
+                if x.is_finite() {
+                    let _ = write!(out, "{x}");
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => escape_into(s, out),
+            Json::Array(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            Json::Object(fields) => {
+                out.push('{');
+                for (i, (key, value)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    escape_into(key, out);
+                    out.push(':');
+                    value.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    fn write_pretty(&self, out: &mut String, depth: usize) {
+        match self {
+            Json::Array(items) if !items.is_empty() => {
+                out.push_str("[\n");
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(",\n");
+                    }
+                    indent(out, depth + 1);
+                    item.write_pretty(out, depth + 1);
+                }
+                out.push('\n');
+                indent(out, depth);
+                out.push(']');
+            }
+            Json::Object(fields) if !fields.is_empty() => {
+                out.push_str("{\n");
+                for (i, (key, value)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(",\n");
+                    }
+                    indent(out, depth + 1);
+                    escape_into(key, out);
+                    out.push_str(": ");
+                    value.write_pretty(out, depth + 1);
+                }
+                out.push('\n');
+                indent(out, depth);
+                out.push('}');
+            }
+            other => other.write(out),
+        }
+    }
+}
+
+fn indent(out: &mut String, depth: usize) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+}
+
+fn escape_into(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl SolutionReport {
+    /// The JSON representation of one backend attempt.
+    pub fn to_json(&self, include_timing: bool) -> Json {
+        let mut fields = vec![
+            ("backend", Json::str(self.backend.name())),
+            ("cost", Json::UInt(self.cost)),
+            ("cubes", Json::UInt(self.cubes as u64)),
+            ("literals", Json::UInt(self.literals as u64)),
+            ("explored", Json::UInt(self.explored as u64)),
+        ];
+        if include_timing {
+            fields.push(("wall_micros", Json::UInt(self.wall_micros)));
+        }
+        Json::object(fields)
+    }
+}
+
+impl JobReport {
+    /// The JSON representation of one job.
+    pub fn to_json(&self, include_timing: bool) -> Json {
+        Json::object(vec![
+            ("job_id", Json::UInt(self.job_id as u64)),
+            ("name", Json::str(&self.name)),
+            ("inputs", Json::UInt(self.num_inputs as u64)),
+            ("outputs", Json::UInt(self.num_outputs as u64)),
+            (
+                "winner",
+                match self.winning() {
+                    Some(w) => Json::str(w.backend.name()),
+                    None => Json::Null,
+                },
+            ),
+            (
+                "attempts",
+                Json::Array(
+                    self.attempts
+                        .iter()
+                        .map(|a| a.to_json(include_timing))
+                        .collect(),
+                ),
+            ),
+            (
+                "error",
+                match &self.error {
+                    Some(e) => Json::str(e),
+                    None => Json::Null,
+                },
+            ),
+        ])
+    }
+}
+
+impl BatchReport {
+    /// The JSON representation of the whole batch. With `include_timing`
+    /// off the output is byte-identical across worker counts.
+    pub fn to_json(&self, include_timing: bool) -> String {
+        let mut fields = vec![
+            ("schema", Json::str("brel-engine/batch-v1")),
+            ("num_jobs", Json::UInt(self.jobs.len() as u64)),
+            ("num_solved", Json::UInt(self.num_solved() as u64)),
+        ];
+        if include_timing {
+            fields.push(("num_workers", Json::UInt(self.num_workers as u64)));
+            fields.push(("wall_micros", Json::UInt(self.wall_micros)));
+        }
+        fields.push((
+            "wins",
+            Json::Object(
+                self.wins_by_backend()
+                    .into_iter()
+                    .map(|(kind, wins)| (kind.name().to_string(), Json::UInt(wins as u64)))
+                    .collect(),
+            ),
+        ));
+        fields.push((
+            "jobs",
+            Json::Array(
+                self.jobs
+                    .iter()
+                    .map(|j| j.to_json(include_timing))
+                    .collect(),
+            ),
+        ));
+        Json::object(fields).render_pretty()
+    }
+
+    /// The CSV representation: one line per backend attempt, prefixed by a
+    /// header. A job on which every backend failed still contributes one
+    /// line, with `error` in the backend column and zeroed metrics, so no
+    /// job is invisible to CSV consumers. With `include_timing` off the
+    /// output is byte-identical across worker counts.
+    pub fn to_csv(&self, include_timing: bool) -> String {
+        let mut out =
+            String::from("job_id,name,inputs,outputs,backend,winner,cost,cubes,literals,explored");
+        if include_timing {
+            out.push_str(",wall_micros");
+        }
+        out.push('\n');
+        for job in &self.jobs {
+            let mut line = |backend: &str, winner: u8, attempt: Option<&SolutionReport>| {
+                let _ = write!(
+                    out,
+                    "{},{},{},{},{},{},{},{},{},{}",
+                    job.job_id,
+                    csv_field(&job.name),
+                    job.num_inputs,
+                    job.num_outputs,
+                    backend,
+                    winner,
+                    attempt.map_or(0, |a| a.cost),
+                    attempt.map_or(0, |a| a.cubes as u64),
+                    attempt.map_or(0, |a| a.literals as u64),
+                    attempt.map_or(0, |a| a.explored as u64),
+                );
+                if include_timing {
+                    let _ = write!(out, ",{}", attempt.map_or(0, |a| a.wall_micros));
+                }
+                out.push('\n');
+            };
+            if job.attempts.is_empty() {
+                line("error", 0, None);
+                continue;
+            }
+            for (i, attempt) in job.attempts.iter().enumerate() {
+                line(
+                    attempt.backend.name(),
+                    u8::from(job.winner == Some(i)),
+                    Some(attempt),
+                );
+            }
+        }
+        out
+    }
+}
+
+fn csv_field(s: &str) -> String {
+    if s.contains([',', '"', '\n']) {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::{JobSpec, RelationSpec};
+    use crate::pool::Engine;
+    use brel_relation::{BooleanRelation, RelationSpace};
+
+    #[test]
+    fn json_escaping_and_shapes() {
+        let v = Json::object(vec![
+            ("s", Json::str("a\"b\\c\nd\u{1}")),
+            ("n", Json::UInt(42)),
+            ("f", Json::Float(1.5)),
+            ("nan", Json::Float(f64::NAN)),
+            ("a", Json::Array(vec![Json::Bool(true), Json::Null])),
+            ("empty", Json::Array(vec![])),
+        ]);
+        assert_eq!(
+            v.render(),
+            r#"{"s":"a\"b\\c\nd\u0001","n":42,"f":1.5,"nan":null,"a":[true,null],"empty":[]}"#
+        );
+        let pretty = v.render_pretty();
+        assert!(pretty.ends_with("}\n"));
+        assert!(pretty.contains("  \"n\": 42"));
+    }
+
+    #[test]
+    fn errored_jobs_still_appear_in_csv() {
+        let space = RelationSpace::new(1, 1);
+        let broken = BooleanRelation::from_table(&space, "1 : {1}").unwrap();
+        let jobs = vec![JobSpec::portfolio(
+            "broken",
+            RelationSpec::from_relation(&broken).unwrap(),
+        )];
+        let report = Engine::with_workers(1).solve_batch(&jobs);
+        let csv = report.to_csv(false);
+        assert_eq!(csv.lines().count(), 2, "header plus one error line");
+        assert!(csv
+            .lines()
+            .nth(1)
+            .unwrap()
+            .starts_with("0,broken,1,1,error,0,"));
+        let json = report.to_json(false);
+        assert!(json.contains("not well defined"));
+    }
+
+    #[test]
+    fn csv_fields_are_quoted_when_needed() {
+        assert_eq!(csv_field("plain"), "plain");
+        assert_eq!(csv_field("a,b"), "\"a,b\"");
+        assert_eq!(csv_field("a\"b"), "\"a\"\"b\"");
+    }
+
+    #[test]
+    fn batch_serializations_are_deterministic_without_timing() {
+        let space = RelationSpace::new(2, 2);
+        let r = BooleanRelation::from_table(&space, "00:{00}\n01:{00}\n10:{00,11}\n11:{10,11}")
+            .unwrap();
+        let jobs = vec![JobSpec::portfolio(
+            "fig1",
+            RelationSpec::from_relation(&r).unwrap(),
+        )];
+        let a = Engine::with_workers(1).solve_batch(&jobs);
+        let b = Engine::with_workers(4).solve_batch(&jobs);
+        assert_eq!(a.to_json(false), b.to_json(false));
+        assert_eq!(a.to_csv(false), b.to_csv(false));
+        // Timing-bearing output still parses structurally: the header gains
+        // the extra column and the JSON gains the worker fields.
+        assert!(a.to_csv(true).starts_with("job_id,") && a.to_csv(true).contains("wall_micros"));
+        assert!(a.to_json(true).contains("\"num_workers\""));
+        assert!(!a.to_json(false).contains("\"num_workers\""));
+    }
+}

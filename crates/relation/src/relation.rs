@@ -412,14 +412,20 @@ impl BooleanRelation {
         MultiOutputFunction::new(&self.space, outputs)
     }
 
-    /// Lists the relation as `(input vertex, output vertices)` rows — the
-    /// tabular representation used throughout the paper's examples.
+    /// Exports the relation as owned [`RelationRow`]s — the tabular
+    /// representation used throughout the paper's examples — and the
+    /// inverse of [`BooleanRelation::from_rows`]. Rows are emitted for
+    /// every input vertex in enumeration order (rows with an empty image
+    /// mark inputs on which the relation is not well defined), so
+    /// `from_rows(space, &r.to_rows()?)` reconstructs `r` exactly. This is
+    /// the serialization boundary used to move relations across BDD
+    /// managers (and threads).
     ///
     /// # Errors
     ///
     /// Returns [`RelationError::TooLarge`] if the space cannot be
     /// enumerated exhaustively.
-    pub fn rows(&self) -> Result<Vec<RelationRow>, RelationError> {
+    pub fn to_rows(&self) -> Result<Vec<RelationRow>, RelationError> {
         if self.space.num_inputs() > 16 || self.space.num_outputs() > 16 {
             return Err(RelationError::TooLarge {
                 vars: self.space.num_inputs().max(self.space.num_outputs()),
@@ -433,11 +439,34 @@ impl BooleanRelation {
         }
         Ok(rows)
     }
+
+    /// Builds a relation from `(input vertex, output vertices)` rows, the
+    /// inverse of [`BooleanRelation::to_rows`]. Rows with an empty image
+    /// contribute no pairs; missing input vertices are simply unrelated.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RelationError::DimensionMismatch`] if any vertex has the
+    /// wrong arity.
+    pub fn from_rows(space: &RelationSpace, rows: &[RelationRow]) -> Result<Self, RelationError> {
+        let mut chi = space.mgr().zero();
+        for (input, outputs) in rows {
+            let xin = space.input_minterm(input)?;
+            for output in outputs {
+                let yout = space.output_minterm(output)?;
+                chi = chi.or(&xin.and(&yout));
+            }
+        }
+        Ok(BooleanRelation {
+            space: space.clone(),
+            chi,
+        })
+    }
 }
 
 impl fmt::Display for BooleanRelation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self.rows() {
+        match self.to_rows() {
             Ok(rows) => {
                 for (input, outputs) in rows {
                     let x: String = input.iter().map(|&b| if b { '1' } else { '0' }).collect();
@@ -654,6 +683,36 @@ mod tests {
         assert!(r.union(&other).is_err());
         assert!(r.intersection(&other).is_err());
         assert!(r.is_subset_of(&other).is_err());
+    }
+
+    #[test]
+    fn rows_round_trip_is_exact() {
+        let space = RelationSpace::new(2, 2);
+        let r = fig1(&space);
+        let rows = r.to_rows().unwrap();
+        assert_eq!(rows.len(), 4, "one row per input vertex");
+        // Rehydrating into a *fresh* space (new BDD manager) preserves the
+        // relation semantically: same table, same pair count.
+        let fresh = RelationSpace::new(2, 2);
+        let back = BooleanRelation::from_rows(&fresh, &rows).unwrap();
+        assert_eq!(back.num_pairs(), r.num_pairs());
+        assert_eq!(back.to_rows().unwrap(), rows);
+        // Round-tripping within the same space is the identity.
+        assert_eq!(BooleanRelation::from_rows(&space, &rows).unwrap(), r);
+        // A not-well-defined relation survives too: empty images round-trip.
+        let broken = BooleanRelation::from_rows(
+            &space,
+            &[(bits("00"), vec![]), (bits("11"), vec![bits("01")])],
+        )
+        .unwrap();
+        assert!(!broken.is_well_defined());
+        assert_eq!(
+            BooleanRelation::from_rows(&space, &broken.to_rows().unwrap()).unwrap(),
+            broken
+        );
+        // Arity errors surface as DimensionMismatch.
+        assert!(BooleanRelation::from_rows(&space, &[(bits("0"), vec![])]).is_err());
+        assert!(BooleanRelation::from_rows(&space, &[(bits("00"), vec![bits("010")])]).is_err());
     }
 
     #[test]

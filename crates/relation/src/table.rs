@@ -76,7 +76,7 @@ impl BooleanRelation {
     /// Returns [`RelationError::TooLarge`] if the space is too large to
     /// enumerate.
     pub fn to_table(&self) -> Result<String, RelationError> {
-        let rows = self.rows()?;
+        let rows = self.to_rows()?;
         let mut out = String::new();
         for (input, outputs) in rows {
             let x: String = input.iter().map(|&b| if b { '1' } else { '0' }).collect();

@@ -6,6 +6,7 @@
 pub use brel_bdd as bdd;
 pub use brel_benchdata as benchdata;
 pub use brel_core as brel;
+pub use brel_engine as engine;
 pub use brel_gyocro as gyocro;
 pub use brel_network as network;
 pub use brel_relation as relation;

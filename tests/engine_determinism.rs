@@ -1,0 +1,124 @@
+//! Determinism of the batch engine: the same batch solved with 1, 2 and 8
+//! workers must yield byte-identical `SolutionReport` sequences in job-id
+//! order (timing-free serializations compared byte for byte).
+
+use brel_suite::benchdata::random_relation::random_well_defined_relation;
+use brel_suite::benchdata::table2;
+use brel_suite::engine::{BackendKind, CostSpec, Engine, JobBudget, JobSpec, RelationSpec};
+use brel_suite::relation::{BooleanRelation, RelationSpace};
+
+fn mixed_batch() -> Vec<JobSpec> {
+    let mut jobs = Vec::new();
+    // Two instances of the Table-2 family.
+    for instance in table2::instances().into_iter().take(2) {
+        let (_space, relation) = table2::generate(&instance);
+        jobs.push(JobSpec::portfolio(
+            instance.name,
+            RelationSpec::from_relation(&relation).unwrap(),
+        ));
+    }
+    // Two seeded random relations, one with a non-default cost function.
+    for seed in [7u64, 8u64] {
+        let (_space, relation) = random_well_defined_relation(4, 3, 0.25, seed);
+        jobs.push(
+            JobSpec::portfolio(
+                format!("rand{seed}"),
+                RelationSpec::from_relation(&relation).unwrap(),
+            )
+            .with_cost(if seed == 7 {
+                CostSpec::SumBddSize
+            } else {
+                CostSpec::LiteralCount
+            }),
+        );
+    }
+    // A paper relation with an unbounded budget and a single-backend job.
+    let space = RelationSpace::new(2, 2);
+    let fig10 =
+        BooleanRelation::from_table(&space, "00:{00,11}\n01:{10}\n10:{01,10}\n11:{11}").unwrap();
+    jobs.push(
+        JobSpec::portfolio("fig10", RelationSpec::from_relation(&fig10).unwrap()).with_budget(
+            JobBudget {
+                max_explored: None,
+                fifo_capacity: None,
+                ..JobBudget::default()
+            },
+        ),
+    );
+    jobs.push(JobSpec::single(
+        "fig10_quick",
+        RelationSpec::from_relation(&fig10).unwrap(),
+        BackendKind::Quick,
+    ));
+    jobs
+}
+
+#[test]
+fn batches_are_byte_identical_across_1_2_and_8_workers() {
+    let jobs = mixed_batch();
+    let reports: Vec<_> = [1usize, 2, 8]
+        .into_iter()
+        .map(|w| Engine::with_workers(w).solve_batch(&jobs))
+        .collect();
+
+    // Every run solves every job and delivers reports in job-id order.
+    for report in &reports {
+        assert_eq!(report.num_solved(), jobs.len());
+        for (i, job) in report.jobs.iter().enumerate() {
+            assert_eq!(job.job_id, i);
+        }
+    }
+
+    // Byte-identical timing-free serializations, pairwise.
+    let jsons: Vec<String> = reports.iter().map(|r| r.to_json(false)).collect();
+    let csvs: Vec<String> = reports.iter().map(|r| r.to_csv(false)).collect();
+    assert_eq!(jsons[0], jsons[1], "1 vs 2 workers (JSON)");
+    assert_eq!(jsons[0], jsons[2], "1 vs 8 workers (JSON)");
+    assert_eq!(csvs[0], csvs[1], "1 vs 2 workers (CSV)");
+    assert_eq!(csvs[0], csvs[2], "1 vs 8 workers (CSV)");
+
+    // The structured reports agree field by field too (not just the
+    // serialized views): mask the wall-clock and compare directly.
+    let masked: Vec<_> = reports
+        .iter()
+        .map(|r| {
+            r.jobs
+                .iter()
+                .map(|j| {
+                    let mut j = j.clone();
+                    for a in &mut j.attempts {
+                        a.wall_micros = 0;
+                    }
+                    j
+                })
+                .collect::<Vec<_>>()
+        })
+        .collect();
+    assert_eq!(masked[0], masked[1]);
+    assert_eq!(masked[0], masked[2]);
+}
+
+#[test]
+fn portfolio_mode_picks_per_job_winners() {
+    let jobs = mixed_batch();
+    let report = Engine::with_workers(2).solve_batch(&jobs);
+    // fig10 with an unbounded budget: BREL escapes the quick solver's
+    // local minimum, so the portfolio winner must be BREL at cost 2.
+    let fig10 = report.jobs.iter().find(|j| j.name == "fig10").unwrap();
+    let winner = fig10.winning().unwrap();
+    assert_eq!(winner.backend, BackendKind::Brel);
+    assert_eq!(winner.cost, 2);
+    // Every winner is the cheapest of its job's attempts.
+    for job in &report.jobs {
+        let w = job.winning().unwrap();
+        assert!(job.attempts.iter().all(|a| a.cost >= w.cost));
+    }
+    // The single-backend job ran exactly one attempt.
+    let single = report
+        .jobs
+        .iter()
+        .find(|j| j.name == "fig10_quick")
+        .unwrap();
+    assert_eq!(single.attempts.len(), 1);
+    assert_eq!(single.winning().unwrap().backend, BackendKind::Quick);
+}

@@ -42,6 +42,13 @@ fn gyocro_reexport_resolves() {
 }
 
 #[test]
+fn engine_reexport_resolves() {
+    let engine = brel_suite::engine::Engine::with_workers(1);
+    let report = engine.solve_batch(&[]);
+    assert_eq!(report.num_solved(), 0);
+}
+
+#[test]
 fn benchdata_reexport_resolves() {
     let (_space, rel) = brel_suite::benchdata::random_well_defined_relation(2, 1, 0.0, 1);
     assert!(rel.is_well_defined());
