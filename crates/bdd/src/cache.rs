@@ -1,0 +1,479 @@
+//! The kernel's memory layer: a CUDD-style open-addressed unique table and
+//! a fixed-size, lossy, direct-mapped operation cache.
+//!
+//! Both structures replace the `std::collections::HashMap`s of the first
+//! kernel generation. SipHash (std's default hasher) is a DoS-hardened
+//! streaming hash — far more work per lookup than a BDD node deserves. Here
+//! keys are three machine words, so hashing is two Fx-style rotate-multiply
+//! steps, tables are power-of-two sized, and the unique table stores plain
+//! `u32` arena indices (the node data itself lives in the arena, so a probe
+//! costs one extra cache line at most).
+//!
+//! The operation cache is shared by `ite` and every tagged unary or
+//! quantification operation. It is *lossy*: a colliding insert simply
+//! overwrites the previous entry. Losing an entry only costs a recompute,
+//! never correctness, because nodes are never garbage collected so a cached
+//! result can never dangle. This mirrors the classical BDD-package design
+//! (CUDD's "computed table") and is what lets `cofactor`, `exists_many` and
+//! friends persist results *across* calls instead of allocating a fresh
+//! memo table per call.
+
+use crate::manager::Node;
+use crate::manager::{NodeId, Var};
+
+/// Fx-hash multiplier (the firefox hash; also used by rustc).
+const FX_SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+#[inline]
+fn fx_add(hash: u64, word: u64) -> u64 {
+    (hash.rotate_left(5) ^ word).wrapping_mul(FX_SEED)
+}
+
+/// Hashes a node key `(var, lo, hi)` / cache key to a table index seed.
+/// The xor-fold pushes the multiplier's high-bit entropy into the low bits
+/// the power-of-two mask keeps.
+#[inline]
+fn hash3(a: u32, b: u32, c: u32) -> u64 {
+    let h = fx_add(fx_add(0, a as u64), ((b as u64) << 32) | c as u64);
+    h ^ (h >> 32)
+}
+
+/// Counter block of the kernel's hashing and caching layer.
+///
+/// All counters are cumulative over the manager's lifetime and fully
+/// deterministic: they are a pure function of the operation sequence, so
+/// they may appear in reproducible report output. Gauges (`unique_len`,
+/// `unique_capacity`, `cache_slots`, `num_nodes`) describe the current
+/// state instead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Unique-table lookups (`mk` calls that reached the table).
+    pub unique_lookups: u64,
+    /// Unique-table hits (an existing canonical node was returned).
+    pub unique_hits: u64,
+    /// Decision nodes currently stored in the unique table.
+    pub unique_len: u64,
+    /// Unique-table slot count (power of two).
+    pub unique_capacity: u64,
+    /// Operation-cache lookups.
+    pub cache_lookups: u64,
+    /// Operation-cache hits.
+    pub cache_hits: u64,
+    /// Operation-cache inserts.
+    pub cache_inserts: u64,
+    /// Inserts that overwrote a live entry with a different key (the cost
+    /// of the lossy direct-mapped design).
+    pub cache_evictions: u64,
+    /// Operation-cache slot count (power of two).
+    pub cache_slots: u64,
+    /// Total nodes in the arena, terminals included.
+    pub num_nodes: u64,
+}
+
+impl CacheStats {
+    /// Operation-cache hit rate in `[0, 1]` (`0` when nothing was looked
+    /// up).
+    pub fn cache_hit_rate(&self) -> f64 {
+        if self.cache_lookups == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / self.cache_lookups as f64
+        }
+    }
+
+    /// Unique-table load factor in `[0, 1]`.
+    pub fn unique_load_factor(&self) -> f64 {
+        if self.unique_capacity == 0 {
+            0.0
+        } else {
+            self.unique_len as f64 / self.unique_capacity as f64
+        }
+    }
+
+    /// The counter deltas accumulated since `earlier` (gauges keep their
+    /// current values). Used by the engine to attribute kernel work to one
+    /// backend run on a shared manager.
+    pub fn delta_since(&self, earlier: &CacheStats) -> CacheStats {
+        CacheStats {
+            unique_lookups: self.unique_lookups.saturating_sub(earlier.unique_lookups),
+            unique_hits: self.unique_hits.saturating_sub(earlier.unique_hits),
+            unique_len: self.unique_len,
+            unique_capacity: self.unique_capacity,
+            cache_lookups: self.cache_lookups.saturating_sub(earlier.cache_lookups),
+            cache_hits: self.cache_hits.saturating_sub(earlier.cache_hits),
+            cache_inserts: self.cache_inserts.saturating_sub(earlier.cache_inserts),
+            cache_evictions: self.cache_evictions.saturating_sub(earlier.cache_evictions),
+            cache_slots: self.cache_slots,
+            num_nodes: self.num_nodes,
+        }
+    }
+}
+
+/// Sentinel for an empty unique-table slot.
+const UNIQUE_EMPTY: u32 = u32::MAX;
+
+/// Open-addressed unique table: maps `(var, lo, hi)` to the canonical
+/// arena index. Slots store only the `u32` arena index; the key is read
+/// back from the node arena during probing (linear probing, power-of-two
+/// capacity, grown at 3/4 load).
+#[derive(Debug)]
+pub(crate) struct UniqueTable {
+    slots: Box<[u32]>,
+    mask: usize,
+    len: usize,
+    lookups: u64,
+    hits: u64,
+}
+
+fn empty_slots(capacity: usize) -> Box<[u32]> {
+    vec![UNIQUE_EMPTY; capacity].into_boxed_slice()
+}
+
+/// Rounds a requested element count up to the power-of-two capacity that
+/// holds it under 3/4 load.
+fn capacity_for(expected: usize, minimum: usize) -> usize {
+    let needed = expected.saturating_mul(4) / 3 + 1;
+    needed.max(minimum).next_power_of_two()
+}
+
+impl UniqueTable {
+    const MIN_CAPACITY: usize = 256;
+
+    /// A table pre-sized for `expected` nodes.
+    pub(crate) fn with_capacity(expected: usize) -> Self {
+        let capacity = capacity_for(expected, Self::MIN_CAPACITY);
+        UniqueTable {
+            slots: empty_slots(capacity),
+            mask: capacity - 1,
+            len: 0,
+            lookups: 0,
+            hits: 0,
+        }
+    }
+
+    /// Finds the canonical node `(var, lo, hi)`, appending a fresh node to
+    /// the arena when none exists yet.
+    #[inline]
+    pub(crate) fn get_or_insert(
+        &mut self,
+        var: Var,
+        lo: NodeId,
+        hi: NodeId,
+        nodes: &mut Vec<Node>,
+    ) -> NodeId {
+        self.lookups += 1;
+        if (self.len + 1) * 4 > self.slots.len() * 3 {
+            self.grow(self.slots.len() * 2, nodes);
+        }
+        let mut i = hash3(var.0, lo.0, hi.0) as usize & self.mask;
+        loop {
+            let entry = self.slots[i];
+            if entry == UNIQUE_EMPTY {
+                let id = nodes.len() as u32;
+                debug_assert!(id < UNIQUE_EMPTY, "node arena exhausted u32 indices");
+                nodes.push(Node { var, lo, hi });
+                self.slots[i] = id;
+                self.len += 1;
+                return NodeId(id);
+            }
+            let node = &nodes[entry as usize];
+            if node.var == var && node.lo == lo && node.hi == hi {
+                self.hits += 1;
+                return NodeId(entry);
+            }
+            i = (i + 1) & self.mask;
+        }
+    }
+
+    /// Pre-grows the table so `additional` more nodes fit without a rehash.
+    pub(crate) fn reserve(&mut self, additional: usize, nodes: &[Node]) {
+        let capacity = capacity_for(self.len + additional, Self::MIN_CAPACITY);
+        if capacity > self.slots.len() {
+            self.grow(capacity, nodes);
+        }
+    }
+
+    fn grow(&mut self, new_capacity: usize, nodes: &[Node]) {
+        let old = std::mem::replace(&mut self.slots, empty_slots(new_capacity));
+        self.mask = new_capacity - 1;
+        for &entry in old.iter() {
+            if entry == UNIQUE_EMPTY {
+                continue;
+            }
+            let node = &nodes[entry as usize];
+            let mut i = hash3(node.var.0, node.lo.0, node.hi.0) as usize & self.mask;
+            while self.slots[i] != UNIQUE_EMPTY {
+                i = (i + 1) & self.mask;
+            }
+            self.slots[i] = entry;
+        }
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.len
+    }
+
+    pub(crate) fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    pub(crate) fn lookups(&self) -> u64 {
+        self.lookups
+    }
+
+    pub(crate) fn hits(&self) -> u64 {
+        self.hits
+    }
+}
+
+/// Operation tags distinguishing cache users. `ite` keys are three node
+/// ids; tagged operations reuse the `(a, b, c)` words for their own keys
+/// (node id + variable, node id + cube, node id + interned map id, …).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u32)]
+pub(crate) enum OpTag {
+    Ite = 0,
+    Cofactor0 = 1,
+    Cofactor1 = 2,
+    Exists = 3,
+    Forall = 4,
+    Rename = 5,
+    Constrain = 6,
+    Restrict = 7,
+    RestrictCube = 8,
+    LiCompact = 9,
+}
+
+/// Sentinel tag for an empty cache slot.
+const TAG_EMPTY: u32 = u32::MAX;
+
+#[derive(Debug, Clone, Copy)]
+struct CacheSlot {
+    tag: u32,
+    a: u32,
+    b: u32,
+    c: u32,
+    result: u32,
+}
+
+const EMPTY_SLOT: CacheSlot = CacheSlot {
+    tag: TAG_EMPTY,
+    a: 0,
+    b: 0,
+    c: 0,
+    result: 0,
+};
+
+/// The lossy, direct-mapped operation cache shared by every memoized
+/// kernel operation.
+///
+/// The slot count starts small and doubles (clearing the table — entries
+/// are disposable) whenever the insert volume outgrows it, up to
+/// [`OpCache::MAX_SLOTS`]; small managers therefore stay cheap while
+/// solver-scale managers converge to a large cache within a few resizes.
+#[derive(Debug)]
+pub(crate) struct OpCache {
+    slots: Box<[CacheSlot]>,
+    mask: usize,
+    grow_at: u64,
+    /// `true` once the size was pinned by an explicit resize; pinned
+    /// caches never auto-grow (the eviction stress tests rely on this).
+    fixed: bool,
+    lookups: u64,
+    hits: u64,
+    inserts: u64,
+    evictions: u64,
+}
+
+impl OpCache {
+    const MIN_SLOTS: usize = 1 << 8;
+    const MAX_SLOTS: usize = 1 << 20;
+    /// Resize once inserts exceed this multiple of the slot count.
+    const GROWTH_PRESSURE: u64 = 4;
+
+    pub(crate) fn new() -> Self {
+        Self::with_slots(Self::MIN_SLOTS)
+    }
+
+    /// A cache with `slots` slots (rounded up to a power of two).
+    pub(crate) fn with_slots(slots: usize) -> Self {
+        let capacity = slots.clamp(2, Self::MAX_SLOTS).next_power_of_two();
+        OpCache {
+            slots: vec![EMPTY_SLOT; capacity].into_boxed_slice(),
+            mask: capacity - 1,
+            grow_at: capacity as u64 * Self::GROWTH_PRESSURE,
+            fixed: false,
+            lookups: 0,
+            hits: 0,
+            inserts: 0,
+            evictions: 0,
+        }
+    }
+
+    #[inline]
+    fn index(&self, tag: OpTag, a: u32, b: u32, c: u32) -> usize {
+        (hash3(a, b, c).wrapping_add((tag as u64).wrapping_mul(FX_SEED))) as usize & self.mask
+    }
+
+    #[inline]
+    pub(crate) fn lookup(&mut self, tag: OpTag, a: u32, b: u32, c: u32) -> Option<NodeId> {
+        self.lookups += 1;
+        let slot = &self.slots[self.index(tag, a, b, c)];
+        if slot.tag == tag as u32 && slot.a == a && slot.b == b && slot.c == c {
+            self.hits += 1;
+            Some(NodeId(slot.result))
+        } else {
+            None
+        }
+    }
+
+    #[inline]
+    pub(crate) fn insert(&mut self, tag: OpTag, a: u32, b: u32, c: u32, result: NodeId) {
+        self.inserts += 1;
+        if !self.fixed && self.inserts >= self.grow_at && self.slots.len() < Self::MAX_SLOTS {
+            self.grow(self.slots.len() * 2);
+        }
+        let i = self.index(tag, a, b, c);
+        let slot = &mut self.slots[i];
+        if slot.tag != TAG_EMPTY
+            && (slot.tag != tag as u32 || slot.a != a || slot.b != b || slot.c != c)
+        {
+            self.evictions += 1;
+        }
+        *slot = CacheSlot {
+            tag: tag as u32,
+            a,
+            b,
+            c,
+            result: result.0,
+        };
+    }
+
+    /// Drops every entry, keeping the slot count and counters.
+    pub(crate) fn clear(&mut self) {
+        self.slots.fill(EMPTY_SLOT);
+    }
+
+    /// Replaces the cache with one of the given slot count and *pins* it:
+    /// a resized cache never auto-grows again. Entries are dropped,
+    /// counters survive. Exposed for the eviction stress tests, which hold
+    /// a tiny cache under sustained insert pressure.
+    pub(crate) fn resize(&mut self, slots: usize) {
+        self.grow(slots);
+        self.fixed = true;
+    }
+
+    fn grow(&mut self, slots: usize) {
+        let capacity = slots.clamp(2, Self::MAX_SLOTS).next_power_of_two();
+        self.slots = vec![EMPTY_SLOT; capacity].into_boxed_slice();
+        self.mask = capacity - 1;
+        self.grow_at = self.inserts + capacity as u64 * Self::GROWTH_PRESSURE;
+    }
+
+    pub(crate) fn slot_count(&self) -> usize {
+        self.slots.len()
+    }
+
+    pub(crate) fn lookups(&self) -> u64 {
+        self.lookups
+    }
+
+    pub(crate) fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    pub(crate) fn inserts(&self) -> u64 {
+        self.inserts
+    }
+
+    pub(crate) fn evictions(&self) -> u64 {
+        self.evictions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unique_table_canonicalizes_and_grows() {
+        let mut nodes = vec![
+            Node {
+                var: Var(u32::MAX),
+                lo: NodeId::ZERO,
+                hi: NodeId::ZERO,
+            },
+            Node {
+                var: Var(u32::MAX),
+                lo: NodeId::ONE,
+                hi: NodeId::ONE,
+            },
+        ];
+        let mut table = UniqueTable::with_capacity(0);
+        let initial_capacity = table.capacity();
+        // Insert enough distinct nodes to force at least one growth.
+        let mut ids = Vec::new();
+        for v in 0..1024u32 {
+            ids.push(table.get_or_insert(Var(v), NodeId::ZERO, NodeId::ONE, &mut nodes));
+        }
+        assert!(table.capacity() > initial_capacity);
+        assert_eq!(table.len(), 1024);
+        // Every node is still found after rehashing.
+        for (v, &id) in ids.iter().enumerate() {
+            let again = table.get_or_insert(Var(v as u32), NodeId::ZERO, NodeId::ONE, &mut nodes);
+            assert_eq!(again, id);
+        }
+        assert_eq!(table.hits(), 1024);
+        assert_eq!(table.lookups(), 2048);
+    }
+
+    #[test]
+    fn op_cache_is_lossy_but_exact() {
+        let mut cache = OpCache::with_slots(2);
+        cache.insert(OpTag::Ite, 1, 2, 3, NodeId(7));
+        assert_eq!(cache.lookup(OpTag::Ite, 1, 2, 3), Some(NodeId(7)));
+        // A different key must never produce a false hit, even in a
+        // two-slot cache where collisions are constant.
+        assert_eq!(cache.lookup(OpTag::Ite, 3, 2, 1), None);
+        assert_eq!(cache.lookup(OpTag::Exists, 1, 2, 3), None);
+        for k in 0..64u32 {
+            cache.insert(OpTag::Ite, k, k, k, NodeId(k));
+        }
+        assert!(cache.evictions() > 0);
+    }
+
+    #[test]
+    fn op_cache_grows_under_pressure() {
+        let mut cache = OpCache::with_slots(2);
+        let before = cache.slot_count();
+        for k in 0..256u32 {
+            cache.insert(OpTag::Ite, k, 0, 0, NodeId(k));
+        }
+        assert!(cache.slot_count() > before);
+    }
+
+    #[test]
+    fn stats_delta_subtracts_counters_and_keeps_gauges() {
+        let earlier = CacheStats {
+            cache_lookups: 10,
+            cache_hits: 4,
+            num_nodes: 5,
+            ..CacheStats::default()
+        };
+        let now = CacheStats {
+            cache_lookups: 25,
+            cache_hits: 9,
+            num_nodes: 50,
+            cache_slots: 256,
+            ..CacheStats::default()
+        };
+        let delta = now.delta_since(&earlier);
+        assert_eq!(delta.cache_lookups, 15);
+        assert_eq!(delta.cache_hits, 5);
+        assert_eq!(delta.num_nodes, 50);
+        assert_eq!(delta.cache_slots, 256);
+        assert!((delta.cache_hit_rate() - 5.0 / 15.0).abs() < 1e-12);
+        assert_eq!(CacheStats::default().cache_hit_rate(), 0.0);
+        assert_eq!(CacheStats::default().unique_load_factor(), 0.0);
+    }
+}

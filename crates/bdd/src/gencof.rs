@@ -8,8 +8,7 @@
 //! to have a smaller BDD than `f`; `restrict` additionally skips variables
 //! that do not appear in `f`, which avoids gratuitous support growth.
 
-use std::collections::HashMap;
-
+use crate::cache::OpTag;
 use crate::manager::{BddManager, NodeId, Var};
 
 impl BddManager {
@@ -24,23 +23,17 @@ impl BddManager {
     /// defined for an empty care set).
     pub fn constrain(&mut self, f: NodeId, c: NodeId) -> NodeId {
         assert!(!c.is_zero(), "constrain: care set must be non-empty");
-        let mut memo = HashMap::new();
-        self.constrain_rec(f, c, &mut memo)
+        self.constrain_rec(f, c)
     }
 
-    fn constrain_rec(
-        &mut self,
-        f: NodeId,
-        c: NodeId,
-        memo: &mut HashMap<(NodeId, NodeId), NodeId>,
-    ) -> NodeId {
+    fn constrain_rec(&mut self, f: NodeId, c: NodeId) -> NodeId {
         if c.is_one() || f.is_terminal() {
             return f;
         }
         if f == c {
             return NodeId::ONE;
         }
-        if let Some(&r) = memo.get(&(f, c)) {
+        if let Some(r) = self.cache.lookup(OpTag::Constrain, f.0, c.0, 0) {
             return r;
         }
         let lf = self.level(f);
@@ -58,15 +51,15 @@ impl BddManager {
             (c, c)
         };
         let r = if c0.is_zero() {
-            self.constrain_rec(f1, c1, memo)
+            self.constrain_rec(f1, c1)
         } else if c1.is_zero() {
-            self.constrain_rec(f0, c0, memo)
+            self.constrain_rec(f0, c0)
         } else {
-            let lo = self.constrain_rec(f0, c0, memo);
-            let hi = self.constrain_rec(f1, c1, memo);
+            let lo = self.constrain_rec(f0, c0);
+            let hi = self.constrain_rec(f1, c1);
             self.mk(v, lo, hi)
         };
-        memo.insert((f, c), r);
+        self.cache.insert(OpTag::Constrain, f.0, c.0, 0, r);
         r
     }
 
@@ -79,23 +72,17 @@ impl BddManager {
     /// Panics if `c` is the constant-false function.
     pub fn restrict(&mut self, f: NodeId, c: NodeId) -> NodeId {
         assert!(!c.is_zero(), "restrict: care set must be non-empty");
-        let mut memo = HashMap::new();
-        self.restrict_rec(f, c, &mut memo)
+        self.restrict_rec(f, c)
     }
 
-    fn restrict_rec(
-        &mut self,
-        f: NodeId,
-        c: NodeId,
-        memo: &mut HashMap<(NodeId, NodeId), NodeId>,
-    ) -> NodeId {
+    fn restrict_rec(&mut self, f: NodeId, c: NodeId) -> NodeId {
         if c.is_one() || f.is_terminal() {
             return f;
         }
         if f == c {
             return NodeId::ONE;
         }
-        if let Some(&r) = memo.get(&(f, c)) {
+        if let Some(r) = self.cache.lookup(OpTag::Restrict, f.0, c.0, 0) {
             return r;
         }
         let lf = self.level(f);
@@ -104,7 +91,7 @@ impl BddManager {
             // Top variable of c does not appear in f: abstract it away.
             let vc = self.node_var(c);
             let c_abs = self.exists(c, vc);
-            self.restrict_rec(f, c_abs, memo)
+            self.restrict_rec(f, c_abs)
         } else {
             let v = self.node_var(f);
             let (f0, f1) = self.node_children(f);
@@ -114,16 +101,16 @@ impl BddManager {
                 (c, c)
             };
             if c0.is_zero() {
-                self.restrict_rec(f1, c1, memo)
+                self.restrict_rec(f1, c1)
             } else if c1.is_zero() {
-                self.restrict_rec(f0, c0, memo)
+                self.restrict_rec(f0, c0)
             } else {
-                let lo = self.restrict_rec(f0, c0, memo);
-                let hi = self.restrict_rec(f1, c1, memo);
+                let lo = self.restrict_rec(f0, c0);
+                let hi = self.restrict_rec(f1, c1);
                 self.mk(v, lo, hi)
             }
         };
-        memo.insert((f, c), r);
+        self.cache.insert(OpTag::Restrict, f.0, c.0, 0, r);
         r
     }
 
@@ -139,8 +126,7 @@ impl BddManager {
     /// Panics if `c` is the constant-false function.
     pub fn li_compact(&mut self, f: NodeId, c: NodeId) -> NodeId {
         assert!(!c.is_zero(), "li_compact: care set must be non-empty");
-        let mut memo = HashMap::new();
-        let r = self.li_compact_rec(f, c, &mut memo);
+        let r = self.li_compact_rec(f, c);
         // Safety net: keep the smaller of {f, r}; both implement the interval.
         if self.size(r) <= self.size(f) {
             r
@@ -149,16 +135,11 @@ impl BddManager {
         }
     }
 
-    fn li_compact_rec(
-        &mut self,
-        f: NodeId,
-        c: NodeId,
-        memo: &mut HashMap<(NodeId, NodeId), NodeId>,
-    ) -> NodeId {
+    fn li_compact_rec(&mut self, f: NodeId, c: NodeId) -> NodeId {
         if c.is_one() || f.is_terminal() {
             return f;
         }
-        if let Some(&r) = memo.get(&(f, c)) {
+        if let Some(r) = self.cache.lookup(OpTag::LiCompact, f.0, c.0, 0) {
             return r;
         }
         let lf = self.level(f);
@@ -166,7 +147,7 @@ impl BddManager {
         let r = if lc < lf {
             let vc = self.node_var(c);
             let c_abs = self.exists(c, vc);
-            self.li_compact_rec(f, c_abs, memo)
+            self.li_compact_rec(f, c_abs)
         } else {
             let v = self.node_var(f);
             let (f0, f1) = self.node_children(f);
@@ -176,29 +157,29 @@ impl BddManager {
                 (c, c)
             };
             if c0.is_zero() {
-                let hi = self.li_compact_rec(f1, c1, memo);
+                let hi = self.li_compact_rec(f1, c1);
                 // Sibling substitution is safe only if it does not grow.
                 if self.size(hi) <= self.size(f) {
                     hi
                 } else {
-                    let lo = self.li_compact_rec(f0, NodeId::ONE, memo);
+                    let lo = self.li_compact_rec(f0, NodeId::ONE);
                     self.mk(v, lo, hi)
                 }
             } else if c1.is_zero() {
-                let lo = self.li_compact_rec(f0, c0, memo);
+                let lo = self.li_compact_rec(f0, c0);
                 if self.size(lo) <= self.size(f) {
                     lo
                 } else {
-                    let hi = self.li_compact_rec(f1, NodeId::ONE, memo);
+                    let hi = self.li_compact_rec(f1, NodeId::ONE);
                     self.mk(v, lo, hi)
                 }
             } else {
-                let lo = self.li_compact_rec(f0, c0, memo);
-                let hi = self.li_compact_rec(f1, c1, memo);
+                let lo = self.li_compact_rec(f0, c0);
+                let hi = self.li_compact_rec(f1, c1);
                 self.mk(v, lo, hi)
             }
         };
-        memo.insert((f, c), r);
+        self.cache.insert(OpTag::LiCompact, f.0, c.0, 0, r);
         r
     }
 }

@@ -12,6 +12,7 @@ use std::hash::{Hash, Hasher};
 use std::ops::{BitAnd, BitOr, BitXor, Not};
 use std::rc::Rc;
 
+use crate::cache::CacheStats;
 use crate::isop::IsopResult;
 use crate::manager::{BddManager, NodeId, Var};
 use crate::paths::PathCube;
@@ -41,6 +42,28 @@ impl BddMgr {
         BddMgr {
             inner: Rc::new(RefCell::new(BddManager::new(num_vars))),
         }
+    }
+
+    /// Creates a manager pre-sized for roughly `expected_nodes` decision
+    /// nodes, so bulk construction (e.g. worker-pool rehydration) proceeds
+    /// without unique-table rehashes.
+    pub fn with_capacity(num_vars: usize, expected_nodes: usize) -> Self {
+        BddMgr {
+            inner: Rc::new(RefCell::new(BddManager::with_capacity(
+                num_vars,
+                expected_nodes,
+            ))),
+        }
+    }
+
+    /// Pre-grows the node arena and unique table for `additional` nodes.
+    pub fn reserve(&self, additional: usize) {
+        self.inner.borrow_mut().reserve(additional);
+    }
+
+    /// The kernel's cumulative cache/unique-table counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.inner.borrow().cache_stats()
     }
 
     /// Returns `true` if two handles refer to the same underlying manager.

@@ -43,6 +43,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod cache;
 mod dot;
 mod gencof;
 mod handle;
@@ -52,6 +53,7 @@ mod paths;
 mod quant;
 mod symmetry;
 
+pub use cache::CacheStats;
 pub use dot::to_dot;
 pub use handle::{Bdd, BddMgr};
 pub use isop::{IsopCube, IsopResult};

@@ -7,13 +7,24 @@
 //! (`NodeId::ZERO` and `NodeId::ONE`).
 //!
 //! All Boolean connectives are implemented on top of the ternary `ite`
-//! (if-then-else) operator, which is memoized in [`BddManager::ite_cache`].
-//! Because every subrelation manipulated by the BREL solver is derived from a
-//! single original relation, the cache hit rate is very high in practice;
-//! this mirrors the observation made in Section 7.1 of the paper.
+//! (if-then-else) operator, which is memoized in the manager's operation
+//! cache. Because every subrelation manipulated by the BREL solver is
+//! derived from a single original relation, the cache hit rate is very high
+//! in practice; this mirrors the observation made in Section 7.1 of the
+//! paper.
+//!
+//! The memory layer is CUDD-style (see [`crate::cache`]): the unique table
+//! is open-addressed with an Fx-style hash over `(var, lo, hi)`, and one
+//! fixed-size lossy direct-mapped operation cache is shared by `ite` and
+//! the tagged operations (`cofactor`, quantification, renaming and the
+//! generalized cofactors), which persist results across calls instead of
+//! allocating a memo table per call.
 
+use std::cell::RefCell;
 use std::collections::HashMap;
 use std::fmt;
+
+use crate::cache::{CacheStats, OpCache, OpTag, UniqueTable};
 
 /// Index of a BDD variable.
 ///
@@ -105,8 +116,14 @@ const TERMINAL_LEVEL: u32 = u32::MAX;
 /// (for example, the benchmark harness).
 pub struct BddManager {
     pub(crate) nodes: Vec<Node>,
-    unique: HashMap<(Var, NodeId, NodeId), NodeId>,
-    ite_cache: HashMap<(NodeId, NodeId, NodeId), NodeId>,
+    unique: UniqueTable,
+    pub(crate) cache: OpCache,
+    /// Interned monotone rename maps (sorted `(old, new)` pairs); the index
+    /// is the stable identity used in rename cache keys.
+    rename_maps: Vec<Vec<(Var, Var)>>,
+    /// Reusable epoch-stamped visited set for `size`/`support` traversals
+    /// (`RefCell`: those queries take `&self`).
+    visit_scratch: RefCell<VisitScratch>,
     pub(crate) var_names: Vec<String>,
 }
 
@@ -122,10 +139,21 @@ impl fmt::Debug for BddManager {
 impl BddManager {
     /// Creates a manager with `num_vars` variables named `x0..x{n-1}`.
     pub fn new(num_vars: usize) -> Self {
+        Self::with_capacity(num_vars, 1024)
+    }
+
+    /// Creates a manager pre-sized for roughly `expected_nodes` decision
+    /// nodes: the arena and the unique table are allocated up front, so
+    /// building a function of that size triggers no rehash. Used by the
+    /// engine's worker-pool rehydration, where the node count is known
+    /// before construction starts.
+    pub fn with_capacity(num_vars: usize, expected_nodes: usize) -> Self {
         let mut mgr = BddManager {
-            nodes: Vec::with_capacity(1024),
-            unique: HashMap::new(),
-            ite_cache: HashMap::new(),
+            nodes: Vec::with_capacity(expected_nodes.saturating_add(2)),
+            unique: UniqueTable::with_capacity(expected_nodes),
+            cache: OpCache::new(),
+            rename_maps: Vec::new(),
+            visit_scratch: RefCell::new(VisitScratch::new()),
             var_names: (0..num_vars).map(|i| format!("x{i}")).collect(),
         };
         // Terminal placeholders. `var` is unused for terminals.
@@ -140,6 +168,37 @@ impl BddManager {
             hi: NodeId::ONE,
         });
         mgr
+    }
+
+    /// Pre-grows the arena and the unique table for `additional` more
+    /// decision nodes, so a burst of `mk` calls proceeds rehash-free.
+    pub fn reserve(&mut self, additional: usize) {
+        self.nodes.reserve(additional);
+        self.unique.reserve(additional, &self.nodes);
+    }
+
+    /// Replaces the operation cache with one of `slots` slots (rounded to a
+    /// power of two; entries are dropped, counters survive). Primarily for
+    /// tests that pin a tiny cache to stress the lossy-eviction path.
+    pub fn resize_op_cache(&mut self, slots: usize) {
+        self.cache.resize(slots);
+    }
+
+    /// The kernel's cache/unique-table counter block. Counters are
+    /// cumulative and deterministic; see [`CacheStats`].
+    pub fn cache_stats(&self) -> CacheStats {
+        CacheStats {
+            unique_lookups: self.unique.lookups(),
+            unique_hits: self.unique.hits(),
+            unique_len: self.unique.len() as u64,
+            unique_capacity: self.unique.capacity() as u64,
+            cache_lookups: self.cache.lookups(),
+            cache_hits: self.cache.hits(),
+            cache_inserts: self.cache.inserts(),
+            cache_evictions: self.cache.evictions(),
+            cache_slots: self.cache.slot_count() as u64,
+            num_nodes: self.nodes.len() as u64,
+        }
     }
 
     /// Number of variables known to the manager.
@@ -225,13 +284,7 @@ impl BddManager {
             self.level(lo),
             self.level(hi)
         );
-        if let Some(&id) = self.unique.get(&(var, lo, hi)) {
-            return id;
-        }
-        let id = NodeId(self.nodes.len() as u32);
-        self.nodes.push(Node { var, lo, hi });
-        self.unique.insert((var, lo, hi), id);
-        id
+        self.unique.get_or_insert(var, lo, hi, &mut self.nodes)
     }
 
     /// The constant-false function.
@@ -283,7 +336,7 @@ impl BddManager {
         if g.is_one() && h.is_zero() {
             return f;
         }
-        if let Some(&r) = self.ite_cache.get(&(f, g, h)) {
+        if let Some(r) = self.cache.lookup(OpTag::Ite, f.0, g.0, h.0) {
             return r;
         }
         let lf = self.level(f);
@@ -297,7 +350,7 @@ impl BddManager {
         let lo = self.ite(f0, g0, h0);
         let hi = self.ite(f1, g1, h1);
         let r = self.mk(v, lo, hi);
-        self.ite_cache.insert((f, g, h), r);
+        self.cache.insert(OpTag::Ite, f.0, g.0, h.0, r);
         r
     }
 
@@ -357,54 +410,113 @@ impl BddManager {
         acc
     }
 
-    /// Cofactor of `f` with respect to `var = value`.
+    /// Cofactor of `f` with respect to `var = value`. Memoized in the
+    /// persistent operation cache under a `(f, var)` key, so repeated
+    /// cofactors of shared subfunctions (the symmetry checks' hot pattern)
+    /// cost one lookup after the first computation.
     pub fn cofactor(&mut self, f: NodeId, var: Var, value: bool) -> NodeId {
-        if f.is_terminal() {
-            return f;
-        }
-        // A dedicated cache keyed by (f, var, value) would be possible; reuse
-        // the ite cache by expressing the cofactor as compose with a constant.
-        let mut memo = HashMap::new();
-        self.cofactor_rec(f, var, value, &mut memo)
+        self.cofactor_rec(f, var, value)
     }
 
-    fn cofactor_rec(
-        &mut self,
-        f: NodeId,
-        var: Var,
-        value: bool,
-        memo: &mut HashMap<NodeId, NodeId>,
-    ) -> NodeId {
+    fn cofactor_rec(&mut self, f: NodeId, var: Var, value: bool) -> NodeId {
         if f.is_terminal() || self.level(f) > var.0 {
             return f;
         }
-        if let Some(&r) = memo.get(&f) {
+        let n = self.nodes[f.index()];
+        if n.var == var {
+            return if value { n.hi } else { n.lo };
+        }
+        let tag = if value {
+            OpTag::Cofactor1
+        } else {
+            OpTag::Cofactor0
+        };
+        if let Some(r) = self.cache.lookup(tag, f.0, var.0, 0) {
             return r;
         }
-        let n = self.nodes[f.index()];
-        let r = if n.var == var {
-            if value {
-                n.hi
-            } else {
-                n.lo
-            }
-        } else {
-            let lo = self.cofactor_rec(n.lo, var, value, memo);
-            let hi = self.cofactor_rec(n.hi, var, value, memo);
-            self.mk(n.var, lo, hi)
-        };
-        memo.insert(f, r);
+        let lo = self.cofactor_rec(n.lo, var, value);
+        let hi = self.cofactor_rec(n.hi, var, value);
+        let r = self.mk(n.var, lo, hi);
+        self.cache.insert(tag, f.0, var.0, 0, r);
         r
     }
 
     /// Restriction of `f` by a (possibly partial) assignment given as
     /// `(var, value)` pairs.
+    ///
+    /// The assignment is applied in a *single* downward pass: it is encoded
+    /// as a polarity cube and the recursion walks `f` and the cube together,
+    /// instead of rebuilding the DAG once per assigned variable. When a
+    /// variable appears more than once, the first occurrence wins (matching
+    /// the sequential-cofactor semantics this replaced: a later cofactor on
+    /// an already-eliminated variable is a no-op).
     pub fn restrict_assignment(&mut self, f: NodeId, assignment: &[(Var, bool)]) -> NodeId {
-        let mut acc = f;
+        if assignment.is_empty() || f.is_terminal() {
+            return f;
+        }
+        let mut pairs: Vec<(Var, bool)> = Vec::with_capacity(assignment.len());
         for &(v, b) in assignment {
-            acc = self.cofactor(acc, v, b);
+            if !pairs.iter().any(|&(seen, _)| seen == v) {
+                pairs.push((v, b));
+            }
+        }
+        pairs.sort_unstable();
+        let cube = self.polarity_cube(&pairs);
+        self.restrict_cube_rec(f, cube)
+    }
+
+    /// Builds the cube BDD of sorted `(var, value)` literal pairs (each
+    /// variable at most once).
+    pub(crate) fn polarity_cube(&mut self, sorted_pairs: &[(Var, bool)]) -> NodeId {
+        let mut acc = NodeId::ONE;
+        for &(v, positive) in sorted_pairs.iter().rev() {
+            acc = if positive {
+                self.mk(v, NodeId::ZERO, acc)
+            } else {
+                self.mk(v, acc, NodeId::ZERO)
+            };
         }
         acc
+    }
+
+    /// Walks past cube variables ordered above `limit` (they cannot appear
+    /// in the function being walked). Polarity-cube nodes keep their
+    /// continuation in whichever child is not the 0-terminal, which also
+    /// covers positive cubes (their continuation is always `hi`). Shared
+    /// by restriction and quantification.
+    #[inline]
+    pub(crate) fn advance_cube(&self, mut cube: NodeId, limit: u32) -> NodeId {
+        while self.level(cube) < limit {
+            let n = &self.nodes[cube.index()];
+            cube = if n.lo.is_zero() { n.hi } else { n.lo };
+        }
+        cube
+    }
+
+    fn restrict_cube_rec(&mut self, f: NodeId, cube: NodeId) -> NodeId {
+        let cube = self.advance_cube(cube, self.level(f));
+        if cube.is_one() || f.is_terminal() {
+            return f;
+        }
+        if let Some(r) = self.cache.lookup(OpTag::RestrictCube, f.0, cube.0, 0) {
+            return r;
+        }
+        let n = self.nodes[f.index()];
+        let r = if n.var.0 == self.level(cube) {
+            let c = self.nodes[cube.index()];
+            let (child, rest) = if c.lo.is_zero() {
+                (n.hi, c.hi)
+            } else {
+                (n.lo, c.lo)
+            };
+            self.restrict_cube_rec(child, rest)
+        } else {
+            let lo = self.restrict_cube_rec(n.lo, cube);
+            let hi = self.restrict_cube_rec(n.hi, cube);
+            self.mk(n.var, lo, hi)
+        };
+        self.cache.insert(OpTag::RestrictCube, f.0, cube.0, 0, r);
+        r
     }
 
     /// Functional composition: substitutes variable `var` in `f` by `g`.
@@ -420,12 +532,10 @@ impl BddManager {
         if a == b {
             return f;
         }
-        let f0 = self.cofactor(f, a, false);
-        let f1 = self.cofactor(f, a, true);
-        let f00 = self.cofactor(f0, b, false);
-        let f01 = self.cofactor(f0, b, true);
-        let f10 = self.cofactor(f1, b, false);
-        let f11 = self.cofactor(f1, b, true);
+        let f00 = self.restrict_assignment(f, &[(a, false), (b, false)]);
+        let f01 = self.restrict_assignment(f, &[(a, false), (b, true)]);
+        let f10 = self.restrict_assignment(f, &[(a, true), (b, false)]);
+        let f11 = self.restrict_assignment(f, &[(a, true), (b, true)]);
         // g(a, b) = f(b, a): g with a=1,b=0 must equal f with a=0,b=1.
         let lit_a = self.literal(a, true);
         let lit_b = self.literal(b, true);
@@ -442,20 +552,48 @@ impl BddManager {
     /// variable at a time via [`BddManager::compose`], going through fresh
     /// intermediate literals when the ranges overlap would not be safe; for
     /// the simple "shift outputs after inputs" renamings used by the
-    /// relation layer a direct recursive rebuild is used instead when the map
-    /// is strictly monotone.
+    /// relation layer a direct recursive rebuild is used instead when the
+    /// map preserves the relative order of `f`'s support.
     pub fn rename_vars(&mut self, f: NodeId, map: &HashMap<Var, Var>) -> NodeId {
         if map.is_empty() || f.is_terminal() {
             return f;
         }
-        let monotone = {
+        // Rename entries are only ever written by a valid monotone rebuild
+        // (of this node or an ancestor, whose support contains this
+        // node's), so for an already-registered map a persistent-cache hit
+        // short-circuits both the support walk and the recursion. Maps are
+        // registered lazily below, only once they pass the monotone check,
+        // so the registry never accumulates maps that cannot produce hits.
+        let pairs = {
             let mut pairs: Vec<(Var, Var)> = map.iter().map(|(a, b)| (*a, *b)).collect();
-            pairs.sort();
-            pairs.windows(2).all(|w| w[0].1 < w[1].1)
+            pairs.sort_unstable();
+            pairs
+        };
+        let registered = self.rename_maps.iter().position(|m| *m == pairs);
+        if let Some(id) = registered {
+            if let Some(r) = self.cache.lookup(OpTag::Rename, f.0, id as u32, 0) {
+                return r;
+            }
+        }
+        // The direct rebuild is valid iff the map, extended with the
+        // identity on unmapped variables, is strictly increasing over the
+        // support — comparing mapped targets among themselves is not
+        // enough, because an unmapped support variable interleaving with
+        // the targets would make `mk` see out-of-order children.
+        let monotone = {
+            let effective: Vec<Var> = self
+                .support(f)
+                .into_iter()
+                .map(|v| *map.get(&v).unwrap_or(&v))
+                .collect();
+            effective.windows(2).all(|w| w[0] < w[1])
         };
         if monotone {
-            let mut memo = HashMap::new();
-            return self.rename_rec(f, map, &mut memo);
+            let map_id = registered.unwrap_or_else(|| {
+                self.rename_maps.push(pairs);
+                self.rename_maps.len() - 1
+            });
+            return self.rename_rec(f, map, map_id as u32);
         }
         // General case: go through temporary variables far above all in use.
         let base = self.var_names.len() as u32;
@@ -480,49 +618,41 @@ impl BddManager {
         acc
     }
 
-    fn rename_rec(
-        &mut self,
-        f: NodeId,
-        map: &HashMap<Var, Var>,
-        memo: &mut HashMap<NodeId, NodeId>,
-    ) -> NodeId {
+    fn rename_rec(&mut self, f: NodeId, map: &HashMap<Var, Var>, map_id: u32) -> NodeId {
         if f.is_terminal() {
             return f;
         }
-        if let Some(&r) = memo.get(&f) {
+        if let Some(r) = self.cache.lookup(OpTag::Rename, f.0, map_id, 0) {
             return r;
         }
         let n = self.nodes[f.index()];
-        let lo = self.rename_rec(n.lo, map, memo);
-        let hi = self.rename_rec(n.hi, map, memo);
+        let lo = self.rename_rec(n.lo, map, map_id);
+        let hi = self.rename_rec(n.hi, map, map_id);
         let var = *map.get(&n.var).unwrap_or(&n.var);
         let r = self.mk(var, lo, hi);
-        memo.insert(f, r);
+        self.cache.insert(OpTag::Rename, f.0, map_id, 0, r);
         r
     }
 
     /// Number of distinct decision nodes in the DAG rooted at `f`
     /// (terminals excluded). This is the paper's "BDD size" cost metric.
     pub fn size(&self, f: NodeId) -> usize {
-        let mut seen = std::collections::HashSet::new();
-        let mut stack = vec![f];
-        let mut count = 0usize;
-        while let Some(id) = stack.pop() {
-            if id.is_terminal() || !seen.insert(id) {
-                continue;
-            }
-            count += 1;
-            let n = &self.nodes[id.index()];
-            stack.push(n.lo);
-            stack.push(n.hi);
-        }
-        count
+        self.count_nodes(std::slice::from_ref(&f))
     }
 
     /// Combined DAG size of several functions (shared nodes counted once).
     pub fn shared_size(&self, fs: &[NodeId]) -> usize {
-        let mut seen = std::collections::HashSet::new();
-        let mut stack: Vec<NodeId> = fs.to_vec();
+        self.count_nodes(fs)
+    }
+
+    /// Shared DFS node count using the manager's reusable epoch-stamped
+    /// visited set — no per-call allocation, and "clearing" between
+    /// traversals is a counter bump rather than an arena-sized zeroing
+    /// (`size` is the solvers' cost metric and runs constantly).
+    fn count_nodes(&self, roots: &[NodeId]) -> usize {
+        let mut seen = self.visit_scratch.borrow_mut();
+        seen.begin(self.nodes.len());
+        let mut stack: Vec<NodeId> = roots.to_vec();
         let mut count = 0usize;
         while let Some(id) = stack.pop() {
             if id.is_terminal() || !seen.insert(id) {
@@ -538,19 +668,20 @@ impl BddManager {
 
     /// Support of `f`: the sorted list of variables it depends on.
     pub fn support(&self, f: NodeId) -> Vec<Var> {
-        let mut seen = std::collections::HashSet::new();
-        let mut vars = std::collections::BTreeSet::new();
+        let mut seen = self.visit_scratch.borrow_mut();
+        seen.begin(self.nodes.len());
+        let mut vars = VisitedBits::new(self.var_names.len().max(1));
         let mut stack = vec![f];
         while let Some(id) = stack.pop() {
             if id.is_terminal() || !seen.insert(id) {
                 continue;
             }
             let n = &self.nodes[id.index()];
-            vars.insert(n.var);
+            vars.mark(n.var.index());
             stack.push(n.lo);
             stack.push(n.hi);
         }
-        vars.into_iter().collect()
+        vars.iter_set().map(Var::from).collect()
     }
 
     /// Evaluates `f` under a complete assignment indexed by variable.
@@ -575,7 +706,84 @@ impl BddManager {
     /// Clears the operation caches (the unique table is preserved, so node
     /// identity is unaffected). Useful to bound memory in long runs.
     pub fn clear_caches(&mut self) {
-        self.ite_cache.clear();
+        self.cache.clear();
+    }
+}
+
+/// Reusable visited set for the kernel's DFS traversals: one epoch stamp
+/// per arena index. A traversal "clears" the set by bumping the epoch, so
+/// repeated `size`/`support` queries on a large arena cost nothing to
+/// reset; the stamp array grows lazily with the arena and is only zeroed
+/// on the (once per 2³² traversals) epoch wrap.
+pub(crate) struct VisitScratch {
+    stamps: Vec<u32>,
+    epoch: u32,
+}
+
+impl VisitScratch {
+    pub(crate) fn new() -> Self {
+        VisitScratch {
+            stamps: Vec::new(),
+            epoch: 0,
+        }
+    }
+
+    /// Starts a fresh traversal over an arena of `len` nodes.
+    pub(crate) fn begin(&mut self, len: usize) {
+        if self.stamps.len() < len {
+            self.stamps.resize(len, 0);
+        }
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            // Stale stamps from 2³² traversals ago would alias; reset once.
+            self.stamps.fill(0);
+            self.epoch = 1;
+        }
+    }
+
+    /// Marks a node, returning `true` if it was unmarked this traversal.
+    #[inline]
+    pub(crate) fn insert(&mut self, id: NodeId) -> bool {
+        let stamp = &mut self.stamps[id.index()];
+        if *stamp == self.epoch {
+            false
+        } else {
+            *stamp = self.epoch;
+            true
+        }
+    }
+}
+
+/// A flat bit vector indexed by arena position, the visited set of the
+/// kernel's DFS traversals.
+pub(crate) struct VisitedBits {
+    words: Vec<u64>,
+}
+
+impl VisitedBits {
+    pub(crate) fn new(capacity: usize) -> Self {
+        VisitedBits {
+            words: vec![0u64; capacity.div_ceil(64)],
+        }
+    }
+
+    /// Marks a raw index, growing the vector if needed.
+    #[inline]
+    pub(crate) fn mark(&mut self, index: usize) {
+        let word = index >> 6;
+        if word >= self.words.len() {
+            self.words.resize(word + 1, 0);
+        }
+        self.words[word] |= 1u64 << (index & 63);
+    }
+
+    /// Iterates the set indices in ascending order.
+    pub(crate) fn iter_set(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(w, &bits)| {
+            (0..64)
+                .filter(move |b| bits & (1u64 << b) != 0)
+                .map(move |b| w * 64 + b)
+        })
     }
 }
 
@@ -722,6 +930,23 @@ mod tests {
     }
 
     #[test]
+    fn rename_partial_map_crossing_unmapped_support() {
+        // {x0 -> x4} on x0·x3: the mapped targets are trivially "sorted",
+        // but the unmapped support variable x3 interleaves below the
+        // target, so the direct rebuild would hand `mk` out-of-order
+        // children. Must route through the general path and stay correct.
+        let mut m = BddManager::new(5);
+        let a = m.literal(Var(0), true);
+        let d = m.literal(Var(3), true);
+        let f = m.and(a, d);
+        let map: HashMap<Var, Var> = [(Var(0), Var(4))].into_iter().collect();
+        let g = m.rename_vars(f, &map);
+        assert_eq!(m.support(g), vec![Var(3), Var(4)]);
+        assert!(m.eval(g, &[false, false, false, true, true]));
+        assert!(!m.eval(g, &[true, false, false, true, false]));
+    }
+
+    #[test]
     fn rename_swap_via_temporaries() {
         let mut m = BddManager::new(2);
         let a = m.literal(Var(0), true);
@@ -784,5 +1009,89 @@ mod tests {
         m.clear_caches();
         let g = m.and(a, b);
         assert_eq!(f, g, "canonical nodes survive cache clearing");
+    }
+
+    #[test]
+    fn with_capacity_and_reserve_build_identical_nodes() {
+        let mut small = BddManager::new(4);
+        let mut big = BddManager::with_capacity(4, 1 << 12);
+        big.reserve(1 << 13);
+        for vars in [(0u32, 1u32), (1, 2), (2, 3), (0, 3)] {
+            let (a, b) = (
+                small.literal(Var(vars.0), true),
+                small.literal(Var(vars.1), true),
+            );
+            let f = small.xor(a, b);
+            let (a2, b2) = (
+                big.literal(Var(vars.0), true),
+                big.literal(Var(vars.1), true),
+            );
+            let g = big.xor(a2, b2);
+            assert_eq!(f, g, "capacity hints never change node identity");
+        }
+        assert!(big.cache_stats().unique_capacity > small.cache_stats().unique_capacity);
+    }
+
+    #[test]
+    fn cache_stats_count_hits_and_lookups() {
+        let (mut m, a, b, _c) = mgr3();
+        let before = m.cache_stats();
+        let f = m.and(a, b);
+        let mid = m.cache_stats();
+        assert!(mid.cache_lookups > before.cache_lookups);
+        // The identical operation is now a pure cache hit.
+        let g = m.and(a, b);
+        assert_eq!(f, g);
+        let after = m.cache_stats();
+        assert_eq!(after.cache_hits, mid.cache_hits + 1);
+        assert_eq!(after.cache_inserts, mid.cache_inserts);
+        let delta = after.delta_since(&before);
+        assert!(delta.cache_hit_rate() > 0.0);
+        assert!(after.unique_load_factor() > 0.0);
+        assert_eq!(after.num_nodes as usize, m.num_nodes());
+    }
+
+    #[test]
+    fn tiny_op_cache_still_computes_correctly() {
+        let mut m = BddManager::new(4);
+        m.resize_op_cache(2);
+        let mut reference = BddManager::new(4);
+        // A chain of operations that overflows a 2-slot cache constantly.
+        let mut f = m.literal(Var(0), true);
+        let mut g = reference.literal(Var(0), true);
+        for i in 1..4u32 {
+            let a = m.literal(Var(i), true);
+            f = m.xor(f, a);
+            let na = m.not(a);
+            f = m.or(f, na);
+            let b = reference.literal(Var(i), true);
+            g = reference.xor(g, b);
+            let nb = reference.not(b);
+            g = reference.or(g, nb);
+        }
+        for bits in 0..16u32 {
+            let asg: Vec<bool> = (0..4).map(|k| bits & (1 << k) != 0).collect();
+            assert_eq!(m.eval(f, &asg), reference.eval(g, &asg));
+        }
+        assert!(m.cache_stats().cache_evictions > 0 || m.cache_stats().cache_slots > 2);
+    }
+
+    #[test]
+    fn restrict_assignment_matches_chained_cofactors() {
+        let (mut m, a, b, c) = mgr3();
+        let t = m.and(a, b);
+        let f = m.or(t, c);
+        let assignment = [(Var(0), true), (Var(2), false)];
+        let direct = m.restrict_assignment(f, &assignment);
+        let mut chained = f;
+        for &(v, val) in &assignment {
+            chained = m.cofactor(chained, v, val);
+        }
+        assert_eq!(direct, chained);
+        // First occurrence of a duplicated variable wins.
+        let dup = m.restrict_assignment(f, &[(Var(0), true), (Var(0), false)]);
+        let first = m.cofactor(f, Var(0), true);
+        assert_eq!(dup, first);
+        assert_eq!(m.restrict_assignment(f, &[]), f);
     }
 }

@@ -4,84 +4,118 @@
 //! consistency check of Boolean-equation systems (`∃X 𝔼(X) = 1`, Section 8)
 //! and the split-point selection, which abstracts the outputs away from the
 //! conflict relation (`C = ∃Y Incomp`, Section 7.4).
+//!
+//! The quantified variable set is represented as a positive cube BDD, the
+//! classical CUDD encoding: the recursion walks the function and the cube
+//! together, so results are memoized *persistently* in the manager's
+//! operation cache under `(f, cube)` keys, and the recursion stops as soon
+//! as the cube is exhausted — a function node ordered below the deepest
+//! quantified variable is returned as-is instead of being rebuilt.
+//! Universal quantification is a direct dual recursion (conjunction at
+//! quantified levels) rather than a double negation.
 
-use std::collections::{HashMap, HashSet};
-
+use crate::cache::OpTag;
 use crate::manager::{BddManager, NodeId, Var};
 
 impl BddManager {
+    /// Builds the positive cube of a variable set (sorted, deduplicated).
+    pub(crate) fn positive_cube(&mut self, vars: &[Var]) -> NodeId {
+        let mut pairs: Vec<(Var, bool)> = vars.iter().map(|&v| (v, true)).collect();
+        pairs.sort_unstable();
+        pairs.dedup();
+        self.polarity_cube(&pairs)
+    }
+
     /// Existential quantification of a single variable:
     /// `∃v. f = f|v=0 + f|v=1`.
     pub fn exists(&mut self, f: NodeId, var: Var) -> NodeId {
-        let mut memo = HashMap::new();
-        self.exists_rec(f, var, &mut memo)
-    }
-
-    fn exists_rec(&mut self, f: NodeId, var: Var, memo: &mut HashMap<NodeId, NodeId>) -> NodeId {
-        if f.is_terminal() || self.level(f) > var.0 {
-            return f;
-        }
-        if let Some(&r) = memo.get(&f) {
-            return r;
-        }
-        let (lo, hi) = self.node_children(f);
-        let v = self.node_var(f);
-        let r = if v == var {
-            self.or(lo, hi)
-        } else {
-            let lo_q = self.exists_rec(lo, var, memo);
-            let hi_q = self.exists_rec(hi, var, memo);
-            self.mk(v, lo_q, hi_q)
-        };
-        memo.insert(f, r);
-        r
+        let cube = self.positive_cube(&[var]);
+        self.exists_cube_rec(f, cube)
     }
 
     /// Universal quantification of a single variable:
     /// `∀v. f = f|v=0 · f|v=1`.
     pub fn forall(&mut self, f: NodeId, var: Var) -> NodeId {
-        let nf = self.not(f);
-        let e = self.exists(nf, var);
-        self.not(e)
+        let cube = self.positive_cube(&[var]);
+        self.forall_cube_rec(f, cube)
     }
 
     /// Existential quantification of a set of variables.
     pub fn exists_many(&mut self, f: NodeId, vars: &[Var]) -> NodeId {
-        let set: HashSet<Var> = vars.iter().copied().collect();
-        let mut memo = HashMap::new();
-        self.exists_set_rec(f, &set, &mut memo)
-    }
-
-    fn exists_set_rec(
-        &mut self,
-        f: NodeId,
-        vars: &HashSet<Var>,
-        memo: &mut HashMap<NodeId, NodeId>,
-    ) -> NodeId {
-        if f.is_terminal() {
+        if vars.is_empty() {
             return f;
         }
-        if let Some(&r) = memo.get(&f) {
-            return r;
-        }
-        let (lo, hi) = self.node_children(f);
-        let v = self.node_var(f);
-        let lo_q = self.exists_set_rec(lo, vars, memo);
-        let hi_q = self.exists_set_rec(hi, vars, memo);
-        let r = if vars.contains(&v) {
-            self.or(lo_q, hi_q)
-        } else {
-            self.mk(v, lo_q, hi_q)
-        };
-        memo.insert(f, r);
-        r
+        let cube = self.positive_cube(vars);
+        self.exists_cube_rec(f, cube)
     }
 
     /// Universal quantification of a set of variables.
     pub fn forall_many(&mut self, f: NodeId, vars: &[Var]) -> NodeId {
-        let nf = self.not(f);
-        let e = self.exists_many(nf, vars);
-        self.not(e)
+        if vars.is_empty() {
+            return f;
+        }
+        let cube = self.positive_cube(vars);
+        self.forall_cube_rec(f, cube)
+    }
+
+    fn exists_cube_rec(&mut self, f: NodeId, cube: NodeId) -> NodeId {
+        // Strip cube variables ordered above f's top: they cannot appear
+        // anywhere in f's DAG, so quantifying them is the identity. The
+        // cube collapsing to ONE is what bounds the recursion at the
+        // deepest quantified variable.
+        let cube = self.advance_cube(cube, self.level(f));
+        if cube.is_one() {
+            return f;
+        }
+        if let Some(r) = self.cache.lookup(OpTag::Exists, f.0, cube.0, 0) {
+            return r;
+        }
+        let n = self.nodes[f.index()];
+        let r = if n.var.0 == self.level(cube) {
+            let rest = self.nodes[cube.index()].hi;
+            let lo = self.exists_cube_rec(n.lo, rest);
+            if lo.is_one() {
+                // Early termination: the disjunction is already a tautology.
+                NodeId::ONE
+            } else {
+                let hi = self.exists_cube_rec(n.hi, rest);
+                self.or(lo, hi)
+            }
+        } else {
+            let lo = self.exists_cube_rec(n.lo, cube);
+            let hi = self.exists_cube_rec(n.hi, cube);
+            self.mk(n.var, lo, hi)
+        };
+        self.cache.insert(OpTag::Exists, f.0, cube.0, 0, r);
+        r
+    }
+
+    fn forall_cube_rec(&mut self, f: NodeId, cube: NodeId) -> NodeId {
+        let cube = self.advance_cube(cube, self.level(f));
+        if cube.is_one() {
+            return f;
+        }
+        if let Some(r) = self.cache.lookup(OpTag::Forall, f.0, cube.0, 0) {
+            return r;
+        }
+        let n = self.nodes[f.index()];
+        let r = if n.var.0 == self.level(cube) {
+            let rest = self.nodes[cube.index()].hi;
+            let lo = self.forall_cube_rec(n.lo, rest);
+            if lo.is_zero() {
+                // Early termination: the conjunction is already empty.
+                NodeId::ZERO
+            } else {
+                let hi = self.forall_cube_rec(n.hi, rest);
+                self.and(lo, hi)
+            }
+        } else {
+            let lo = self.forall_cube_rec(n.lo, cube);
+            let hi = self.forall_cube_rec(n.hi, cube);
+            self.mk(n.var, lo, hi)
+        };
+        self.cache.insert(OpTag::Forall, f.0, cube.0, 0, r);
+        r
     }
 
     /// Relational product `∃vars. (f · g)`, the workhorse of image
@@ -148,6 +182,33 @@ mod tests {
         let step1 = m.exists(f, Var(1));
         let via_iter = m.exists(step1, Var(3));
         assert_eq!(via_set, via_iter);
+    }
+
+    #[test]
+    fn exists_many_of_empty_set_and_duplicates() {
+        let mut m = BddManager::new(3);
+        let a = m.literal(Var(0), true);
+        let b = m.literal(Var(1), true);
+        let f = m.xor(a, b);
+        assert_eq!(m.exists_many(f, &[]), f);
+        assert_eq!(m.forall_many(f, &[]), f);
+        // Duplicated variables quantify once.
+        let dup = m.exists_many(f, &[Var(1), Var(1)]);
+        let single = m.exists(f, Var(1));
+        assert_eq!(dup, single);
+    }
+
+    #[test]
+    fn quantifying_only_deep_missing_vars_is_identity() {
+        // The depth-bound satellite: when every quantified variable is
+        // ordered below the whole function, the result must be `f` itself
+        // (same node), not a rebuilt copy.
+        let mut m = BddManager::new(6);
+        let a = m.literal(Var(0), true);
+        let b = m.literal(Var(1), true);
+        let f = m.xor(a, b);
+        assert_eq!(m.exists_many(f, &[Var(4), Var(5)]), f);
+        assert_eq!(m.forall_many(f, &[Var(4), Var(5)]), f);
     }
 
     #[test]

@@ -1,8 +1,12 @@
 //! Micro-benchmarks of the BDD substrate: the primitive operations every
-//! solver step is built from (ite, quantification, ISOP, projection).
+//! solver step is built from (ite, quantification, ISOP, projection), plus
+//! a `bdd_kernel` group covering the hashing/caching layer itself (the
+//! workloads mirrored by the `bdd_kernel` binary that feeds
+//! `BENCH_bdd_kernel.json`).
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 
+use brel_bdd::Var;
 use brel_benchdata::table2;
 use brel_relation::RelationSpace;
 
@@ -55,5 +59,67 @@ fn bench_bdd_ops(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_bdd_ops);
+fn bench_bdd_kernel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bdd_kernel");
+    group.sample_size(20);
+
+    let (space, relation) = build_relation();
+    let chi = relation.characteristic().clone();
+    let num_vars = space.mgr().num_vars();
+    let all_vars: Vec<Var> = (0..num_vars).map(Var::from).collect();
+    let output_vars: Vec<Var> = space.output_vars().to_vec();
+
+    group.bench_function("cofactor_sweep_int9", |b| {
+        b.iter(|| {
+            space.mgr().with(|m| {
+                let f = chi.node_id();
+                let mut acc = 0usize;
+                for &v in &all_vars {
+                    acc += m.cofactor(f, v, false).index();
+                    acc += m.cofactor(f, v, true).index();
+                }
+                acc
+            })
+        })
+    });
+
+    group.bench_function("exists_forall_outputs_int9", |b| {
+        b.iter(|| {
+            space.mgr().with(|m| {
+                let f = chi.node_id();
+                let e = m.exists_many(f, &output_vars);
+                let a = m.forall_many(f, &output_vars);
+                (e, a)
+            })
+        })
+    });
+
+    group.bench_function("restrict_assignment_int9", |b| {
+        let assignment: Vec<(Var, bool)> = space
+            .input_vars()
+            .iter()
+            .take(4)
+            .enumerate()
+            .map(|(i, &v)| (v, i % 2 == 0))
+            .collect();
+        b.iter(|| {
+            space
+                .mgr()
+                .with(|m| m.restrict_assignment(chi.node_id(), &assignment))
+        })
+    });
+
+    group.bench_function("support_size_int9", |b| {
+        b.iter(|| {
+            space.mgr().with(|m| {
+                let f = chi.node_id();
+                m.size(f) + m.support(f).len()
+            })
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_bdd_ops, bench_bdd_kernel);
 criterion_main!(benches);

@@ -1,0 +1,416 @@
+//! The BDD-kernel measurement harness: microbenchmarks of the hashing and
+//! caching layer every solver bottoms out in, plus seeded end-to-end solve
+//! timings, emitted as the `BENCH_bdd_kernel.json` perf trajectory.
+//!
+//! Every workload is a pure function of fixed seeds, so two runs of the
+//! harness on the same machine measure the same operation stream and the
+//! recorded numbers are comparable across kernel revisions. The checked-in
+//! `BENCH_bdd_kernel.json` keeps one labelled run per kernel generation;
+//! regenerate a run with
+//! `cargo run --release -p brel-bench --bin bdd_kernel -- --label <name>`.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+use brel_bdd::{BddManager, CacheStats, NodeId, Var};
+use brel_benchdata::table2 as family;
+use brel_engine::Json;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::engine_batch;
+
+/// Harness configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelBenchOptions {
+    /// Timed iterations per microbenchmark (after one warm-up iteration).
+    pub iters: usize,
+    /// Table-2 instances in the end-to-end batch.
+    pub table2_instances: usize,
+    /// Seeded random relations in the end-to-end batch.
+    pub random_relations: usize,
+    /// Label recorded in the emitted JSON (names the kernel generation).
+    pub label: String,
+}
+
+impl KernelBenchOptions {
+    /// The full measurement configuration.
+    pub fn full(label: impl Into<String>) -> Self {
+        KernelBenchOptions {
+            iters: 40,
+            table2_instances: usize::MAX,
+            random_relations: 8,
+            label: label.into(),
+        }
+    }
+
+    /// The CI smoke configuration: few iterations, small batch, so the
+    /// harness finishes in seconds while still exercising every workload.
+    pub fn smoke(label: impl Into<String>) -> Self {
+        KernelBenchOptions {
+            iters: 5,
+            table2_instances: 4,
+            random_relations: 2,
+            label: label.into(),
+        }
+    }
+}
+
+/// One timed microbenchmark.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchResult {
+    /// Workload name.
+    pub name: &'static str,
+    /// Timed iterations.
+    pub iters: usize,
+    /// Total wall time of the timed iterations, in nanoseconds. Sub-µs
+    /// workloads run thousands of iterations, so the mean stays well above
+    /// timer resolution.
+    pub total_nanos: u64,
+}
+
+impl BenchResult {
+    /// Mean wall time per iteration in nanoseconds.
+    pub fn per_iter_nanos(&self) -> u64 {
+        if self.iters == 0 {
+            0
+        } else {
+            self.total_nanos / self.iters as u64
+        }
+    }
+
+    /// Total wall time in microseconds (for JSON output).
+    pub fn total_micros(&self) -> u64 {
+        self.total_nanos / 1000
+    }
+}
+
+/// The complete harness output.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelReport {
+    /// The configuration label (kernel generation name).
+    pub label: String,
+    /// Every microbenchmark result, in execution order.
+    pub benches: Vec<BenchResult>,
+    /// End-to-end batch: number of jobs solved.
+    pub batch_jobs: usize,
+    /// End-to-end batch: total winner cost (a determinism fingerprint —
+    /// it must not change when only the kernel gets faster).
+    pub batch_total_cost: u64,
+    /// End-to-end batch: wall time on one worker, in microseconds.
+    pub batch_wall_micros: u64,
+    /// Table-1 ISF-minimization sweep wall time, in microseconds.
+    pub table1_wall_micros: u64,
+    /// Kernel cache counters accumulated by the microbenchmark managers.
+    pub kernel: Vec<(&'static str, u64)>,
+}
+
+fn time<F: FnMut()>(name: &'static str, iters: usize, mut routine: F) -> BenchResult {
+    routine(); // warm-up
+    let start = Instant::now();
+    for _ in 0..iters {
+        routine();
+    }
+    BenchResult {
+        name,
+        iters,
+        total_nanos: u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX),
+    }
+}
+
+/// Builds a deterministic random SOP over `num_vars` variables: `num_cubes`
+/// cubes of six literals each, or-ed together. The workload every
+/// characteristic-function construction reduces to.
+fn random_sop(mgr: &mut BddManager, num_vars: usize, num_cubes: usize, seed: u64) -> NodeId {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut acc = NodeId::ZERO;
+    for _ in 0..num_cubes {
+        let mut cube = NodeId::ONE;
+        for _ in 0..6 {
+            let v = Var(rng.gen_range(0..num_vars as u32));
+            let lit = mgr.literal(v, rng.gen_bool(0.5));
+            cube = mgr.and(cube, lit);
+        }
+        acc = mgr.or(acc, cube);
+    }
+    acc
+}
+
+/// Runs the harness and collects the report.
+pub fn run(options: &KernelBenchOptions) -> KernelReport {
+    let mut benches = Vec::new();
+    let iters = options.iters;
+    // Warm-manager workloads are fast (ns–µs); run two orders of magnitude
+    // more iterations so their means sit far above timer resolution.
+    let fast_iters = options.iters * 100;
+
+    // Cold-manager construction: unique-table insertion and ite from an
+    // empty arena; nothing can hit a warm cache.
+    benches.push(time("build_random_sop_24v", iters, || {
+        let mut m = BddManager::new(24);
+        let f = random_sop(&mut m, 24, 220, 7);
+        std::hint::black_box(m.size(f));
+    }));
+
+    // Characteristic construction through the relation layer, as the
+    // Table-2 generators do it.
+    let int9 = family::instance("int9").expect("known instance");
+    benches.push(time("characteristic_int9", iters, || {
+        let (_space, relation) = family::generate(&int9);
+        std::hint::black_box(relation.size());
+    }));
+
+    // Cold quantification/cofactor path: a fresh manager per iteration, so
+    // nothing can come out of a persistent cache and the recursion + `mk`
+    // compute path is what gets timed. Guards the warm benches below
+    // against a compute-path regression hiding behind cache hits.
+    benches.push(time("quantify_cold_int9", iters, || {
+        let (cold_space, cold_relation) = family::generate(&int9);
+        cold_space.mgr().with(|m| {
+            let f = cold_relation.characteristic().node_id();
+            let outputs = cold_space.output_vars().to_vec();
+            let e = m.exists_many(f, &outputs);
+            let a = m.forall_many(f, &outputs);
+            let mut acc = e.index() + a.index();
+            for v in 0..cold_space.num_inputs() as u32 {
+                acc += m.cofactor(f, Var(v), true).index();
+            }
+            std::hint::black_box(acc);
+        });
+    }));
+
+    // Warm-manager workloads share one manager across iterations, the way
+    // the solvers hammer one manager during branch-and-bound; these measure
+    // the persistent-cache hit path deliberately (the rebuilt kernel's
+    // design point), while the cold benches above keep the compute path
+    // honest.
+    let (space, relation) = family::generate(&int9);
+    let chi = relation.characteristic().clone();
+    let num_vars = space.mgr().num_vars();
+    let all_vars: Vec<Var> = (0..num_vars).map(Var::from).collect();
+    let output_vars: Vec<Var> = space.output_vars().to_vec();
+
+    benches.push(time("ite_products_int9", fast_iters, || {
+        let total: usize = (0..output_vars.len())
+            .map(|i| {
+                let p = relation.projection(i);
+                let f = p.on().xor(&chi).and(&p.upper()).or(p.on());
+                f.size()
+            })
+            .sum();
+        std::hint::black_box(total);
+    }));
+
+    benches.push(time("cofactor_sweep_int9", fast_iters, || {
+        let mut acc = 0usize;
+        space.mgr().with(|m| {
+            let f = chi.node_id();
+            for &v in &all_vars {
+                acc += m.cofactor(f, v, false).index();
+                acc += m.cofactor(f, v, true).index();
+            }
+        });
+        std::hint::black_box(acc);
+    }));
+
+    benches.push(time("exists_outputs_int9", fast_iters, || {
+        space.mgr().with(|m| {
+            let f = chi.node_id();
+            let e = m.exists_many(f, &output_vars);
+            let a = m.forall_many(f, &output_vars);
+            std::hint::black_box((e, a));
+        });
+    }));
+
+    benches.push(time("restrict_assignment_int9", fast_iters, || {
+        space.mgr().with(|m| {
+            let f = chi.node_id();
+            let assignment: Vec<(Var, bool)> = space
+                .input_vars()
+                .iter()
+                .take(4)
+                .enumerate()
+                .map(|(i, &v)| (v, i % 2 == 0))
+                .collect();
+            std::hint::black_box(m.restrict_assignment(f, &assignment));
+        });
+    }));
+
+    benches.push(time("support_size_int9", fast_iters, || {
+        space.mgr().with(|m| {
+            let f = chi.node_id();
+            let s = m.size(f) + m.support(f).len() + m.shared_size(&[f, NodeId::ONE]);
+            std::hint::black_box(s);
+        });
+    }));
+
+    // Monotone variable renaming, the relation layer's "shift outputs after
+    // inputs" workload, on a dedicated manager so the shifted region exists.
+    let mut rename_mgr = BddManager::new(16);
+    let rename_f = random_sop(&mut rename_mgr, 8, 120, 11);
+    let shift: HashMap<Var, Var> = (0..8u32).map(|i| (Var(i), Var(i + 8))).collect();
+    benches.push(time("rename_shift_16v", fast_iters, || {
+        std::hint::black_box(rename_mgr.rename_vars(rename_f, &shift));
+    }));
+
+    // Counters summed over every microbenchmark manager: the shared int9
+    // space manager (ite/cofactor/quantification/restrict/support
+    // workloads) plus the dedicated rename manager.
+    let kernel = kernel_counters(&[space.mgr().cache_stats(), rename_mgr.cache_stats()]);
+
+    // End-to-end: the seeded Table-2 + random-relation portfolio batch on a
+    // single worker (so wall time is solver time, not scheduling noise).
+    let jobs = engine_batch::corpus(&engine_batch::CorpusOptions {
+        table2_instances: options.table2_instances,
+        random_relations: options.random_relations,
+        ..engine_batch::CorpusOptions::full()
+    });
+    let batch_start = Instant::now();
+    let batch = engine_batch::run(&jobs, 1);
+    let batch_wall_micros = u64::try_from(batch_start.elapsed().as_micros()).unwrap_or(u64::MAX);
+    let batch_total_cost = batch
+        .jobs
+        .iter()
+        .filter_map(|j| j.winning().map(|w| w.cost))
+        .sum();
+
+    // End-to-end: the Table-1 ISF-minimization strategy sweep.
+    let table1_instances = if options.table2_instances == usize::MAX {
+        usize::MAX
+    } else {
+        options.table2_instances.min(4)
+    };
+    let t1_start = Instant::now();
+    let rows = crate::table1::run(table1_instances);
+    let table1_wall_micros = u64::try_from(t1_start.elapsed().as_micros()).unwrap_or(u64::MAX);
+    std::hint::black_box(rows.len());
+
+    KernelReport {
+        label: options.label.clone(),
+        benches,
+        batch_jobs: batch.jobs.len(),
+        batch_total_cost,
+        batch_wall_micros,
+        table1_wall_micros,
+        kernel,
+    }
+}
+
+/// Sums the kernel's cache counters over the microbenchmark managers, as
+/// ordered `(name, value)` pairs ready for JSON (gauges are omitted — a
+/// sum of load factors or slot counts across managers means nothing).
+fn kernel_counters(stats: &[CacheStats]) -> Vec<(&'static str, u64)> {
+    let sum = |f: fn(&CacheStats) -> u64| stats.iter().map(f).sum();
+    vec![
+        ("unique_lookups", sum(|s| s.unique_lookups)),
+        ("unique_hits", sum(|s| s.unique_hits)),
+        ("cache_lookups", sum(|s| s.cache_lookups)),
+        ("cache_hits", sum(|s| s.cache_hits)),
+        ("cache_inserts", sum(|s| s.cache_inserts)),
+        ("cache_evictions", sum(|s| s.cache_evictions)),
+    ]
+}
+
+impl KernelReport {
+    /// The JSON representation of one harness run.
+    pub fn to_json(&self) -> Json {
+        Json::object(vec![
+            ("schema", Json::str("brel-bench/bdd-kernel-run-v1")),
+            ("label", Json::str(&self.label)),
+            (
+                "benches",
+                Json::Array(
+                    self.benches
+                        .iter()
+                        .map(|b| {
+                            Json::object(vec![
+                                ("name", Json::str(b.name)),
+                                ("iters", Json::UInt(b.iters as u64)),
+                                ("total_micros", Json::UInt(b.total_micros())),
+                                ("per_iter_nanos", Json::UInt(b.per_iter_nanos())),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "end_to_end",
+                Json::object(vec![
+                    ("batch_jobs", Json::UInt(self.batch_jobs as u64)),
+                    ("batch_total_cost", Json::UInt(self.batch_total_cost)),
+                    ("batch_wall_micros", Json::UInt(self.batch_wall_micros)),
+                    ("table1_wall_micros", Json::UInt(self.table1_wall_micros)),
+                ]),
+            ),
+            (
+                "kernel_counters",
+                Json::Object(
+                    self.kernel
+                        .iter()
+                        .map(|(k, v)| (k.to_string(), Json::UInt(*v)))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Human-readable rendering.
+    pub fn render(&self) -> String {
+        let mut out = format!("BDD kernel harness [{}]\n", self.label);
+        for b in &self.benches {
+            out.push_str(&format!(
+                "{:26} {:>12} ns/iter  ({} iters)\n",
+                b.name,
+                b.per_iter_nanos(),
+                b.iters
+            ));
+        }
+        out.push_str(&format!(
+            "table2_batch               {:>12} us  ({} jobs, total cost {})\n",
+            self.batch_wall_micros, self.batch_jobs, self.batch_total_cost
+        ));
+        out.push_str(&format!(
+            "table1_sweep               {:>12} us\n",
+            self.table1_wall_micros
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_run_times_every_workload() {
+        let options = KernelBenchOptions {
+            iters: 1,
+            table2_instances: 1,
+            random_relations: 1,
+            label: "test".into(),
+        };
+        let report = run(&options);
+        assert_eq!(report.label, "test");
+        assert_eq!(report.benches.len(), 9);
+        assert!(report.benches.iter().all(|b| b.iters >= 1));
+        assert_eq!(report.batch_jobs, 2);
+        assert!(report.batch_total_cost > 0);
+        let json = report.to_json().render();
+        assert!(json.contains("\"schema\":\"brel-bench/bdd-kernel-run-v1\""));
+        assert!(json.contains("build_random_sop_24v"));
+        assert!(json.contains("batch_total_cost"));
+        let text = report.render();
+        assert!(text.contains("table2_batch"));
+    }
+
+    #[test]
+    fn per_iter_handles_zero_iters() {
+        let b = BenchResult {
+            name: "x",
+            iters: 0,
+            total_nanos: 5_000,
+        };
+        assert_eq!(b.per_iter_nanos(), 0);
+        assert_eq!(b.total_micros(), 5);
+    }
+}

@@ -1,0 +1,75 @@
+//! Runs the BDD-kernel measurement harness and emits one labelled JSON run
+//! for the `BENCH_bdd_kernel.json` perf trajectory.
+//!
+//! Usage: `cargo run --release -p brel-bench --bin bdd_kernel -- [flags]`
+//!
+//! Flags:
+//!
+//! * `--smoke`       few iterations and a small end-to-end batch (CI gate)
+//! * `--label NAME`  label recorded in the JSON (default: `dev`)
+//! * `--iters N`     override the per-benchmark iteration count
+//! * `--out FILE`    write the JSON run to FILE (default: stdout)
+//!
+//! The human-readable table always goes to stderr so `--out -`-style
+//! pipelines stay clean.
+
+use std::process::ExitCode;
+
+use brel_bench::bdd_kernel::{run, KernelBenchOptions};
+
+fn main() -> ExitCode {
+    let mut smoke = false;
+    let mut label = String::from("dev");
+    let mut iters: Option<usize> = None;
+    let mut out: Option<String> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--label" => match args.next() {
+                Some(v) => label = v,
+                None => return usage("--label needs a value"),
+            },
+            "--iters" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) => iters = Some(n),
+                None => return usage("--iters needs a number"),
+            },
+            "--out" => match args.next() {
+                Some(v) => out = Some(v),
+                None => return usage("--out needs a path"),
+            },
+            other => return usage(&format!("unknown flag `{other}`")),
+        }
+    }
+
+    let mut options = if smoke {
+        KernelBenchOptions::smoke(label)
+    } else {
+        KernelBenchOptions::full(label)
+    };
+    if let Some(n) = iters {
+        options.iters = n;
+    }
+
+    let report = run(&options);
+    eprint!("{}", report.render());
+    let json = report.to_json().render_pretty();
+    match out {
+        Some(path) => {
+            if let Err(e) = std::fs::write(&path, json) {
+                eprintln!("bdd_kernel: cannot write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!("bdd_kernel: wrote {path}");
+        }
+        None => print!("{json}"),
+    }
+    ExitCode::SUCCESS
+}
+
+fn usage(error: &str) -> ExitCode {
+    eprintln!("bdd_kernel: {error}");
+    eprintln!("usage: bdd_kernel [--smoke] [--label NAME] [--iters N] [--out FILE]");
+    ExitCode::FAILURE
+}

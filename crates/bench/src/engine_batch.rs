@@ -95,7 +95,7 @@ pub fn render(report: &BatchReport) -> String {
         report.num_workers,
         report.wall_micros as f64 / 1e6,
     ));
-    out.push_str("name     PI PO | backend    cost cubes lits expl     cpu[s] | winner\n");
+    out.push_str("name     PI PO | backend    cost cubes lits expl  hit%     cpu[s] | winner\n");
     for job in &report.jobs {
         if let Some(error) = &job.error {
             out.push_str(&format!(
@@ -111,12 +111,13 @@ pub fn render(report: &BatchReport) -> String {
                 " ".repeat(14)
             };
             out.push_str(&format!(
-                "{prefix} | {:8} {:6} {:5} {:4} {:4} {:10.4} | {}\n",
+                "{prefix} | {:8} {:6} {:5} {:4} {:4} {:5.1} {:10.4} | {}\n",
                 attempt.backend.name(),
                 attempt.cost,
                 attempt.cubes,
                 attempt.literals,
                 attempt.explored,
+                attempt.cache.cache_hit_rate() * 100.0,
                 attempt.wall_micros as f64 / 1e6,
                 if job.winner == Some(i) {
                     "<-- winner"

@@ -14,6 +14,7 @@
 //! | Table 3 (mux-latch decomposition) | [`table3`] | `table3_decomposition` |
 //! | §7.7 symmetry experiment | [`symmetry_ablation`] | `symmetry_ablation` |
 //! | Parallel portfolio batch run | [`engine_batch`] | `engine_batch` |
+//! | BDD-kernel perf trajectory | [`bdd_kernel`] | `bdd_kernel` |
 //!
 //! The table binaries accept `--json` to emit their rows through the shared
 //! `brel-engine` serializer (for `BENCH_*.json` perf trajectories); the
@@ -26,6 +27,7 @@ use brel_network::{Network, SignalId};
 use brel_relation::MultiOutputFunction;
 use brel_sop::Cover;
 
+pub mod bdd_kernel;
 pub mod engine_batch;
 pub mod symmetry_ablation;
 pub mod table1;

@@ -2,6 +2,7 @@
 
 use std::time::Instant;
 
+use brel_bdd::CacheStats;
 use brel_core::{BrelConfig, BrelSolver, CostFunction, QuickSolver};
 use brel_gyocro::{GyocroConfig, GyocroSolver};
 use brel_relation::{BooleanRelation, MultiOutputFunction, RelationError};
@@ -113,6 +114,11 @@ pub struct SolutionReport {
     pub literals: usize,
     /// Backend-specific exploration count.
     pub explored: usize,
+    /// BDD-kernel cache counters attributed to this backend run: the delta
+    /// of the relation's manager counters across the solve. Deterministic
+    /// (a pure function of the operation sequence), so it participates in
+    /// reproducible serializations, unlike `wall_micros`.
+    pub cache: CacheStats,
     /// Wall-clock solve time in microseconds. Excluded from deterministic
     /// serializations (see [`crate::report`]).
     pub wall_micros: u64,
@@ -132,18 +138,25 @@ pub fn execute(
     relation: &BooleanRelation,
 ) -> Result<SolutionReport, RelationError> {
     let backend = instantiate(kind, cost, budget);
+    let stats_before = relation.space().mgr().cache_stats();
     let start = Instant::now();
     let run = backend.run(relation)?;
     let wall = start.elapsed();
     debug_assert!(relation.is_compatible(&run.function));
-    Ok(SolutionReport {
+    let report = SolutionReport {
         backend: kind,
         cost: cost.to_cost_fn().cost(&run.function),
         cubes: run.function.num_cubes(),
         literals: run.function.num_literals(),
         explored: run.explored,
+        cache: relation
+            .space()
+            .mgr()
+            .cache_stats()
+            .delta_since(&stats_before),
         wall_micros: u64::try_from(wall.as_micros()).unwrap_or(u64::MAX),
-    })
+    };
+    Ok(report)
 }
 
 #[cfg(test)]

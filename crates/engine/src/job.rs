@@ -142,8 +142,18 @@ impl RelationSpec {
 
     /// Rebuilds the relation inside a fresh, private BDD manager. Called by
     /// each worker; the result never leaves the worker's thread.
+    ///
+    /// The manager is pre-sized from the row count: a characteristic
+    /// function built from `P` related pairs over `n + m` variables lands
+    /// near `P · (n + m)` decision nodes in the common case, so reserving
+    /// that many up front lets worker-pool managers typically build
+    /// without a unique-table rehash (an unlucky row set whose
+    /// intermediate disjunctions outgrow the estimate still rehashes —
+    /// the table grows automatically).
     pub fn rehydrate(&self) -> (RelationSpace, BooleanRelation) {
-        let space = RelationSpace::new(self.num_inputs, self.num_outputs);
+        let pairs: usize = self.rows.iter().map(|(_, outs)| outs.len().max(1)).sum();
+        let expected_nodes = pairs.saturating_mul(self.num_inputs + self.num_outputs);
+        let space = RelationSpace::with_capacity(self.num_inputs, self.num_outputs, expected_nodes);
         let relation = BooleanRelation::from_rows(&space, &self.rows)
             .expect("arities were validated at construction");
         (space, relation)

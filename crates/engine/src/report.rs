@@ -167,7 +167,9 @@ fn escape_into(s: &str, out: &mut String) {
 }
 
 impl SolutionReport {
-    /// The JSON representation of one backend attempt.
+    /// The JSON representation of one backend attempt. The `cache` block
+    /// carries the BDD-kernel counters attributed to this run; like every
+    /// non-timing field it is deterministic across worker counts.
     pub fn to_json(&self, include_timing: bool) -> Json {
         let mut fields = vec![
             ("backend", Json::str(self.backend.name())),
@@ -175,6 +177,23 @@ impl SolutionReport {
             ("cubes", Json::UInt(self.cubes as u64)),
             ("literals", Json::UInt(self.literals as u64)),
             ("explored", Json::UInt(self.explored as u64)),
+            (
+                "cache",
+                Json::object(vec![
+                    ("lookups", Json::UInt(self.cache.cache_lookups)),
+                    ("hits", Json::UInt(self.cache.cache_hits)),
+                    ("hit_rate", Json::Float(self.cache.cache_hit_rate())),
+                    ("inserts", Json::UInt(self.cache.cache_inserts)),
+                    ("evictions", Json::UInt(self.cache.cache_evictions)),
+                    ("unique_lookups", Json::UInt(self.cache.unique_lookups)),
+                    ("unique_hits", Json::UInt(self.cache.unique_hits)),
+                    (
+                        "unique_load_factor",
+                        Json::Float(self.cache.unique_load_factor()),
+                    ),
+                    ("nodes", Json::UInt(self.cache.num_nodes)),
+                ]),
+            ),
         ];
         if include_timing {
             fields.push(("wall_micros", Json::UInt(self.wall_micros)));
@@ -258,8 +277,9 @@ impl BatchReport {
     /// job is invisible to CSV consumers. With `include_timing` off the
     /// output is byte-identical across worker counts.
     pub fn to_csv(&self, include_timing: bool) -> String {
-        let mut out =
-            String::from("job_id,name,inputs,outputs,backend,winner,cost,cubes,literals,explored");
+        let mut out = String::from(
+            "job_id,name,inputs,outputs,backend,winner,cost,cubes,literals,explored,cache_lookups,cache_hits",
+        );
         if include_timing {
             out.push_str(",wall_micros");
         }
@@ -268,7 +288,7 @@ impl BatchReport {
             let mut line = |backend: &str, winner: u8, attempt: Option<&SolutionReport>| {
                 let _ = write!(
                     out,
-                    "{},{},{},{},{},{},{},{},{},{}",
+                    "{},{},{},{},{},{},{},{},{},{},{},{}",
                     job.job_id,
                     csv_field(&job.name),
                     job.num_inputs,
@@ -279,6 +299,8 @@ impl BatchReport {
                     attempt.map_or(0, |a| a.cubes as u64),
                     attempt.map_or(0, |a| a.literals as u64),
                     attempt.map_or(0, |a| a.explored as u64),
+                    attempt.map_or(0, |a| a.cache.cache_lookups),
+                    attempt.map_or(0, |a| a.cache.cache_hits),
                 );
                 if include_timing {
                     let _ = write!(out, ",{}", attempt.map_or(0, |a| a.wall_micros));

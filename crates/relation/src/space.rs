@@ -42,7 +42,15 @@ impl RelationSpace {
     /// `num_outputs` output variables (named `y0..`). Inputs are placed
     /// above outputs in the BDD variable order.
     pub fn new(num_inputs: usize, num_outputs: usize) -> Self {
-        let mgr = BddMgr::new(num_inputs + num_outputs);
+        Self::with_capacity(num_inputs, num_outputs, 1024)
+    }
+
+    /// Creates a space whose BDD manager is pre-sized for roughly
+    /// `expected_nodes` decision nodes. Batch workers use this when the
+    /// relation's size is known before rehydration, so building the
+    /// characteristic function triggers no unique-table rehash.
+    pub fn with_capacity(num_inputs: usize, num_outputs: usize, expected_nodes: usize) -> Self {
+        let mgr = BddMgr::with_capacity(num_inputs + num_outputs, expected_nodes);
         let inputs: Vec<Var> = (0..num_inputs).map(Var::from).collect();
         let outputs: Vec<Var> = (num_inputs..num_inputs + num_outputs)
             .map(Var::from)
