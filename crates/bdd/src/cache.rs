@@ -12,14 +12,29 @@
 //! The operation cache is shared by `ite` and every tagged unary or
 //! quantification operation. It is *lossy*: a colliding insert simply
 //! overwrites the previous entry. Losing an entry only costs a recompute,
-//! never correctness, because nodes are never garbage collected so a cached
-//! result can never dangle. This mirrors the classical BDD-package design
+//! never correctness. This mirrors the classical BDD-package design
 //! (CUDD's "computed table") and is what lets `cofactor`, `exists_many` and
 //! friends persist results *across* calls instead of allocating a fresh
 //! memo table per call.
+//!
+//! Earlier kernel generations argued cache safety from an append-only
+//! arena ("nodes are never garbage collected, so a cached result can never
+//! dangle"). That argument is gone: the kernel now reclaims dead nodes
+//! (see [`crate::gc`]). The replacement invariant is epoch-based — between
+//! two sweeps every arena slot is stable, and **every sweep that reclaims
+//! anything flushes the operation cache and rebuilds the unique table from
+//! the survivors**, so no entry from a previous epoch survives into one
+//! where its slots may have been reused. Dynamic reordering (see
+//! [`crate::reorder`]) deliberately does *not* flush: the in-place level
+//! swap preserves the Boolean function denoted by every node id, and cache
+//! entries relate ids as functions.
+//!
+//! Reclamation also means the unique table must support deletion: removal
+//! marks the slot with a tombstone that probing walks over and insertion
+//! reuses; growth and the post-sweep rebuild drop tombstones wholesale.
 
 use crate::manager::Node;
-use crate::manager::{NodeId, Var};
+use crate::manager::{NodeId, Var, FREE_VAR};
 
 /// Fx-hash multiplier (the firefox hash; also used by rustc).
 const FX_SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
@@ -111,16 +126,20 @@ impl CacheStats {
 
 /// Sentinel for an empty unique-table slot.
 const UNIQUE_EMPTY: u32 = u32::MAX;
+/// Sentinel for a deleted unique-table slot: probing continues past it,
+/// insertion may reuse it.
+const UNIQUE_TOMBSTONE: u32 = u32::MAX - 1;
 
 /// Open-addressed unique table: maps `(var, lo, hi)` to the canonical
 /// arena index. Slots store only the `u32` arena index; the key is read
 /// back from the node arena during probing (linear probing, power-of-two
-/// capacity, grown at 3/4 load).
+/// capacity, grown at 3/4 load counting tombstones).
 #[derive(Debug)]
 pub(crate) struct UniqueTable {
     slots: Box<[u32]>,
     mask: usize,
     len: usize,
+    tombstones: usize,
     lookups: u64,
     hits: u64,
 }
@@ -146,13 +165,15 @@ impl UniqueTable {
             slots: empty_slots(capacity),
             mask: capacity - 1,
             len: 0,
+            tombstones: 0,
             lookups: 0,
             hits: 0,
         }
     }
 
-    /// Finds the canonical node `(var, lo, hi)`, appending a fresh node to
-    /// the arena when none exists yet.
+    /// Finds the canonical node `(var, lo, hi)`, allocating a fresh node
+    /// (from the arena free list when possible, appending otherwise) when
+    /// none exists yet.
     #[inline]
     pub(crate) fn get_or_insert(
         &mut self,
@@ -160,21 +181,47 @@ impl UniqueTable {
         lo: NodeId,
         hi: NodeId,
         nodes: &mut Vec<Node>,
+        free: &mut Vec<u32>,
     ) -> NodeId {
         self.lookups += 1;
-        if (self.len + 1) * 4 > self.slots.len() * 3 {
-            self.grow(self.slots.len() * 2, nodes);
+        if (self.len + self.tombstones + 1) * 4 > self.slots.len() * 3 {
+            self.grow(
+                capacity_for(self.len * 2, Self::MIN_CAPACITY).max(self.slots.len()),
+                nodes,
+            );
         }
         let mut i = hash3(var.0, lo.0, hi.0) as usize & self.mask;
+        let mut reuse: Option<usize> = None;
         loop {
             let entry = self.slots[i];
             if entry == UNIQUE_EMPTY {
-                let id = nodes.len() as u32;
-                debug_assert!(id < UNIQUE_EMPTY, "node arena exhausted u32 indices");
-                nodes.push(Node { var, lo, hi });
-                self.slots[i] = id;
+                let node = Node { var, lo, hi };
+                let id = match free.pop() {
+                    Some(slot) => {
+                        nodes[slot as usize] = node;
+                        slot
+                    }
+                    None => {
+                        let id = nodes.len() as u32;
+                        debug_assert!(id < UNIQUE_TOMBSTONE, "node arena exhausted u32 indices");
+                        nodes.push(node);
+                        id
+                    }
+                };
+                let target = reuse.unwrap_or(i);
+                if reuse.is_some() {
+                    self.tombstones -= 1;
+                }
+                self.slots[target] = id;
                 self.len += 1;
                 return NodeId(id);
+            }
+            if entry == UNIQUE_TOMBSTONE {
+                if reuse.is_none() {
+                    reuse = Some(i);
+                }
+                i = (i + 1) & self.mask;
+                continue;
             }
             let node = &nodes[entry as usize];
             if node.var == var && node.lo == lo && node.hi == hi {
@@ -185,9 +232,82 @@ impl UniqueTable {
         }
     }
 
+    /// Inserts a node whose key is known not to be present (used by the
+    /// reorder swap after rewriting a node in place). Does not count as a
+    /// lookup.
+    pub(crate) fn insert_known(
+        &mut self,
+        var: Var,
+        lo: NodeId,
+        hi: NodeId,
+        id: NodeId,
+        nodes: &[Node],
+    ) {
+        if (self.len + self.tombstones + 1) * 4 > self.slots.len() * 3 {
+            self.grow(
+                capacity_for(self.len * 2, Self::MIN_CAPACITY).max(self.slots.len()),
+                nodes,
+            );
+        }
+        let mut i = hash3(var.0, lo.0, hi.0) as usize & self.mask;
+        loop {
+            let entry = self.slots[i];
+            if entry == UNIQUE_EMPTY || entry == UNIQUE_TOMBSTONE {
+                if entry == UNIQUE_TOMBSTONE {
+                    self.tombstones -= 1;
+                }
+                self.slots[i] = id.0;
+                self.len += 1;
+                return;
+            }
+            debug_assert!(entry != id.0, "insert_known: id already present");
+            i = (i + 1) & self.mask;
+        }
+    }
+
+    /// Deletes the entry of `id` (keyed `(var, lo, hi)`), leaving a
+    /// tombstone so later probes keep walking.
+    pub(crate) fn remove(&mut self, var: Var, lo: NodeId, hi: NodeId, id: NodeId) {
+        let mut i = hash3(var.0, lo.0, hi.0) as usize & self.mask;
+        loop {
+            let entry = self.slots[i];
+            assert!(entry != UNIQUE_EMPTY, "remove: node not in unique table");
+            if entry == id.0 {
+                self.slots[i] = UNIQUE_TOMBSTONE;
+                self.len -= 1;
+                self.tombstones += 1;
+                return;
+            }
+            i = (i + 1) & self.mask;
+        }
+    }
+
+    /// Rebuilds the table from the arena after a sweep or compaction:
+    /// every non-terminal, non-free slot is reinserted; tombstones and
+    /// stale entries are dropped wholesale.
+    pub(crate) fn rebuild(&mut self, nodes: &[Node]) {
+        let live = nodes.len().saturating_sub(2);
+        let capacity = capacity_for(live, Self::MIN_CAPACITY);
+        self.slots = empty_slots(capacity);
+        self.mask = capacity - 1;
+        self.len = 0;
+        self.tombstones = 0;
+        for (index, node) in nodes.iter().enumerate().skip(2) {
+            if node.var.0 == FREE_VAR {
+                continue;
+            }
+            let mut i = hash3(node.var.0, node.lo.0, node.hi.0) as usize & self.mask;
+            while self.slots[i] != UNIQUE_EMPTY {
+                i = (i + 1) & self.mask;
+            }
+            self.slots[i] = index as u32;
+            self.len += 1;
+        }
+    }
+
     /// Pre-grows the table so `additional` more nodes fit without a rehash.
     pub(crate) fn reserve(&mut self, additional: usize, nodes: &[Node]) {
-        let capacity = capacity_for(self.len + additional, Self::MIN_CAPACITY);
+        let capacity = capacity_for(self.len + self.tombstones + additional, Self::MIN_CAPACITY);
         if capacity > self.slots.len() {
             self.grow(capacity, nodes);
         }
@@ -196,8 +316,9 @@ impl UniqueTable {
     fn grow(&mut self, new_capacity: usize, nodes: &[Node]) {
         let old = std::mem::replace(&mut self.slots, empty_slots(new_capacity));
         self.mask = new_capacity - 1;
+        self.tombstones = 0;
         for &entry in old.iter() {
-            if entry == UNIQUE_EMPTY {
+            if entry == UNIQUE_EMPTY || entry == UNIQUE_TOMBSTONE {
                 continue;
             }
             let node = &nodes[entry as usize];
@@ -409,22 +530,77 @@ mod tests {
                 hi: NodeId::ONE,
             },
         ];
+        let mut free: Vec<u32> = Vec::new();
         let mut table = UniqueTable::with_capacity(0);
         let initial_capacity = table.capacity();
         // Insert enough distinct nodes to force at least one growth.
         let mut ids = Vec::new();
         for v in 0..1024u32 {
-            ids.push(table.get_or_insert(Var(v), NodeId::ZERO, NodeId::ONE, &mut nodes));
+            ids.push(table.get_or_insert(Var(v), NodeId::ZERO, NodeId::ONE, &mut nodes, &mut free));
         }
         assert!(table.capacity() > initial_capacity);
         assert_eq!(table.len(), 1024);
         // Every node is still found after rehashing.
         for (v, &id) in ids.iter().enumerate() {
-            let again = table.get_or_insert(Var(v as u32), NodeId::ZERO, NodeId::ONE, &mut nodes);
+            let again = table.get_or_insert(
+                Var(v as u32),
+                NodeId::ZERO,
+                NodeId::ONE,
+                &mut nodes,
+                &mut free,
+            );
             assert_eq!(again, id);
         }
         assert_eq!(table.hits(), 1024);
         assert_eq!(table.lookups(), 2048);
+    }
+
+    #[test]
+    fn unique_table_remove_and_reinsert_through_tombstones() {
+        let mut nodes = vec![
+            Node {
+                var: Var(u32::MAX),
+                lo: NodeId::ZERO,
+                hi: NodeId::ZERO,
+            },
+            Node {
+                var: Var(u32::MAX),
+                lo: NodeId::ONE,
+                hi: NodeId::ONE,
+            },
+        ];
+        let mut free: Vec<u32> = Vec::new();
+        let mut table = UniqueTable::with_capacity(64);
+        let mut ids = Vec::new();
+        for v in 0..64u32 {
+            ids.push(table.get_or_insert(Var(v), NodeId::ZERO, NodeId::ONE, &mut nodes, &mut free));
+        }
+        // Delete every other node, leaving tombstones behind.
+        for (v, &id) in ids.iter().enumerate().step_by(2) {
+            table.remove(Var(v as u32), NodeId::ZERO, NodeId::ONE, id);
+        }
+        assert_eq!(table.len(), 32);
+        // Survivors still probe past the tombstones.
+        for (v, &id) in ids.iter().enumerate().skip(1).step_by(2) {
+            let again = table.get_or_insert(
+                Var(v as u32),
+                NodeId::ZERO,
+                NodeId::ONE,
+                &mut nodes,
+                &mut free,
+            );
+            assert_eq!(again, id);
+        }
+        // Reinsert a removed key through a free-listed arena slot.
+        free.push(ids[0].0);
+        nodes[ids[0].index()] = Node {
+            var: Var(u32::MAX),
+            lo: NodeId::ZERO,
+            hi: NodeId::ZERO,
+        };
+        let back = table.get_or_insert(Var(0), NodeId::ZERO, NodeId::ONE, &mut nodes, &mut free);
+        assert_eq!(back, ids[0], "free-listed slot is reused");
+        assert!(free.is_empty());
     }
 
     #[test]

@@ -9,7 +9,7 @@
 //! that do not appear in `f`, which avoids gratuitous support growth.
 
 use crate::cache::OpTag;
-use crate::manager::{BddManager, NodeId, Var};
+use crate::manager::{BddManager, NodeId};
 
 impl BddManager {
     /// The `constrain` generalized cofactor `f ↓ c`.
@@ -39,7 +39,7 @@ impl BddManager {
         let lf = self.level(f);
         let lc = self.level(c);
         let top = lf.min(lc);
-        let v = Var(top);
+        let v = self.level_var(top);
         let (f0, f1) = if lf == top {
             self.node_children(f)
         } else {
@@ -187,6 +187,7 @@ impl BddManager {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::manager::Var;
 
     /// Checks the defining property of a generalized cofactor:
     /// on the care set the result agrees with `f`.

@@ -5,6 +5,16 @@
 //! ordinary values. All the operations of the raw manager are mirrored here;
 //! the higher-level crates (`brel-relation`, `brel-core`, `brel-network`)
 //! exclusively use these handles.
+//!
+//! The handles are also the kernel's *rooting discipline*: every `Bdd`
+//! registers an external reference in the manager's root table when it is
+//! created (and when it is cloned) and releases it when dropped, so the
+//! garbage collector knows exactly which functions are externally alive.
+//! A `Bdd` stores a root-table *slot*, not a raw [`NodeId`]; it resolves
+//! the current id on use, which keeps handles valid across
+//! [`BddMgr::compact`] (which renumbers nodes). Every operation that
+//! returns a `Bdd` passes a GC safe point after the result is rooted — the
+//! only moments automatic collection or reordering actually run.
 
 use std::cell::RefCell;
 use std::fmt;
@@ -13,6 +23,7 @@ use std::ops::{BitAnd, BitOr, BitXor, Not};
 use std::rc::Rc;
 
 use crate::cache::CacheStats;
+use crate::gc::{GcStats, SharedRoots};
 use crate::isop::IsopResult;
 use crate::manager::{BddManager, NodeId, Var};
 use crate::paths::PathCube;
@@ -66,15 +77,80 @@ impl BddMgr {
         self.inner.borrow().cache_stats()
     }
 
+    /// The kernel's lifecycle counters (collections, reclaimed nodes, peak
+    /// live nodes, reorder passes, variable-order hash).
+    pub fn gc_stats(&self) -> GcStats {
+        self.inner.borrow().gc_stats()
+    }
+
+    /// Runs a mark-and-sweep collection now; returns reclaimed node count.
+    pub fn collect_garbage(&self) -> usize {
+        self.inner.borrow_mut().collect_garbage()
+    }
+
+    /// Compacts the arena (dense renumbering); `Bdd` handles stay valid,
+    /// raw [`NodeId`]s held outside handles do not. Returns the live node
+    /// count.
+    pub fn compact(&self) -> usize {
+        self.inner.borrow_mut().compact()
+    }
+
+    /// Runs one sifting pass of dynamic variable reordering and a final
+    /// sweep; returns the live node count afterwards.
+    pub fn reorder_sift(&self) -> usize {
+        self.inner.borrow_mut().reorder_sift()
+    }
+
+    /// Enables or disables automatic collection.
+    pub fn set_auto_gc(&self, enabled: bool) {
+        self.inner.borrow_mut().set_auto_gc(enabled);
+    }
+
+    /// Sets the live-node floor of the automatic-GC growth trigger.
+    pub fn set_gc_threshold(&self, min_nodes: usize) {
+        self.inner.borrow_mut().set_gc_threshold(min_nodes);
+    }
+
+    /// Enables or disables automatic sifting on node-count doubling.
+    pub fn set_auto_reorder(&self, enabled: bool) {
+        self.inner.borrow_mut().set_auto_reorder(enabled);
+    }
+
+    /// Re-bases the `peak_live_nodes` gauge to the current live count.
+    pub fn reset_peak_live_nodes(&self) {
+        self.inner.borrow_mut().reset_peak_live_nodes();
+    }
+
+    /// Decision nodes currently allocated (arena minus free list).
+    pub fn live_nodes(&self) -> usize {
+        self.inner.borrow().live_nodes()
+    }
+
+    /// Live external root slots (one per distinct `Bdd` lineage).
+    pub fn live_roots(&self) -> usize {
+        self.inner.borrow().live_roots()
+    }
+
+    /// The current variable order, top level first.
+    pub fn var_order(&self) -> Vec<Var> {
+        self.inner.borrow().var_order()
+    }
+
     /// Returns `true` if two handles refer to the same underlying manager.
     pub fn same_manager(&self, other: &BddMgr) -> bool {
         Rc::ptr_eq(&self.inner, &other.inner)
     }
 
     fn wrap(&self, id: NodeId) -> Bdd {
+        let roots = self.inner.borrow().roots_handle();
+        let slot = roots.borrow_mut().retain(id);
+        // The GC safe point: the result is rooted, no raw intermediate id
+        // is live, so a pending sweep (or auto-reorder pass) may run.
+        self.inner.borrow_mut().maybe_gc();
         Bdd {
             mgr: self.clone(),
-            id,
+            roots,
+            slot,
         }
     }
 
@@ -178,7 +254,7 @@ impl BddMgr {
 
     /// Combined DAG size of several functions (shared nodes counted once).
     pub fn shared_size(&self, fs: &[Bdd]) -> usize {
-        let ids: Vec<NodeId> = fs.iter().map(|f| f.id).collect();
+        let ids: Vec<NodeId> = fs.iter().map(|f| f.node_id()).collect();
         self.inner.borrow().shared_size(&ids)
     }
 
@@ -188,30 +264,61 @@ impl BddMgr {
     }
 }
 
-/// A Boolean function: a node paired with its manager.
-#[derive(Clone)]
+/// A Boolean function: a rooted node paired with its manager.
+///
+/// Creating, cloning and dropping a `Bdd` registers/releases an external
+/// reference in the manager's root table, which is what keeps the function
+/// alive across garbage collections. The handle stores a root-table slot
+/// rather than a raw node id, so it stays valid across [`BddMgr::compact`].
 pub struct Bdd {
     mgr: BddMgr,
-    id: NodeId,
+    roots: SharedRoots,
+    slot: u32,
+}
+
+impl Clone for Bdd {
+    fn clone(&self) -> Bdd {
+        self.roots.borrow_mut().retain_slot(self.slot);
+        Bdd {
+            mgr: self.mgr.clone(),
+            roots: Rc::clone(&self.roots),
+            slot: self.slot,
+        }
+    }
+}
+
+impl Drop for Bdd {
+    fn drop(&mut self) {
+        self.roots.borrow_mut().release(self.slot);
+    }
 }
 
 impl fmt::Debug for Bdd {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "Bdd(node={}, size={})", self.id.index(), self.size())
+        write!(
+            f,
+            "Bdd(node={}, size={})",
+            self.node_id().index(),
+            self.size()
+        )
     }
 }
 
 impl PartialEq for Bdd {
     fn eq(&self, other: &Self) -> bool {
-        self.mgr.same_manager(&other.mgr) && self.id == other.id
+        self.mgr.same_manager(&other.mgr) && self.node_id() == other.node_id()
     }
 }
 
 impl Eq for Bdd {}
 
 impl Hash for Bdd {
+    /// Hashes the *current* node id. Canonicity makes this consistent with
+    /// equality, but [`BddMgr::compact`] renumbers nodes — hash-keyed
+    /// collections of `Bdd`s must not be carried across a compaction (use
+    /// a `Vec` and `==`, which resolve through the root table, instead).
     fn hash<H: Hasher>(&self, state: &mut H) {
-        self.id.hash(state);
+        self.node_id().hash(state);
     }
 }
 
@@ -228,9 +335,14 @@ impl Bdd {
         &self.mgr
     }
 
-    /// The raw node identifier.
+    /// The raw node identifier the handle currently resolves to.
+    ///
+    /// The id is only stable until the next [`BddMgr::compact`]; operations
+    /// that sweep or reorder preserve it. Re-wrap a raw id promptly with
+    /// [`Bdd::from_node_id`] if it must survive further handle operations —
+    /// unrooted ids are subject to garbage collection.
     pub fn node_id(&self) -> NodeId {
-        self.id
+        self.roots.borrow().node_of(self.slot)
     }
 
     /// Rebuilds a handle from a raw node id of the same manager.
@@ -240,56 +352,76 @@ impl Bdd {
 
     /// Returns `true` for the constant-false function.
     pub fn is_zero(&self) -> bool {
-        self.id.is_zero()
+        self.node_id().is_zero()
     }
 
     /// Returns `true` for the constant-true function.
     pub fn is_one(&self) -> bool {
-        self.id.is_one()
+        self.node_id().is_one()
     }
 
     /// Returns `true` if the function is a constant.
     pub fn is_constant(&self) -> bool {
-        self.id.is_terminal()
+        self.node_id().is_terminal()
     }
 
     /// DAG size (number of decision nodes); the paper's BDD-size cost.
     pub fn size(&self) -> usize {
-        self.mgr.inner.borrow().size(self.id)
+        self.mgr.inner.borrow().size(self.node_id())
     }
 
     /// Conjunction.
     pub fn and(&self, other: &Bdd) -> Bdd {
         self.assert_same_mgr(other);
-        let id = self.mgr.inner.borrow_mut().and(self.id, other.id);
+        let id = self
+            .mgr
+            .inner
+            .borrow_mut()
+            .and(self.node_id(), other.node_id());
         self.mgr.wrap(id)
     }
 
     /// Disjunction.
     pub fn or(&self, other: &Bdd) -> Bdd {
         self.assert_same_mgr(other);
-        let id = self.mgr.inner.borrow_mut().or(self.id, other.id);
+        let id = self
+            .mgr
+            .inner
+            .borrow_mut()
+            .or(self.node_id(), other.node_id());
         self.mgr.wrap(id)
     }
 
     /// Exclusive or.
     pub fn xor(&self, other: &Bdd) -> Bdd {
         self.assert_same_mgr(other);
-        let id = self.mgr.inner.borrow_mut().xor(self.id, other.id);
+        let id = self
+            .mgr
+            .inner
+            .borrow_mut()
+            .xor(self.node_id(), other.node_id());
         self.mgr.wrap(id)
     }
 
     /// Equivalence (`xnor`).
     pub fn iff(&self, other: &Bdd) -> Bdd {
         self.assert_same_mgr(other);
-        let id = self.mgr.inner.borrow_mut().iff(self.id, other.id);
+        let id = self
+            .mgr
+            .inner
+            .borrow_mut()
+            .iff(self.node_id(), other.node_id());
         self.mgr.wrap(id)
     }
 
     /// Implication `self → other`.
     pub fn implies(&self, other: &Bdd) -> Bdd {
         self.assert_same_mgr(other);
-        let id = self.mgr.inner.borrow_mut().implies(self.id, other.id);
+        let id = self
+            .mgr
+            .inner
+            .borrow_mut()
+            .implies(self.node_id(), other.node_id());
         self.mgr.wrap(id)
     }
 
@@ -301,7 +433,7 @@ impl Bdd {
 
     /// Negation.
     pub fn complement(&self) -> Bdd {
-        let id = self.mgr.inner.borrow_mut().not(self.id);
+        let id = self.mgr.inner.borrow_mut().not(self.node_id());
         self.mgr.wrap(id)
     }
 
@@ -314,17 +446,21 @@ impl Bdd {
     pub fn ite(&self, then_f: &Bdd, else_f: &Bdd) -> Bdd {
         self.assert_same_mgr(then_f);
         self.assert_same_mgr(else_f);
-        let id = self
-            .mgr
-            .inner
-            .borrow_mut()
-            .ite(self.id, then_f.id, else_f.id);
+        let id =
+            self.mgr
+                .inner
+                .borrow_mut()
+                .ite(self.node_id(), then_f.node_id(), else_f.node_id());
         self.mgr.wrap(id)
     }
 
     /// Shannon cofactor with respect to `var = value`.
     pub fn cofactor(&self, var: Var, value: bool) -> Bdd {
-        let id = self.mgr.inner.borrow_mut().cofactor(self.id, var, value);
+        let id = self
+            .mgr
+            .inner
+            .borrow_mut()
+            .cofactor(self.node_id(), var, value);
         self.mgr.wrap(id)
     }
 
@@ -334,32 +470,44 @@ impl Bdd {
             .mgr
             .inner
             .borrow_mut()
-            .restrict_assignment(self.id, assignment);
+            .restrict_assignment(self.node_id(), assignment);
         self.mgr.wrap(id)
     }
 
     /// Functional composition: substitute `var` by `g`.
     pub fn compose(&self, var: Var, g: &Bdd) -> Bdd {
         self.assert_same_mgr(g);
-        let id = self.mgr.inner.borrow_mut().compose(self.id, var, g.id);
+        let id = self
+            .mgr
+            .inner
+            .borrow_mut()
+            .compose(self.node_id(), var, g.node_id());
         self.mgr.wrap(id)
     }
 
     /// Exchanges two variables.
     pub fn swap_vars(&self, a: Var, b: Var) -> Bdd {
-        let id = self.mgr.inner.borrow_mut().swap_vars(self.id, a, b);
+        let id = self.mgr.inner.borrow_mut().swap_vars(self.node_id(), a, b);
         self.mgr.wrap(id)
     }
 
     /// Existential quantification of `vars`.
     pub fn exists(&self, vars: &[Var]) -> Bdd {
-        let id = self.mgr.inner.borrow_mut().exists_many(self.id, vars);
+        let id = self
+            .mgr
+            .inner
+            .borrow_mut()
+            .exists_many(self.node_id(), vars);
         self.mgr.wrap(id)
     }
 
     /// Universal quantification of `vars`.
     pub fn forall(&self, vars: &[Var]) -> Bdd {
-        let id = self.mgr.inner.borrow_mut().forall_many(self.id, vars);
+        let id = self
+            .mgr
+            .inner
+            .borrow_mut()
+            .forall_many(self.node_id(), vars);
         self.mgr.wrap(id)
     }
 
@@ -370,7 +518,11 @@ impl Bdd {
     /// Panics if `care` is the constant-false function.
     pub fn constrain(&self, care: &Bdd) -> Bdd {
         self.assert_same_mgr(care);
-        let id = self.mgr.inner.borrow_mut().constrain(self.id, care.id);
+        let id = self
+            .mgr
+            .inner
+            .borrow_mut()
+            .constrain(self.node_id(), care.node_id());
         self.mgr.wrap(id)
     }
 
@@ -381,7 +533,11 @@ impl Bdd {
     /// Panics if `care` is the constant-false function.
     pub fn restrict(&self, care: &Bdd) -> Bdd {
         self.assert_same_mgr(care);
-        let id = self.mgr.inner.borrow_mut().restrict(self.id, care.id);
+        let id = self
+            .mgr
+            .inner
+            .borrow_mut()
+            .restrict(self.node_id(), care.node_id());
         self.mgr.wrap(id)
     }
 
@@ -392,7 +548,11 @@ impl Bdd {
     /// Panics if `care` is the constant-false function.
     pub fn li_compact(&self, care: &Bdd) -> Bdd {
         self.assert_same_mgr(care);
-        let id = self.mgr.inner.borrow_mut().li_compact(self.id, care.id);
+        let id = self
+            .mgr
+            .inner
+            .borrow_mut()
+            .li_compact(self.node_id(), care.node_id());
         self.mgr.wrap(id)
     }
 
@@ -403,27 +563,30 @@ impl Bdd {
     /// Panics if `self` does not imply `upper`.
     pub fn isop_interval(&self, upper: &Bdd) -> IsopResult {
         self.assert_same_mgr(upper);
-        self.mgr.inner.borrow_mut().isop(self.id, upper.id)
+        self.mgr
+            .inner
+            .borrow_mut()
+            .isop(self.node_id(), upper.node_id())
     }
 
     /// Minato–Morreale ISOP of a completely specified function.
     pub fn isop(&self) -> IsopResult {
-        self.mgr.inner.borrow_mut().isop_exact(self.id)
+        self.mgr.inner.borrow_mut().isop_exact(self.node_id())
     }
 
     /// Support: sorted list of variables the function depends on.
     pub fn support(&self) -> Vec<Var> {
-        self.mgr.inner.borrow().support(self.id)
+        self.mgr.inner.borrow().support(self.node_id())
     }
 
     /// Evaluates the function under a complete assignment.
     pub fn eval(&self, assignment: &[bool]) -> bool {
-        self.mgr.inner.borrow().eval(self.id, assignment)
+        self.mgr.inner.borrow().eval(self.node_id(), assignment)
     }
 
     /// Number of satisfying assignments over `num_vars` variables.
     pub fn sat_count(&self, num_vars: usize) -> u128 {
-        self.mgr.inner.borrow().sat_count(self.id, num_vars)
+        self.mgr.inner.borrow().sat_count(self.node_id(), num_vars)
     }
 
     /// All satisfying minterms over `num_vars` variables.
@@ -432,28 +595,31 @@ impl Bdd {
     ///
     /// Panics if `num_vars` exceeds [`crate::EXHAUSTIVE_VAR_LIMIT`].
     pub fn minterms(&self, num_vars: usize) -> Vec<Vec<bool>> {
-        self.mgr.inner.borrow().minterms(self.id, num_vars)
+        self.mgr.inner.borrow().minterms(self.node_id(), num_vars)
     }
 
     /// The cube with the fewest literals reaching the 1-terminal, or `None`
     /// if the function is unsatisfiable.
     pub fn shortest_path(&self) -> Option<PathCube> {
-        self.mgr.inner.borrow().shortest_path(self.id)
+        self.mgr.inner.borrow().shortest_path(self.node_id())
     }
 
     /// One satisfying cube, or `None` if unsatisfiable.
     pub fn pick_cube(&self) -> Option<PathCube> {
-        self.mgr.inner.borrow().pick_cube(self.id)
+        self.mgr.inner.borrow().pick_cube(self.node_id())
     }
 
     /// First-order symmetry check between two variables.
     pub fn is_symmetric(&self, a: Var, b: Var) -> bool {
-        self.mgr.inner.borrow_mut().is_symmetric(self.id, a, b)
+        self.mgr
+            .inner
+            .borrow_mut()
+            .is_symmetric(self.node_id(), a, b)
     }
 
     /// All first-order symmetry kinds between two variables.
     pub fn symmetries(&self, a: Var, b: Var) -> Vec<SymmetryKind> {
-        self.mgr.inner.borrow_mut().symmetries(self.id, a, b)
+        self.mgr.inner.borrow_mut().symmetries(self.node_id(), a, b)
     }
 
     /// Second-order symmetry check between two pairs of variables.
@@ -461,12 +627,12 @@ impl Bdd {
         self.mgr
             .inner
             .borrow_mut()
-            .is_second_order_symmetric(self.id, a1, a2, b1, b2)
+            .is_second_order_symmetric(self.node_id(), a1, a2, b1, b2)
     }
 
     /// Graphviz rendering of this function.
     pub fn to_dot(&self, label: &str) -> String {
-        crate::dot::to_dot(&self.mgr.inner.borrow(), &[self.id], &[label])
+        crate::dot::to_dot(&self.mgr.inner.borrow(), &[self.node_id()], &[label])
     }
 }
 
@@ -597,6 +763,153 @@ mod tests {
         let g = a.or(&b);
         let total = mgr.shared_size(&[f.clone(), g.clone(), f.clone()]);
         assert!(total <= f.size() + g.size());
+    }
+
+    #[test]
+    fn drop_and_clone_track_roots() {
+        let mgr = BddMgr::new(2);
+        let base = mgr.live_roots();
+        let a = mgr.var(0);
+        assert_eq!(mgr.live_roots(), base + 1);
+        let b = a.clone();
+        assert_eq!(mgr.live_roots(), base + 1, "clones share one root slot");
+        drop(a);
+        assert_eq!(mgr.live_roots(), base + 1);
+        drop(b);
+        assert_eq!(mgr.live_roots(), base);
+    }
+
+    #[test]
+    fn collect_garbage_reclaims_dropped_functions_and_reuses_slots() {
+        let mgr = BddMgr::new(8);
+        let vars: Vec<Bdd> = (0..8).map(|i| mgr.var(i as u32)).collect();
+        let keep = vars[0].and(&vars[1]);
+        {
+            let mut junk = Vec::new();
+            for i in 0..6 {
+                junk.push(vars[i].xor(&vars[i + 2]).or(&vars[i + 1]));
+            }
+        }
+        let before = mgr.num_nodes();
+        let reclaimed = mgr.collect_garbage();
+        assert!(reclaimed > 0, "dropped functions must be reclaimed");
+        assert!(mgr.live_nodes() < before);
+        // The sweep flushed the op cache: recomputing a reclaimed result is
+        // a miss, not a stale hit, and the recomputation reuses free slots
+        // instead of growing the arena.
+        let rebuilt = vars[0].xor(&vars[2]).or(&vars[1]);
+        assert_eq!(mgr.num_nodes(), before, "free-listed slots are reused");
+        assert!(rebuilt.eval(&[false, true, false, false, false, false, false, false]));
+        // The kept function survived untouched.
+        assert!(keep.eval(&[true, true, false, false, false, false, false, false]));
+        assert!(mgr.gc_stats().collections >= 1);
+        assert!(mgr.gc_stats().nodes_reclaimed >= reclaimed as u64);
+    }
+
+    #[test]
+    fn compact_renumbers_but_handles_survive() {
+        let mgr = BddMgr::new(6);
+        let vars: Vec<Bdd> = (0..6).map(|i| mgr.var(i as u32)).collect();
+        // Interleave garbage and keepers so survivors sit at scattered ids.
+        let mut keepers = Vec::new();
+        for i in 0..4 {
+            let _junk = vars[i].xor(&vars[i + 1]).and(&vars[(i + 2) % 6]);
+            keepers.push(vars[i].iff(&vars[i + 2]));
+        }
+        let truth: Vec<Vec<bool>> = keepers
+            .iter()
+            .map(|f| {
+                (0..64u32)
+                    .map(|bits| f.eval(&(0..6).map(|k| bits & (1 << k) != 0).collect::<Vec<_>>()))
+                    .collect()
+            })
+            .collect();
+        let live = mgr.compact();
+        assert_eq!(mgr.num_nodes(), live + 2, "arena is dense after compact");
+        for (f, expected) in keepers.iter().zip(&truth) {
+            for bits in 0..64u32 {
+                let asg: Vec<bool> = (0..6).map(|k| bits & (1 << k) != 0).collect();
+                assert_eq!(f.eval(&asg), expected[bits as usize]);
+            }
+        }
+        // Handle equality still canonical after the renumbering.
+        assert_eq!(keepers[0], vars[0].iff(&vars[2]));
+    }
+
+    #[test]
+    fn swap_adjacent_levels_preserves_functions() {
+        let mgr = BddMgr::new(4);
+        let a = mgr.var(0);
+        let b = mgr.var(1);
+        let c = mgr.var(2);
+        let d = mgr.var(3);
+        let f = a.and(&b).or(&c.and(&d));
+        let g = a.xor(&d);
+        for level in [0u32, 1, 2, 0, 1, 0] {
+            mgr.with(|m| m.swap_adjacent_levels(level));
+            for bits in 0..16u32 {
+                let asg: Vec<bool> = (0..4).map(|k| bits & (1 << k) != 0).collect();
+                assert_eq!(f.eval(&asg), (asg[0] && asg[1]) || (asg[2] && asg[3]));
+                assert_eq!(g.eval(&asg), asg[0] ^ asg[3]);
+            }
+        }
+        let order = mgr.var_order();
+        assert_eq!(order.len(), 4);
+    }
+
+    #[test]
+    fn reorder_sift_shrinks_an_interleaved_product() {
+        // f = x0·x3 + x1·x4 + x2·x5 under the interleaved order is the
+        // classic exponential-vs-linear sifting example.
+        let mgr = BddMgr::new(6);
+        let f = {
+            let t0 = mgr.var(0).and(&mgr.var(3));
+            let t1 = mgr.var(1).and(&mgr.var(4));
+            let t2 = mgr.var(2).and(&mgr.var(5));
+            t0.or(&t1).or(&t2)
+        };
+        let before = f.size();
+        let hash_before = mgr.gc_stats().var_order_hash;
+        mgr.reorder_sift();
+        let after = f.size();
+        assert!(
+            after < before,
+            "sifting must shrink {before} nodes (got {after})"
+        );
+        assert_ne!(mgr.gc_stats().var_order_hash, hash_before);
+        assert_eq!(mgr.gc_stats().reorder_passes, 1);
+        for bits in 0..64u32 {
+            let asg: Vec<bool> = (0..6).map(|k| bits & (1 << k) != 0).collect();
+            let expected = (asg[0] && asg[3]) || (asg[1] && asg[4]) || (asg[2] && asg[5]);
+            assert_eq!(f.eval(&asg), expected);
+        }
+    }
+
+    #[test]
+    fn auto_gc_keeps_a_churning_manager_bounded() {
+        let mgr = BddMgr::new(10);
+        mgr.set_gc_threshold(256);
+        let vars: Vec<Bdd> = (0..10).map(|i| mgr.var(i as u32)).collect();
+        for round in 0..200u32 {
+            // A fresh function every round, immediately dropped.
+            let mut f = vars[(round % 10) as usize].clone();
+            for (i, var) in vars.iter().take(9).enumerate() {
+                let lit = if (round >> i) & 1 == 0 {
+                    var.clone()
+                } else {
+                    var.complement()
+                };
+                f = if i % 2 == 0 { f.xor(&lit) } else { f.or(&lit) };
+            }
+        }
+        let stats = mgr.gc_stats();
+        assert!(stats.collections > 0, "auto-GC must have triggered");
+        assert!(stats.nodes_reclaimed > 0);
+        assert!(
+            stats.peak_live_nodes < 4096,
+            "peak live nodes stay bounded under churn (saw {})",
+            stats.peak_live_nodes
+        );
     }
 
     #[test]

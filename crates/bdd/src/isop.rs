@@ -58,9 +58,13 @@ impl IsopCube {
 
     /// Builds the BDD of the cube.
     pub fn to_bdd(&self, mgr: &mut BddManager) -> NodeId {
+        // The literal list is sorted by variable *index*; `mk` needs the
+        // chain built bottom-up in *level* order, and the two disagree
+        // once dynamic reordering has moved a variable.
+        let mut literals = self.literals.clone();
+        literals.sort_by_key(|&(v, _)| mgr.var_level(v));
         let mut acc = NodeId::ONE;
-        // Build bottom-up so `mk` sees decreasing levels.
-        for &(v, pos) in self.literals.iter().rev() {
+        for &(v, pos) in literals.iter().rev() {
             acc = if pos {
                 mgr.mk(v, NodeId::ZERO, acc)
             } else {
@@ -127,7 +131,7 @@ impl BddManager {
             return r.clone();
         }
         let top = self.level(lower).min(self.level(upper));
-        let v = Var(top);
+        let v = self.level_var(top);
         let (l0, l1) = self.cofactors_at(lower, v);
         let (u0, u1) = self.cofactors_at(upper, v);
 
@@ -285,6 +289,23 @@ mod tests {
         let cube = IsopCube::tautology()
             .with_literal(Var(2), false)
             .with_literal(Var(0), true);
+        let f = cube.to_bdd(&mut m);
+        for asg in all_assignments(4) {
+            assert_eq!(m.eval(f, &asg), cube.eval(&asg));
+        }
+    }
+
+    #[test]
+    fn cube_to_bdd_respects_a_reordered_level_permutation() {
+        // After swapping levels, the cube's index-sorted literal list no
+        // longer matches the level order; to_bdd must still build a valid
+        // ordered chain.
+        let mut m = BddManager::new(4);
+        let cube = IsopCube::tautology()
+            .with_literal(Var(2), false)
+            .with_literal(Var(0), true);
+        m.swap_adjacent_levels(0); // order is now x1 x0 x2 x3
+        m.swap_adjacent_levels(1); // order is now x1 x2 x0 x3
         let f = cube.to_bdd(&mut m);
         for asg in all_assignments(4) {
             assert_eq!(m.eval(f, &asg), cube.eval(&asg));

@@ -20,6 +20,10 @@
 //!   enumeration,
 //! * first-order and second-order symmetry checks used by the solver's
 //!   symmetry pruning,
+//! * a full node lifecycle: refcounted external roots, mark-and-sweep
+//!   garbage collection with a free list, arena compaction, and
+//!   sifting-based dynamic variable reordering (see [`crate::Bdd`]'s
+//!   rooting discipline and [`GcStats`]),
 //! * Graphviz export for debugging.
 //!
 //! ## Handles
@@ -45,16 +49,19 @@
 
 mod cache;
 mod dot;
+mod gc;
 mod gencof;
 mod handle;
 mod isop;
 mod manager;
 mod paths;
 mod quant;
+mod reorder;
 mod symmetry;
 
 pub use cache::CacheStats;
 pub use dot::to_dot;
+pub use gc::GcStats;
 pub use handle::{Bdd, BddMgr};
 pub use isop::{IsopCube, IsopResult};
 pub use manager::{BddManager, NodeId, Var};

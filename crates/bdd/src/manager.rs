@@ -23,15 +23,20 @@
 use std::cell::RefCell;
 use std::collections::HashMap;
 use std::fmt;
+use std::rc::Rc;
+use std::sync::OnceLock;
 
 use crate::cache::{CacheStats, OpCache, OpTag, UniqueTable};
+use crate::gc::{GcState, RootTable, SharedRoots};
 
 /// Index of a BDD variable.
 ///
-/// In this package the variable index *is* the level in the global order:
-/// variable 0 is closest to the root. The higher-level crates allocate input
-/// variables before output variables, which matches the ordering used by the
-/// paper's characteristic functions `R(X, Y)`.
+/// A variable's *index* is its stable identity; its *level* (position in
+/// the global order, 0 closest to the root) is looked up through the
+/// manager's `var ↔ level` permutation and can change under dynamic
+/// reordering. Managers start with the identity order, in which the
+/// higher-level crates allocate input variables before output variables —
+/// the ordering used by the paper's characteristic functions `R(X, Y)`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Var(pub u32);
 
@@ -109,6 +114,30 @@ pub(crate) struct Node {
 /// Level used for terminals so that they order after every variable.
 const TERMINAL_LEVEL: u32 = u32::MAX;
 
+/// Variable marker of a reclaimed arena slot (never a valid variable: the
+/// manager refuses to allocate `u32::MAX` variables).
+pub(crate) const FREE_VAR: u32 = u32::MAX;
+
+/// Process-wide lifecycle tuning read from the environment once (used by
+/// the CI smoke runs to force a tiny GC threshold and auto-reordering
+/// without touching call sites).
+struct EnvTuning {
+    gc_min_nodes: Option<usize>,
+    auto_reorder: bool,
+}
+
+fn env_tuning() -> &'static EnvTuning {
+    static TUNING: OnceLock<EnvTuning> = OnceLock::new();
+    TUNING.get_or_init(|| EnvTuning {
+        gc_min_nodes: std::env::var("BREL_BDD_GC_MIN_NODES")
+            .ok()
+            .and_then(|v| v.parse().ok()),
+        auto_reorder: std::env::var("BREL_BDD_AUTO_REORDER")
+            .map(|v| v == "1" || v.eq_ignore_ascii_case("true"))
+            .unwrap_or(false),
+    })
+}
+
 /// The ROBDD manager: node arena, unique table and operation caches.
 ///
 /// Most users should prefer the shared [`crate::BddMgr`] handle; the raw
@@ -116,8 +145,18 @@ const TERMINAL_LEVEL: u32 = u32::MAX;
 /// (for example, the benchmark harness).
 pub struct BddManager {
     pub(crate) nodes: Vec<Node>,
-    unique: UniqueTable,
+    /// Reclaimed arena slots awaiting reuse by `mk` (see [`crate::gc`]).
+    pub(crate) free: Vec<u32>,
+    pub(crate) unique: UniqueTable,
     pub(crate) cache: OpCache,
+    /// Variable index → current level.
+    pub(crate) var2level: Vec<u32>,
+    /// Current level → variable index.
+    pub(crate) level2var: Vec<Var>,
+    /// External references (shared with every [`crate::Bdd`] handle).
+    pub(crate) roots: SharedRoots,
+    /// Lifecycle bookkeeping: GC triggers and counters.
+    pub(crate) gc: GcState,
     /// Interned monotone rename maps (sorted `(old, new)` pairs); the index
     /// is the stable identity used in rename cache keys.
     rename_maps: Vec<Vec<(Var, Var)>>,
@@ -148,10 +187,21 @@ impl BddManager {
     /// engine's worker-pool rehydration, where the node count is known
     /// before construction starts.
     pub fn with_capacity(num_vars: usize, expected_nodes: usize) -> Self {
+        let tuning = env_tuning();
+        let min_nodes = tuning.gc_min_nodes.unwrap_or(GcState::DEFAULT_MIN_NODES);
+        // Pre-size the root table along with the arena: external handles
+        // are far fewer than nodes, but rehydration-scale managers still
+        // skip the first few reallocation steps this way.
+        let expected_roots = (expected_nodes / 8).clamp(32, 4096);
         let mut mgr = BddManager {
             nodes: Vec::with_capacity(expected_nodes.saturating_add(2)),
+            free: Vec::new(),
             unique: UniqueTable::with_capacity(expected_nodes),
             cache: OpCache::new(),
+            var2level: (0..num_vars as u32).collect(),
+            level2var: (0..num_vars).map(Var::from).collect(),
+            roots: Rc::new(RefCell::new(RootTable::with_capacity(expected_roots))),
+            gc: GcState::new(min_nodes, tuning.auto_reorder),
             rename_maps: Vec::new(),
             visit_scratch: RefCell::new(VisitScratch::new()),
             var_names: (0..num_vars).map(|i| format!("x{i}")).collect(),
@@ -215,8 +265,29 @@ impl BddManager {
     /// returns it.
     pub fn add_var(&mut self, name: impl Into<String>) -> Var {
         let v = Var(self.var_names.len() as u32);
+        assert!(v.0 < FREE_VAR, "variable indices exhausted");
         self.var_names.push(name.into());
+        self.var2level.push(self.level2var.len() as u32);
+        self.level2var.push(v);
         v
+    }
+
+    /// The shared root table handle (cloned into every [`crate::Bdd`]).
+    pub(crate) fn roots_handle(&self) -> SharedRoots {
+        Rc::clone(&self.roots)
+    }
+
+    /// Post-allocation bookkeeping: tracks the live-node high-water mark
+    /// and arms the deferred-GC flag once the growth threshold is crossed.
+    #[inline]
+    pub(crate) fn note_alloc(&mut self) {
+        let live = self.nodes.len() - self.free.len();
+        if live as u64 > self.gc.peak_live_nodes {
+            self.gc.peak_live_nodes = live as u64;
+        }
+        if self.gc.auto_gc && live >= self.gc.next_gc_at {
+            self.gc.pending = true;
+        }
     }
 
     /// Sets the display name of a variable.
@@ -237,13 +308,30 @@ impl BddManager {
         &self.var_names[var.index()]
     }
 
-    /// Level of a node: its variable index, or `u32::MAX` for terminals.
+    /// Level of a node: its variable's position in the current order, or
+    /// `u32::MAX` for terminals.
     pub(crate) fn level(&self, id: NodeId) -> u32 {
         if id.is_terminal() {
             TERMINAL_LEVEL
         } else {
-            self.nodes[id.index()].var.0
+            self.var2level[self.nodes[id.index()].var.index()]
         }
+    }
+
+    /// Current level of a variable.
+    #[inline]
+    pub fn var_level(&self, var: Var) -> u32 {
+        self.var2level[var.index()]
+    }
+
+    /// Variable currently sitting at a level.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level` is not a valid level.
+    #[inline]
+    pub fn level_var(&self, level: u32) -> Var {
+        self.level2var[level as usize]
     }
 
     /// Variable labelling an internal node.
@@ -278,13 +366,18 @@ impl BddManager {
             return lo;
         }
         debug_assert!(
-            var.0 < self.level(lo) && var.0 < self.level(hi),
-            "mk would violate the variable order: var {:?} lo-level {} hi-level {}",
+            self.var_level(var) < self.level(lo) && self.var_level(var) < self.level(hi),
+            "mk would violate the variable order: var {:?} (level {}) lo-level {} hi-level {}",
             var,
+            self.var_level(var),
             self.level(lo),
             self.level(hi)
         );
-        self.unique.get_or_insert(var, lo, hi, &mut self.nodes)
+        let id = self
+            .unique
+            .get_or_insert(var, lo, hi, &mut self.nodes, &mut self.free);
+        self.note_alloc();
+        id
     }
 
     /// The constant-false function.
@@ -343,7 +436,7 @@ impl BddManager {
         let lg = self.level(g);
         let lh = self.level(h);
         let top = lf.min(lg).min(lh);
-        let v = Var(top);
+        let v = self.level_var(top);
         let (f0, f1) = self.top_cofactors(f, v);
         let (g0, g1) = self.top_cofactors(g, v);
         let (h0, h1) = self.top_cofactors(h, v);
@@ -419,7 +512,7 @@ impl BddManager {
     }
 
     fn cofactor_rec(&mut self, f: NodeId, var: Var, value: bool) -> NodeId {
-        if f.is_terminal() || self.level(f) > var.0 {
+        if f.is_terminal() || self.level(f) > self.var_level(var) {
             return f;
         }
         let n = self.nodes[f.index()];
@@ -460,13 +553,13 @@ impl BddManager {
                 pairs.push((v, b));
             }
         }
-        pairs.sort_unstable();
+        pairs.sort_unstable_by_key(|&(v, _)| self.var_level(v));
         let cube = self.polarity_cube(&pairs);
         self.restrict_cube_rec(f, cube)
     }
 
-    /// Builds the cube BDD of sorted `(var, value)` literal pairs (each
-    /// variable at most once).
+    /// Builds the cube BDD of `(var, value)` literal pairs sorted by
+    /// current level (each variable at most once).
     pub(crate) fn polarity_cube(&mut self, sorted_pairs: &[(Var, bool)]) -> NodeId {
         let mut acc = NodeId::ONE;
         for &(v, positive) in sorted_pairs.iter().rev() {
@@ -502,7 +595,7 @@ impl BddManager {
             return r;
         }
         let n = self.nodes[f.index()];
-        let r = if n.var.0 == self.level(cube) {
+        let r = if self.var_level(n.var) == self.level(cube) {
             let c = self.nodes[cube.index()];
             let (child, rest) = if c.lo.is_zero() {
                 (n.hi, c.hi)
@@ -576,15 +669,16 @@ impl BddManager {
             }
         }
         // The direct rebuild is valid iff the map, extended with the
-        // identity on unmapped variables, is strictly increasing over the
-        // support — comparing mapped targets among themselves is not
-        // enough, because an unmapped support variable interleaving with
-        // the targets would make `mk` see out-of-order children.
+        // identity on unmapped variables, is strictly increasing in *level*
+        // over the support — comparing mapped targets among themselves is
+        // not enough, because an unmapped support variable interleaving
+        // with the targets would make `mk` see out-of-order children.
         let monotone = {
-            let effective: Vec<Var> = self
-                .support(f)
+            let mut support = self.support(f);
+            support.sort_unstable_by_key(|&v| self.var_level(v));
+            let effective: Vec<u32> = support
                 .into_iter()
-                .map(|v| *map.get(&v).unwrap_or(&v))
+                .map(|v| self.var_level(*map.get(&v).unwrap_or(&v)))
                 .collect();
             effective.windows(2).all(|w| w[0] < w[1])
         };
@@ -775,6 +869,28 @@ impl VisitedBits {
             self.words.resize(word + 1, 0);
         }
         self.words[word] |= 1u64 << (index & 63);
+    }
+
+    /// Marks a raw index, returning `true` if it was previously unmarked
+    /// (the mark-phase visitation check of the garbage collector).
+    #[inline]
+    pub(crate) fn insert(&mut self, index: usize) -> bool {
+        let word = index >> 6;
+        if word >= self.words.len() {
+            self.words.resize(word + 1, 0);
+        }
+        let bit = 1u64 << (index & 63);
+        let fresh = self.words[word] & bit == 0;
+        self.words[word] |= bit;
+        fresh
+    }
+
+    /// Whether a raw index is marked (indices beyond capacity are not).
+    #[inline]
+    pub(crate) fn contains(&self, index: usize) -> bool {
+        self.words
+            .get(index >> 6)
+            .is_some_and(|w| w & (1u64 << (index & 63)) != 0)
     }
 
     /// Iterates the set indices in ascending order.

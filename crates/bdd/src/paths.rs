@@ -157,25 +157,46 @@ impl BddManager {
         Some(PathCube::new(lits))
     }
 
-    /// Number of satisfying assignments of `f` over `num_vars` variables.
+    /// Number of satisfying assignments of `f` over the variables
+    /// `x0..x{num_vars-1}` (by index, independent of the current level
+    /// order — dynamic reordering never changes the count).
     ///
     /// # Panics
     ///
     /// Panics if any variable in the support of `f` has index `≥ num_vars`.
     pub fn sat_count(&self, f: NodeId, num_vars: usize) -> u128 {
+        // rank[l] = number of counted variables (index < num_vars) living
+        // at levels strictly above level l. Skipped-level weighting must go
+        // through this table rather than raw level differences: under a
+        // reordered permutation the levels between a node and its child
+        // may host variables outside the counted range.
+        let n_levels = self.num_vars();
+        let mut rank = vec![0u32; n_levels + 1];
+        for l in 0..n_levels {
+            rank[l + 1] = rank[l] + u32::from(self.level_var(l as u32).index() < num_vars);
+        }
+        // Terminals sit below every level; variables with index < num_vars
+        // that the manager does not even have are free as well.
+        let terminal_rank = num_vars as u32;
+        let rank_of = |id: NodeId| -> u32 {
+            if id.is_terminal() {
+                terminal_rank
+            } else {
+                rank[self.level(id) as usize]
+            }
+        };
         let mut memo: HashMap<NodeId, u128> = HashMap::new();
-        let total_levels = num_vars as u32;
-        let top_level = self.level(f).min(total_levels);
-        let below = self.sat_count_rec(f, total_levels, &mut memo);
-        below << top_level
+        let below = self.sat_count_rec(f, num_vars, &rank_of, &mut memo);
+        below << rank_of(f)
     }
 
-    /// Counts assignments of the variables strictly below the level of `f`'s
-    /// own level... (internal helper; see `sat_count`).
+    /// Counts satisfying assignments of the counted variables at or below
+    /// `f`'s own level (internal helper; see `sat_count`).
     fn sat_count_rec(
         &self,
         f: NodeId,
-        total_levels: u32,
+        num_vars: usize,
+        rank_of: &impl Fn(NodeId) -> u32,
         memo: &mut HashMap<NodeId, u128>,
     ) -> u128 {
         if f.is_zero() {
@@ -189,14 +210,13 @@ impl BddManager {
         }
         let v = self.node_var(f);
         assert!(
-            v.0 < total_levels,
-            "sat_count: variable {v:?} out of range for {total_levels} variables"
+            v.index() < num_vars,
+            "sat_count: variable {v:?} out of range for {num_vars} variables"
         );
         let (lo, hi) = self.node_children(f);
-        let lo_level = self.level(lo).min(total_levels);
-        let hi_level = self.level(hi).min(total_levels);
-        let lo_count = self.sat_count_rec(lo, total_levels, memo) << (lo_level - v.0 - 1);
-        let hi_count = self.sat_count_rec(hi, total_levels, memo) << (hi_level - v.0 - 1);
+        let here = rank_of(f);
+        let lo_count = self.sat_count_rec(lo, num_vars, rank_of, memo) << (rank_of(lo) - here - 1);
+        let hi_count = self.sat_count_rec(hi, num_vars, rank_of, memo) << (rank_of(hi) - here - 1);
         let c = lo_count + hi_count;
         memo.insert(f, c);
         c

@@ -18,11 +18,14 @@ use crate::cache::OpTag;
 use crate::manager::{BddManager, NodeId, Var};
 
 impl BddManager {
-    /// Builds the positive cube of a variable set (sorted, deduplicated).
+    /// Builds the positive cube of a variable set (deduplicated, ordered
+    /// by current level so the cube chain is canonical).
     pub(crate) fn positive_cube(&mut self, vars: &[Var]) -> NodeId {
-        let mut pairs: Vec<(Var, bool)> = vars.iter().map(|&v| (v, true)).collect();
-        pairs.sort_unstable();
-        pairs.dedup();
+        let mut vars: Vec<Var> = vars.to_vec();
+        vars.sort_unstable();
+        vars.dedup();
+        vars.sort_unstable_by_key(|&v| self.var_level(v));
+        let pairs: Vec<(Var, bool)> = vars.into_iter().map(|v| (v, true)).collect();
         self.polarity_cube(&pairs)
     }
 
@@ -71,7 +74,7 @@ impl BddManager {
             return r;
         }
         let n = self.nodes[f.index()];
-        let r = if n.var.0 == self.level(cube) {
+        let r = if self.var_level(n.var) == self.level(cube) {
             let rest = self.nodes[cube.index()].hi;
             let lo = self.exists_cube_rec(n.lo, rest);
             if lo.is_one() {
@@ -99,7 +102,7 @@ impl BddManager {
             return r;
         }
         let n = self.nodes[f.index()];
-        let r = if n.var.0 == self.level(cube) {
+        let r = if self.var_level(n.var) == self.level(cube) {
             let rest = self.nodes[cube.index()].hi;
             let lo = self.forall_cube_rec(n.lo, rest);
             if lo.is_zero() {

@@ -12,9 +12,10 @@
 use std::collections::HashMap;
 use std::time::Instant;
 
-use brel_bdd::{BddManager, CacheStats, NodeId, Var};
+use brel_bdd::{Bdd, BddManager, BddMgr, CacheStats, GcStats, NodeId, Var};
 use brel_benchdata::table2 as family;
 use brel_engine::Json;
+use brel_relation::RelationSpace;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -103,6 +104,9 @@ pub struct KernelReport {
     pub table1_wall_micros: u64,
     /// Kernel cache counters accumulated by the microbenchmark managers.
     pub kernel: Vec<(&'static str, u64)>,
+    /// Memory-lifecycle measurements: churn peaks with/without GC and the
+    /// sifting before/after sizes, as ordered `(name, value)` pairs.
+    pub gc: Vec<(&'static str, u64)>,
 }
 
 fn time<F: FnMut()>(name: &'static str, iters: usize, mut routine: F) -> BenchResult {
@@ -134,6 +138,80 @@ fn random_sop(mgr: &mut BddManager, num_vars: usize, num_cubes: usize, seed: u64
         acc = mgr.or(acc, cube);
     }
     acc
+}
+
+/// Handle-based (rooted) variant of [`random_sop`]: same seeds, same
+/// sampling sequence, but every intermediate goes through `Bdd` handles so
+/// the lifecycle machinery (roots, GC safe points) is exercised.
+fn random_sop_handle(mgr: &BddMgr, num_vars: usize, num_cubes: usize, seed: u64) -> Bdd {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut acc = mgr.zero();
+    for _ in 0..num_cubes {
+        let mut cube = mgr.one();
+        for _ in 0..6 {
+            let v = Var(rng.gen_range(0..num_vars as u32));
+            let lit = if rng.gen_bool(0.5) {
+                mgr.var(v)
+            } else {
+                mgr.nvar(v)
+            };
+            cube = cube.and(&lit);
+        }
+        acc = acc.or(&cube);
+    }
+    acc
+}
+
+/// How many round-salted derivations the churn workload performs.
+const CHURN_ROUNDS: u32 = 256;
+/// GC growth floor used by the churn workload (small enough that the
+/// collector has to work, large enough to stay out of the noise).
+const CHURN_GC_THRESHOLD: usize = 1024;
+
+/// One churn round: derives a round-salted function from the int9
+/// characteristic (xor with a fresh input polarity cube, then output
+/// abstraction) and drops it. Each round builds distinct nodes, so an
+/// append-only arena grows linearly while a collecting one stays near the
+/// GC threshold.
+fn churn_round(space: &RelationSpace, chi: &Bdd, round: u32) -> usize {
+    let lits: Vec<(Var, bool)> = space
+        .input_vars()
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| (v, (round >> (i % 16)) & 1 == 1))
+        .collect();
+    let cube = space.mgr().cube(&lits);
+    let salted = chi.xor(&cube);
+    let abstracted = salted.exists(space.output_vars());
+    salted.size() + abstracted.size()
+}
+
+/// Runs the churn workload on a fresh int9 manager and reports the
+/// lifecycle counters of the churn phase alone (peak live nodes is the
+/// headline number).
+pub fn churn_int9(auto_gc: bool, rounds: u32) -> GcStats {
+    let instance = family::instance("int9").expect("known instance");
+    let (space, relation) = family::generate(&instance);
+    let mgr = space.mgr().clone();
+    mgr.set_auto_gc(auto_gc);
+    // The workload isolates collection: auto-reorder stays off in both
+    // modes (reorder_sift ends with a sweep, so an env-forced
+    // `BREL_BDD_AUTO_REORDER=1` would silently collect the "append-only"
+    // baseline and void the peak comparison), and both the peak gauge and
+    // the counters are attributed from this point — whatever collecting
+    // or sifting the environment forced during relation *construction*
+    // must not leak into the comparison either.
+    mgr.set_auto_reorder(false);
+    mgr.set_gc_threshold(CHURN_GC_THRESHOLD);
+    mgr.reset_peak_live_nodes();
+    let base = mgr.gc_stats();
+    let chi = relation.characteristic().clone();
+    let mut acc = 0usize;
+    for round in 0..rounds {
+        acc += churn_round(&space, &chi, round);
+    }
+    std::hint::black_box(acc);
+    mgr.gc_stats().delta_since(&base)
 }
 
 /// Runs the harness and collects the report.
@@ -253,6 +331,39 @@ pub fn run(options: &KernelBenchOptions) -> KernelReport {
         std::hint::black_box(rename_mgr.rename_vars(rename_f, &shift));
     }));
 
+    // Lifecycle workloads. `gc_churn_int9` times the collecting kernel
+    // under sustained build-and-drop churn; the one-shot peak comparison
+    // against an append-only arena (auto-GC off) is recorded in the `gc`
+    // block below. `sift_random_sop_24v` times a handle-built random SOP
+    // plus one full sifting pass.
+    benches.push(time("gc_churn_int9", iters, || {
+        std::hint::black_box(churn_int9(true, CHURN_ROUNDS));
+    }));
+    let churn_gc = churn_int9(true, CHURN_ROUNDS);
+    let churn_append = churn_int9(false, CHURN_ROUNDS);
+
+    let sift_iters = iters.clamp(1, 5);
+    let mut sift_before = 0u64;
+    let mut sift_after = 0u64;
+    benches.push(time("sift_random_sop_24v", sift_iters, || {
+        let mgr = BddMgr::new(24);
+        let f = random_sop_handle(&mgr, 24, 48, 7);
+        sift_before = f.size() as u64;
+        mgr.reorder_sift();
+        sift_after = f.size() as u64;
+        std::hint::black_box(sift_after);
+    }));
+
+    let gc = vec![
+        ("churn_rounds", CHURN_ROUNDS as u64),
+        ("churn_peak_live_append_only", churn_append.peak_live_nodes),
+        ("churn_peak_live_gc", churn_gc.peak_live_nodes),
+        ("churn_collections", churn_gc.collections),
+        ("churn_nodes_reclaimed", churn_gc.nodes_reclaimed),
+        ("sift_nodes_before", sift_before),
+        ("sift_nodes_after", sift_after),
+    ];
+
     // Counters summed over every microbenchmark manager: the shared int9
     // space manager (ite/cofactor/quantification/restrict/support
     // workloads) plus the dedicated rename manager.
@@ -293,6 +404,7 @@ pub fn run(options: &KernelBenchOptions) -> KernelReport {
         batch_wall_micros,
         table1_wall_micros,
         kernel,
+        gc,
     }
 }
 
@@ -351,6 +463,15 @@ impl KernelReport {
                         .collect(),
                 ),
             ),
+            (
+                "gc",
+                Json::Object(
+                    self.gc
+                        .iter()
+                        .map(|(k, v)| (k.to_string(), Json::UInt(*v)))
+                        .collect(),
+                ),
+            ),
         ])
     }
 
@@ -373,6 +494,9 @@ impl KernelReport {
             "table1_sweep               {:>12} us\n",
             self.table1_wall_micros
         ));
+        for (name, value) in &self.gc {
+            out.push_str(&format!("gc.{name:24} {value:>12}\n"));
+        }
         out
     }
 }
@@ -391,7 +515,7 @@ mod tests {
         };
         let report = run(&options);
         assert_eq!(report.label, "test");
-        assert_eq!(report.benches.len(), 9);
+        assert_eq!(report.benches.len(), 11);
         assert!(report.benches.iter().all(|b| b.iters >= 1));
         assert_eq!(report.batch_jobs, 2);
         assert!(report.batch_total_cost > 0);
@@ -399,8 +523,30 @@ mod tests {
         assert!(json.contains("\"schema\":\"brel-bench/bdd-kernel-run-v1\""));
         assert!(json.contains("build_random_sop_24v"));
         assert!(json.contains("batch_total_cost"));
+        assert!(json.contains("gc_churn_int9"));
+        assert!(json.contains("sift_random_sop_24v"));
+        assert!(json.contains("churn_peak_live_gc"));
         let text = report.render();
         assert!(text.contains("table2_batch"));
+        assert!(text.contains("gc.churn_peak_live_gc"));
+    }
+
+    #[test]
+    fn gc_churn_peak_drops_at_least_3x_vs_append_only() {
+        // The acceptance criterion of the lifecycle PR: on the churn
+        // workload the collecting kernel's peak live node count is at
+        // least 3x below the append-only kernel's, at identical results.
+        let append_only = churn_int9(false, CHURN_ROUNDS);
+        let collected = churn_int9(true, CHURN_ROUNDS);
+        assert_eq!(append_only.collections, 0);
+        assert!(collected.collections > 0);
+        assert!(collected.nodes_reclaimed > 0);
+        assert!(
+            append_only.peak_live_nodes >= 3 * collected.peak_live_nodes,
+            "peak {} (append-only) vs {} (GC): expected >= 3x reduction",
+            append_only.peak_live_nodes,
+            collected.peak_live_nodes
+        );
     }
 
     #[test]

@@ -19,6 +19,7 @@
 
 use std::collections::VecDeque;
 
+use brel_bdd::GcStats;
 use brel_relation::{BooleanRelation, MultiOutputFunction, RelationError};
 
 use crate::cost::{CostFn, CostFunction};
@@ -175,6 +176,16 @@ pub struct SolveStats {
     /// `true` if the search ran to completion (empty FIFO) rather than
     /// hitting the exploration budget.
     pub complete: bool,
+    /// High-water mark of live BDD nodes in the relation's shared manager
+    /// over this solve (the manager's peak gauge is re-based at solve
+    /// entry) — the memory bound of the exploration. The FIFO of pending
+    /// subrelations keeps its characteristic functions rooted (they are
+    /// `Bdd` handles), so this is the frontier + incumbent footprint the
+    /// kernel's GC cannot reclaim, on top of whatever was live before the
+    /// solve started.
+    pub peak_live_nodes: u64,
+    /// Garbage collections the kernel ran during this solve.
+    pub gc_collections: u64,
 }
 
 /// The result of a solver run: the best compatible function found, its cost
@@ -219,6 +230,8 @@ impl BrelSolver {
         if !relation.is_well_defined() {
             return Err(RelationError::NotWellDefined);
         }
+        relation.space().mgr().reset_peak_live_nodes();
+        let gc_before = relation.space().mgr().gc_stats();
         let mut stats = SolveStats::default();
         let mut trace = Vec::new();
         let quick = QuickSolver::new().with_minimizer(self.config.minimizer);
@@ -244,6 +257,7 @@ impl BrelSolver {
                 if explored >= max {
                     // Budget exhausted: stop exploring, keep the incumbent.
                     stats.complete = false;
+                    Self::account_memory(&mut stats, &gc_before, relation);
                     return Ok(self.finish(best, best_cost, stats, trace));
                 }
             }
@@ -345,7 +359,16 @@ impl BrelSolver {
             }
         }
         stats.complete = true;
+        Self::account_memory(&mut stats, &gc_before, relation);
         Ok(self.finish(best, best_cost, stats, trace))
+    }
+
+    /// Fills the node-budget accounting of one solve from the manager's
+    /// lifecycle counters (deterministic, like the rest of the stats).
+    fn account_memory(stats: &mut SolveStats, before: &GcStats, relation: &BooleanRelation) {
+        let now = relation.space().mgr().gc_stats();
+        stats.peak_live_nodes = now.peak_live_nodes;
+        stats.gc_collections = now.collections.saturating_sub(before.collections);
     }
 
     fn finish(

@@ -7,15 +7,23 @@
 //! relations already processed and skips a new relation when a symmetric
 //! variant is in the cache.
 
-use std::collections::HashSet;
-
-use brel_bdd::NodeId;
+use brel_bdd::Bdd;
 use brel_relation::BooleanRelation;
 
 /// A cache of already-explored relations with output-symmetry lookups.
+///
+/// The cache holds rooted [`Bdd`] handles rather than raw node ids: an
+/// explored subrelation may be dropped by the solver, and with a
+/// garbage-collecting kernel its reclaimed node id could be recycled for
+/// an unrelated function — a raw-id set would then report a false
+/// symmetric hit and wrongly prune a branch. Rooting the characteristic
+/// functions pins them (and their ids) for the cache's lifetime; lookups
+/// are a linear scan over handle equality, which resolves through the
+/// root table and therefore also survives arena compaction. The cache is
+/// bounded by the exploration budget, so the scan stays short.
 #[derive(Debug, Default)]
 pub struct SymmetryCache {
-    seen: HashSet<NodeId>,
+    seen: Vec<Bdd>,
     hits: usize,
 }
 
@@ -46,8 +54,7 @@ impl SymmetryCache {
     /// matching the implementation choices described in the paper.
     pub fn check_and_insert(&mut self, relation: &BooleanRelation) -> bool {
         let chi = relation.characteristic();
-        let id = chi.node_id();
-        if self.seen.contains(&id) {
+        if self.seen.contains(chi) {
             self.hits += 1;
             return true;
         }
@@ -55,14 +62,14 @@ impl SymmetryCache {
         for i in 0..outputs.len() {
             for j in (i + 1)..outputs.len() {
                 let swapped = chi.swap_vars(outputs[i], outputs[j]);
-                if swapped.node_id() != id && self.seen.contains(&swapped.node_id()) {
+                if swapped != *chi && self.seen.contains(&swapped) {
                     self.hits += 1;
-                    self.seen.insert(id);
+                    self.seen.push(chi.clone());
                     return true;
                 }
             }
         }
-        self.seen.insert(id);
+        self.seen.push(chi.clone());
         false
     }
 }

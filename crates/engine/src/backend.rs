@@ -2,7 +2,7 @@
 
 use std::time::Instant;
 
-use brel_bdd::CacheStats;
+use brel_bdd::{CacheStats, GcStats};
 use brel_core::{BrelConfig, BrelSolver, CostFunction, QuickSolver};
 use brel_gyocro::{GyocroConfig, GyocroSolver};
 use brel_relation::{BooleanRelation, MultiOutputFunction, RelationError};
@@ -119,6 +119,10 @@ pub struct SolutionReport {
     /// (a pure function of the operation sequence), so it participates in
     /// reproducible serializations, unlike `wall_micros`.
     pub cache: CacheStats,
+    /// BDD-kernel lifecycle counters attributed to this run (collections,
+    /// reclaimed nodes, reorder passes as deltas; live/peak nodes and the
+    /// variable-order hash as gauges). Deterministic, like `cache`.
+    pub gc: GcStats,
     /// Wall-clock solve time in microseconds. Excluded from deterministic
     /// serializations (see [`crate::report`]).
     pub wall_micros: u64,
@@ -139,6 +143,11 @@ pub fn execute(
 ) -> Result<SolutionReport, RelationError> {
     let backend = instantiate(kind, cost, budget);
     let stats_before = relation.space().mgr().cache_stats();
+    // Portfolio backends share one rehydrated manager; re-base the peak
+    // gauge so each report's `gc.peak_live_nodes` is this backend's own
+    // high-water mark, not the construction peak or a predecessor's.
+    relation.space().mgr().reset_peak_live_nodes();
+    let gc_before = relation.space().gc_stats();
     let start = Instant::now();
     let run = backend.run(relation)?;
     let wall = start.elapsed();
@@ -154,6 +163,7 @@ pub fn execute(
             .mgr()
             .cache_stats()
             .delta_since(&stats_before),
+        gc: relation.space().gc_stats().delta_since(&gc_before),
         wall_micros: u64::try_from(wall.as_micros()).unwrap_or(u64::MAX),
     };
     Ok(report)

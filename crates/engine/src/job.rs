@@ -149,13 +149,20 @@ impl RelationSpec {
     /// that many up front lets worker-pool managers typically build
     /// without a unique-table rehash (an unlucky row set whose
     /// intermediate disjunctions outgrow the estimate still rehashes —
-    /// the table grows automatically).
+    /// the table grows automatically). The root table is pre-sized along
+    /// with the arena.
+    ///
+    /// Construction leaves minterm-accumulation garbage behind, so one
+    /// collection runs before the relation is handed to the backends:
+    /// every per-worker manager starts compact, with only the
+    /// characteristic function (and the literals) live.
     pub fn rehydrate(&self) -> (RelationSpace, BooleanRelation) {
         let pairs: usize = self.rows.iter().map(|(_, outs)| outs.len().max(1)).sum();
         let expected_nodes = pairs.saturating_mul(self.num_inputs + self.num_outputs);
         let space = RelationSpace::with_capacity(self.num_inputs, self.num_outputs, expected_nodes);
         let relation = BooleanRelation::from_rows(&space, &self.rows)
             .expect("arities were validated at construction");
+        space.collect_garbage();
         (space, relation)
     }
 

@@ -167,9 +167,10 @@ fn escape_into(s: &str, out: &mut String) {
 }
 
 impl SolutionReport {
-    /// The JSON representation of one backend attempt. The `cache` block
-    /// carries the BDD-kernel counters attributed to this run; like every
-    /// non-timing field it is deterministic across worker counts.
+    /// The JSON representation of one backend attempt. The `cache` and
+    /// `gc` blocks carry the BDD-kernel counters attributed to this run;
+    /// like every non-timing field they are deterministic across worker
+    /// counts.
     pub fn to_json(&self, include_timing: bool) -> Json {
         let mut fields = vec![
             ("backend", Json::str(self.backend.name())),
@@ -192,6 +193,17 @@ impl SolutionReport {
                         Json::Float(self.cache.unique_load_factor()),
                     ),
                     ("nodes", Json::UInt(self.cache.num_nodes)),
+                ]),
+            ),
+            (
+                "gc",
+                Json::object(vec![
+                    ("collections", Json::UInt(self.gc.collections)),
+                    ("nodes_reclaimed", Json::UInt(self.gc.nodes_reclaimed)),
+                    ("live_nodes", Json::UInt(self.gc.live_nodes)),
+                    ("peak_live_nodes", Json::UInt(self.gc.peak_live_nodes)),
+                    ("reorder_passes", Json::UInt(self.gc.reorder_passes)),
+                    ("var_order_hash", Json::UInt(self.gc.var_order_hash)),
                 ]),
             ),
         ];
@@ -278,7 +290,7 @@ impl BatchReport {
     /// output is byte-identical across worker counts.
     pub fn to_csv(&self, include_timing: bool) -> String {
         let mut out = String::from(
-            "job_id,name,inputs,outputs,backend,winner,cost,cubes,literals,explored,cache_lookups,cache_hits",
+            "job_id,name,inputs,outputs,backend,winner,cost,cubes,literals,explored,cache_lookups,cache_hits,gc_collections,gc_nodes_reclaimed,gc_peak_live_nodes",
         );
         if include_timing {
             out.push_str(",wall_micros");
@@ -288,7 +300,7 @@ impl BatchReport {
             let mut line = |backend: &str, winner: u8, attempt: Option<&SolutionReport>| {
                 let _ = write!(
                     out,
-                    "{},{},{},{},{},{},{},{},{},{},{},{}",
+                    "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
                     job.job_id,
                     csv_field(&job.name),
                     job.num_inputs,
@@ -301,6 +313,9 @@ impl BatchReport {
                     attempt.map_or(0, |a| a.explored as u64),
                     attempt.map_or(0, |a| a.cache.cache_lookups),
                     attempt.map_or(0, |a| a.cache.cache_hits),
+                    attempt.map_or(0, |a| a.gc.collections),
+                    attempt.map_or(0, |a| a.gc.nodes_reclaimed),
+                    attempt.map_or(0, |a| a.gc.peak_live_nodes),
                 );
                 if include_timing {
                     let _ = write!(out, ",{}", attempt.map_or(0, |a| a.wall_micros));
@@ -397,6 +412,12 @@ mod tests {
         let b = Engine::with_workers(4).solve_batch(&jobs);
         assert_eq!(a.to_json(false), b.to_json(false));
         assert_eq!(a.to_csv(false), b.to_csv(false));
+        // The lifecycle block is part of the deterministic surface.
+        assert!(a.to_json(false).contains("\"gc\""));
+        assert!(a.to_json(false).contains("\"peak_live_nodes\""));
+        assert!(a
+            .to_csv(false)
+            .starts_with("job_id,name,inputs,outputs,backend,winner,cost,cubes,literals,explored,cache_lookups,cache_hits,gc_collections,gc_nodes_reclaimed,gc_peak_live_nodes\n"));
         // Timing-bearing output still parses structurally: the header gains
         // the extra column and the JSON gains the worker fields.
         assert!(a.to_csv(true).starts_with("job_id,") && a.to_csv(true).contains("wall_micros"));

@@ -3,7 +3,7 @@
 use std::fmt;
 use std::rc::Rc;
 
-use brel_bdd::{Bdd, BddMgr, Var};
+use brel_bdd::{Bdd, BddMgr, GcStats, Var};
 
 use crate::error::RelationError;
 
@@ -104,6 +104,20 @@ impl RelationSpace {
     /// The shared BDD manager.
     pub fn mgr(&self) -> &BddMgr {
         &self.inner.mgr
+    }
+
+    /// Runs a mark-and-sweep collection on the shared manager, reclaiming
+    /// every node not reachable from a live `Bdd` handle; returns the
+    /// reclaimed node count. Batch workers call this right after
+    /// rehydration so per-worker managers start compact.
+    pub fn collect_garbage(&self) -> usize {
+        self.inner.mgr.collect_garbage()
+    }
+
+    /// The shared manager's lifecycle counters (collections, reclaimed
+    /// nodes, peak live nodes, reorder passes, variable-order hash).
+    pub fn gc_stats(&self) -> GcStats {
+        self.inner.mgr.gc_stats()
     }
 
     /// Number of input variables.

@@ -10,9 +10,17 @@
 //! identity: two constructions of the same function in one manager must
 //! return the same `NodeId`.
 
+//! The lifecycle oracles at the bottom of this file additionally pin the
+//! node-lifecycle machinery: the solver must produce node-for-node
+//! identical solutions under an aggressively collecting kernel, sifting
+//! must preserve semantics and canonicity, and a sweep must evict every
+//! cached result so no stale hit can resurrect a reclaimed `NodeId`.
+
 use proptest::prelude::*;
 
-use brel_suite::bdd::{BddManager, NodeId, Var};
+use brel_suite::bdd::{Bdd, BddManager, BddMgr, NodeId, Var};
+use brel_suite::benchdata::random_relation::random_well_defined_relation;
+use brel_suite::brel::{BrelConfig, BrelSolver};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -241,5 +249,211 @@ proptest! {
         }
         let stats = tiny.cache_stats();
         prop_assert_eq!(stats.cache_slots, 2);
+    }
+
+    /// The solver under an aggressive GC threshold produces node-for-node
+    /// identical solutions (same truth tables, same cost, same search
+    /// trajectory) as the append-only run: collection reclaims memory but
+    /// may never change a function or a BDD size.
+    #[test]
+    fn solver_under_aggressive_gc_matches_append_only_run(
+        seed in 0u64..256,
+        extra in 0u32..3,
+    ) {
+        let prob = f64::from(extra) * 0.15;
+        let (space_a, rel_a) = random_well_defined_relation(3, 2, prob, seed);
+        let (space_b, rel_b) = random_well_defined_relation(3, 2, prob, seed);
+        space_a.mgr().set_auto_gc(false);
+        space_a.mgr().set_auto_reorder(false);
+        space_b.mgr().set_auto_gc(true);
+        space_b.mgr().set_gc_threshold(8);
+        space_b.mgr().set_auto_reorder(false);
+        let solver = BrelSolver::new(BrelConfig::default());
+        let sol_a = solver.solve(&rel_a).expect("well defined");
+        let sol_b = solver.solve(&rel_b).expect("well defined");
+        prop_assert_eq!(sol_a.cost, sol_b.cost);
+        prop_assert_eq!(sol_a.stats.explored, sol_b.stats.explored);
+        prop_assert_eq!(sol_a.stats.splits, sol_b.stats.splits);
+        prop_assert!(sol_b.stats.gc_collections > 0,
+            "an 8-node threshold must force collections");
+        for j in 0..2 {
+            for input in space_a.enumerate_inputs() {
+                let asg_a = space_a.full_assignment(&input, &[]);
+                let asg_b = space_b.full_assignment(&input, &[]);
+                prop_assert_eq!(
+                    sol_a.function.output(j).eval(&asg_a),
+                    sol_b.function.output(j).eval(&asg_b),
+                    "output {} differs on {:?}", j, input
+                );
+            }
+        }
+    }
+
+    /// The solver under aggressive GC *and* forced auto-reordering stays
+    /// sound: the solution is compatible, and on functional relations
+    /// (whose compatible function is unique) it is node-for-node identical
+    /// to the untouched run even though the variable order moved.
+    #[test]
+    fn solver_under_forced_sifting_stays_sound(seed in 0u64..256) {
+        let (space_ref, rel_ref) = random_well_defined_relation(4, 2, 0.0, seed);
+        let (space_gc, rel_gc) = random_well_defined_relation(4, 2, 0.0, seed);
+        space_ref.mgr().set_auto_gc(false);
+        space_ref.mgr().set_auto_reorder(false);
+        space_gc.mgr().set_auto_gc(true);
+        space_gc.mgr().set_gc_threshold(32);
+        space_gc.mgr().set_auto_reorder(true);
+        let solver = BrelSolver::new(BrelConfig::default());
+        let sol_ref = solver.solve(&rel_ref).expect("well defined");
+        let sol_gc = solver.solve(&rel_gc).expect("well defined");
+        prop_assert!(
+            space_gc.gc_stats().reorder_passes > 0,
+            "the aggressive threshold must actually force sifting passes"
+        );
+        prop_assert!(rel_gc.is_compatible(&sol_gc.function));
+        for j in 0..2 {
+            for input in space_ref.enumerate_inputs() {
+                let asg_ref = space_ref.full_assignment(&input, &[]);
+                let asg_gc = space_gc.full_assignment(&input, &[]);
+                prop_assert_eq!(
+                    sol_ref.function.output(j).eval(&asg_ref),
+                    sol_gc.function.output(j).eval(&asg_gc),
+                    "functional relations have one solution; output {} differs on {:?}",
+                    j, input
+                );
+            }
+        }
+    }
+
+    /// Sifting preserves the semantics of every rooted function and keeps
+    /// the manager canonical: rebuilding a sifted function from its truth
+    /// table under the *new* order returns the identical handle.
+    #[test]
+    fn sifting_preserves_semantics_and_canonicity((nv, ops, seed) in params()) {
+        let mgr = BddMgr::new(nv);
+        let checked = random_checked_handles(&mgr, nv, ops, seed);
+        mgr.reorder_sift();
+        for (f, table) in &checked {
+            for (idx, &expected) in table.iter().enumerate() {
+                prop_assert_eq!(f.eval(&assignment(nv, idx)), expected);
+            }
+            let rebuilt = handle_from_table(&mgr, nv, table);
+            prop_assert_eq!(&rebuilt, f, "canonicity under the new order");
+            // Counting goes through the level permutation, so it must be
+            // unaffected by where sifting parked each variable.
+            let expected_count = table.iter().filter(|&&bit| bit).count() as u128;
+            prop_assert_eq!(f.sat_count(nv), expected_count);
+        }
+    }
+}
+
+/// Handle-based sibling of `random_checked`: random connectives through
+/// rooted `Bdd`s, each paired with its truth table.
+fn random_checked_handles(
+    mgr: &BddMgr,
+    num_vars: usize,
+    ops: usize,
+    seed: u64,
+) -> Vec<(Bdd, Vec<bool>)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let rows = 1usize << num_vars;
+    let mut pool: Vec<(Bdd, Vec<bool>)> = (0..num_vars)
+        .map(|i| {
+            (
+                mgr.var(i as u32),
+                (0..rows).map(|idx| idx & (1 << i) != 0).collect(),
+            )
+        })
+        .collect();
+    for _ in 0..ops {
+        let a = pool[rng.gen_range(0..pool.len() as u32) as usize].clone();
+        let b = pool[rng.gen_range(0..pool.len() as u32) as usize].clone();
+        let entry = match rng.gen_range(0..4u32) {
+            0 => (
+                a.0.and(&b.0),
+                a.1.iter().zip(&b.1).map(|(&x, &y)| x && y).collect(),
+            ),
+            1 => (
+                a.0.or(&b.0),
+                a.1.iter().zip(&b.1).map(|(&x, &y)| x || y).collect(),
+            ),
+            2 => (
+                a.0.xor(&b.0),
+                a.1.iter().zip(&b.1).map(|(&x, &y)| x ^ y).collect(),
+            ),
+            _ => (a.0.complement(), a.1.iter().map(|&x| !x).collect()),
+        };
+        pool.push(entry);
+    }
+    pool
+}
+
+/// Rebuilds a function from its truth table through handle operations
+/// (valid under any variable order, unlike the `mk`-based reference).
+fn handle_from_table(mgr: &BddMgr, num_vars: usize, table: &[bool]) -> Bdd {
+    let mut acc = mgr.zero();
+    for (idx, &bit) in table.iter().enumerate() {
+        if bit {
+            acc = acc.or(&mgr.minterm(&assignment(num_vars, idx)));
+        }
+    }
+    acc
+}
+
+/// The pinned eviction-after-sweep case: before a sweep the repeated
+/// operation is a pure cache hit; after dropping the result and sweeping,
+/// the same operation must *recompute* (inserts, not a stale hit), reuse
+/// the reclaimed arena slots, and still evaluate correctly — no stale
+/// cache or unique-table entry can resurrect a reclaimed `NodeId`.
+#[test]
+fn sweep_evicts_cached_results_and_recycles_slots_safely() {
+    let mgr = BddMgr::new(6);
+    mgr.set_auto_gc(false);
+    let a = mgr.var(0);
+    let b = mgr.var(1);
+    let c = mgr.var(2);
+    let d = mgr.var(3);
+    let f = a.xor(&b).or(&c);
+    let g = b.iff(&d);
+
+    let x = f.and(&g);
+    let truth: Vec<bool> = (0..64u32)
+        .map(|bits| {
+            let asg: Vec<bool> = (0..6).map(|k| bits & (1 << k) != 0).collect();
+            x.eval(&asg)
+        })
+        .collect();
+    let before_hit = mgr.cache_stats();
+    let x2 = f.and(&g);
+    let after_hit = mgr.cache_stats();
+    assert_eq!(
+        after_hit.cache_hits,
+        before_hit.cache_hits + 1,
+        "repeating the op before the sweep is a pure cache hit"
+    );
+    assert_eq!(after_hit.cache_inserts, before_hit.cache_inserts);
+
+    let arena_before = mgr.num_nodes();
+    drop(x);
+    drop(x2);
+    let reclaimed = mgr.collect_garbage();
+    assert!(reclaimed > 0, "the conjunction's nodes must be reclaimed");
+    assert!(mgr.gc_stats().nodes_reclaimed >= reclaimed as u64);
+
+    let before_redo = mgr.cache_stats();
+    let x3 = f.and(&g);
+    let after_redo = mgr.cache_stats();
+    assert!(
+        after_redo.cache_inserts > before_redo.cache_inserts,
+        "after the sweep the op must recompute — a stale hit would have \
+         resurrected a reclaimed node id"
+    );
+    assert_eq!(
+        mgr.num_nodes(),
+        arena_before,
+        "the recomputation reuses the reclaimed slots instead of growing"
+    );
+    for (bits, &expected) in truth.iter().enumerate() {
+        let asg: Vec<bool> = (0..6).map(|k| bits & (1 << k) != 0).collect();
+        assert_eq!(x3.eval(&asg), expected);
     }
 }
