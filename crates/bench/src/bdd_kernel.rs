@@ -379,11 +379,7 @@ pub fn run(options: &KernelBenchOptions) -> KernelReport {
     let batch_start = Instant::now();
     let batch = engine_batch::run(&jobs, 1);
     let batch_wall_micros = u64::try_from(batch_start.elapsed().as_micros()).unwrap_or(u64::MAX);
-    let batch_total_cost = batch
-        .jobs
-        .iter()
-        .filter_map(|j| j.winning().map(|w| w.cost))
-        .sum();
+    let batch_total_cost = batch.total_winner_cost();
 
     // End-to-end: the Table-1 ISF-minimization strategy sweep.
     let table1_instances = if options.table2_instances == usize::MAX {

@@ -10,6 +10,13 @@
 //! * `--workers N`  worker-thread count (default: available parallelism)
 //! * `--instances N` number of Table-2 instances (default: all)
 //! * `--random N`   number of seeded random relations (default: 8)
+//! * `--strategy S` BREL search strategy: `fifo` (default), `dfs`,
+//!   `best-first`
+//! * `--wide`       wide mode: jobs run one at a time and the worker pool
+//!   expands each BREL frontier in parallel (top-k per round)
+//! * `--topk N`     wide-mode round width (default: 8)
+//! * `--fingerprint N` fail (exit 1) unless the batch's total winner cost
+//!   equals `N` — the CI drift gate for the default FIFO strategy
 //! * `--json`       emit the batch as JSON instead of the human table
 //! * `--csv`        emit the batch as CSV instead of the human table
 //! * `--timing`     include wall-clock fields in `--json`/`--csv` output
@@ -17,41 +24,73 @@
 
 use std::process::ExitCode;
 
-use brel_bench::engine_batch::{corpus, render, run, CorpusOptions};
-use brel_engine::EngineConfig;
+use brel_bench::engine_batch::{corpus, render, run, run_wide, CorpusOptions};
+use brel_engine::{BatchReport, EngineConfig, JobSpec, SearchStrategy};
 
 fn main() -> ExitCode {
-    let mut options = CorpusOptions::full();
     let mut workers: Option<usize> = None;
+    let mut instances: Option<usize> = None;
+    let mut random: Option<usize> = None;
+    let mut strategy: Option<SearchStrategy> = None;
     let mut smoke = false;
     let mut json = false;
     let mut csv = false;
     let mut timing = false;
+    let mut wide = false;
+    let mut top_k = 8usize;
+    let mut fingerprint: Option<u64> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
-            "--smoke" => {
-                smoke = true;
-                options = CorpusOptions::smoke();
-            }
+            "--smoke" => smoke = true,
             "--workers" => match args.next().and_then(|v| v.parse().ok()) {
                 Some(n) => workers = Some(n),
                 None => return usage("--workers needs a number"),
             },
             "--instances" => match args.next().and_then(|v| v.parse().ok()) {
-                Some(n) => options.table2_instances = n,
+                Some(n) => instances = Some(n),
                 None => return usage("--instances needs a number"),
             },
             "--random" => match args.next().and_then(|v| v.parse().ok()) {
-                Some(n) => options.random_relations = n,
+                Some(n) => random = Some(n),
                 None => return usage("--random needs a number"),
+            },
+            "--strategy" => match args.next().as_deref().and_then(SearchStrategy::parse) {
+                Some(s) => strategy = Some(s),
+                None => return usage("--strategy needs fifo, dfs or best-first"),
+            },
+            "--wide" => wide = true,
+            "--topk" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) => top_k = n,
+                None => return usage("--topk needs a number"),
+            },
+            "--fingerprint" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) => fingerprint = Some(n),
+                None => return usage("--fingerprint needs a number"),
             },
             "--json" => json = true,
             "--csv" => csv = true,
             "--timing" => timing = true,
             other => return usage(&format!("unknown flag `{other}`")),
         }
+    }
+
+    // Compose the corpus after parsing, so explicit flags override the
+    // `--smoke` preset regardless of argument order.
+    let mut options = if smoke {
+        CorpusOptions::smoke()
+    } else {
+        CorpusOptions::full()
+    };
+    if let Some(n) = instances {
+        options.table2_instances = n;
+    }
+    if let Some(n) = random {
+        options.random_relations = n;
+    }
+    if let Some(s) = strategy {
+        options.strategy = s;
     }
 
     let jobs = corpus(&options);
@@ -62,7 +101,14 @@ fn main() -> ExitCode {
     } else {
         EngineConfig::default().num_workers
     });
-    let report = run(&jobs, num_workers);
+    let solve = |jobs: &[JobSpec], num_workers: usize| -> BatchReport {
+        if wide {
+            run_wide(jobs, num_workers, top_k)
+        } else {
+            run(jobs, num_workers)
+        }
+    };
+    let report = solve(&jobs, num_workers);
 
     if json {
         print!("{}", report.to_json(timing));
@@ -81,10 +127,21 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
 
+    if let Some(expected) = fingerprint {
+        let actual = report.total_winner_cost();
+        if actual != expected {
+            eprintln!(
+                "engine_batch: fingerprint drift — total winner cost {actual}, expected {expected}"
+            );
+            return ExitCode::FAILURE;
+        }
+        eprintln!("engine_batch: fingerprint OK (total winner cost {actual})");
+    }
+
     if smoke {
         // The determinism gate: the same corpus on one worker must produce
-        // byte-identical timing-free output.
-        let single = run(&jobs, 1);
+        // byte-identical timing-free output (in whichever mode ran above).
+        let single = solve(&jobs, 1);
         if single.to_json(false) != report.to_json(false)
             || single.to_csv(false) != report.to_csv(false)
         {
@@ -95,9 +152,11 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
         eprintln!(
-            "engine_batch: smoke OK ({} jobs, {} workers, deterministic vs 1 worker)",
+            "engine_batch: smoke OK ({} jobs, {} workers, strategy {}, {}deterministic vs 1 worker)",
             report.jobs.len(),
-            report.num_workers
+            report.num_workers,
+            options.strategy,
+            if wide { "wide, " } else { "" },
         );
     }
     ExitCode::SUCCESS
@@ -106,7 +165,9 @@ fn main() -> ExitCode {
 fn usage(error: &str) -> ExitCode {
     eprintln!("engine_batch: {error}");
     eprintln!(
-        "usage: engine_batch [--smoke] [--workers N] [--instances N] [--random N] [--json|--csv] [--timing]"
+        "usage: engine_batch [--smoke] [--workers N] [--instances N] [--random N] \
+         [--strategy fifo|dfs|best-first] [--wide] [--topk N] [--fingerprint N] \
+         [--json|--csv] [--timing]"
     );
     ExitCode::FAILURE
 }

@@ -1,0 +1,99 @@
+//! Runs the search-strategy comparison harness and emits one labelled JSON
+//! run for the `BENCH_search.json` trajectory.
+//!
+//! Usage: `cargo run --release -p brel-bench --bin search_strategies -- [flags]`
+//!
+//! Flags:
+//!
+//! * `--smoke`       small batch and shallow churn budget (CI gate)
+//! * `--label NAME`  label recorded in the JSON (default: `dev`)
+//! * `--out FILE`    write the JSON run to FILE (default: stdout)
+//!
+//! The human-readable table always goes to stderr. Exits 1 if any strategy
+//! misses the Fig. 10 optimum, if best-first explores more than FIFO on
+//! it, or if a wide-mode run was not worker-count deterministic — the
+//! harness is its own acceptance gate.
+
+use std::process::ExitCode;
+
+use brel_bench::search_strategies::{run, SearchBenchOptions};
+use brel_core::SearchStrategy;
+
+fn main() -> ExitCode {
+    let mut smoke = false;
+    let mut label = String::from("dev");
+    let mut out: Option<String> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--label" => match args.next() {
+                Some(v) => label = v,
+                None => return usage("--label needs a value"),
+            },
+            "--out" => match args.next() {
+                Some(v) => out = Some(v),
+                None => return usage("--out needs a path"),
+            },
+            other => return usage(&format!("unknown flag `{other}`")),
+        }
+    }
+
+    let options = if smoke {
+        SearchBenchOptions::smoke(label)
+    } else {
+        SearchBenchOptions::full(label)
+    };
+    let report = run(&options);
+    eprint!("{}", report.render());
+
+    // Self-gating: the acceptance criteria of the strategy core.
+    let fifo = report
+        .rows
+        .iter()
+        .find(|r| r.strategy == SearchStrategy::Fifo)
+        .expect("fifo row");
+    for row in &report.rows {
+        if row.fig10_cost != 2 {
+            eprintln!(
+                "search_strategies: {} missed the fig10 optimum (cost {})",
+                row.strategy, row.fig10_cost
+            );
+            return ExitCode::FAILURE;
+        }
+        if !row.wide_deterministic {
+            eprintln!(
+                "search_strategies: {} wide mode differed between 1 and 4 workers",
+                row.strategy
+            );
+            return ExitCode::FAILURE;
+        }
+        if row.strategy == SearchStrategy::BestFirst && row.fig10_explored > fifo.fig10_explored {
+            eprintln!(
+                "search_strategies: best-first explored {} > fifo {} on fig10",
+                row.fig10_explored, fifo.fig10_explored
+            );
+            return ExitCode::FAILURE;
+        }
+    }
+
+    let json = report.to_json().render_pretty();
+    match out {
+        Some(path) => {
+            if let Err(e) = std::fs::write(&path, json) {
+                eprintln!("search_strategies: cannot write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!("search_strategies: wrote {path}");
+        }
+        None => print!("{json}"),
+    }
+    ExitCode::SUCCESS
+}
+
+fn usage(error: &str) -> ExitCode {
+    eprintln!("search_strategies: {error}");
+    eprintln!("usage: search_strategies [--smoke] [--label NAME] [--out FILE]");
+    ExitCode::FAILURE
+}

@@ -9,7 +9,7 @@
 
 use brel_benchdata::random_relation::random_well_defined_relation;
 use brel_benchdata::table2 as family;
-use brel_engine::{BatchReport, Engine, JobSpec, RelationSpec};
+use brel_engine::{BatchReport, Engine, JobSpec, RelationSpec, SearchStrategy, WideOptions};
 
 /// Shape of the mixed corpus.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -26,6 +26,8 @@ pub struct CorpusOptions {
     /// Probability of extra related output vertices per input (the source
     /// of non-functional flexibility).
     pub extra_pair_prob: f64,
+    /// Search strategy of every job's BREL backend.
+    pub strategy: SearchStrategy,
 }
 
 impl CorpusOptions {
@@ -37,6 +39,7 @@ impl CorpusOptions {
             random_inputs: 5,
             random_outputs: 3,
             extra_pair_prob: 0.25,
+            strategy: SearchStrategy::Fifo,
         }
     }
 
@@ -49,6 +52,7 @@ impl CorpusOptions {
             random_inputs: 4,
             random_outputs: 3,
             extra_pair_prob: 0.2,
+            strategy: SearchStrategy::Fifo,
         }
     }
 }
@@ -64,7 +68,7 @@ pub fn corpus(options: &CorpusOptions) -> Vec<JobSpec> {
     {
         let (_space, relation) = family::generate(&instance);
         let spec = RelationSpec::from_relation(&relation).expect("family spaces are enumerable");
-        jobs.push(JobSpec::portfolio(instance.name, spec));
+        jobs.push(JobSpec::portfolio(instance.name, spec).with_strategy(options.strategy));
     }
     for seed in 0..options.random_relations as u64 {
         let (_space, relation) = random_well_defined_relation(
@@ -74,7 +78,7 @@ pub fn corpus(options: &CorpusOptions) -> Vec<JobSpec> {
             seed,
         );
         let spec = RelationSpec::from_relation(&relation).expect("random spaces are enumerable");
-        jobs.push(JobSpec::portfolio(format!("rand{seed}"), spec));
+        jobs.push(JobSpec::portfolio(format!("rand{seed}"), spec).with_strategy(options.strategy));
     }
     jobs
 }
@@ -82,6 +86,14 @@ pub fn corpus(options: &CorpusOptions) -> Vec<JobSpec> {
 /// Runs a corpus through the engine with the given worker count.
 pub fn run(jobs: &[JobSpec], num_workers: usize) -> BatchReport {
     Engine::with_workers(num_workers).solve_batch(jobs)
+}
+
+/// Runs a corpus in wide mode: jobs go one at a time and the worker pool
+/// expands each BREL frontier in parallel (top-k subproblems per round).
+pub fn run_wide(jobs: &[JobSpec], num_workers: usize, top_k: usize) -> BatchReport {
+    Engine::with_workers(num_workers)
+        .with_wide(WideOptions { top_k })
+        .solve_batch(jobs)
 }
 
 /// Renders the batch as a human-readable table: one line per job with every
@@ -95,7 +107,9 @@ pub fn render(report: &BatchReport) -> String {
         report.num_workers,
         report.wall_micros as f64 / 1e6,
     ));
-    out.push_str("name     PI PO | backend    cost cubes lits expl  hit%     cpu[s] | winner\n");
+    out.push_str(
+        "name     PI PO | backend strat  cost cubes lits expl  hit%     cpu[s] | winner\n",
+    );
     for job in &report.jobs {
         if let Some(error) = &job.error {
             out.push_str(&format!(
@@ -110,9 +124,16 @@ pub fn render(report: &BatchReport) -> String {
             } else {
                 " ".repeat(14)
             };
+            let strat = match attempt.strategy {
+                Some(SearchStrategy::Fifo) => "fifo",
+                Some(SearchStrategy::Dfs) => "dfs",
+                Some(SearchStrategy::BestFirst) => "bf",
+                None => "-",
+            };
             out.push_str(&format!(
-                "{prefix} | {:8} {:6} {:5} {:4} {:4} {:5.1} {:10.4} | {}\n",
+                "{prefix} | {:7} {:5} {:5} {:5} {:4} {:4} {:5.1} {:10.4} | {}\n",
                 attempt.backend.name(),
+                strat,
                 attempt.cost,
                 attempt.cubes,
                 attempt.literals,
@@ -158,6 +179,39 @@ mod tests {
         assert_eq!(one.num_solved(), jobs.len());
         assert_eq!(one.to_json(false), two.to_json(false));
         assert_eq!(one.to_csv(false), two.to_csv(false));
+    }
+
+    #[test]
+    fn strategy_flows_into_every_job_and_the_serialized_output() {
+        let options = CorpusOptions {
+            table2_instances: 1,
+            random_relations: 1,
+            strategy: SearchStrategy::BestFirst,
+            ..CorpusOptions::smoke()
+        };
+        let jobs = corpus(&options);
+        assert!(jobs.iter().all(|j| j.strategy == SearchStrategy::BestFirst));
+        let report = run(&jobs, 2);
+        assert!(report
+            .to_json(false)
+            .contains("\"strategy\": \"best-first\""));
+        assert!(report.to_csv(false).contains(",brel,best-first,"));
+    }
+
+    #[test]
+    fn wide_mode_is_worker_count_invariant_on_the_smoke_corpus() {
+        let jobs = corpus(&CorpusOptions {
+            table2_instances: 2,
+            random_relations: 1,
+            strategy: SearchStrategy::BestFirst,
+            ..CorpusOptions::smoke()
+        });
+        let one = run_wide(&jobs, 1, 4);
+        let two = run_wide(&jobs, 2, 4);
+        assert_eq!(one.num_solved(), jobs.len());
+        assert_eq!(one.to_json(false), two.to_json(false));
+        assert_eq!(one.to_csv(false), two.to_csv(false));
+        assert_eq!(one.total_winner_cost(), two.total_winner_cost());
     }
 
     #[test]

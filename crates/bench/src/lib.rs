@@ -15,6 +15,7 @@
 //! | §7.7 symmetry experiment | [`symmetry_ablation`] | `symmetry_ablation` |
 //! | Parallel portfolio batch run | [`engine_batch`] | `engine_batch` |
 //! | BDD-kernel perf trajectory | [`bdd_kernel`] | `bdd_kernel` |
+//! | Search-strategy comparison | [`search_strategies`] | `search_strategies` |
 //!
 //! The table binaries accept `--json` to emit their rows through the shared
 //! `brel-engine` serializer (for `BENCH_*.json` perf trajectories); the
@@ -29,6 +30,7 @@ use brel_sop::Cover;
 
 pub mod bdd_kernel;
 pub mod engine_batch;
+pub mod search_strategies;
 pub mod symmetry_ablation;
 pub mod table1;
 pub mod table2;

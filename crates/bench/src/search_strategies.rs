@@ -1,0 +1,349 @@
+//! The search-strategy comparison harness: runs the same workloads through
+//! every [`SearchStrategy`] (FIFO / DFS / best-first) so the frontier
+//! disciplines can be measured against each other, and emits one labelled
+//! JSON run for the `BENCH_search.json` trajectory.
+//!
+//! Three workload families per strategy:
+//!
+//! * **batch** — the Table-2 family plus seeded random relations, solved by
+//!   the BREL backend alone on one engine worker (so `explored`, `splits`
+//!   and `frontier_peak` are the strategy's own footprint, and
+//!   `total_cost` doubles as the determinism fingerprint for the default
+//!   FIFO strategy);
+//! * **fig10** — the paper's Section 9.1 local-minimum relation in exact
+//!   mode: every strategy must land on the cost-2 optimum, and best-first
+//!   must get there with no more explored subrelations than FIFO (the
+//!   bounding payoff);
+//! * **churn** — a `gc_churn`-class memory workload: one Table-2 instance
+//!   explored under a deep budget with a small GC threshold, where the
+//!   strategies' frontier shapes (DFS's stack vs. BFS's queue) show up as
+//!   different peak live-node counts.
+//!
+//! A **wide** block re-runs the batch in the engine's wide mode (parallel
+//! frontier expansion) on 1 and 4 workers and records that the
+//! timing-free outputs agree — the determinism demonstration the CI smoke
+//! re-checks per PR.
+
+use std::time::Instant;
+
+use brel_benchdata::figures;
+use brel_benchdata::table2 as family;
+use brel_core::{BrelConfig, BrelSolver, SearchStrategy};
+use brel_engine::{BackendKind, JobSpec, Json};
+
+use crate::engine_batch::{self, CorpusOptions};
+
+/// Harness configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchBenchOptions {
+    /// Table-2 instances in the batch workload.
+    pub table2_instances: usize,
+    /// Seeded random relations in the batch workload.
+    pub random_relations: usize,
+    /// Exploration budget of the churn workload.
+    pub churn_budget: usize,
+    /// Label recorded in the emitted JSON (names the solver generation).
+    pub label: String,
+}
+
+impl SearchBenchOptions {
+    /// The full measurement configuration.
+    pub fn full(label: impl Into<String>) -> Self {
+        SearchBenchOptions {
+            table2_instances: usize::MAX,
+            random_relations: 8,
+            churn_budget: 200,
+            label: label.into(),
+        }
+    }
+
+    /// The CI smoke configuration: a small batch and a shallow churn budget
+    /// so the harness finishes in seconds.
+    pub fn smoke(label: impl Into<String>) -> Self {
+        SearchBenchOptions {
+            table2_instances: 4,
+            random_relations: 2,
+            churn_budget: 40,
+            label: label.into(),
+        }
+    }
+}
+
+/// Aggregated metrics of one strategy's batch run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchMetrics {
+    /// Sum of the winning costs (the determinism fingerprint).
+    pub total_cost: u64,
+    /// Sum of subrelations explored by the BREL attempts.
+    pub explored: u64,
+    /// Sum of splits performed by the BREL attempts.
+    pub splits: u64,
+    /// Largest pending-subproblem high-water mark over the batch.
+    pub frontier_peak: u64,
+    /// Wall time of the batch on one worker, in microseconds.
+    pub wall_micros: u64,
+}
+
+/// One strategy's full measurement row.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StrategyRow {
+    /// The strategy measured.
+    pub strategy: SearchStrategy,
+    /// The single-backend batch workload.
+    pub batch: BatchMetrics,
+    /// Fig. 10 exact mode: (cost, explored).
+    pub fig10_cost: u64,
+    /// Fig. 10 exact mode: subrelations explored to prove the optimum.
+    pub fig10_explored: u64,
+    /// Churn workload: peak live BDD nodes (the frontier's memory shape).
+    pub churn_peak_live_nodes: u64,
+    /// Churn workload: pending-subproblem high-water mark.
+    pub churn_frontier_peak: u64,
+    /// Churn workload: kernel collections triggered.
+    pub churn_gc_collections: u64,
+    /// Churn workload: incumbent cost when the budget ran out.
+    pub churn_cost: u64,
+    /// Wide mode (4 workers): total winner cost — must equal the 1-worker
+    /// wide run's, recorded to pin the determinism demonstration.
+    pub wide_total_cost: u64,
+    /// Wide mode: whether the 1-worker and 4-worker timing-free outputs
+    /// were byte-identical.
+    pub wide_deterministic: bool,
+    /// Wide mode (4 workers): batch wall time in microseconds.
+    pub wide_wall_micros: u64,
+}
+
+/// The complete harness output.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SearchReport {
+    /// The configuration label.
+    pub label: String,
+    /// One row per strategy, in [`SearchStrategy::all`] order.
+    pub rows: Vec<StrategyRow>,
+}
+
+/// Brel-only jobs over the harness corpus (the portfolio's quick/gyocro
+/// attempts would dilute the strategy signal).
+fn brel_jobs(options: &SearchBenchOptions, strategy: SearchStrategy) -> Vec<JobSpec> {
+    engine_batch::corpus(&CorpusOptions {
+        table2_instances: options.table2_instances,
+        random_relations: options.random_relations,
+        strategy,
+        ..CorpusOptions::full()
+    })
+    .into_iter()
+    .map(|mut job| {
+        job.backends = vec![BackendKind::Brel];
+        job
+    })
+    .collect()
+}
+
+fn batch_metrics(jobs: &[JobSpec]) -> BatchMetrics {
+    let start = Instant::now();
+    let report = engine_batch::run(jobs, 1);
+    let wall_micros = u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX);
+    let brel_attempts = || {
+        report
+            .jobs
+            .iter()
+            .flat_map(|j| j.attempts.iter())
+            .filter(|a| a.backend == BackendKind::Brel)
+    };
+    BatchMetrics {
+        total_cost: report.total_winner_cost(),
+        explored: brel_attempts().map(|a| a.explored as u64).sum(),
+        splits: brel_attempts().map(|a| a.splits as u64).sum(),
+        frontier_peak: brel_attempts()
+            .map(|a| a.frontier_peak as u64)
+            .max()
+            .unwrap_or(0),
+        wall_micros,
+    }
+}
+
+/// The churn-class workload: one Table-2 instance under a deep exploration
+/// budget and a small GC threshold, so the frontier's rooted subrelations
+/// are what keeps nodes alive between sweeps.
+fn churn_metrics(strategy: SearchStrategy, budget: usize) -> (u64, u64, u64, u64) {
+    let instance = family::instance("int9").expect("known instance");
+    let (space, relation) = family::generate(&instance);
+    space.mgr().set_gc_threshold(1024);
+    let config = BrelConfig::default()
+        .with_strategy(strategy)
+        .with_max_explored(Some(budget))
+        .with_fifo_capacity(None);
+    let solution = BrelSolver::new(config)
+        .solve(&relation)
+        .expect("table-2 instances are well defined");
+    (
+        solution.stats.peak_live_nodes,
+        solution.stats.frontier_peak as u64,
+        solution.stats.gc_collections,
+        solution.cost,
+    )
+}
+
+/// Runs the harness and collects the report.
+pub fn run(options: &SearchBenchOptions) -> SearchReport {
+    let mut rows = Vec::new();
+    for strategy in SearchStrategy::all() {
+        let jobs = brel_jobs(options, strategy);
+        let batch = batch_metrics(&jobs);
+
+        // Fig. 10 exact mode: the bounding payoff on the paper's example.
+        let (_space, fig10) = figures::fig10();
+        let solution = BrelSolver::new(BrelConfig::exact().with_strategy(strategy))
+            .solve(&fig10)
+            .expect("fig10 is well defined");
+        let (fig10_cost, fig10_explored) = (solution.cost, solution.stats.explored as u64);
+
+        let (churn_peak_live_nodes, churn_frontier_peak, churn_gc_collections, churn_cost) =
+            churn_metrics(strategy, options.churn_budget);
+
+        // Wide mode: 1 vs 4 workers must agree byte for byte.
+        let wide_start = Instant::now();
+        let wide4 = engine_batch::run_wide(&jobs, 4, 4);
+        let wide_wall_micros = u64::try_from(wide_start.elapsed().as_micros()).unwrap_or(u64::MAX);
+        let wide1 = engine_batch::run_wide(&jobs, 1, 4);
+        rows.push(StrategyRow {
+            strategy,
+            batch,
+            fig10_cost,
+            fig10_explored,
+            churn_peak_live_nodes,
+            churn_frontier_peak,
+            churn_gc_collections,
+            churn_cost,
+            wide_total_cost: wide4.total_winner_cost(),
+            wide_deterministic: wide1.to_json(false) == wide4.to_json(false),
+            wide_wall_micros,
+        });
+    }
+    SearchReport {
+        label: options.label.clone(),
+        rows,
+    }
+}
+
+impl SearchReport {
+    /// The JSON representation of one harness run.
+    pub fn to_json(&self) -> Json {
+        Json::object(vec![
+            ("schema", Json::str("brel-bench/search-strategies-run-v1")),
+            ("label", Json::str(&self.label)),
+            (
+                "strategies",
+                Json::Array(
+                    self.rows
+                        .iter()
+                        .map(|row| {
+                            Json::object(vec![
+                                ("strategy", Json::str(row.strategy.name())),
+                                (
+                                    "batch",
+                                    Json::object(vec![
+                                        ("total_cost", Json::UInt(row.batch.total_cost)),
+                                        ("explored", Json::UInt(row.batch.explored)),
+                                        ("splits", Json::UInt(row.batch.splits)),
+                                        ("frontier_peak", Json::UInt(row.batch.frontier_peak)),
+                                        ("wall_micros", Json::UInt(row.batch.wall_micros)),
+                                    ]),
+                                ),
+                                (
+                                    "fig10_exact",
+                                    Json::object(vec![
+                                        ("cost", Json::UInt(row.fig10_cost)),
+                                        ("explored", Json::UInt(row.fig10_explored)),
+                                    ]),
+                                ),
+                                (
+                                    "churn",
+                                    Json::object(vec![
+                                        ("peak_live_nodes", Json::UInt(row.churn_peak_live_nodes)),
+                                        ("frontier_peak", Json::UInt(row.churn_frontier_peak)),
+                                        ("gc_collections", Json::UInt(row.churn_gc_collections)),
+                                        ("cost", Json::UInt(row.churn_cost)),
+                                    ]),
+                                ),
+                                (
+                                    "wide",
+                                    Json::object(vec![
+                                        ("total_cost", Json::UInt(row.wide_total_cost)),
+                                        ("deterministic", Json::Bool(row.wide_deterministic)),
+                                        ("wall_micros", Json::UInt(row.wide_wall_micros)),
+                                    ]),
+                                ),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Human-readable rendering.
+    pub fn render(&self) -> String {
+        let mut out = format!("Search-strategy harness [{}]\n", self.label);
+        out.push_str(
+            "strategy    batch_cost expl split  peak    wall[s] | fig10 expl | churn_peak front | wide_cost det\n",
+        );
+        for row in &self.rows {
+            out.push_str(&format!(
+                "{:11} {:10} {:4} {:5} {:5} {:10.4} | {:5} {:4} | {:10} {:5} | {:9} {}\n",
+                row.strategy.name(),
+                row.batch.total_cost,
+                row.batch.explored,
+                row.batch.splits,
+                row.batch.frontier_peak,
+                row.batch.wall_micros as f64 / 1e6,
+                row.fig10_cost,
+                row.fig10_explored,
+                row.churn_peak_live_nodes,
+                row.churn_frontier_peak,
+                row.wide_total_cost,
+                if row.wide_deterministic {
+                    "ok"
+                } else {
+                    "DRIFT"
+                },
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_run_measures_every_strategy() {
+        let options = SearchBenchOptions {
+            table2_instances: 1,
+            random_relations: 1,
+            churn_budget: 5,
+            label: "test".into(),
+        };
+        let report = run(&options);
+        assert_eq!(report.rows.len(), 3);
+        assert_eq!(report.rows[0].strategy, SearchStrategy::Fifo);
+        for row in &report.rows {
+            // Every strategy proves the fig10 optimum in exact mode.
+            assert_eq!(row.fig10_cost, 2);
+            assert!(row.wide_deterministic, "{} wide drifted", row.strategy);
+            assert!(row.batch.explored >= 1);
+        }
+        // The bounding payoff: best-first never explores more than FIFO on
+        // fig10 (the acceptance criterion the full run pins).
+        let fifo = &report.rows[0];
+        let best = &report.rows[2];
+        assert!(best.fig10_explored <= fifo.fig10_explored);
+        let json = report.to_json().render();
+        assert!(json.contains("\"schema\":\"brel-bench/search-strategies-run-v1\""));
+        assert!(json.contains("\"fig10_exact\""));
+        assert!(json.contains("\"churn\""));
+        let text = report.render();
+        assert!(text.contains("best-first"));
+    }
+}

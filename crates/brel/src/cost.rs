@@ -8,6 +8,7 @@
 //! provided for comparison with gyocro's objective.
 
 use std::fmt;
+use std::rc::Rc;
 
 use brel_relation::MultiOutputFunction;
 
@@ -28,7 +29,9 @@ impl fmt::Debug for dyn CostFunction {
 }
 
 /// The built-in cost functions plus an escape hatch for user closures.
-#[derive(Default)]
+/// Clonable (custom closures are reference-counted), so configurations
+/// that embed a `CostFn` can be cloned wholesale.
+#[derive(Clone, Default)]
 pub enum CostFn {
     /// Sum of the BDD sizes of the outputs (area-oriented; the default).
     #[default]
@@ -46,8 +49,8 @@ pub enum CostFn {
     Custom {
         /// Display name.
         name: String,
-        /// The cost closure.
-        eval: Box<dyn Fn(&MultiOutputFunction) -> u64>,
+        /// The cost closure (shared between clones).
+        eval: Rc<dyn Fn(&MultiOutputFunction) -> u64>,
     },
 }
 
@@ -65,7 +68,7 @@ impl CostFn {
     ) -> Self {
         CostFn::Custom {
             name: name.into(),
-            eval: Box::new(eval),
+            eval: Rc::new(eval),
         }
     }
 }
@@ -152,6 +155,10 @@ mod tests {
         assert_eq!(custom.name(), "support-size");
         assert_eq!(custom.cost(&f), 4);
         assert_eq!(format!("{custom:?}"), "CostFn(support-size)");
+        // Clones share the closure and agree on every input.
+        let cloned = custom.clone();
+        assert_eq!(cloned.name(), custom.name());
+        assert_eq!(cloned.cost(&f), custom.cost(&f));
     }
 
     #[test]

@@ -17,6 +17,10 @@
 //!   seed the branch-and-bound with a guaranteed compatible solution;
 //! * [`BrelSolver`] — the recursive solver of Fig. 6 with the partial-BFS
 //!   exploration, cost-based pruning and symmetry pruning of Section 7;
+//! * the [`search`] core it is built on — pluggable [`Frontier`]s
+//!   ([`SearchStrategy::Fifo`]/[`SearchStrategy::Dfs`]/
+//!   [`SearchStrategy::BestFirst`] with dominance pruning) and the
+//!   incremental, anytime [`Explorer`] (step/pause/resume on budgets);
 //! * customizable [`cost`] functions (sum of BDD sizes, sum of squares,
 //!   cube/literal counts, arbitrary closures);
 //! * the ISF minimization strategies compared in Table 1
@@ -45,6 +49,7 @@ pub mod cost;
 mod equation;
 mod minimize_isf;
 mod quick;
+pub mod search;
 mod solver;
 mod symmetry;
 
@@ -52,5 +57,9 @@ pub use cost::{CostFn, CostFunction};
 pub use equation::{BooleanSystem, Equation, EquationOperator};
 pub use minimize_isf::{IsfMinimizer, MinimizerKind};
 pub use quick::QuickSolver;
+pub use search::{
+    expand, BestFirstFrontier, DfsFrontier, Expansion, ExploreStatus, Explorer, FifoFrontier,
+    Frontier, SearchStrategy, SplitExpansion, StepOutcome, Subproblem,
+};
 pub use solver::{BrelConfig, BrelSolver, Solution, SolveStats, TraceEvent};
 pub use symmetry::SymmetryCache;

@@ -1,8 +1,11 @@
 //! The recursive BREL solver (Fig. 6 of the paper) with the partial
 //! breadth-first exploration, cost pruning and symmetry pruning of Section 7.
 //!
-//! The solver maintains a bounded FIFO of pending subrelations. For each
-//! subrelation it:
+//! The solver delegates to the strategy-driven search core of
+//! [`crate::search`]: pending subrelations flow through a pluggable
+//! [`crate::search::Frontier`] (FIFO by default — the paper's partial-BFS
+//! order) and an incremental [`crate::search::Explorer`]. For each explored
+//! subrelation the core:
 //!
 //! 1. projects the relation onto each output and minimizes the resulting
 //!    MISF output by output (a unate problem),
@@ -14,32 +17,34 @@
 //!    in two (Definition 5.4) and enqueues both halves.
 //!
 //! The quick solver is run on every explored subrelation so that a
-//! compatible solution is always available even if the FIFO bound or the
-//! exploration budget truncates the search (Section 7.6).
+//! compatible solution is always available even if the frontier bound or
+//! the exploration budget truncates the search (Section 7.6).
 
-use std::collections::VecDeque;
-
-use brel_bdd::GcStats;
 use brel_relation::{BooleanRelation, MultiOutputFunction, RelationError};
 
-use crate::cost::{CostFn, CostFunction};
+use crate::cost::CostFn;
 use crate::minimize_isf::IsfMinimizer;
-use crate::quick::QuickSolver;
-use crate::symmetry::SymmetryCache;
+use crate::search::{Explorer, SearchStrategy};
 
-/// Configuration of the BREL solver.
-#[derive(Debug)]
+/// Configuration of the BREL solver. Clonable, so engine backends can be
+/// stamped out from one template instead of rebuilding configs field by
+/// field.
+#[derive(Debug, Clone)]
 pub struct BrelConfig {
     /// The cost function to minimize (default: sum of BDD sizes).
     pub cost: CostFn,
     /// The ISF minimization strategy (default: ISOP with non-essential
     /// variable elimination).
     pub minimizer: IsfMinimizer,
+    /// The frontier discipline of the exploration (default: FIFO, the
+    /// paper's partial-BFS order).
+    pub strategy: SearchStrategy,
     /// Maximum number of subrelations explored (the paper uses 10 for the
     /// Table 2 runs and 200 for the decomposition flow). `None` means
-    /// unbounded (exact mode if the FIFO is also unbounded).
+    /// unbounded (exact mode if the frontier is also unbounded).
     pub max_explored: Option<usize>,
-    /// Capacity of the FIFO of pending subrelations. `None` means unbounded.
+    /// Capacity of the frontier of pending subrelations (historically the
+    /// FIFO bound, applied to every strategy). `None` means unbounded.
     pub fifo_capacity: Option<usize>,
     /// Enable output-symmetry pruning (Section 7.7).
     pub use_symmetry: bool,
@@ -55,6 +60,7 @@ impl Default for BrelConfig {
         BrelConfig {
             cost: CostFn::SumBddSize,
             minimizer: IsfMinimizer::default(),
+            strategy: SearchStrategy::Fifo,
             max_explored: Some(10),
             fifo_capacity: Some(64),
             use_symmetry: false,
@@ -101,15 +107,39 @@ impl BrelConfig {
         self
     }
 
+    /// Sets the ISF minimization strategy.
+    pub fn with_minimizer(mut self, minimizer: IsfMinimizer) -> Self {
+        self.minimizer = minimizer;
+        self
+    }
+
+    /// Sets the frontier discipline of the exploration.
+    pub fn with_strategy(mut self, strategy: SearchStrategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
     /// Sets the exploration budget.
     pub fn with_max_explored(mut self, max: Option<usize>) -> Self {
         self.max_explored = max;
         self
     }
 
+    /// Sets the capacity of the frontier of pending subrelations.
+    pub fn with_fifo_capacity(mut self, capacity: Option<usize>) -> Self {
+        self.fifo_capacity = capacity;
+        self
+    }
+
     /// Enables or disables symmetry pruning.
     pub fn with_symmetry(mut self, enable: bool) -> Self {
         self.use_symmetry = enable;
+        self
+    }
+
+    /// Sets the depth limit of the symmetry check.
+    pub fn with_symmetry_depth(mut self, depth: usize) -> Self {
+        self.symmetry_depth = depth;
         self
     }
 
@@ -146,6 +176,16 @@ pub enum TraceEvent {
         /// Cost of the best solution at that time.
         best_cost: u64,
     },
+    /// A pending subproblem was dropped at pop time because its inherited
+    /// lower bound could no longer beat the incumbent (best-first dominance
+    /// pruning). Unlike [`TraceEvent::PrunedByCost`] the node was never
+    /// minimized, so no [`TraceEvent::Explored`] precedes this event.
+    PrunedDominated {
+        /// The subproblem's inherited lower bound.
+        lower_bound: u64,
+        /// Cost of the best solution at that time.
+        best_cost: u64,
+    },
     /// A split was performed at the given input vertex and output index.
     Split {
         /// The conflicting input vertex chosen (§7.4).
@@ -165,17 +205,26 @@ pub struct SolveStats {
     pub explored: usize,
     /// Number of splits performed.
     pub splits: usize,
-    /// Number of branches pruned by the cost bound.
+    /// Number of explored branches pruned by the cost bound (their
+    /// minimized candidate could not beat the incumbent).
     pub pruned_by_cost: usize,
+    /// Number of pending subproblems dropped unexplored at pop time by
+    /// best-first dominance pruning (their inherited lower bound could not
+    /// beat the incumbent). Always 0 for FIFO/DFS.
+    pub pruned_dominated: usize,
     /// Number of subrelations skipped by symmetry pruning.
     pub skipped_by_symmetry: usize,
     /// Number of subrelations dropped because the FIFO was full.
     pub dropped_by_fifo: usize,
     /// Number of times the incumbent solution was improved.
     pub improvements: usize,
-    /// `true` if the search ran to completion (empty FIFO) rather than
+    /// `true` if the search ran to completion (empty frontier) rather than
     /// hitting the exploration budget.
     pub complete: bool,
+    /// High-water mark of pending subproblems in the frontier — the search
+    /// overhead of the chosen strategy (each pending subrelation keeps its
+    /// characteristic function rooted).
+    pub frontier_peak: usize,
     /// High-water mark of live BDD nodes in the relation's shared manager
     /// over this solve (the manager's peak gauge is re-based at solve
     /// entry) — the memory bound of the exploration. The FIFO of pending
@@ -220,176 +269,38 @@ impl BrelSolver {
     }
 
     /// Solves the relation: returns the best compatible multiple-output
-    /// function found within the configured budgets.
+    /// function found within the configured budgets, exploring with the
+    /// configured [`SearchStrategy`]. Equivalent to driving an
+    /// [`Explorer`] to completion — use the explorer directly for anytime
+    /// (pause/resume) operation.
     ///
     /// # Errors
     ///
     /// Returns [`RelationError::NotWellDefined`] if the relation is not well
     /// defined (no compatible function exists).
     pub fn solve(&self, relation: &BooleanRelation) -> Result<Solution, RelationError> {
-        if !relation.is_well_defined() {
-            return Err(RelationError::NotWellDefined);
-        }
-        relation.space().mgr().reset_peak_live_nodes();
-        let gc_before = relation.space().mgr().gc_stats();
-        let mut stats = SolveStats::default();
-        let mut trace = Vec::new();
-        let quick = QuickSolver::new().with_minimizer(self.config.minimizer);
-
-        // Seed: the quick solver guarantees a compatible incumbent.
-        let mut best = quick.solve(relation)?;
-        let mut best_cost = self.config.cost.cost(&best);
-        stats.improvements += 1;
-        if self.config.trace {
-            trace.push(TraceEvent::Improved { cost: best_cost });
-        }
-
-        let mut fifo: VecDeque<(BooleanRelation, usize)> = VecDeque::new();
-        fifo.push_back((relation.clone(), 0));
-        let mut symmetry = SymmetryCache::new();
-        if self.config.use_symmetry {
-            symmetry.check_and_insert(relation);
-        }
-
-        let mut explored = 0usize;
-        while let Some((current, depth)) = fifo.pop_front() {
-            if let Some(max) = self.config.max_explored {
-                if explored >= max {
-                    // Budget exhausted: stop exploring, keep the incumbent.
-                    stats.complete = false;
-                    Self::account_memory(&mut stats, &gc_before, relation);
-                    return Ok(self.finish(best, best_cost, stats, trace));
-                }
-            }
-            explored += 1;
-            stats.explored += 1;
-
-            // Step (a)+(b): over-approximate by the MISF and minimize it.
-            let misf = current.to_misf();
-            let candidate_outputs: Vec<_> = misf
-                .outputs()
-                .iter()
-                .map(|isf| self.config.minimizer.minimize(isf))
-                .collect();
-            let candidate = MultiOutputFunction::new(current.space(), candidate_outputs)?;
-            let candidate_cost = self.config.cost.cost(&candidate);
-            let compatible = current.is_compatible(&candidate);
-            if self.config.trace {
-                trace.push(TraceEvent::Explored {
-                    index: explored - 1,
-                    candidate_cost,
-                    compatible,
-                });
-            }
-
-            // Step: prune by cost. Constraining the relation further cannot
-            // beat a candidate obtained with strictly more flexibility.
-            if candidate_cost >= best_cost {
-                stats.pruned_by_cost += 1;
-                if self.config.trace {
-                    trace.push(TraceEvent::PrunedByCost {
-                        candidate_cost,
-                        best_cost,
-                    });
-                }
-                continue;
-            }
-
-            if compatible {
-                best = candidate;
-                best_cost = candidate_cost;
-                stats.improvements += 1;
-                if self.config.trace {
-                    trace.push(TraceEvent::Improved { cost: best_cost });
-                }
-                continue;
-            }
-
-            // Incompatible: make sure this subrelation still contributes a
-            // compatible incumbent (partial-BFS guarantee of §7.2)…
-            if let Ok(q) = quick.solve(&current) {
-                let q_cost = self.config.cost.cost(&q);
-                if q_cost < best_cost {
-                    best = q;
-                    best_cost = q_cost;
-                    stats.improvements += 1;
-                    if self.config.trace {
-                        trace.push(TraceEvent::Improved { cost: best_cost });
-                    }
-                }
-            }
-
-            // …then split on a conflicting vertex and enqueue both halves.
-            let conflicts = current.conflicting_inputs(&candidate);
-            let Some((vertex, output)) = current.select_split_point(&conflicts) else {
-                // No valid split point (should not happen for incompatible
-                // candidates, but stay safe): keep the quick solution.
-                continue;
-            };
-            if self.config.trace {
-                trace.push(TraceEvent::Split {
-                    vertex: vertex.clone(),
-                    output,
-                });
-            }
-            let (r_neg, r_pos) = current.split(&vertex, output)?;
-            stats.splits += 1;
-            for child in [r_neg, r_pos] {
-                debug_assert!(
-                    child.is_well_defined(),
-                    "Theorem 5.2 guarantees well-definedness"
-                );
-                if self.config.use_symmetry
-                    && depth < self.config.symmetry_depth
-                    && symmetry.check_and_insert(&child)
-                {
-                    stats.skipped_by_symmetry += 1;
-                    if self.config.trace {
-                        trace.push(TraceEvent::SkippedBySymmetry);
-                    }
-                    continue;
-                }
-                if let Some(cap) = self.config.fifo_capacity {
-                    if fifo.len() >= cap {
-                        stats.dropped_by_fifo += 1;
-                        continue;
-                    }
-                }
-                fifo.push_back((child, depth + 1));
-            }
-        }
-        stats.complete = true;
-        Self::account_memory(&mut stats, &gc_before, relation);
-        Ok(self.finish(best, best_cost, stats, trace))
+        let mut explorer = Explorer::new(self.config.clone(), relation)?;
+        explorer.run()?;
+        Ok(explorer.into_solution())
     }
 
-    /// Fills the node-budget accounting of one solve from the manager's
-    /// lifecycle counters (deterministic, like the rest of the stats).
-    fn account_memory(stats: &mut SolveStats, before: &GcStats, relation: &BooleanRelation) {
-        let now = relation.space().mgr().gc_stats();
-        stats.peak_live_nodes = now.peak_live_nodes;
-        stats.gc_collections = now.collections.saturating_sub(before.collections);
-    }
-
-    fn finish(
-        &self,
-        function: MultiOutputFunction,
-        cost: u64,
-        stats: SolveStats,
-        trace: Vec<TraceEvent>,
-    ) -> Solution {
-        Solution {
-            function,
-            cost,
-            stats,
-            trace,
-        }
+    /// Creates an incremental [`Explorer`] over the relation with this
+    /// solver's configuration (the anytime entry point).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RelationError::NotWellDefined`] if the relation is not well
+    /// defined (no compatible function exists).
+    pub fn explorer(&self, relation: &BooleanRelation) -> Result<Explorer, RelationError> {
+        Explorer::new(self.config.clone(), relation)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::cost::CostFunction;
+    use crate::quick::QuickSolver;
     use brel_relation::RelationSpace;
 
     fn fig1(space: &RelationSpace) -> BooleanRelation {
@@ -509,6 +420,75 @@ mod tests {
         let sol = BrelSolver::new(config).solve(&r).unwrap();
         assert!(r.is_compatible(&sol.function));
         assert_eq!(sol.cost, CostFn::LiteralCount.cost(&sol.function));
+    }
+
+    #[test]
+    fn config_builders_compose_and_clone() {
+        use crate::minimize_isf::MinimizerKind;
+        let config = BrelConfig::default()
+            .with_minimizer(IsfMinimizer::without_elimination(MinimizerKind::Restrict))
+            .with_strategy(SearchStrategy::Dfs)
+            .with_fifo_capacity(Some(5))
+            .with_symmetry(true)
+            .with_symmetry_depth(2)
+            .with_max_explored(Some(3))
+            .with_trace(true);
+        let clone = config.clone();
+        assert_eq!(clone.minimizer, config.minimizer);
+        assert_eq!(clone.strategy, SearchStrategy::Dfs);
+        assert_eq!(clone.fifo_capacity, Some(5));
+        assert!(clone.use_symmetry);
+        assert_eq!(clone.symmetry_depth, 2);
+        assert_eq!(clone.max_explored, Some(3));
+        assert!(clone.trace);
+        // The clone is a working configuration, not just a field copy.
+        let space = RelationSpace::new(2, 2);
+        let r = fig1(&space);
+        let sol = BrelSolver::new(clone).solve(&r).unwrap();
+        assert!(r.is_compatible(&sol.function));
+    }
+
+    #[test]
+    fn ill_conditioned_relations_never_hit_the_no_split_point_fallback() {
+        // Regression for the old silent "no valid split point (should not
+        // happen)" fallback, now the structured RelationError::NoSplitPoint.
+        // These relations mix fully determined vertices (singleton images)
+        // with conflicting flexible ones, so the largest-conflict-cube
+        // completion of §7.4 can land on vertices where most outputs have no
+        // flexibility — the scenario the fallback guarded. Provably (see
+        // `search::expand`) a conflicting vertex always has one flexible
+        // output, so exact-mode solves must complete without the error on
+        // every strategy.
+        let tables: [(&str, usize, usize); 3] = [
+            (
+                "000:{00}\n001:{11}\n010:{01,10}\n011:{10}\n100:{00,11}\n101:{01}\n110:{01,10}\n111:{11}",
+                3,
+                2,
+            ),
+            // Only one vertex carries all the flexibility.
+            (
+                "00:{10}\n01:{01}\n10:{00,01,10,11}\n11:{11}",
+                2,
+                2,
+            ),
+            // Flexibility concentrated on one output bit.
+            (
+                "000:{01}\n001:{01,11}\n010:{01}\n011:{01,11}\n100:{11}\n101:{01,11}\n110:{11}\n111:{01,11}",
+                3,
+                2,
+            ),
+        ];
+        for (table, ni, no) in tables {
+            let space = RelationSpace::new(ni, no);
+            let r = BooleanRelation::from_table(&space, table).unwrap();
+            for strategy in SearchStrategy::all() {
+                let sol = BrelSolver::new(BrelConfig::exact().with_strategy(strategy))
+                    .solve(&r)
+                    .unwrap_or_else(|e| panic!("{strategy} failed on {table:?}: {e}"));
+                assert!(r.is_compatible(&sol.function));
+                assert!(sol.stats.complete);
+            }
+        }
     }
 
     #[test]

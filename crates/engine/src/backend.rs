@@ -3,7 +3,7 @@
 use std::time::Instant;
 
 use brel_bdd::{CacheStats, GcStats};
-use brel_core::{BrelConfig, BrelSolver, CostFunction, QuickSolver};
+use brel_core::{BrelConfig, BrelSolver, CostFunction, QuickSolver, SearchStrategy};
 use brel_gyocro::{GyocroConfig, GyocroSolver};
 use brel_relation::{BooleanRelation, MultiOutputFunction, RelationError};
 
@@ -19,6 +19,10 @@ pub struct BackendRun {
     /// Backend-specific exploration count (subrelations for BREL, passes
     /// for gyocro, 1 for the quick solver).
     pub explored: usize,
+    /// Number of splits performed (BREL only; 0 elsewhere).
+    pub splits: usize,
+    /// High-water mark of pending subproblems (BREL only; 0 elsewhere).
+    pub frontier_peak: usize,
 }
 
 /// A uniform interface over Boolean-relation solvers, so the engine can
@@ -46,6 +50,8 @@ impl SolverBackend for QuickSolver {
         Ok(BackendRun {
             function,
             explored: 1,
+            splits: 0,
+            frontier_peak: 0,
         })
     }
 }
@@ -60,6 +66,8 @@ impl SolverBackend for GyocroSolver {
         Ok(BackendRun {
             function: solution.function,
             explored: solution.passes,
+            splits: 0,
+            frontier_peak: 0,
         })
     }
 }
@@ -74,15 +82,19 @@ impl SolverBackend for BrelSolver {
         Ok(BackendRun {
             function: solution.function,
             explored: solution.stats.explored,
+            splits: solution.stats.splits,
+            frontier_peak: solution.stats.frontier_peak,
         })
     }
 }
 
-/// Instantiates a backend configured with the job's cost and budget.
+/// Instantiates a backend configured with the job's cost, budget and
+/// search strategy.
 pub fn instantiate(
     kind: BackendKind,
     cost: CostSpec,
     budget: &JobBudget,
+    strategy: SearchStrategy,
 ) -> Box<dyn SolverBackend> {
     match kind {
         BackendKind::Quick => Box::new(QuickSolver::new()),
@@ -90,12 +102,13 @@ pub fn instantiate(
             max_passes: budget.gyocro_max_passes,
             ..GyocroConfig::default()
         })),
-        BackendKind::Brel => Box::new(BrelSolver::new(BrelConfig {
-            cost: cost.to_cost_fn(),
-            max_explored: budget.max_explored,
-            fifo_capacity: budget.fifo_capacity,
-            ..BrelConfig::default()
-        })),
+        BackendKind::Brel => Box::new(BrelSolver::new(
+            BrelConfig::default()
+                .with_cost(cost.to_cost_fn())
+                .with_strategy(strategy)
+                .with_max_explored(budget.max_explored)
+                .with_fifo_capacity(budget.fifo_capacity),
+        )),
     }
 }
 
@@ -114,6 +127,14 @@ pub struct SolutionReport {
     pub literals: usize,
     /// Backend-specific exploration count.
     pub explored: usize,
+    /// Number of splits performed (BREL only; 0 elsewhere).
+    pub splits: usize,
+    /// High-water mark of pending subproblems in the search frontier (BREL
+    /// only; 0 elsewhere). Deterministic, like `explored`.
+    pub frontier_peak: usize,
+    /// The search strategy that drove the exploration; `None` for backends
+    /// without a frontier (quick, gyocro).
+    pub strategy: Option<SearchStrategy>,
     /// BDD-kernel cache counters attributed to this backend run: the delta
     /// of the relation's manager counters across the solve. Deterministic
     /// (a pure function of the operation sequence), so it participates in
@@ -139,9 +160,10 @@ pub fn execute(
     kind: BackendKind,
     cost: CostSpec,
     budget: &JobBudget,
+    strategy: SearchStrategy,
     relation: &BooleanRelation,
 ) -> Result<SolutionReport, RelationError> {
-    let backend = instantiate(kind, cost, budget);
+    let backend = instantiate(kind, cost, budget, strategy);
     let stats_before = relation.space().mgr().cache_stats();
     // Portfolio backends share one rehydrated manager; re-base the peak
     // gauge so each report's `gc.peak_live_nodes` is this backend's own
@@ -158,6 +180,9 @@ pub fn execute(
         cubes: run.function.num_cubes(),
         literals: run.function.num_literals(),
         explored: run.explored,
+        splits: run.splits,
+        frontier_peak: run.frontier_peak,
+        strategy: (kind == BackendKind::Brel).then_some(strategy),
         cache: relation
             .space()
             .mgr()
@@ -185,12 +210,26 @@ mod tests {
     fn every_backend_produces_a_scored_report() {
         let (_space, r) = fig10();
         for kind in BackendKind::all() {
-            let report =
-                execute(kind, CostSpec::SumBddSize, &JobBudget::default(), &r).expect("solvable");
+            let report = execute(
+                kind,
+                CostSpec::SumBddSize,
+                &JobBudget::default(),
+                SearchStrategy::Fifo,
+                &r,
+            )
+            .expect("solvable");
             assert_eq!(report.backend, kind);
             assert!(report.cost > 0);
             assert!(report.literals >= report.cubes);
             assert!(report.explored >= 1);
+            if kind == BackendKind::Brel {
+                assert_eq!(report.strategy, Some(SearchStrategy::Fifo));
+                assert!(report.frontier_peak >= 1);
+            } else {
+                assert_eq!(report.strategy, None);
+                assert_eq!(report.splits, 0);
+                assert_eq!(report.frontier_peak, 0);
+            }
         }
     }
 
@@ -204,9 +243,26 @@ mod tests {
             fifo_capacity: None,
             ..JobBudget::default()
         };
-        let quick = execute(BackendKind::Quick, CostSpec::SumBddSize, &budget, &r).unwrap();
-        let brel = execute(BackendKind::Brel, CostSpec::SumBddSize, &budget, &r).unwrap();
-        assert!(brel.cost < quick.cost);
+        let quick = execute(
+            BackendKind::Quick,
+            CostSpec::SumBddSize,
+            &budget,
+            SearchStrategy::Fifo,
+            &r,
+        )
+        .unwrap();
+        for strategy in SearchStrategy::all() {
+            let brel = execute(
+                BackendKind::Brel,
+                CostSpec::SumBddSize,
+                &budget,
+                strategy,
+                &r,
+            )
+            .unwrap();
+            assert!(brel.cost < quick.cost);
+            assert_eq!(brel.strategy, Some(strategy));
+        }
     }
 
     #[test]
@@ -214,14 +270,26 @@ mod tests {
         let space = RelationSpace::new(1, 1);
         let r = BooleanRelation::from_table(&space, "1 : {1}").unwrap();
         for kind in BackendKind::all() {
-            assert!(execute(kind, CostSpec::default(), &JobBudget::default(), &r).is_err());
+            assert!(execute(
+                kind,
+                CostSpec::default(),
+                &JobBudget::default(),
+                SearchStrategy::Fifo,
+                &r
+            )
+            .is_err());
         }
     }
 
     #[test]
     fn trait_objects_report_their_names() {
         for kind in BackendKind::all() {
-            let backend = instantiate(kind, CostSpec::default(), &JobBudget::default());
+            let backend = instantiate(
+                kind,
+                CostSpec::default(),
+                &JobBudget::default(),
+                SearchStrategy::Fifo,
+            );
             assert_eq!(backend.name(), kind.name());
         }
     }

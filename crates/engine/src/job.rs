@@ -7,7 +7,7 @@
 //! solving. Rehydration is deterministic, so the same [`JobSpec`] produces
 //! the same solution on every worker and at every worker count.
 
-use brel_core::CostFn;
+use brel_core::{CostFn, SearchStrategy};
 use brel_relation::{BooleanRelation, RelationError, RelationRow, RelationSpace};
 
 /// Which solver implementation a job runs.
@@ -218,6 +218,10 @@ pub struct JobSpec {
     pub cost: CostSpec,
     /// The exploration budget.
     pub budget: JobBudget,
+    /// The frontier discipline of the BREL backend's exploration
+    /// (`SearchStrategy` is plain-old-data, so it rides across threads with
+    /// the rest of the spec). Ignored by the quick and gyocro backends.
+    pub strategy: SearchStrategy,
 }
 
 impl JobSpec {
@@ -229,6 +233,7 @@ impl JobSpec {
             backends: vec![backend],
             cost: CostSpec::default(),
             budget: JobBudget::default(),
+            strategy: SearchStrategy::default(),
         }
     }
 
@@ -240,6 +245,7 @@ impl JobSpec {
             backends: BackendKind::all().to_vec(),
             cost: CostSpec::default(),
             budget: JobBudget::default(),
+            strategy: SearchStrategy::default(),
         }
     }
 
@@ -252,6 +258,12 @@ impl JobSpec {
     /// Sets the exploration budget.
     pub fn with_budget(mut self, budget: JobBudget) -> Self {
         self.budget = budget;
+        self
+    }
+
+    /// Sets the BREL backend's search strategy.
+    pub fn with_strategy(mut self, strategy: SearchStrategy) -> Self {
+        self.strategy = strategy;
         self
     }
 }
@@ -313,11 +325,14 @@ mod tests {
             .with_budget(JobBudget {
                 max_explored: None,
                 ..JobBudget::default()
-            });
+            })
+            .with_strategy(SearchStrategy::BestFirst);
         assert_eq!(job.backends.len(), 3);
         assert_eq!(job.cost, CostSpec::LiteralCount);
         assert_eq!(job.budget.max_explored, None);
+        assert_eq!(job.strategy, SearchStrategy::BestFirst);
         let single = JobSpec::single("fig1", fig1_spec(), BackendKind::Brel);
         assert_eq!(single.backends, vec![BackendKind::Brel]);
+        assert_eq!(single.strategy, SearchStrategy::Fifo);
     }
 }

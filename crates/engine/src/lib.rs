@@ -18,7 +18,12 @@
 //! * the [`Engine`] fans a batch of jobs over a worker pool and collects
 //!   [`JobReport`]s sorted by job id, so batch output is byte-identical
 //!   regardless of the worker count (see [`report`] for the JSON/CSV
-//!   serializations that pin this down).
+//!   serializations that pin this down);
+//! * each job carries a [`SearchStrategy`] for its BREL backend, and
+//!   [`Engine::with_wide`] flips the pool into *wide* mode — parallel
+//!   frontier expansion inside each BREL solve (see [`wide`]) for batches
+//!   dominated by one hard relation, with the same worker-count
+//!   determinism guarantee.
 //!
 //! ```
 //! use brel_engine::{Engine, JobSpec, RelationSpec};
@@ -45,9 +50,12 @@ mod job;
 mod pool;
 mod portfolio;
 pub mod report;
+pub mod wide;
 
 pub use backend::{execute, instantiate, BackendRun, SolutionReport, SolverBackend};
+pub use brel_core::SearchStrategy;
 pub use job::{BackendKind, CostSpec, JobBudget, JobSpec, RelationSpec};
 pub use pool::{BatchReport, Engine, EngineConfig};
-pub use portfolio::{run_job, JobReport};
+pub use portfolio::{run_job, run_job_wide, JobReport};
 pub use report::Json;
+pub use wide::{solve_wide, SubproblemSpec, WideOptions};

@@ -14,19 +14,26 @@ use std::thread;
 use std::time::Instant;
 
 use crate::job::{BackendKind, JobSpec};
-use crate::portfolio::{run_job, JobReport};
+use crate::portfolio::{run_job, run_job_wide, JobReport};
+use crate::wide::WideOptions;
 
 /// Engine configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct EngineConfig {
     /// Number of worker threads. Zero is treated as one.
     pub num_workers: usize,
+    /// When set, batches run in *wide* mode: jobs are processed one at a
+    /// time and the worker pool parallelizes frontier expansion inside each
+    /// BREL solve instead of across jobs (see [`crate::wide`]). Use it when
+    /// one hard relation would otherwise serialize the batch.
+    pub wide: Option<WideOptions>,
 }
 
 impl Default for EngineConfig {
     fn default() -> Self {
         EngineConfig {
             num_workers: thread::available_parallelism().map_or(1, |n| n.get()),
+            wide: None,
         }
     }
 }
@@ -46,6 +53,16 @@ impl BatchReport {
     /// Number of jobs whose portfolio produced at least one solution.
     pub fn num_solved(&self) -> usize {
         self.jobs.iter().filter(|j| j.winner.is_some()).count()
+    }
+
+    /// Sum of the winning attempts' costs: the batch's determinism
+    /// fingerprint. A solver or kernel change may move wall times, but if
+    /// this number moves for the default configuration, results changed.
+    pub fn total_winner_cost(&self) -> u64 {
+        self.jobs
+            .iter()
+            .filter_map(|j| j.winning().map(|w| w.cost))
+            .sum()
     }
 
     /// How many jobs each backend won, in the deterministic
@@ -80,7 +97,17 @@ impl Engine {
 
     /// Creates an engine with a fixed worker count.
     pub fn with_workers(num_workers: usize) -> Self {
-        Engine::new(EngineConfig { num_workers })
+        Engine::new(EngineConfig {
+            num_workers,
+            ..EngineConfig::default()
+        })
+    }
+
+    /// Switches the engine into wide mode (parallel frontier expansion
+    /// inside each BREL solve instead of job-level parallelism).
+    pub fn with_wide(mut self, options: WideOptions) -> Self {
+        self.config.wide = Some(options);
+        self
     }
 
     /// The configuration of this engine.
@@ -92,6 +119,9 @@ impl Engine {
     /// id. The output (modulo wall-clock fields) does not depend on the
     /// worker count.
     pub fn solve_batch(&self, jobs: &[JobSpec]) -> BatchReport {
+        if let Some(options) = self.config.wide {
+            return self.solve_batch_wide(jobs, options);
+        }
         let start = Instant::now();
         // Never spin up more workers than jobs; never fewer than one.
         let num_workers = self.config.num_workers.clamp(1, jobs.len().max(1));
@@ -121,6 +151,25 @@ impl Engine {
             rx.iter().collect()
         });
         reports.sort_by_key(|r| r.job_id);
+        BatchReport {
+            jobs: reports,
+            num_workers,
+            wall_micros: u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX),
+        }
+    }
+
+    /// Wide mode: jobs run one at a time and the pool parallelizes the
+    /// frontier of each BREL solve instead. Reports are produced directly
+    /// in job-id order; output (modulo wall-clock fields) is independent of
+    /// the worker count, like the job-parallel path.
+    fn solve_batch_wide(&self, jobs: &[JobSpec], options: WideOptions) -> BatchReport {
+        let start = Instant::now();
+        let num_workers = self.config.num_workers.max(1);
+        let reports = jobs
+            .iter()
+            .enumerate()
+            .map(|(id, job)| run_job_wide(id, job, num_workers, options))
+            .collect();
         BatchReport {
             jobs: reports,
             num_workers,

@@ -2,7 +2,8 @@
 //! winner under the job's cost function.
 
 use crate::backend::{execute, SolutionReport};
-use crate::job::JobSpec;
+use crate::job::{BackendKind, JobSpec};
+use crate::wide::{solve_wide, WideOptions};
 
 /// The outcome of one job: every backend attempt (in the job's backend
 /// order) plus the index of the selected winner.
@@ -43,11 +44,51 @@ pub fn run_job(job_id: usize, job: &JobSpec) -> JobReport {
     let mut attempts = Vec::with_capacity(job.backends.len());
     let mut error = None;
     for &kind in &job.backends {
-        match execute(kind, job.cost, &job.budget, &relation) {
+        match execute(kind, job.cost, &job.budget, job.strategy, &relation) {
             Ok(report) => attempts.push(report),
             Err(e) => error = Some(e.to_string()),
         }
     }
+    finish_job(job_id, job, attempts, error)
+}
+
+/// Wide-mode variant of [`run_job`]: the BREL backend runs with parallel
+/// frontier expansion over `num_workers` threads (see [`crate::wide`]);
+/// the quick and gyocro backends run as usual on a shared coordinator
+/// manager. Deterministic across worker counts, like [`run_job`].
+pub fn run_job_wide(
+    job_id: usize,
+    job: &JobSpec,
+    num_workers: usize,
+    options: WideOptions,
+) -> JobReport {
+    // The coordinator manager is only needed by non-BREL backends (wide
+    // BREL rehydrates per expansion); build it lazily so a Brel-only job
+    // does not pay for an unused root construction.
+    let mut rehydrated = None;
+    let mut attempts = Vec::with_capacity(job.backends.len());
+    let mut error = None;
+    for &kind in &job.backends {
+        let result = if kind == BackendKind::Brel {
+            solve_wide(job, num_workers, options)
+        } else {
+            let (_space, relation) = rehydrated.get_or_insert_with(|| job.relation.rehydrate());
+            execute(kind, job.cost, &job.budget, job.strategy, relation)
+        };
+        match result {
+            Ok(report) => attempts.push(report),
+            Err(e) => error = Some(e.to_string()),
+        }
+    }
+    finish_job(job_id, job, attempts, error)
+}
+
+fn finish_job(
+    job_id: usize,
+    job: &JobSpec,
+    attempts: Vec<SolutionReport>,
+    error: Option<String>,
+) -> JobReport {
     // `min_by_key` keeps the first of equal minima, so ties deterministically
     // go to the earlier backend in the job's list.
     let winner = attempts

@@ -174,10 +174,19 @@ impl SolutionReport {
     pub fn to_json(&self, include_timing: bool) -> Json {
         let mut fields = vec![
             ("backend", Json::str(self.backend.name())),
+            (
+                "strategy",
+                match self.strategy {
+                    Some(strategy) => Json::str(strategy.name()),
+                    None => Json::Null,
+                },
+            ),
             ("cost", Json::UInt(self.cost)),
             ("cubes", Json::UInt(self.cubes as u64)),
             ("literals", Json::UInt(self.literals as u64)),
             ("explored", Json::UInt(self.explored as u64)),
+            ("splits", Json::UInt(self.splits as u64)),
+            ("frontier_peak", Json::UInt(self.frontier_peak as u64)),
             (
                 "cache",
                 Json::object(vec![
@@ -290,7 +299,7 @@ impl BatchReport {
     /// output is byte-identical across worker counts.
     pub fn to_csv(&self, include_timing: bool) -> String {
         let mut out = String::from(
-            "job_id,name,inputs,outputs,backend,winner,cost,cubes,literals,explored,cache_lookups,cache_hits,gc_collections,gc_nodes_reclaimed,gc_peak_live_nodes",
+            "job_id,name,inputs,outputs,backend,strategy,winner,cost,cubes,literals,explored,splits,frontier_peak,cache_lookups,cache_hits,gc_collections,gc_nodes_reclaimed,gc_peak_live_nodes",
         );
         if include_timing {
             out.push_str(",wall_micros");
@@ -300,17 +309,22 @@ impl BatchReport {
             let mut line = |backend: &str, winner: u8, attempt: Option<&SolutionReport>| {
                 let _ = write!(
                     out,
-                    "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+                    "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
                     job.job_id,
                     csv_field(&job.name),
                     job.num_inputs,
                     job.num_outputs,
                     backend,
+                    attempt
+                        .and_then(|a| a.strategy)
+                        .map_or("-", |strategy| strategy.name()),
                     winner,
                     attempt.map_or(0, |a| a.cost),
                     attempt.map_or(0, |a| a.cubes as u64),
                     attempt.map_or(0, |a| a.literals as u64),
                     attempt.map_or(0, |a| a.explored as u64),
+                    attempt.map_or(0, |a| a.splits as u64),
+                    attempt.map_or(0, |a| a.frontier_peak as u64),
                     attempt.map_or(0, |a| a.cache.cache_lookups),
                     attempt.map_or(0, |a| a.cache.cache_hits),
                     attempt.map_or(0, |a| a.gc.collections),
@@ -387,7 +401,7 @@ mod tests {
             .lines()
             .nth(1)
             .unwrap()
-            .starts_with("0,broken,1,1,error,0,"));
+            .starts_with("0,broken,1,1,error,-,0,"));
         let json = report.to_json(false);
         assert!(json.contains("not well defined"));
     }
@@ -417,7 +431,11 @@ mod tests {
         assert!(a.to_json(false).contains("\"peak_live_nodes\""));
         assert!(a
             .to_csv(false)
-            .starts_with("job_id,name,inputs,outputs,backend,winner,cost,cubes,literals,explored,cache_lookups,cache_hits,gc_collections,gc_nodes_reclaimed,gc_peak_live_nodes\n"));
+            .starts_with("job_id,name,inputs,outputs,backend,strategy,winner,cost,cubes,literals,explored,splits,frontier_peak,cache_lookups,cache_hits,gc_collections,gc_nodes_reclaimed,gc_peak_live_nodes\n"));
+        // The search columns are part of the deterministic surface.
+        assert!(a.to_json(false).contains("\"strategy\""));
+        assert!(a.to_json(false).contains("\"splits\""));
+        assert!(a.to_json(false).contains("\"frontier_peak\""));
         // Timing-bearing output still parses structurally: the header gains
         // the extra column and the JSON gains the worker fields.
         assert!(a.to_csv(true).starts_with("job_id,") && a.to_csv(true).contains("wall_micros"));

@@ -1,0 +1,460 @@
+//! Wide mode: engine-parallel frontier expansion for a single hard
+//! relation.
+//!
+//! The batch engine's unit of parallelism is the *job* — useless when one
+//! relation dominates the batch. Wide mode parallelizes *inside* one BREL
+//! solve instead: each round it takes the top-k pending subproblems of the
+//! search frontier (ordered by the job's [`SearchStrategy`]) and expands
+//! them concurrently. Nothing BDD-shaped crosses a thread: a pending node
+//! travels as a [`SubproblemSpec`] (tabular rows plus depth and lower
+//! bound), each expansion rehydrates its subrelation into a private BDD
+//! manager and runs the same [`brel_core::expand`] transition the
+//! sequential explorer uses, and the coordinator merges results in round
+//! order — improvements, prunes and child subproblems are applied by
+//! ascending round index, and fresh children enter the frontier in
+//! `(lower bound, insertion sequence)` order. Every expansion is a pure
+//! function of `(spec, round-start incumbent cost)`, so the merged outcome
+//! — costs, statistics, even the per-expansion kernel counters — is
+//! byte-identical at every worker count.
+
+use std::sync::mpsc;
+use std::thread;
+use std::time::Instant;
+
+use brel_bdd::{CacheStats, GcStats};
+use brel_core::{expand, CostFunction, IsfMinimizer, QuickSolver, SearchStrategy};
+use brel_relation::RelationError;
+
+use crate::backend::SolutionReport;
+use crate::job::{BackendKind, CostSpec, JobSpec, RelationSpec};
+
+/// Wide-mode configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WideOptions {
+    /// Maximum number of frontier subproblems expanded in parallel per
+    /// round (clamped to at least 1).
+    pub top_k: usize,
+}
+
+impl Default for WideOptions {
+    fn default() -> Self {
+        WideOptions { top_k: 8 }
+    }
+}
+
+/// A pending subproblem in portable form: the serialization boundary wide
+/// mode ships to worker threads (the engine-side mirror of
+/// [`brel_core::Subproblem`]).
+#[derive(Debug, Clone)]
+pub struct SubproblemSpec {
+    /// The subrelation, as tabular rows.
+    pub relation: RelationSpec,
+    /// Distance from the root relation (number of splits on the path).
+    pub depth: usize,
+    /// Lower bound inherited from the parent's candidate cost (0 for the
+    /// root).
+    pub lower_bound: u64,
+    /// Insertion sequence number: the deterministic FIFO/DFS key and the
+    /// best-first tie-break.
+    seq: u64,
+}
+
+// Wide mode's whole point: pending work must be free to cross threads.
+const _: fn() = || {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<SubproblemSpec>();
+};
+
+/// The incumbent's scored metrics (the function itself stays on whichever
+/// thread found it; reports only carry numbers).
+#[derive(Debug, Clone, Copy)]
+struct Incumbent {
+    cost: u64,
+    cubes: usize,
+    literals: usize,
+}
+
+/// What one worker expansion sends back to the coordinator.
+#[derive(Debug)]
+struct WideExpansion {
+    candidate_cost: u64,
+    compatible: bool,
+    /// Candidate metrics (meaningful when `compatible`).
+    cubes: usize,
+    literals: usize,
+    /// Quick-solver fallback metrics, when the node split.
+    quick: Option<(u64, usize, usize)>,
+    /// The two split halves, re-exported as portable rows.
+    children: Option<[RelationSpec; 2]>,
+    /// Kernel counters of this expansion's private manager.
+    cache: CacheStats,
+    gc: GcStats,
+}
+
+/// Expands one portable subproblem inside a fresh private manager. Pure
+/// with respect to `(spec, prune_bound)` — the determinism anchor of wide
+/// mode.
+fn expand_spec(
+    spec: &SubproblemSpec,
+    cost: CostSpec,
+    prune_bound: u64,
+) -> Result<WideExpansion, RelationError> {
+    let (space, relation) = spec.relation.rehydrate();
+    let cache_before = space.mgr().cache_stats();
+    space.mgr().reset_peak_live_nodes();
+    let gc_before = space.gc_stats();
+    let minimizer = IsfMinimizer::default();
+    let quick = QuickSolver::new().with_minimizer(minimizer);
+    let cost_fn = cost.to_cost_fn();
+    let expansion = expand(&minimizer, &cost_fn, &quick, &relation, prune_bound)?;
+    let children = match &expansion.split {
+        Some(split) => Some([
+            RelationSpec::from_relation(&split.negative)?,
+            RelationSpec::from_relation(&split.positive)?,
+        ]),
+        None => None,
+    };
+    Ok(WideExpansion {
+        candidate_cost: expansion.candidate_cost,
+        compatible: expansion.compatible,
+        cubes: expansion.candidate.num_cubes(),
+        literals: expansion.candidate.num_literals(),
+        quick: expansion
+            .quick
+            .as_ref()
+            .map(|(q, q_cost)| (*q_cost, q.num_cubes(), q.num_literals())),
+        children,
+        cache: space.mgr().cache_stats().delta_since(&cache_before),
+        gc: space.gc_stats().delta_since(&gc_before),
+    })
+}
+
+/// Runs one round of expansions over a scoped worker pool (strided
+/// assignment; results re-ordered by round index, so the merge is
+/// worker-count independent). Errors are deterministic too: the error of
+/// the lowest round index wins.
+fn run_round(
+    picked: &[SubproblemSpec],
+    cost: CostSpec,
+    prune_bound: u64,
+    num_workers: usize,
+) -> Result<Vec<WideExpansion>, RelationError> {
+    let workers = num_workers.clamp(1, picked.len().max(1));
+    let (tx, rx) = mpsc::channel::<(usize, Result<WideExpansion, RelationError>)>();
+    thread::scope(|scope| {
+        for w in 0..workers {
+            let tx = tx.clone();
+            scope.spawn(move || {
+                for (index, spec) in picked.iter().enumerate().skip(w).step_by(workers) {
+                    // The receiver outlives the scope; a send only fails if
+                    // the collector stopped early.
+                    let _ = tx.send((index, expand_spec(spec, cost, prune_bound)));
+                }
+            });
+        }
+        drop(tx);
+        let mut slots: Vec<Option<Result<WideExpansion, RelationError>>> =
+            (0..picked.len()).map(|_| None).collect();
+        for (index, result) in rx.iter() {
+            slots[index] = Some(result);
+        }
+        slots
+            .into_iter()
+            .map(|slot| slot.expect("every round index is expanded exactly once"))
+            .collect::<Result<Vec<_>, _>>()
+    })
+}
+
+/// Accumulates one expansion's kernel counters into the run total:
+/// counters add, per-manager gauges keep their maximum (each expansion ran
+/// in its own manager, so a sum would be meaningless).
+fn accumulate_cache(total: &mut CacheStats, delta: &CacheStats) {
+    total.unique_lookups += delta.unique_lookups;
+    total.unique_hits += delta.unique_hits;
+    total.cache_lookups += delta.cache_lookups;
+    total.cache_hits += delta.cache_hits;
+    total.cache_inserts += delta.cache_inserts;
+    total.cache_evictions += delta.cache_evictions;
+    total.unique_len = total.unique_len.max(delta.unique_len);
+    total.unique_capacity = total.unique_capacity.max(delta.unique_capacity);
+    total.cache_slots = total.cache_slots.max(delta.cache_slots);
+    total.num_nodes = total.num_nodes.max(delta.num_nodes);
+}
+
+/// Like [`accumulate_cache`], for the lifecycle block.
+fn accumulate_gc(total: &mut GcStats, delta: &GcStats) {
+    total.collections += delta.collections;
+    total.nodes_reclaimed += delta.nodes_reclaimed;
+    total.reorder_passes += delta.reorder_passes;
+    total.live_nodes = total.live_nodes.max(delta.live_nodes);
+    total.peak_live_nodes = total.peak_live_nodes.max(delta.peak_live_nodes);
+    if total.var_order_hash == 0 {
+        total.var_order_hash = delta.var_order_hash;
+    }
+}
+
+/// The positions of the frontier entries in the order the sequential
+/// strategy would pop them: FIFO by ascending sequence number (the vector
+/// is append-only between rounds, so positional order is insertion order),
+/// DFS by descending, best-first by ascending `(lower_bound, seq)`.
+fn pop_order(frontier: &[SubproblemSpec], strategy: SearchStrategy) -> Vec<usize> {
+    match strategy {
+        SearchStrategy::Fifo => (0..frontier.len()).collect(),
+        SearchStrategy::Dfs => (0..frontier.len()).rev().collect(),
+        SearchStrategy::BestFirst => {
+            let mut order: Vec<usize> = (0..frontier.len()).collect();
+            order.sort_by_key(|&i| (frontier[i].lower_bound, frontier[i].seq));
+            order
+        }
+    }
+}
+
+/// Pops up to `round_k` subproblems from the frontier in strategy order,
+/// dropping dominated entries on the way under best-first (the same rule
+/// the sequential `BestFirstFrontier` enables). One O(n log n) pass per
+/// round — the frontier can be unbounded, so per-pop scans would turn
+/// best-first rounds quadratic.
+fn select_round(
+    frontier: &mut Vec<SubproblemSpec>,
+    strategy: SearchStrategy,
+    round_k: usize,
+    prune_bound: u64,
+) -> Vec<SubproblemSpec> {
+    let order = pop_order(frontier, strategy);
+    let mut slots: Vec<Option<SubproblemSpec>> = frontier.drain(..).map(Some).collect();
+    let mut picked = Vec::with_capacity(round_k.min(slots.len()));
+    for position in order {
+        if picked.len() >= round_k {
+            break;
+        }
+        let spec = slots[position].take().expect("each position visited once");
+        if strategy == SearchStrategy::BestFirst && spec.lower_bound >= prune_bound {
+            // Dominance: dropped unexplored, like the sequential explorer.
+            continue;
+        }
+        picked.push(spec);
+    }
+    // Untouched entries stay pending, in their original insertion order.
+    frontier.extend(slots.into_iter().flatten());
+    picked
+}
+
+/// Solves the BREL backend of `job` with parallel frontier expansion and
+/// scores it into the same [`SolutionReport`] shape as the sequential
+/// backend. Deterministic across worker counts (not across modes: wide
+/// rounds explore in a different order than the sequential explorer, so
+/// `explored`/`splits` may differ from a narrow run with the same spec).
+///
+/// Symmetry pruning is not available in wide mode (the symmetry cache
+/// holds manager-rooted BDDs that cannot cross threads); jobs run as if
+/// `use_symmetry` were off, which is the engine default.
+///
+/// # Errors
+///
+/// Returns [`RelationError::NotWellDefined`] if the relation has no
+/// compatible function.
+pub fn solve_wide(
+    job: &JobSpec,
+    num_workers: usize,
+    options: WideOptions,
+) -> Result<SolutionReport, RelationError> {
+    let start = Instant::now();
+    let top_k = options.top_k.max(1);
+
+    // Seed on the coordinator: rehydrate the root once for the quick
+    // incumbent (the §7.2 guarantee), then drop the manager — every later
+    // expansion brings its own.
+    let (space, root) = job.relation.rehydrate();
+    if !root.is_well_defined() {
+        return Err(RelationError::NotWellDefined);
+    }
+    let cache_before = space.mgr().cache_stats();
+    space.mgr().reset_peak_live_nodes();
+    let gc_before = space.gc_stats();
+    let cost_fn = job.cost.to_cost_fn();
+    let seed = QuickSolver::new()
+        .with_minimizer(IsfMinimizer::default())
+        .solve(&root)?;
+    let mut best = Incumbent {
+        cost: cost_fn.cost(&seed),
+        cubes: seed.num_cubes(),
+        literals: seed.num_literals(),
+    };
+    let mut cache = space.mgr().cache_stats().delta_since(&cache_before);
+    let mut gc = space.gc_stats().delta_since(&gc_before);
+    drop((seed, root, space));
+
+    let mut frontier: Vec<SubproblemSpec> = vec![SubproblemSpec {
+        relation: job.relation.clone(),
+        depth: 0,
+        lower_bound: 0,
+        seq: 0,
+    }];
+    let mut next_seq = 1u64;
+    let mut explored = 0usize;
+    let mut splits = 0usize;
+    let mut frontier_peak = 1usize;
+
+    loop {
+        if frontier.is_empty() {
+            break;
+        }
+        let budget_left = job
+            .budget
+            .max_explored
+            .map_or(usize::MAX, |max| max.saturating_sub(explored));
+        if budget_left == 0 {
+            // Budget exhausted: stop expanding, keep the incumbent.
+            break;
+        }
+
+        let round_k = top_k.min(budget_left);
+        let picked = select_round(&mut frontier, job.strategy, round_k, best.cost);
+        if picked.is_empty() {
+            break;
+        }
+
+        // Parallel expansion against the round-start bound…
+        let round_bound = best.cost;
+        let results = run_round(&picked, job.cost, round_bound, num_workers)?;
+
+        // …and the deterministic merge, in ascending round index.
+        for (spec, expansion) in picked.iter().zip(results) {
+            explored += 1;
+            accumulate_cache(&mut cache, &expansion.cache);
+            accumulate_gc(&mut gc, &expansion.gc);
+            if expansion.candidate_cost >= best.cost {
+                continue;
+            }
+            if expansion.compatible {
+                best = Incumbent {
+                    cost: expansion.candidate_cost,
+                    cubes: expansion.cubes,
+                    literals: expansion.literals,
+                };
+                continue;
+            }
+            if let Some((q_cost, q_cubes, q_literals)) = expansion.quick {
+                if q_cost < best.cost {
+                    best = Incumbent {
+                        cost: q_cost,
+                        cubes: q_cubes,
+                        literals: q_literals,
+                    };
+                }
+            }
+            let children = expansion
+                .children
+                .expect("expand splits every unpruned incompatible candidate");
+            splits += 1;
+            for child in children {
+                if let Some(cap) = job.budget.fifo_capacity {
+                    if frontier.len() >= cap {
+                        continue;
+                    }
+                }
+                frontier.push(SubproblemSpec {
+                    relation: child,
+                    depth: spec.depth + 1,
+                    lower_bound: expansion.candidate_cost,
+                    seq: next_seq,
+                });
+                next_seq += 1;
+                frontier_peak = frontier_peak.max(frontier.len());
+            }
+        }
+    }
+
+    let wall = start.elapsed();
+    Ok(SolutionReport {
+        backend: BackendKind::Brel,
+        cost: best.cost,
+        cubes: best.cubes,
+        literals: best.literals,
+        explored,
+        splits,
+        frontier_peak,
+        strategy: Some(job.strategy),
+        cache,
+        gc,
+        wall_micros: u64::try_from(wall.as_micros()).unwrap_or(u64::MAX),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::JobBudget;
+    use brel_relation::{BooleanRelation, RelationSpace};
+
+    fn fig10_job() -> JobSpec {
+        let space = RelationSpace::with_names(&["a", "b"], &["x", "y"]);
+        let r = BooleanRelation::from_table(&space, "00:{00,11}\n01:{10}\n10:{01,10}\n11:{11}")
+            .unwrap();
+        JobSpec::single(
+            "fig10",
+            RelationSpec::from_relation(&r).unwrap(),
+            BackendKind::Brel,
+        )
+        .with_budget(JobBudget {
+            max_explored: None,
+            fifo_capacity: None,
+            ..JobBudget::default()
+        })
+    }
+
+    #[test]
+    fn wide_mode_finds_the_fig10_optimum_under_every_strategy() {
+        for strategy in SearchStrategy::all() {
+            let job = fig10_job().with_strategy(strategy);
+            let report = solve_wide(&job, 2, WideOptions::default()).unwrap();
+            assert_eq!(report.backend, BackendKind::Brel);
+            assert_eq!(report.cost, 2, "{strategy} missed the optimum");
+            assert_eq!(report.strategy, Some(strategy));
+            assert!(report.explored >= 1);
+            assert!(report.frontier_peak >= 1);
+        }
+    }
+
+    #[test]
+    fn wide_mode_is_worker_count_invariant() {
+        for strategy in SearchStrategy::all() {
+            let job = fig10_job().with_strategy(strategy);
+            let mask = |mut r: SolutionReport| {
+                r.wall_micros = 0;
+                r
+            };
+            let one = mask(solve_wide(&job, 1, WideOptions { top_k: 3 }).unwrap());
+            let two = mask(solve_wide(&job, 2, WideOptions { top_k: 3 }).unwrap());
+            let eight = mask(solve_wide(&job, 8, WideOptions { top_k: 3 }).unwrap());
+            assert_eq!(one, two, "{strategy}: 1 vs 2 workers");
+            assert_eq!(one, eight, "{strategy}: 1 vs 8 workers");
+        }
+    }
+
+    #[test]
+    fn wide_mode_respects_the_exploration_budget() {
+        let job = fig10_job().with_budget(JobBudget {
+            max_explored: Some(1),
+            ..JobBudget::default()
+        });
+        let report = solve_wide(&job, 4, WideOptions { top_k: 8 }).unwrap();
+        assert_eq!(report.explored, 1, "top-k must be clamped to the budget");
+        assert!(report.cost >= 2);
+    }
+
+    #[test]
+    fn wide_mode_rejects_ill_defined_relations() {
+        let space = RelationSpace::new(1, 1);
+        let r = BooleanRelation::from_table(&space, "1 : {1}").unwrap();
+        let job = JobSpec::single(
+            "broken",
+            RelationSpec::from_relation(&r).unwrap(),
+            BackendKind::Brel,
+        );
+        assert!(matches!(
+            solve_wide(&job, 2, WideOptions::default()),
+            Err(RelationError::NotWellDefined)
+        ));
+    }
+}

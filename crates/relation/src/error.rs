@@ -29,6 +29,17 @@ pub enum RelationError {
         /// Supported maximum.
         limit: usize,
     },
+    /// The branch-and-bound exploration found an incompatible candidate but
+    /// no vertex/output pair satisfying Theorem 5.2 to split on. For a
+    /// well-defined relation this is provably unreachable (every conflicting
+    /// vertex has at least one output with `{0,1}` flexibility — a vertex
+    /// whose image is a singleton forces the candidate through the
+    /// projection interval and cannot conflict), so seeing this error means
+    /// the relation or the candidate was corrupted mid-search.
+    NoSplitPoint {
+        /// Cost of the incompatible candidate that could not be split away.
+        candidate_cost: u64,
+    },
 }
 
 impl fmt::Display for RelationError {
@@ -54,8 +65,29 @@ impl fmt::Display for RelationError {
                     "operation requires enumerating {vars} variables, limit is {limit}"
                 )
             }
+            RelationError::NoSplitPoint { candidate_cost } => {
+                write!(
+                    f,
+                    "no valid split point for an incompatible candidate (cost {candidate_cost}); \
+                     the relation was corrupted mid-search"
+                )
+            }
         }
     }
 }
 
 impl std::error::Error for RelationError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_split_point_displays_its_context() {
+        let err = RelationError::NoSplitPoint { candidate_cost: 7 };
+        let message = err.to_string();
+        assert!(message.contains("no valid split point"));
+        assert!(message.contains("cost 7"));
+        assert_eq!(err, err.clone());
+    }
+}

@@ -4,7 +4,9 @@
 
 use brel_suite::benchdata::random_relation::random_well_defined_relation;
 use brel_suite::benchdata::table2;
-use brel_suite::engine::{BackendKind, CostSpec, Engine, JobBudget, JobSpec, RelationSpec};
+use brel_suite::engine::{
+    BackendKind, CostSpec, Engine, JobBudget, JobSpec, RelationSpec, SearchStrategy, WideOptions,
+};
 use brel_suite::relation::{BooleanRelation, RelationSpace};
 
 fn mixed_batch() -> Vec<JobSpec> {
@@ -96,6 +98,58 @@ fn batches_are_byte_identical_across_1_2_and_8_workers() {
         .collect();
     assert_eq!(masked[0], masked[1]);
     assert_eq!(masked[0], masked[2]);
+}
+
+#[test]
+fn best_first_batches_are_byte_identical_across_1_2_and_8_workers() {
+    // The acceptance criterion: `--strategy best-first` output must be
+    // deterministic at every worker count, in both engine modes.
+    let jobs: Vec<JobSpec> = mixed_batch()
+        .into_iter()
+        .map(|j| j.with_strategy(SearchStrategy::BestFirst))
+        .collect();
+
+    // Job-parallel (narrow) mode.
+    let narrow: Vec<String> = [1usize, 2, 8]
+        .into_iter()
+        .map(|w| Engine::with_workers(w).solve_batch(&jobs).to_json(false))
+        .collect();
+    assert_eq!(narrow[0], narrow[1], "narrow: 1 vs 2 workers");
+    assert_eq!(narrow[0], narrow[2], "narrow: 1 vs 8 workers");
+    assert!(narrow[0].contains("\"strategy\": \"best-first\""));
+
+    // Wide mode (parallel frontier expansion inside each BREL solve).
+    let wide: Vec<String> = [1usize, 2, 8]
+        .into_iter()
+        .map(|w| {
+            Engine::with_workers(w)
+                .with_wide(WideOptions { top_k: 4 })
+                .solve_batch(&jobs)
+                .to_json(false)
+        })
+        .collect();
+    assert_eq!(wide[0], wide[1], "wide: 1 vs 2 workers");
+    assert_eq!(wide[0], wide[2], "wide: 1 vs 8 workers");
+
+    // Wide CSV agrees too, and every job still solves.
+    let wide_csv: Vec<String> = [1usize, 8]
+        .into_iter()
+        .map(|w| {
+            Engine::with_workers(w)
+                .with_wide(WideOptions { top_k: 4 })
+                .solve_batch(&jobs)
+                .to_csv(false)
+        })
+        .collect();
+    assert_eq!(wide_csv[0], wide_csv[1], "wide CSV: 1 vs 8 workers");
+    let report = Engine::with_workers(2)
+        .with_wide(WideOptions { top_k: 4 })
+        .solve_batch(&jobs);
+    assert_eq!(report.num_solved(), jobs.len());
+    // Wide mode still escapes the quick solver's local minimum on fig10.
+    let fig10 = report.jobs.iter().find(|j| j.name == "fig10").unwrap();
+    assert_eq!(fig10.winning().unwrap().cost, 2);
+    assert_eq!(fig10.winning().unwrap().backend, BackendKind::Brel);
 }
 
 #[test]

@@ -1,0 +1,115 @@
+//! Property-based oracle for the strategy-driven search core: every
+//! [`SearchStrategy`] must return a relation-compatible solution no worse
+//! than the quick solver's, and in exact mode the frontier discipline must
+//! not change the optimum — best-first and FIFO agree cost-for-cost.
+
+use proptest::prelude::*;
+
+use brel_core::{
+    BrelConfig, BrelSolver, CostFn, CostFunction, ExploreStatus, Explorer, QuickSolver,
+    SearchStrategy,
+};
+use brel_suite::benchdata::random_well_defined_relation;
+
+/// Strategy: a seed plus small dimensions for a random well-defined
+/// relation (kept small enough that exact mode terminates quickly).
+fn relation_params() -> impl Strategy<Value = (usize, usize, u64)> {
+    (2usize..=3, 1usize..=2, any::<u64>())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Every strategy's solution is compatible and no worse than the quick
+    /// seed, under the default (bounded) budget.
+    #[test]
+    fn every_strategy_is_compatible_and_no_worse_than_quick(
+        (ni, no, seed) in relation_params()
+    ) {
+        let (_space, r) = random_well_defined_relation(ni, no, 0.3, seed);
+        let quick = QuickSolver::new().solve(&r).unwrap();
+        let quick_cost = CostFn::SumBddSize.cost(&quick);
+        for strategy in SearchStrategy::all() {
+            let solution = BrelSolver::new(BrelConfig::default().with_strategy(strategy))
+                .solve(&r)
+                .unwrap();
+            prop_assert!(
+                r.is_compatible(&solution.function),
+                "{strategy} returned an incompatible function"
+            );
+            prop_assert!(
+                solution.cost <= quick_cost,
+                "{strategy} cost {} beats quick {}",
+                solution.cost,
+                quick_cost
+            );
+            prop_assert_eq!(solution.cost, CostFn::SumBddSize.cost(&solution.function));
+            prop_assert!(solution.stats.frontier_peak >= 1);
+        }
+    }
+
+    /// Exact mode is strategy-independent: best-first's dominance pruning
+    /// and DFS's dives reach the same optimal cost FIFO proves.
+    #[test]
+    fn exact_mode_optimum_is_strategy_independent((ni, no, seed) in relation_params()) {
+        let (_space, r) = random_well_defined_relation(ni, no, 0.3, seed);
+        let fifo = BrelSolver::new(BrelConfig::exact())
+            .solve(&r)
+            .unwrap();
+        prop_assert!(fifo.stats.complete);
+        for strategy in [SearchStrategy::Dfs, SearchStrategy::BestFirst] {
+            let other = BrelSolver::new(BrelConfig::exact().with_strategy(strategy))
+                .solve(&r)
+                .unwrap();
+            prop_assert!(other.stats.complete);
+            prop_assert_eq!(
+                other.cost,
+                fifo.cost,
+                "{} exact optimum {} != fifo {}",
+                strategy,
+                other.cost,
+                fifo.cost
+            );
+            prop_assert!(r.is_compatible(&other.function));
+        }
+    }
+
+    /// The anytime explorer, paused and resumed one step at a time, lands
+    /// exactly where the one-shot solver does — node for node.
+    #[test]
+    fn stepwise_exploration_matches_the_one_shot_solve((ni, no, seed) in relation_params()) {
+        let (_space, r) = random_well_defined_relation(ni, no, 0.25, seed);
+        let config = BrelConfig::default().with_strategy(SearchStrategy::BestFirst);
+        let one_shot = BrelSolver::new(config.clone()).solve(&r).unwrap();
+        let mut explorer = Explorer::new(config, &r).unwrap();
+        let mut last = explorer.best_cost();
+        while let ExploreStatus::Paused = explorer.run_budget(Some(1)).unwrap() {
+            prop_assert!(explorer.best_cost() <= last, "incumbent regressed");
+            last = explorer.best_cost();
+        }
+        let stepped = explorer.into_solution();
+        prop_assert_eq!(stepped.cost, one_shot.cost);
+        prop_assert_eq!(stepped.stats.explored, one_shot.stats.explored);
+        prop_assert_eq!(stepped.stats.splits, one_shot.stats.splits);
+        prop_assert_eq!(stepped.stats.frontier_peak, one_shot.stats.frontier_peak);
+        prop_assert_eq!(
+            stepped.function.outputs().to_vec(),
+            one_shot.function.outputs().to_vec()
+        );
+    }
+
+    /// The split-point fallback hardening: `select_split_point` always finds
+    /// a Theorem-5.2 vertex/output pair for a conflicting candidate, so no
+    /// strategy ever surfaces `RelationError::NoSplitPoint` on well-defined
+    /// relations (the unreachability proof in `brel_core::search::expand`).
+    #[test]
+    fn no_split_point_error_is_unreachable_on_well_defined_relations(
+        (ni, no, seed) in relation_params()
+    ) {
+        let (_space, r) = random_well_defined_relation(ni, no, 0.4, seed);
+        for strategy in SearchStrategy::all() {
+            let result = BrelSolver::new(BrelConfig::exact().with_strategy(strategy)).solve(&r);
+            prop_assert!(result.is_ok(), "{strategy} errored: {:?}", result.err());
+        }
+    }
+}
