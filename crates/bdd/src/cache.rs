@@ -305,6 +305,24 @@ impl UniqueTable {
         }
     }
 
+    /// Empties the table and restores the capacity a cold
+    /// [`UniqueTable::with_capacity`]`(expected)` would have, reusing the
+    /// current allocation when the capacities already agree. Lookup/hit
+    /// counters survive (session resets report deltas). Part of the warm
+    /// session-reset path: a reset manager must be observationally
+    /// identical to a cold one, including the capacity gauge.
+    pub(crate) fn reset(&mut self, expected: usize) {
+        let capacity = capacity_for(expected, Self::MIN_CAPACITY);
+        if capacity == self.slots.len() {
+            self.slots.fill(UNIQUE_EMPTY);
+        } else {
+            self.slots = empty_slots(capacity);
+            self.mask = capacity - 1;
+        }
+        self.len = 0;
+        self.tombstones = 0;
+    }
+
     /// Pre-grows the table so `additional` more nodes fit without a rehash.
     pub(crate) fn reserve(&mut self, additional: usize, nodes: &[Node]) {
         let capacity = capacity_for(self.len + self.tombstones + additional, Self::MIN_CAPACITY);
@@ -473,6 +491,22 @@ impl OpCache {
     /// Drops every entry, keeping the slot count and counters.
     pub(crate) fn clear(&mut self) {
         self.slots.fill(EMPTY_SLOT);
+    }
+
+    /// Restores the cold-start state: minimum slot count, auto-growth
+    /// re-enabled, next growth re-armed at the same per-session insert
+    /// distance a fresh cache would use. Counters survive (session resets
+    /// report deltas), so a reset cache behaves — and reports — exactly
+    /// like a cold one for the operations that follow.
+    pub(crate) fn reset(&mut self) {
+        if self.slots.len() == Self::MIN_SLOTS {
+            self.slots.fill(EMPTY_SLOT);
+        } else {
+            self.slots = vec![EMPTY_SLOT; Self::MIN_SLOTS].into_boxed_slice();
+            self.mask = Self::MIN_SLOTS - 1;
+        }
+        self.grow_at = self.inserts + Self::MIN_SLOTS as u64 * Self::GROWTH_PRESSURE;
+        self.fixed = false;
     }
 
     /// Replaces the cache with one of the given slot count and *pins* it:

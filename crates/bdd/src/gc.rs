@@ -32,9 +32,7 @@
 //! node ids in local variables: no sweep can run in the middle of an
 //! `ite`.
 
-use std::cell::RefCell;
-use std::rc::Rc;
-
+use crate::config::BddConfig;
 use crate::manager::{BddManager, Node, NodeId, Var, VisitedBits, FREE_VAR};
 
 /// Fx-style step used to hash the variable order (same multiplier as the
@@ -177,13 +175,20 @@ impl RootTable {
             }
         }
     }
-}
 
-/// A shared handle to a manager's root table. Held by the manager (for
-/// marking and remapping) and by every `Bdd` (for retain/release); the two
-/// never borrow it at the same time because manager operations never run
-/// user code while holding it.
-pub(crate) type SharedRoots = Rc<RefCell<RootTable>>;
+    /// Empties the table (keeping its allocation) so a reset session hands
+    /// out slots from a clean state, exactly like a cold table would.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any root is still live — resetting under live handles
+    /// would dangle them.
+    pub(crate) fn reset(&mut self) {
+        assert_eq!(self.live, 0, "root table reset with live handles");
+        self.entries.clear();
+        self.free.clear();
+    }
+}
 
 /// Internal GC bookkeeping of a [`BddManager`].
 #[derive(Debug)]
@@ -216,13 +221,13 @@ impl GcState {
     /// Default floor for the auto-reorder doubling trigger.
     pub(crate) const REORDER_MIN_NODES: usize = 2 * 1024;
 
-    pub(crate) fn new(min_nodes: usize, auto_reorder: bool) -> Self {
+    pub(crate) fn new(config: &BddConfig) -> Self {
         let mut state = GcState {
-            auto_gc: true,
-            min_nodes,
-            next_gc_at: min_nodes,
+            auto_gc: config.auto_gc,
+            min_nodes: config.gc_min_nodes,
+            next_gc_at: config.gc_min_nodes,
             pending: false,
-            auto_reorder,
+            auto_reorder: config.auto_reorder,
             next_reorder_at: 0,
             collections: 0,
             nodes_reclaimed: 0,
@@ -249,7 +254,7 @@ impl BddManager {
     pub(crate) fn mark_live(&self) -> (VisitedBits, usize) {
         let mut marks = VisitedBits::new(self.nodes.len());
         let mut stack: Vec<NodeId> = Vec::new();
-        self.roots.borrow().for_each_root(|id| {
+        self.roots.for_each_root(|id| {
             if !id.is_terminal() {
                 stack.push(id);
             }
@@ -352,7 +357,7 @@ impl BddManager {
         self.free.clear();
         self.cache.clear();
         self.unique.rebuild(&self.nodes);
-        self.roots.borrow_mut().remap(&remap);
+        self.roots.remap(&remap);
         self.gc.collections += 1;
         self.gc.nodes_reclaimed += dropped as u64;
         self.gc.next_gc_at = (live * 2).max(self.gc.min_nodes);
@@ -390,29 +395,17 @@ impl BddManager {
 
     /// Number of live external root slots.
     pub fn live_roots(&self) -> usize {
-        self.roots.borrow().live_roots()
+        self.roots.live_roots()
     }
 
-    /// Enables or disables automatic collection (explicit
-    /// [`BddManager::collect_garbage`] always works). Useful to pin an
-    /// append-only arena for measurements.
-    pub fn set_auto_gc(&mut self, enabled: bool) {
-        self.gc.auto_gc = enabled;
-    }
-
-    /// Sets the live-node floor of the automatic-GC growth trigger (also
-    /// re-arms both the GC trigger and the auto-reorder trigger, which
-    /// scales with it).
-    pub fn set_gc_threshold(&mut self, min_nodes: usize) {
-        self.gc.min_nodes = min_nodes.max(2);
-        self.gc.next_gc_at = self.gc.min_nodes;
-        self.gc.next_reorder_at = self.gc.reorder_floor();
-    }
-
-    /// Enables or disables the automatic sifting trigger (reorder when the
-    /// live node count doubles; runs at safe points only).
-    pub fn set_auto_reorder(&mut self, enabled: bool) {
-        self.gc.auto_reorder = enabled;
+    /// The lifecycle configuration currently in force (as set at
+    /// construction or by the last [`BddManager::reset`]).
+    pub fn config(&self) -> BddConfig {
+        BddConfig {
+            auto_gc: self.gc.auto_gc,
+            gc_min_nodes: self.gc.min_nodes,
+            auto_reorder: self.gc.auto_reorder,
+        }
     }
 
     /// Re-bases the `peak_live_nodes` gauge to the current live count, so

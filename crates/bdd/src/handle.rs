@@ -1,10 +1,20 @@
-//! Ergonomic shared-manager handles.
+//! The redesigned handle layer: an owning, `Send` session and slot-indexed
+//! function handles.
 //!
-//! [`BddMgr`] is a cheaply clonable handle to a [`BddManager`]; [`Bdd`] pairs
-//! a node with its manager so Boolean functions can be passed around as
-//! ordinary values. All the operations of the raw manager are mirrored here;
-//! the higher-level crates (`brel-relation`, `brel-core`, `brel-network`)
-//! exclusively use these handles.
+//! [`BddSession`] owns a [`BddManager`] behind `Arc<Mutex<..>>`; [`Bdd`]
+//! pairs a *root-table slot index* with its session so Boolean functions
+//! can be passed around as ordinary values. All the operations of the raw
+//! manager are mirrored here; the higher-level crates (`brel-relation`,
+//! `brel-core`, `brel-network`) exclusively use these handles.
+//!
+//! Both types are `Send`: a session (and every handle derived from it) can
+//! move to another thread, which is what lets the engine's worker pool
+//! keep *warm* per-worker managers alive across jobs instead of
+//! rehydrating into cold ones. The lock is not a concurrency strategy —
+//! the solvers drive one session from one thread at a time — it is the
+//! memory-safety fence that makes the move legal. Lock poisoning is
+//! deliberately ignored (a panicking operation, e.g. `constrain` on an
+//! empty care set, must not wedge every subsequent handle drop).
 //!
 //! The handles are also the kernel's *rooting discipline*: every `Bdd`
 //! registers an external reference in the manager's root table when it is
@@ -12,161 +22,196 @@
 //! garbage collector knows exactly which functions are externally alive.
 //! A `Bdd` stores a root-table *slot*, not a raw [`NodeId`]; it resolves
 //! the current id on use, which keeps handles valid across
-//! [`BddMgr::compact`] (which renumbers nodes). Every operation that
+//! [`BddSession::compact`] (which renumbers nodes). Every operation that
 //! returns a `Bdd` passes a GC safe point after the result is rooted — the
 //! only moments automatic collection or reordering actually run.
+//!
+//! Because the manager sits behind one non-reentrant lock, every mirrored
+//! operation resolves its operand node ids *before* taking the lock; the
+//! ids stay valid in between because the operand handles themselves keep
+//! them rooted (only an explicit `compact` on another thread could remap
+//! them, and sessions are not driven concurrently).
 
-use std::cell::RefCell;
 use std::fmt;
 use std::hash::{Hash, Hasher};
 use std::ops::{BitAnd, BitOr, BitXor, Not};
-use std::rc::Rc;
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
 use crate::cache::CacheStats;
-use crate::gc::{GcStats, SharedRoots};
+use crate::config::BddConfig;
+use crate::gc::GcStats;
 use crate::isop::IsopResult;
 use crate::manager::{BddManager, NodeId, Var};
 use crate::paths::PathCube;
 use crate::symmetry::SymmetryKind;
 
-/// A shared, clonable handle to a [`BddManager`].
+/// An owning, clonable, `Send` handle to a [`BddManager`].
 ///
-/// Cloning the handle does not copy the node store; all clones refer to the
-/// same manager. The handle is single-threaded (`Rc<RefCell<..>>`), which is
-/// sufficient for the solver: the branch-and-bound exploration deliberately
-/// shares one manager so subrelations share BDD nodes (Section 7.1).
+/// Cloning the session does not copy the node store; all clones refer to
+/// the same manager. Lifecycle tuning (automatic GC, thresholds, dynamic
+/// reordering) is fixed at construction through [`BddConfig`] — the former
+/// `BddMgr` knob setters are gone — and can only change wholesale through
+/// [`BddSession::reset`].
 #[derive(Clone)]
-pub struct BddMgr {
-    inner: Rc<RefCell<BddManager>>,
+pub struct BddSession {
+    core: Arc<Mutex<BddManager>>,
 }
 
-impl fmt::Debug for BddMgr {
+impl fmt::Debug for BddSession {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let m = self.inner.borrow();
-        write!(f, "BddMgr(vars={}, nodes={})", m.num_vars(), m.num_nodes())
+        let m = self.lock();
+        write!(
+            f,
+            "BddSession(vars={}, nodes={})",
+            m.num_vars(),
+            m.num_nodes()
+        )
     }
 }
 
-impl BddMgr {
-    /// Creates a manager with `num_vars` variables named `x0..`.
+impl BddSession {
+    /// Creates a session with `num_vars` variables named `x0..`, tuned by
+    /// [`BddConfig::from_env`].
     pub fn new(num_vars: usize) -> Self {
-        BddMgr {
-            inner: Rc::new(RefCell::new(BddManager::new(num_vars))),
+        Self::from_manager(BddManager::new(num_vars))
+    }
+
+    /// Creates a session pre-sized for roughly `expected_nodes` decision
+    /// nodes, so bulk construction (e.g. worker-pool rehydration) proceeds
+    /// without unique-table rehashes. Tuned by [`BddConfig::from_env`].
+    pub fn with_capacity(num_vars: usize, expected_nodes: usize) -> Self {
+        Self::from_manager(BddManager::with_capacity(num_vars, expected_nodes))
+    }
+
+    /// Creates a session with an explicit lifecycle configuration.
+    pub fn with_config(num_vars: usize, expected_nodes: usize, config: BddConfig) -> Self {
+        Self::from_manager(BddManager::with_config(num_vars, expected_nodes, config))
+    }
+
+    /// Wraps an already-built raw manager in a session.
+    pub fn from_manager(manager: BddManager) -> Self {
+        BddSession {
+            core: Arc::new(Mutex::new(manager)),
         }
     }
 
-    /// Creates a manager pre-sized for roughly `expected_nodes` decision
-    /// nodes, so bulk construction (e.g. worker-pool rehydration) proceeds
-    /// without unique-table rehashes.
-    pub fn with_capacity(num_vars: usize, expected_nodes: usize) -> Self {
-        BddMgr {
-            inner: Rc::new(RefCell::new(BddManager::with_capacity(
-                num_vars,
-                expected_nodes,
-            ))),
-        }
+    /// Locks the manager, ignoring poisoning: the manager's invariants are
+    /// maintained eagerly (no operation leaves it half-updated at a panic
+    /// point), and handle drops during unwinding must still be able to
+    /// release their root slots.
+    pub(crate) fn lock(&self) -> MutexGuard<'_, BddManager> {
+        self.core.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Rewinds the session to the state a cold
+    /// `BddSession::with_config(num_vars, expected_nodes, config)` would
+    /// start in, while keeping the manager's allocations warm (arena,
+    /// unique-table and op-cache slabs are reused). Returns `false` —
+    /// changing nothing — if any `Bdd` handle of this session is still
+    /// alive. See [`BddManager::reset`] for the exact guarantees.
+    pub fn reset(&self, num_vars: usize, expected_nodes: usize, config: BddConfig) -> bool {
+        self.lock().reset(num_vars, expected_nodes, config)
+    }
+
+    /// The lifecycle configuration currently in force.
+    pub fn config(&self) -> BddConfig {
+        self.lock().config()
     }
 
     /// Pre-grows the node arena and unique table for `additional` nodes.
     pub fn reserve(&self, additional: usize) {
-        self.inner.borrow_mut().reserve(additional);
+        self.lock().reserve(additional);
     }
 
     /// The kernel's cumulative cache/unique-table counters.
     pub fn cache_stats(&self) -> CacheStats {
-        self.inner.borrow().cache_stats()
+        self.lock().cache_stats()
     }
 
     /// The kernel's lifecycle counters (collections, reclaimed nodes, peak
     /// live nodes, reorder passes, variable-order hash).
     pub fn gc_stats(&self) -> GcStats {
-        self.inner.borrow().gc_stats()
+        self.lock().gc_stats()
     }
 
     /// Runs a mark-and-sweep collection now; returns reclaimed node count.
     pub fn collect_garbage(&self) -> usize {
-        self.inner.borrow_mut().collect_garbage()
+        self.lock().collect_garbage()
     }
 
     /// Compacts the arena (dense renumbering); `Bdd` handles stay valid,
     /// raw [`NodeId`]s held outside handles do not. Returns the live node
     /// count.
     pub fn compact(&self) -> usize {
-        self.inner.borrow_mut().compact()
+        self.lock().compact()
     }
 
     /// Runs one sifting pass of dynamic variable reordering and a final
     /// sweep; returns the live node count afterwards.
     pub fn reorder_sift(&self) -> usize {
-        self.inner.borrow_mut().reorder_sift()
-    }
-
-    /// Enables or disables automatic collection.
-    pub fn set_auto_gc(&self, enabled: bool) {
-        self.inner.borrow_mut().set_auto_gc(enabled);
-    }
-
-    /// Sets the live-node floor of the automatic-GC growth trigger.
-    pub fn set_gc_threshold(&self, min_nodes: usize) {
-        self.inner.borrow_mut().set_gc_threshold(min_nodes);
-    }
-
-    /// Enables or disables automatic sifting on node-count doubling.
-    pub fn set_auto_reorder(&self, enabled: bool) {
-        self.inner.borrow_mut().set_auto_reorder(enabled);
+        self.lock().reorder_sift()
     }
 
     /// Re-bases the `peak_live_nodes` gauge to the current live count.
     pub fn reset_peak_live_nodes(&self) {
-        self.inner.borrow_mut().reset_peak_live_nodes();
+        self.lock().reset_peak_live_nodes();
     }
 
     /// Decision nodes currently allocated (arena minus free list).
     pub fn live_nodes(&self) -> usize {
-        self.inner.borrow().live_nodes()
+        self.lock().live_nodes()
     }
 
     /// Live external root slots (one per distinct `Bdd` lineage).
     pub fn live_roots(&self) -> usize {
-        self.inner.borrow().live_roots()
+        self.lock().live_roots()
     }
 
     /// The current variable order, top level first.
     pub fn var_order(&self) -> Vec<Var> {
-        self.inner.borrow().var_order()
+        self.lock().var_order()
     }
 
     /// Returns `true` if two handles refer to the same underlying manager.
-    pub fn same_manager(&self, other: &BddMgr) -> bool {
-        Rc::ptr_eq(&self.inner, &other.inner)
+    pub fn same_manager(&self, other: &BddSession) -> bool {
+        Arc::ptr_eq(&self.core, &other.core)
     }
 
     fn wrap(&self, id: NodeId) -> Bdd {
-        let roots = self.inner.borrow().roots_handle();
-        let slot = roots.borrow_mut().retain(id);
-        // The GC safe point: the result is rooted, no raw intermediate id
-        // is live, so a pending sweep (or auto-reorder pass) may run.
-        self.inner.borrow_mut().maybe_gc();
+        let slot = {
+            let mut m = self.lock();
+            let slot = m.roots.retain(id);
+            // The GC safe point: the result is rooted, no raw intermediate
+            // id is live, so a pending sweep (or auto-reorder) may run.
+            m.maybe_gc();
+            slot
+        };
         Bdd {
-            mgr: self.clone(),
-            roots,
+            session: self.clone(),
             slot,
         }
     }
 
     /// Runs a closure with mutable access to the raw manager.
+    ///
+    /// The closure runs with the session lock held, and the lock is not
+    /// reentrant: calling *any* handle or session method inside it — even
+    /// [`Bdd::node_id`], or dropping a `Bdd` — deadlocks. Resolve operand
+    /// ids with [`Bdd::node_id`] *before* calling `with`, work on raw
+    /// [`NodeId`]s inside, and re-wrap results with [`Bdd::from_node_id`]
+    /// afterwards.
     pub fn with<R>(&self, f: impl FnOnce(&mut BddManager) -> R) -> R {
-        f(&mut self.inner.borrow_mut())
+        f(&mut self.lock())
     }
 
     /// Number of variables.
     pub fn num_vars(&self) -> usize {
-        self.inner.borrow().num_vars()
+        self.lock().num_vars()
     }
 
     /// Number of allocated nodes (a proxy for memory usage).
     pub fn num_nodes(&self) -> usize {
-        self.inner.borrow().num_nodes()
+        self.lock().num_nodes()
     }
 
     /// The constant-false function.
@@ -182,30 +227,30 @@ impl BddMgr {
     /// The projection function of variable `var`.
     pub fn var(&self, var: impl Into<Var>) -> Bdd {
         let v = var.into();
-        let id = self.inner.borrow_mut().literal(v, true);
+        let id = self.lock().literal(v, true);
         self.wrap(id)
     }
 
     /// The complemented projection function of variable `var`.
     pub fn nvar(&self, var: impl Into<Var>) -> Bdd {
         let v = var.into();
-        let id = self.inner.borrow_mut().literal(v, false);
+        let id = self.lock().literal(v, false);
         self.wrap(id)
     }
 
     /// Adds a fresh variable at the bottom of the order.
     pub fn add_var(&self, name: impl Into<String>) -> Var {
-        self.inner.borrow_mut().add_var(name)
+        self.lock().add_var(name)
     }
 
     /// Display name of a variable.
     pub fn var_name(&self, var: Var) -> String {
-        self.inner.borrow().var_name(var).to_string()
+        self.lock().var_name(var).to_string()
     }
 
     /// Renames a variable.
     pub fn set_var_name(&self, var: Var, name: impl Into<String>) {
-        self.inner.borrow_mut().set_var_name(var, name);
+        self.lock().set_var_name(var, name);
     }
 
     /// Conjunction of an iterator of functions.
@@ -255,33 +300,32 @@ impl BddMgr {
     /// Combined DAG size of several functions (shared nodes counted once).
     pub fn shared_size(&self, fs: &[Bdd]) -> usize {
         let ids: Vec<NodeId> = fs.iter().map(|f| f.node_id()).collect();
-        self.inner.borrow().shared_size(&ids)
+        self.lock().shared_size(&ids)
     }
 
     /// Clears the operation caches of the underlying manager.
     pub fn clear_caches(&self) {
-        self.inner.borrow_mut().clear_caches();
+        self.lock().clear_caches();
     }
 }
 
-/// A Boolean function: a rooted node paired with its manager.
+/// A Boolean function: a rooted slot index paired with its session.
 ///
 /// Creating, cloning and dropping a `Bdd` registers/releases an external
 /// reference in the manager's root table, which is what keeps the function
 /// alive across garbage collections. The handle stores a root-table slot
-/// rather than a raw node id, so it stays valid across [`BddMgr::compact`].
+/// rather than a raw node id, so it stays valid across
+/// [`BddSession::compact`]. Like its session, a `Bdd` is `Send`.
 pub struct Bdd {
-    mgr: BddMgr,
-    roots: SharedRoots,
+    session: BddSession,
     slot: u32,
 }
 
 impl Clone for Bdd {
     fn clone(&self) -> Bdd {
-        self.roots.borrow_mut().retain_slot(self.slot);
+        self.session.lock().roots.retain_slot(self.slot);
         Bdd {
-            mgr: self.mgr.clone(),
-            roots: Rc::clone(&self.roots),
+            session: self.session.clone(),
             slot: self.slot,
         }
     }
@@ -289,7 +333,7 @@ impl Clone for Bdd {
 
 impl Drop for Bdd {
     fn drop(&mut self) {
-        self.roots.borrow_mut().release(self.slot);
+        self.session.lock().roots.release(self.slot);
     }
 }
 
@@ -306,7 +350,7 @@ impl fmt::Debug for Bdd {
 
 impl PartialEq for Bdd {
     fn eq(&self, other: &Self) -> bool {
-        self.mgr.same_manager(&other.mgr) && self.node_id() == other.node_id()
+        self.session.same_manager(&other.session) && self.node_id() == other.node_id()
     }
 }
 
@@ -314,7 +358,7 @@ impl Eq for Bdd {}
 
 impl Hash for Bdd {
     /// Hashes the *current* node id. Canonicity makes this consistent with
-    /// equality, but [`BddMgr::compact`] renumbers nodes — hash-keyed
+    /// equality, but [`BddSession::compact`] renumbers nodes — hash-keyed
     /// collections of `Bdd`s must not be carried across a compaction (use
     /// a `Vec` and `==`, which resolve through the root table, instead).
     fn hash<H: Hasher>(&self, state: &mut H) {
@@ -325,29 +369,29 @@ impl Hash for Bdd {
 impl Bdd {
     fn assert_same_mgr(&self, other: &Bdd) {
         assert!(
-            self.mgr.same_manager(&other.mgr),
+            self.session.same_manager(&other.session),
             "operands belong to different BDD managers"
         );
     }
 
-    /// The manager this function belongs to.
-    pub fn manager(&self) -> &BddMgr {
-        &self.mgr
+    /// The session this function belongs to.
+    pub fn manager(&self) -> &BddSession {
+        &self.session
     }
 
     /// The raw node identifier the handle currently resolves to.
     ///
-    /// The id is only stable until the next [`BddMgr::compact`]; operations
-    /// that sweep or reorder preserve it. Re-wrap a raw id promptly with
-    /// [`Bdd::from_node_id`] if it must survive further handle operations —
-    /// unrooted ids are subject to garbage collection.
+    /// The id is only stable until the next [`BddSession::compact`];
+    /// operations that sweep or reorder preserve it. Re-wrap a raw id
+    /// promptly with [`Bdd::from_node_id`] if it must survive further
+    /// handle operations — unrooted ids are subject to garbage collection.
     pub fn node_id(&self) -> NodeId {
-        self.roots.borrow().node_of(self.slot)
+        self.session.lock().roots.node_of(self.slot)
     }
 
     /// Rebuilds a handle from a raw node id of the same manager.
-    pub fn from_node_id(mgr: &BddMgr, id: NodeId) -> Bdd {
-        mgr.wrap(id)
+    pub fn from_node_id(session: &BddSession, id: NodeId) -> Bdd {
+        session.wrap(id)
     }
 
     /// Returns `true` for the constant-false function.
@@ -367,62 +411,48 @@ impl Bdd {
 
     /// DAG size (number of decision nodes); the paper's BDD-size cost.
     pub fn size(&self) -> usize {
-        self.mgr.inner.borrow().size(self.node_id())
+        let f = self.node_id();
+        self.session.lock().size(f)
     }
 
     /// Conjunction.
     pub fn and(&self, other: &Bdd) -> Bdd {
         self.assert_same_mgr(other);
-        let id = self
-            .mgr
-            .inner
-            .borrow_mut()
-            .and(self.node_id(), other.node_id());
-        self.mgr.wrap(id)
+        let (f, g) = (self.node_id(), other.node_id());
+        let id = self.session.lock().and(f, g);
+        self.session.wrap(id)
     }
 
     /// Disjunction.
     pub fn or(&self, other: &Bdd) -> Bdd {
         self.assert_same_mgr(other);
-        let id = self
-            .mgr
-            .inner
-            .borrow_mut()
-            .or(self.node_id(), other.node_id());
-        self.mgr.wrap(id)
+        let (f, g) = (self.node_id(), other.node_id());
+        let id = self.session.lock().or(f, g);
+        self.session.wrap(id)
     }
 
     /// Exclusive or.
     pub fn xor(&self, other: &Bdd) -> Bdd {
         self.assert_same_mgr(other);
-        let id = self
-            .mgr
-            .inner
-            .borrow_mut()
-            .xor(self.node_id(), other.node_id());
-        self.mgr.wrap(id)
+        let (f, g) = (self.node_id(), other.node_id());
+        let id = self.session.lock().xor(f, g);
+        self.session.wrap(id)
     }
 
     /// Equivalence (`xnor`).
     pub fn iff(&self, other: &Bdd) -> Bdd {
         self.assert_same_mgr(other);
-        let id = self
-            .mgr
-            .inner
-            .borrow_mut()
-            .iff(self.node_id(), other.node_id());
-        self.mgr.wrap(id)
+        let (f, g) = (self.node_id(), other.node_id());
+        let id = self.session.lock().iff(f, g);
+        self.session.wrap(id)
     }
 
     /// Implication `self → other`.
     pub fn implies(&self, other: &Bdd) -> Bdd {
         self.assert_same_mgr(other);
-        let id = self
-            .mgr
-            .inner
-            .borrow_mut()
-            .implies(self.node_id(), other.node_id());
-        self.mgr.wrap(id)
+        let (f, g) = (self.node_id(), other.node_id());
+        let id = self.session.lock().implies(f, g);
+        self.session.wrap(id)
     }
 
     /// Returns `true` if `self → other` is a tautology (set inclusion of the
@@ -433,8 +463,9 @@ impl Bdd {
 
     /// Negation.
     pub fn complement(&self) -> Bdd {
-        let id = self.mgr.inner.borrow_mut().not(self.node_id());
-        self.mgr.wrap(id)
+        let f = self.node_id();
+        let id = self.session.lock().not(f);
+        self.session.wrap(id)
     }
 
     /// Set difference `self · ¬other`.
@@ -446,69 +477,52 @@ impl Bdd {
     pub fn ite(&self, then_f: &Bdd, else_f: &Bdd) -> Bdd {
         self.assert_same_mgr(then_f);
         self.assert_same_mgr(else_f);
-        let id =
-            self.mgr
-                .inner
-                .borrow_mut()
-                .ite(self.node_id(), then_f.node_id(), else_f.node_id());
-        self.mgr.wrap(id)
+        let (f, g, h) = (self.node_id(), then_f.node_id(), else_f.node_id());
+        let id = self.session.lock().ite(f, g, h);
+        self.session.wrap(id)
     }
 
     /// Shannon cofactor with respect to `var = value`.
     pub fn cofactor(&self, var: Var, value: bool) -> Bdd {
-        let id = self
-            .mgr
-            .inner
-            .borrow_mut()
-            .cofactor(self.node_id(), var, value);
-        self.mgr.wrap(id)
+        let f = self.node_id();
+        let id = self.session.lock().cofactor(f, var, value);
+        self.session.wrap(id)
     }
 
     /// Restriction by a partial assignment.
     pub fn restrict_assignment(&self, assignment: &[(Var, bool)]) -> Bdd {
-        let id = self
-            .mgr
-            .inner
-            .borrow_mut()
-            .restrict_assignment(self.node_id(), assignment);
-        self.mgr.wrap(id)
+        let f = self.node_id();
+        let id = self.session.lock().restrict_assignment(f, assignment);
+        self.session.wrap(id)
     }
 
     /// Functional composition: substitute `var` by `g`.
     pub fn compose(&self, var: Var, g: &Bdd) -> Bdd {
         self.assert_same_mgr(g);
-        let id = self
-            .mgr
-            .inner
-            .borrow_mut()
-            .compose(self.node_id(), var, g.node_id());
-        self.mgr.wrap(id)
+        let (f, gid) = (self.node_id(), g.node_id());
+        let id = self.session.lock().compose(f, var, gid);
+        self.session.wrap(id)
     }
 
     /// Exchanges two variables.
     pub fn swap_vars(&self, a: Var, b: Var) -> Bdd {
-        let id = self.mgr.inner.borrow_mut().swap_vars(self.node_id(), a, b);
-        self.mgr.wrap(id)
+        let f = self.node_id();
+        let id = self.session.lock().swap_vars(f, a, b);
+        self.session.wrap(id)
     }
 
     /// Existential quantification of `vars`.
     pub fn exists(&self, vars: &[Var]) -> Bdd {
-        let id = self
-            .mgr
-            .inner
-            .borrow_mut()
-            .exists_many(self.node_id(), vars);
-        self.mgr.wrap(id)
+        let f = self.node_id();
+        let id = self.session.lock().exists_many(f, vars);
+        self.session.wrap(id)
     }
 
     /// Universal quantification of `vars`.
     pub fn forall(&self, vars: &[Var]) -> Bdd {
-        let id = self
-            .mgr
-            .inner
-            .borrow_mut()
-            .forall_many(self.node_id(), vars);
-        self.mgr.wrap(id)
+        let f = self.node_id();
+        let id = self.session.lock().forall_many(f, vars);
+        self.session.wrap(id)
     }
 
     /// The `constrain` generalized cofactor.
@@ -518,12 +532,9 @@ impl Bdd {
     /// Panics if `care` is the constant-false function.
     pub fn constrain(&self, care: &Bdd) -> Bdd {
         self.assert_same_mgr(care);
-        let id = self
-            .mgr
-            .inner
-            .borrow_mut()
-            .constrain(self.node_id(), care.node_id());
-        self.mgr.wrap(id)
+        let (f, c) = (self.node_id(), care.node_id());
+        let id = self.session.lock().constrain(f, c);
+        self.session.wrap(id)
     }
 
     /// The `restrict` generalized cofactor.
@@ -533,12 +544,9 @@ impl Bdd {
     /// Panics if `care` is the constant-false function.
     pub fn restrict(&self, care: &Bdd) -> Bdd {
         self.assert_same_mgr(care);
-        let id = self
-            .mgr
-            .inner
-            .borrow_mut()
-            .restrict(self.node_id(), care.node_id());
-        self.mgr.wrap(id)
+        let (f, c) = (self.node_id(), care.node_id());
+        let id = self.session.lock().restrict(f, c);
+        self.session.wrap(id)
     }
 
     /// Safe (never-growing) don't-care minimization.
@@ -548,12 +556,9 @@ impl Bdd {
     /// Panics if `care` is the constant-false function.
     pub fn li_compact(&self, care: &Bdd) -> Bdd {
         self.assert_same_mgr(care);
-        let id = self
-            .mgr
-            .inner
-            .borrow_mut()
-            .li_compact(self.node_id(), care.node_id());
-        self.mgr.wrap(id)
+        let (f, c) = (self.node_id(), care.node_id());
+        let id = self.session.lock().li_compact(f, c);
+        self.session.wrap(id)
     }
 
     /// Minato–Morreale ISOP for the interval `[self, upper]`.
@@ -563,30 +568,32 @@ impl Bdd {
     /// Panics if `self` does not imply `upper`.
     pub fn isop_interval(&self, upper: &Bdd) -> IsopResult {
         self.assert_same_mgr(upper);
-        self.mgr
-            .inner
-            .borrow_mut()
-            .isop(self.node_id(), upper.node_id())
+        let (l, u) = (self.node_id(), upper.node_id());
+        self.session.lock().isop(l, u)
     }
 
     /// Minato–Morreale ISOP of a completely specified function.
     pub fn isop(&self) -> IsopResult {
-        self.mgr.inner.borrow_mut().isop_exact(self.node_id())
+        let f = self.node_id();
+        self.session.lock().isop_exact(f)
     }
 
     /// Support: sorted list of variables the function depends on.
     pub fn support(&self) -> Vec<Var> {
-        self.mgr.inner.borrow().support(self.node_id())
+        let f = self.node_id();
+        self.session.lock().support(f)
     }
 
     /// Evaluates the function under a complete assignment.
     pub fn eval(&self, assignment: &[bool]) -> bool {
-        self.mgr.inner.borrow().eval(self.node_id(), assignment)
+        let f = self.node_id();
+        self.session.lock().eval(f, assignment)
     }
 
     /// Number of satisfying assignments over `num_vars` variables.
     pub fn sat_count(&self, num_vars: usize) -> u128 {
-        self.mgr.inner.borrow().sat_count(self.node_id(), num_vars)
+        let f = self.node_id();
+        self.session.lock().sat_count(f, num_vars)
     }
 
     /// All satisfying minterms over `num_vars` variables.
@@ -595,44 +602,47 @@ impl Bdd {
     ///
     /// Panics if `num_vars` exceeds [`crate::EXHAUSTIVE_VAR_LIMIT`].
     pub fn minterms(&self, num_vars: usize) -> Vec<Vec<bool>> {
-        self.mgr.inner.borrow().minterms(self.node_id(), num_vars)
+        let f = self.node_id();
+        self.session.lock().minterms(f, num_vars)
     }
 
     /// The cube with the fewest literals reaching the 1-terminal, or `None`
     /// if the function is unsatisfiable.
     pub fn shortest_path(&self) -> Option<PathCube> {
-        self.mgr.inner.borrow().shortest_path(self.node_id())
+        let f = self.node_id();
+        self.session.lock().shortest_path(f)
     }
 
     /// One satisfying cube, or `None` if unsatisfiable.
     pub fn pick_cube(&self) -> Option<PathCube> {
-        self.mgr.inner.borrow().pick_cube(self.node_id())
+        let f = self.node_id();
+        self.session.lock().pick_cube(f)
     }
 
     /// First-order symmetry check between two variables.
     pub fn is_symmetric(&self, a: Var, b: Var) -> bool {
-        self.mgr
-            .inner
-            .borrow_mut()
-            .is_symmetric(self.node_id(), a, b)
+        let f = self.node_id();
+        self.session.lock().is_symmetric(f, a, b)
     }
 
     /// All first-order symmetry kinds between two variables.
     pub fn symmetries(&self, a: Var, b: Var) -> Vec<SymmetryKind> {
-        self.mgr.inner.borrow_mut().symmetries(self.node_id(), a, b)
+        let f = self.node_id();
+        self.session.lock().symmetries(f, a, b)
     }
 
     /// Second-order symmetry check between two pairs of variables.
     pub fn is_second_order_symmetric(&self, a1: Var, a2: Var, b1: Var, b2: Var) -> bool {
-        self.mgr
-            .inner
-            .borrow_mut()
-            .is_second_order_symmetric(self.node_id(), a1, a2, b1, b2)
+        let f = self.node_id();
+        self.session
+            .lock()
+            .is_second_order_symmetric(f, a1, a2, b1, b2)
     }
 
     /// Graphviz rendering of this function.
     pub fn to_dot(&self, label: &str) -> String {
-        crate::dot::to_dot(&self.mgr.inner.borrow(), &[self.node_id()], &[label])
+        let f = self.node_id();
+        crate::dot::to_dot(&self.session.lock(), &[f], &[label])
     }
 }
 
@@ -692,13 +702,108 @@ impl Not for Bdd {
     }
 }
 
+/// Compile-time proof that the whole handle stack crosses threads: the
+/// engine moves warm sessions (and rehydrated handles) between pool
+/// workers.
+#[allow(dead_code)]
+fn _assert_kernel_is_send() {
+    fn assert_send<T: Send>() {}
+    assert_send::<BddManager>();
+    assert_send::<BddSession>();
+    assert_send::<Bdd>();
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
+    fn session_and_handles_are_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<BddManager>();
+        assert_send::<BddSession>();
+        assert_send::<Bdd>();
+    }
+
+    #[test]
+    fn a_session_moves_between_threads() {
+        let session = BddSession::new(3);
+        let f = session.var(0).and(&session.var(1));
+        let (session, f) = std::thread::spawn(move || {
+            let g = f.or(&session.var(2));
+            assert!(g.eval(&[false, false, true]));
+            (session, f)
+        })
+        .join()
+        .unwrap();
+        assert!(f.eval(&[true, true, false]));
+        assert_eq!(session.num_vars(), 3);
+    }
+
+    #[test]
+    fn reset_rewinds_to_cold_state() {
+        let session = BddSession::with_config(4, 512, BddConfig::new());
+        let junk = session.var(0).xor(&session.var(1)).or(&session.var(2));
+        assert!(
+            !session.reset(4, 512, BddConfig::new()),
+            "live handle blocks reset"
+        );
+        drop(junk);
+        assert!(session.reset(6, 512, BddConfig::new()));
+        assert_eq!(session.num_vars(), 6);
+        assert_eq!(session.num_nodes(), 2, "only terminals survive a reset");
+        assert_eq!(session.live_roots(), 0);
+        // The reset session is fully usable with the new variable count.
+        let f = session.var(5).and(&session.var(0));
+        assert!(f.eval(&[true, false, false, false, false, true]));
+    }
+
+    #[test]
+    fn reset_matches_cold_gauges() {
+        let warm = BddSession::with_config(4, 2048, BddConfig::new());
+        {
+            let mut junk = Vec::new();
+            for i in 0..4u32 {
+                junk.push(warm.var(i).xor(&warm.var((i + 1) % 4)));
+            }
+        }
+        assert!(warm.reset(4, 2048, BddConfig::new()));
+        let cold = BddSession::with_config(4, 2048, BddConfig::new());
+        let (ws, cs) = (warm.cache_stats(), cold.cache_stats());
+        assert_eq!(ws.unique_len, cs.unique_len);
+        assert_eq!(ws.unique_capacity, cs.unique_capacity);
+        assert_eq!(ws.cache_slots, cs.cache_slots);
+        assert_eq!(ws.num_nodes, cs.num_nodes);
+        assert_eq!(
+            warm.gc_stats().var_order_hash,
+            cold.gc_stats().var_order_hash
+        );
+        // And the two sessions now produce identical gauge trajectories.
+        let wf = warm.var(0).and(&warm.var(3));
+        let cf = cold.var(0).and(&cold.var(3));
+        assert_eq!(wf.size(), cf.size());
+        assert_eq!(warm.num_nodes(), cold.num_nodes());
+    }
+
+    #[test]
+    fn poisoned_sessions_recover() {
+        let session = BddSession::new(2);
+        let a = session.var(0);
+        let zero = session.zero();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _ = a.constrain(&zero); // panics while holding the lock
+        }));
+        assert!(result.is_err());
+        // The lock is poisoned now; handle traffic must still work.
+        let b = session.var(1);
+        assert!(a.or(&b).eval(&[true, false]));
+        drop((a, b, zero));
+        assert_eq!(session.live_roots(), 0);
+    }
+
+    #[test]
     fn operators_match_methods() {
-        let mgr = BddMgr::new(2);
+        let mgr = BddSession::new(2);
         let a = mgr.var(0);
         let b = mgr.var(1);
         assert_eq!(&a & &b, a.and(&b));
@@ -710,7 +815,7 @@ mod tests {
 
     #[test]
     fn cube_and_minterm_builders() {
-        let mgr = BddMgr::new(3);
+        let mgr = BddSession::new(3);
         let cube = mgr.cube(&[(Var(0), true), (Var(2), false)]);
         assert!(cube.eval(&[true, false, false]));
         assert!(cube.eval(&[true, true, false]));
@@ -721,7 +826,7 @@ mod tests {
 
     #[test]
     fn subset_and_diff() {
-        let mgr = BddMgr::new(2);
+        let mgr = BddSession::new(2);
         let a = mgr.var(0);
         let b = mgr.var(1);
         let ab = a.and(&b);
@@ -734,7 +839,7 @@ mod tests {
 
     #[test]
     fn and_all_or_all() {
-        let mgr = BddMgr::new(3);
+        let mgr = BddSession::new(3);
         let vars: Vec<Bdd> = (0..3).map(|i| mgr.var(i as u32)).collect();
         let all = mgr.and_all(vars.iter());
         let any = mgr.or_all(vars.iter());
@@ -747,8 +852,8 @@ mod tests {
     #[test]
     #[should_panic]
     fn cross_manager_operations_panic() {
-        let m1 = BddMgr::new(1);
-        let m2 = BddMgr::new(1);
+        let m1 = BddSession::new(1);
+        let m2 = BddSession::new(1);
         let a = m1.var(0);
         let b = m2.var(0);
         let _ = a.and(&b);
@@ -756,7 +861,7 @@ mod tests {
 
     #[test]
     fn shared_size_counts_once() {
-        let mgr = BddMgr::new(3);
+        let mgr = BddSession::new(3);
         let a = mgr.var(0);
         let b = mgr.var(1);
         let f = a.and(&b);
@@ -767,7 +872,7 @@ mod tests {
 
     #[test]
     fn drop_and_clone_track_roots() {
-        let mgr = BddMgr::new(2);
+        let mgr = BddSession::new(2);
         let base = mgr.live_roots();
         let a = mgr.var(0);
         assert_eq!(mgr.live_roots(), base + 1);
@@ -781,7 +886,7 @@ mod tests {
 
     #[test]
     fn collect_garbage_reclaims_dropped_functions_and_reuses_slots() {
-        let mgr = BddMgr::new(8);
+        let mgr = BddSession::new(8);
         let vars: Vec<Bdd> = (0..8).map(|i| mgr.var(i as u32)).collect();
         let keep = vars[0].and(&vars[1]);
         {
@@ -808,7 +913,7 @@ mod tests {
 
     #[test]
     fn compact_renumbers_but_handles_survive() {
-        let mgr = BddMgr::new(6);
+        let mgr = BddSession::new(6);
         let vars: Vec<Bdd> = (0..6).map(|i| mgr.var(i as u32)).collect();
         // Interleave garbage and keepers so survivors sit at scattered ids.
         let mut keepers = Vec::new();
@@ -838,7 +943,7 @@ mod tests {
 
     #[test]
     fn swap_adjacent_levels_preserves_functions() {
-        let mgr = BddMgr::new(4);
+        let mgr = BddSession::new(4);
         let a = mgr.var(0);
         let b = mgr.var(1);
         let c = mgr.var(2);
@@ -861,7 +966,7 @@ mod tests {
     fn reorder_sift_shrinks_an_interleaved_product() {
         // f = x0·x3 + x1·x4 + x2·x5 under the interleaved order is the
         // classic exponential-vs-linear sifting example.
-        let mgr = BddMgr::new(6);
+        let mgr = BddSession::new(6);
         let f = {
             let t0 = mgr.var(0).and(&mgr.var(3));
             let t1 = mgr.var(1).and(&mgr.var(4));
@@ -887,8 +992,7 @@ mod tests {
 
     #[test]
     fn auto_gc_keeps_a_churning_manager_bounded() {
-        let mgr = BddMgr::new(10);
-        mgr.set_gc_threshold(256);
+        let mgr = BddSession::with_config(10, 1024, BddConfig::new().gc_min_nodes(256));
         let vars: Vec<Bdd> = (0..10).map(|i| mgr.var(i as u32)).collect();
         for round in 0..200u32 {
             // A fresh function every round, immediately dropped.
@@ -914,7 +1018,7 @@ mod tests {
 
     #[test]
     fn handle_equality_is_canonical() {
-        let mgr = BddMgr::new(2);
+        let mgr = BddSession::new(2);
         let a = mgr.var(0);
         let b = mgr.var(1);
         let f1 = a.and(&b);

@@ -26,28 +26,37 @@
 //!   rooting discipline and [`GcStats`]),
 //! * Graphviz export for debugging.
 //!
-//! ## Handles
+//! ## Sessions and handles
 //!
-//! The low-level [`BddManager`] owns the node store and exposes operations on
-//! raw [`NodeId`]s. Most users should use the shared, clonable [`BddMgr`]
-//! handle together with the [`Bdd`] value type, which supports the standard
-//! Boolean operators:
+//! The low-level [`BddManager`] owns the node store — including its root
+//! table — and exposes operations on raw [`NodeId`]s; the whole manager is
+//! `Send` and moves freely between threads. Most users should use the
+//! owning, clonable [`BddSession`] together with the [`Bdd`] value type,
+//! which supports the standard Boolean operators. Lifecycle tuning
+//! (automatic GC, thresholds, dynamic reordering) is set once at session
+//! construction through the [`BddConfig`] builder:
 //!
 //! ```
-//! use brel_bdd::BddMgr;
+//! use brel_bdd::BddSession;
 //!
-//! let mgr = BddMgr::new(3);
+//! let mgr = BddSession::new(3);
 //! let (a, b, c) = (mgr.var(0), mgr.var(1), mgr.var(2));
 //! let f = a.and(&b).or(&a.complement().and(&c));
 //! assert!(f.eval(&[true, true, false]));
 //! assert!(!f.eval(&[true, false, false]));
 //! assert_eq!(f.support(), vec![0.into(), 1.into(), 2.into()]);
 //! ```
+//!
+//! A session can be *reset* ([`BddSession::reset`]) once all of its
+//! handles are dropped: the manager rewinds to a cold-start state while
+//! keeping its allocations, which is what the engine's warm worker pool
+//! uses to reuse one manager across many jobs.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 mod cache;
+mod config;
 mod dot;
 mod gc;
 mod gencof;
@@ -60,9 +69,10 @@ mod reorder;
 mod symmetry;
 
 pub use cache::CacheStats;
+pub use config::BddConfig;
 pub use dot::to_dot;
 pub use gc::GcStats;
-pub use handle::{Bdd, BddMgr};
+pub use handle::{Bdd, BddSession};
 pub use isop::{IsopCube, IsopResult};
 pub use manager::{BddManager, NodeId, Var};
 pub use paths::PathCube;

@@ -23,11 +23,10 @@
 use std::cell::RefCell;
 use std::collections::HashMap;
 use std::fmt;
-use std::rc::Rc;
-use std::sync::OnceLock;
 
 use crate::cache::{CacheStats, OpCache, OpTag, UniqueTable};
-use crate::gc::{GcState, RootTable, SharedRoots};
+use crate::config::BddConfig;
+use crate::gc::{GcState, RootTable};
 
 /// Index of a BDD variable.
 ///
@@ -118,31 +117,14 @@ const TERMINAL_LEVEL: u32 = u32::MAX;
 /// manager refuses to allocate `u32::MAX` variables).
 pub(crate) const FREE_VAR: u32 = u32::MAX;
 
-/// Process-wide lifecycle tuning read from the environment once (used by
-/// the CI smoke runs to force a tiny GC threshold and auto-reordering
-/// without touching call sites).
-struct EnvTuning {
-    gc_min_nodes: Option<usize>,
-    auto_reorder: bool,
-}
-
-fn env_tuning() -> &'static EnvTuning {
-    static TUNING: OnceLock<EnvTuning> = OnceLock::new();
-    TUNING.get_or_init(|| EnvTuning {
-        gc_min_nodes: std::env::var("BREL_BDD_GC_MIN_NODES")
-            .ok()
-            .and_then(|v| v.parse().ok()),
-        auto_reorder: std::env::var("BREL_BDD_AUTO_REORDER")
-            .map(|v| v == "1" || v.eq_ignore_ascii_case("true"))
-            .unwrap_or(false),
-    })
-}
-
 /// The ROBDD manager: node arena, unique table and operation caches.
 ///
-/// Most users should prefer the shared [`crate::BddMgr`] handle; the raw
-/// manager is exposed for callers that want explicit control over mutability
-/// (for example, the benchmark harness).
+/// The manager is a self-contained, owning value — it holds its root table
+/// directly and is `Send`, so a whole manager can move between threads
+/// (the engine's warm worker pool relies on this). Most users should
+/// prefer the [`crate::BddSession`] handle; the raw manager is exposed for
+/// callers that want explicit control over mutability (for example, the
+/// benchmark harness).
 pub struct BddManager {
     pub(crate) nodes: Vec<Node>,
     /// Reclaimed arena slots awaiting reuse by `mk` (see [`crate::gc`]).
@@ -153,8 +135,9 @@ pub struct BddManager {
     pub(crate) var2level: Vec<u32>,
     /// Current level → variable index.
     pub(crate) level2var: Vec<Var>,
-    /// External references (shared with every [`crate::Bdd`] handle).
-    pub(crate) roots: SharedRoots,
+    /// External references; [`crate::Bdd`] handles hold slot indices into
+    /// this table and resolve/retain/release through the session lock.
+    pub(crate) roots: RootTable,
     /// Lifecycle bookkeeping: GC triggers and counters.
     pub(crate) gc: GcState,
     /// Interned monotone rename maps (sorted `(old, new)` pairs); the index
@@ -185,10 +168,15 @@ impl BddManager {
     /// nodes: the arena and the unique table are allocated up front, so
     /// building a function of that size triggers no rehash. Used by the
     /// engine's worker-pool rehydration, where the node count is known
-    /// before construction starts.
+    /// before construction starts. Lifecycle tuning comes from
+    /// [`BddConfig::from_env`].
     pub fn with_capacity(num_vars: usize, expected_nodes: usize) -> Self {
-        let tuning = env_tuning();
-        let min_nodes = tuning.gc_min_nodes.unwrap_or(GcState::DEFAULT_MIN_NODES);
+        Self::with_config(num_vars, expected_nodes, BddConfig::from_env())
+    }
+
+    /// Creates a manager with an explicit lifecycle configuration — the
+    /// base constructor every other constructor funnels through.
+    pub fn with_config(num_vars: usize, expected_nodes: usize, config: BddConfig) -> Self {
         // Pre-size the root table along with the arena: external handles
         // are far fewer than nodes, but rehydration-scale managers still
         // skip the first few reallocation steps this way.
@@ -200,8 +188,8 @@ impl BddManager {
             cache: OpCache::new(),
             var2level: (0..num_vars as u32).collect(),
             level2var: (0..num_vars).map(Var::from).collect(),
-            roots: Rc::new(RefCell::new(RootTable::with_capacity(expected_roots))),
-            gc: GcState::new(min_nodes, tuning.auto_reorder),
+            roots: RootTable::with_capacity(expected_roots),
+            gc: GcState::new(&config),
             rename_maps: Vec::new(),
             visit_scratch: RefCell::new(VisitScratch::new()),
             var_names: (0..num_vars).map(|i| format!("x{i}")).collect(),
@@ -218,6 +206,53 @@ impl BddManager {
             hi: NodeId::ONE,
         });
         mgr
+    }
+
+    /// Rewinds a live-root-free manager to the state a cold
+    /// [`BddManager::with_config`]`(num_vars, expected_nodes, config)`
+    /// would start in, while keeping its allocations warm — the arena
+    /// vector, unique-table slab, op-cache slab and root-table storage are
+    /// reused instead of reallocated. `config` replaces the lifecycle
+    /// tuning. Returns `false` (doing nothing) if external roots are still
+    /// live, so callers can fall back to a fresh manager.
+    ///
+    /// A reset manager is *observationally identical* to a cold one: the
+    /// node arena holds only the two terminals, the unique table is empty
+    /// at the cold capacity for `expected_nodes`, the op cache is back at
+    /// its cold slot count with auto-growth re-armed, the variable order
+    /// is the identity with default `x{i}` names, and all GC triggers are
+    /// re-armed. Cumulative counters (cache lookups, collections, …)
+    /// survive — per-phase consumers report deltas — and the
+    /// `peak_live_nodes` gauge is re-based to the terminal-only arena.
+    pub fn reset(&mut self, num_vars: usize, expected_nodes: usize, config: BddConfig) -> bool {
+        if self.roots.live_roots() != 0 {
+            return false;
+        }
+        self.roots.reset();
+        self.nodes.truncate(2);
+        self.nodes
+            .reserve(expected_nodes.saturating_add(2) - self.nodes.len());
+        self.free.clear();
+        self.unique.reset(expected_nodes);
+        self.cache.reset();
+        self.var2level = (0..num_vars as u32).collect();
+        self.level2var = (0..num_vars).map(Var::from).collect();
+        self.var_names = (0..num_vars).map(|i| format!("x{i}")).collect();
+        self.rename_maps.clear();
+        self.visit_scratch.borrow_mut().reset();
+        let counters = (
+            self.gc.collections,
+            self.gc.nodes_reclaimed,
+            self.gc.reorder_passes,
+        );
+        self.gc = GcState::new(&config);
+        (
+            self.gc.collections,
+            self.gc.nodes_reclaimed,
+            self.gc.reorder_passes,
+        ) = counters;
+        self.gc.peak_live_nodes = self.live_nodes() as u64;
+        true
     }
 
     /// Pre-grows the arena and the unique table for `additional` more
@@ -270,11 +305,6 @@ impl BddManager {
         self.var2level.push(self.level2var.len() as u32);
         self.level2var.push(v);
         v
-    }
-
-    /// The shared root table handle (cloned into every [`crate::Bdd`]).
-    pub(crate) fn roots_handle(&self) -> SharedRoots {
-        Rc::clone(&self.roots)
     }
 
     /// Post-allocation bookkeeping: tracks the live-node high-water mark
@@ -820,6 +850,13 @@ impl VisitScratch {
             stamps: Vec::new(),
             epoch: 0,
         }
+    }
+
+    /// Forgets every stamp (keeping the allocation); used by the session
+    /// reset so scratch state cannot leak across warm reuses.
+    pub(crate) fn reset(&mut self) {
+        self.stamps.fill(0);
+        self.epoch = 0;
     }
 
     /// Starts a fresh traversal over an arena of `len` nodes.

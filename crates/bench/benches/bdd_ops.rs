@@ -71,8 +71,10 @@ fn bench_bdd_kernel(c: &mut Criterion) {
 
     group.bench_function("cofactor_sweep_int9", |b| {
         b.iter(|| {
+            // Resolve the rooted id before `with`: the session lock is not
+            // reentrant, so handle calls inside the closure would deadlock.
+            let f = chi.node_id();
             space.mgr().with(|m| {
-                let f = chi.node_id();
                 let mut acc = 0usize;
                 for &v in &all_vars {
                     acc += m.cofactor(f, v, false).index();
@@ -85,8 +87,8 @@ fn bench_bdd_kernel(c: &mut Criterion) {
 
     group.bench_function("exists_forall_outputs_int9", |b| {
         b.iter(|| {
+            let f = chi.node_id();
             space.mgr().with(|m| {
-                let f = chi.node_id();
                 let e = m.exists_many(f, &output_vars);
                 let a = m.forall_many(f, &output_vars);
                 (e, a)
@@ -103,18 +105,15 @@ fn bench_bdd_kernel(c: &mut Criterion) {
             .map(|(i, &v)| (v, i % 2 == 0))
             .collect();
         b.iter(|| {
-            space
-                .mgr()
-                .with(|m| m.restrict_assignment(chi.node_id(), &assignment))
+            let f = chi.node_id();
+            space.mgr().with(|m| m.restrict_assignment(f, &assignment))
         })
     });
 
     group.bench_function("support_size_int9", |b| {
         b.iter(|| {
-            space.mgr().with(|m| {
-                let f = chi.node_id();
-                m.size(f) + m.support(f).len()
-            })
+            let f = chi.node_id();
+            space.mgr().with(|m| m.size(f) + m.support(f).len())
         })
     });
 

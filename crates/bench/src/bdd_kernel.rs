@@ -12,7 +12,7 @@
 use std::collections::HashMap;
 use std::time::Instant;
 
-use brel_bdd::{Bdd, BddManager, BddMgr, CacheStats, GcStats, NodeId, Var};
+use brel_bdd::{Bdd, BddConfig, BddManager, BddSession, CacheStats, GcStats, NodeId, Var};
 use brel_benchdata::table2 as family;
 use brel_engine::Json;
 use brel_relation::RelationSpace;
@@ -143,7 +143,7 @@ fn random_sop(mgr: &mut BddManager, num_vars: usize, num_cubes: usize, seed: u64
 /// Handle-based (rooted) variant of [`random_sop`]: same seeds, same
 /// sampling sequence, but every intermediate goes through `Bdd` handles so
 /// the lifecycle machinery (roots, GC safe points) is exercised.
-fn random_sop_handle(mgr: &BddMgr, num_vars: usize, num_cubes: usize, seed: u64) -> Bdd {
+fn random_sop_handle(mgr: &BddSession, num_vars: usize, num_cubes: usize, seed: u64) -> Bdd {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut acc = mgr.zero();
     for _ in 0..num_cubes {
@@ -191,18 +191,20 @@ fn churn_round(space: &RelationSpace, chi: &Bdd, round: u32) -> usize {
 /// headline number).
 pub fn churn_int9(auto_gc: bool, rounds: u32) -> GcStats {
     let instance = family::instance("int9").expect("known instance");
-    let (space, relation) = family::generate(&instance);
-    let mgr = space.mgr().clone();
-    mgr.set_auto_gc(auto_gc);
-    // The workload isolates collection: auto-reorder stays off in both
-    // modes (reorder_sift ends with a sweep, so an env-forced
-    // `BREL_BDD_AUTO_REORDER=1` would silently collect the "append-only"
+    // The workload isolates collection: the space is built with a pinned
+    // explicit config (the `BREL_BDD_*` environment cannot override it),
+    // auto-reorder stays off in both modes (reorder_sift ends with a
+    // sweep, so forced sifting would silently collect the "append-only"
     // baseline and void the peak comparison), and both the peak gauge and
-    // the counters are attributed from this point — whatever collecting
-    // or sifting the environment forced during relation *construction*
-    // must not leak into the comparison either.
-    mgr.set_auto_reorder(false);
-    mgr.set_gc_threshold(CHURN_GC_THRESHOLD);
+    // the counters are attributed from after construction — whatever
+    // collecting happened while building the relation must not leak into
+    // the comparison.
+    let config = BddConfig::new()
+        .auto_gc(auto_gc)
+        .gc_min_nodes(CHURN_GC_THRESHOLD)
+        .auto_reorder(false);
+    let (space, relation) = family::generate_with_config(&instance, config);
+    let mgr = space.mgr().clone();
     mgr.reset_peak_live_nodes();
     let base = mgr.gc_stats();
     let chi = relation.characteristic().clone();
@@ -244,13 +246,16 @@ pub fn run(options: &KernelBenchOptions) -> KernelReport {
     // against a compute-path regression hiding behind cache hits.
     benches.push(time("quantify_cold_int9", iters, || {
         let (cold_space, cold_relation) = family::generate(&int9);
+        // Resolve the rooted id before `with`: the session lock is not
+        // reentrant, so handle calls inside the closure would deadlock.
+        let f = cold_relation.characteristic().node_id();
+        let outputs = cold_space.output_vars().to_vec();
+        let num_inputs = cold_space.num_inputs() as u32;
         cold_space.mgr().with(|m| {
-            let f = cold_relation.characteristic().node_id();
-            let outputs = cold_space.output_vars().to_vec();
             let e = m.exists_many(f, &outputs);
             let a = m.forall_many(f, &outputs);
             let mut acc = e.index() + a.index();
-            for v in 0..cold_space.num_inputs() as u32 {
+            for v in 0..num_inputs {
                 acc += m.cofactor(f, Var(v), true).index();
             }
             std::hint::black_box(acc);
@@ -281,8 +286,8 @@ pub fn run(options: &KernelBenchOptions) -> KernelReport {
 
     benches.push(time("cofactor_sweep_int9", fast_iters, || {
         let mut acc = 0usize;
+        let f = chi.node_id();
         space.mgr().with(|m| {
-            let f = chi.node_id();
             for &v in &all_vars {
                 acc += m.cofactor(f, v, false).index();
                 acc += m.cofactor(f, v, true).index();
@@ -292,8 +297,8 @@ pub fn run(options: &KernelBenchOptions) -> KernelReport {
     }));
 
     benches.push(time("exists_outputs_int9", fast_iters, || {
+        let f = chi.node_id();
         space.mgr().with(|m| {
-            let f = chi.node_id();
             let e = m.exists_many(f, &output_vars);
             let a = m.forall_many(f, &output_vars);
             std::hint::black_box((e, a));
@@ -301,8 +306,8 @@ pub fn run(options: &KernelBenchOptions) -> KernelReport {
     }));
 
     benches.push(time("restrict_assignment_int9", fast_iters, || {
+        let f = chi.node_id();
         space.mgr().with(|m| {
-            let f = chi.node_id();
             let assignment: Vec<(Var, bool)> = space
                 .input_vars()
                 .iter()
@@ -315,8 +320,8 @@ pub fn run(options: &KernelBenchOptions) -> KernelReport {
     }));
 
     benches.push(time("support_size_int9", fast_iters, || {
+        let f = chi.node_id();
         space.mgr().with(|m| {
-            let f = chi.node_id();
             let s = m.size(f) + m.support(f).len() + m.shared_size(&[f, NodeId::ONE]);
             std::hint::black_box(s);
         });
@@ -346,7 +351,7 @@ pub fn run(options: &KernelBenchOptions) -> KernelReport {
     let mut sift_before = 0u64;
     let mut sift_after = 0u64;
     benches.push(time("sift_random_sop_24v", sift_iters, || {
-        let mgr = BddMgr::new(24);
+        let mgr = BddSession::new(24);
         let f = random_sop_handle(&mgr, 24, 48, 7);
         sift_before = f.size() as u64;
         mgr.reorder_sift();

@@ -15,6 +15,10 @@
 //! * `--wide`       wide mode: jobs run one at a time and the worker pool
 //!   expands each BREL frontier in parallel (top-k per round)
 //! * `--topk N`     wide-mode round width (default: 8)
+//! * `--cold`       disable cross-job reuse (warm per-worker sessions and
+//!   the solved-subrelation cache): one cold BDD manager per job, the
+//!   pre-redesign behaviour. The deterministic output is identical either
+//!   way; use this to measure what the warm pool buys
 //! * `--fingerprint N` fail (exit 1) unless the batch's total winner cost
 //!   equals `N` — the CI drift gate for the default FIFO strategy
 //! * `--json`       emit the batch as JSON instead of the human table
@@ -24,8 +28,8 @@
 
 use std::process::ExitCode;
 
-use brel_bench::engine_batch::{corpus, render, run, run_wide, CorpusOptions};
-use brel_engine::{BatchReport, EngineConfig, JobSpec, SearchStrategy};
+use brel_bench::engine_batch::{corpus, render, CorpusOptions};
+use brel_engine::{BatchReport, Engine, EngineConfig, JobSpec, SearchStrategy, WideOptions};
 
 fn main() -> ExitCode {
     let mut workers: Option<usize> = None;
@@ -37,6 +41,7 @@ fn main() -> ExitCode {
     let mut csv = false;
     let mut timing = false;
     let mut wide = false;
+    let mut cold = false;
     let mut top_k = 8usize;
     let mut fingerprint: Option<u64> = None;
 
@@ -61,6 +66,7 @@ fn main() -> ExitCode {
                 None => return usage("--strategy needs fifo, dfs or best-first"),
             },
             "--wide" => wide = true,
+            "--cold" => cold = true,
             "--topk" => match args.next().and_then(|v| v.parse().ok()) {
                 Some(n) => top_k = n,
                 None => return usage("--topk needs a number"),
@@ -102,11 +108,11 @@ fn main() -> ExitCode {
         EngineConfig::default().num_workers
     });
     let solve = |jobs: &[JobSpec], num_workers: usize| -> BatchReport {
+        let mut engine = Engine::with_workers(num_workers).with_reuse(!cold);
         if wide {
-            run_wide(jobs, num_workers, top_k)
-        } else {
-            run(jobs, num_workers)
+            engine = engine.with_wide(WideOptions { top_k });
         }
+        engine.solve_batch(jobs)
     };
     let report = solve(&jobs, num_workers);
 
@@ -166,7 +172,7 @@ fn usage(error: &str) -> ExitCode {
     eprintln!("engine_batch: {error}");
     eprintln!(
         "usage: engine_batch [--smoke] [--workers N] [--instances N] [--random N] \
-         [--strategy fifo|dfs|best-first] [--wide] [--topk N] [--fingerprint N] \
+         [--strategy fifo|dfs|best-first] [--wide] [--cold] [--topk N] [--fingerprint N] \
          [--json|--csv] [--timing]"
     );
     ExitCode::FAILURE

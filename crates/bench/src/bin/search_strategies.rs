@@ -11,8 +11,9 @@
 //!
 //! The human-readable table always goes to stderr. Exits 1 if any strategy
 //! misses the Fig. 10 optimum, if best-first explores more than FIFO on
-//! it, or if a wide-mode run was not worker-count deterministic — the
-//! harness is its own acceptance gate.
+//! it, if a wide-mode run was not worker-count deterministic, or if the
+//! warm-pool run differed from the cold run (or never hit the subrelation
+//! cache on the doubled corpus) — the harness is its own acceptance gate.
 
 use std::process::ExitCode;
 
@@ -76,6 +77,15 @@ fn main() -> ExitCode {
             );
             return ExitCode::FAILURE;
         }
+    }
+
+    if !report.reuse.identical_output {
+        eprintln!("search_strategies: warm-pool output differed from the cold run");
+        return ExitCode::FAILURE;
+    }
+    if report.reuse.subrel_cache_hits == 0 {
+        eprintln!("search_strategies: the doubled corpus never hit the subrelation cache");
+        return ExitCode::FAILURE;
     }
 
     let json = report.to_json().render_pretty();

@@ -83,9 +83,20 @@ pub fn corpus(options: &CorpusOptions) -> Vec<JobSpec> {
     jobs
 }
 
-/// Runs a corpus through the engine with the given worker count.
+/// Runs a corpus through the engine with the given worker count (warm
+/// per-worker sessions and the cross-job subrelation cache on, the engine
+/// default).
 pub fn run(jobs: &[JobSpec], num_workers: usize) -> BatchReport {
     Engine::with_workers(num_workers).solve_batch(jobs)
+}
+
+/// Runs a corpus with cross-job reuse disabled: one cold BDD manager per
+/// job, the pre-redesign behaviour. The deterministic output must equal
+/// [`run`]'s — only wall clocks move.
+pub fn run_cold(jobs: &[JobSpec], num_workers: usize) -> BatchReport {
+    Engine::with_workers(num_workers)
+        .with_reuse(false)
+        .solve_batch(jobs)
 }
 
 /// Runs a corpus in wide mode: jobs go one at a time and the worker pool
@@ -151,6 +162,13 @@ pub fn render(report: &BatchReport) -> String {
     for (kind, wins) in report.wins_by_backend() {
         out.push_str(&format!("wins[{}] = {}\n", kind.name(), wins));
     }
+    out.push_str(&format!(
+        "reuse: {} warm resets, {} cold builds, {} cache hits / {} misses\n",
+        report.reuse.warm_reuses,
+        report.reuse.cold_builds,
+        report.reuse.subrel_cache_hits,
+        report.reuse.subrel_cache_misses,
+    ));
     out
 }
 
@@ -215,6 +233,24 @@ mod tests {
     }
 
     #[test]
+    fn cold_runs_match_warm_runs_byte_for_byte() {
+        let jobs = corpus(&CorpusOptions {
+            table2_instances: 2,
+            random_relations: 2,
+            ..CorpusOptions::smoke()
+        });
+        let warm = run(&jobs, 2);
+        let cold = run_cold(&jobs, 2);
+        assert_eq!(warm.to_json(false), cold.to_json(false));
+        assert_eq!(warm.to_csv(false), cold.to_csv(false));
+        assert_eq!(cold.reuse.warm_reuses, 0);
+        assert_eq!(
+            cold.reuse.subrel_cache_hits + cold.reuse.subrel_cache_misses,
+            0
+        );
+    }
+
+    #[test]
     fn render_mentions_every_job_and_the_winner_tally() {
         let jobs = corpus(&CorpusOptions {
             table2_instances: 1,
@@ -228,5 +264,6 @@ mod tests {
         }
         assert!(text.contains("<-- winner"));
         assert!(text.contains("wins[brel]"));
+        assert!(text.contains("reuse:"));
     }
 }

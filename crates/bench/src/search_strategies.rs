@@ -23,6 +23,13 @@
 //! frontier expansion) on 1 and 4 workers and records that the
 //! timing-free outputs agree — the determinism demonstration the CI smoke
 //! re-checks per PR.
+//!
+//! A **reuse** block (once per run, not per strategy) measures what the
+//! engine's warm pool buys: the FIFO portfolio corpus, with every job
+//! submitted twice, solved cold (one manager per job, reuse off) and then
+//! warm (per-worker sessions + the solved-subrelation cache). It records
+//! both wall clocks, the reuse counters, and that the timing-free outputs
+//! were byte-identical — the cache is a pure speedup or it is a bug.
 
 use std::time::Instant;
 
@@ -113,6 +120,30 @@ pub struct StrategyRow {
     pub wide_wall_micros: u64,
 }
 
+/// The warm-vs-cold measurement: the same doubled corpus solved with
+/// cross-job reuse off and then on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReuseMetrics {
+    /// Jobs in the doubled corpus.
+    pub num_jobs: u64,
+    /// Wall time with reuse off (cold manager per job), microseconds.
+    pub cold_wall_micros: u64,
+    /// Wall time with reuse on (warm pool + subrelation cache), microseconds.
+    pub warm_wall_micros: u64,
+    /// Warm-session resets counted by the warm run.
+    pub warm_reuses: u64,
+    /// Cold manager builds counted by the warm run.
+    pub cold_builds: u64,
+    /// Solved-subrelation cache hits in the warm run.
+    pub subrel_cache_hits: u64,
+    /// Solved-subrelation cache misses in the warm run.
+    pub subrel_cache_misses: u64,
+    /// Total winner cost (shared by both runs when `identical_output`).
+    pub total_cost: u64,
+    /// Whether the cold and warm timing-free outputs were byte-identical.
+    pub identical_output: bool,
+}
+
 /// The complete harness output.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SearchReport {
@@ -120,6 +151,8 @@ pub struct SearchReport {
     pub label: String,
     /// One row per strategy, in [`SearchStrategy::all`] order.
     pub rows: Vec<StrategyRow>,
+    /// The warm-vs-cold engine measurement (once per run).
+    pub reuse: ReuseMetrics,
 }
 
 /// Brel-only jobs over the harness corpus (the portfolio's quick/gyocro
@@ -167,8 +200,10 @@ fn batch_metrics(jobs: &[JobSpec]) -> BatchMetrics {
 /// are what keeps nodes alive between sweeps.
 fn churn_metrics(strategy: SearchStrategy, budget: usize) -> (u64, u64, u64, u64) {
     let instance = family::instance("int9").expect("known instance");
-    let (space, relation) = family::generate(&instance);
-    space.mgr().set_gc_threshold(1024);
+    let (_space, relation) = family::generate_with_config(
+        &instance,
+        brel_bdd::BddConfig::from_env().gc_min_nodes(1024),
+    );
     let config = BrelConfig::default()
         .with_strategy(strategy)
         .with_max_explored(Some(budget))
@@ -182,6 +217,42 @@ fn churn_metrics(strategy: SearchStrategy, budget: usize) -> (u64, u64, u64, u64
         solution.stats.gc_collections,
         solution.cost,
     )
+}
+
+/// The warm-vs-cold workload: the FIFO portfolio corpus with every job
+/// submitted twice (second copies renamed), so warm runs hit both reuse
+/// layers — session resets across distinct jobs and whole-portfolio cache
+/// hits on the duplicates.
+fn reuse_metrics(options: &SearchBenchOptions) -> ReuseMetrics {
+    let base = engine_batch::corpus(&CorpusOptions {
+        table2_instances: options.table2_instances,
+        random_relations: options.random_relations,
+        ..CorpusOptions::full()
+    });
+    let mut jobs = base.clone();
+    for job in base {
+        let name = format!("{}_again", job.name);
+        jobs.push(JobSpec { name, ..job });
+    }
+    let workers = 2;
+    let cold_start = Instant::now();
+    let cold = engine_batch::run_cold(&jobs, workers);
+    let cold_wall_micros = u64::try_from(cold_start.elapsed().as_micros()).unwrap_or(u64::MAX);
+    let warm_start = Instant::now();
+    let warm = engine_batch::run(&jobs, workers);
+    let warm_wall_micros = u64::try_from(warm_start.elapsed().as_micros()).unwrap_or(u64::MAX);
+    ReuseMetrics {
+        num_jobs: jobs.len() as u64,
+        cold_wall_micros,
+        warm_wall_micros,
+        warm_reuses: warm.reuse.warm_reuses,
+        cold_builds: warm.reuse.cold_builds,
+        subrel_cache_hits: warm.reuse.subrel_cache_hits,
+        subrel_cache_misses: warm.reuse.subrel_cache_misses,
+        total_cost: warm.total_winner_cost(),
+        identical_output: cold.to_json(false) == warm.to_json(false)
+            && cold.to_csv(false) == warm.to_csv(false),
+    }
 }
 
 /// Runs the harness and collects the report.
@@ -223,6 +294,7 @@ pub fn run(options: &SearchBenchOptions) -> SearchReport {
     SearchReport {
         label: options.label.clone(),
         rows,
+        reuse: reuse_metrics(options),
     }
 }
 
@@ -279,6 +351,26 @@ impl SearchReport {
                         .collect(),
                 ),
             ),
+            (
+                "reuse",
+                Json::object(vec![
+                    ("num_jobs", Json::UInt(self.reuse.num_jobs)),
+                    ("cold_wall_micros", Json::UInt(self.reuse.cold_wall_micros)),
+                    ("warm_wall_micros", Json::UInt(self.reuse.warm_wall_micros)),
+                    ("warm_reuses", Json::UInt(self.reuse.warm_reuses)),
+                    ("cold_builds", Json::UInt(self.reuse.cold_builds)),
+                    (
+                        "subrel_cache_hits",
+                        Json::UInt(self.reuse.subrel_cache_hits),
+                    ),
+                    (
+                        "subrel_cache_misses",
+                        Json::UInt(self.reuse.subrel_cache_misses),
+                    ),
+                    ("total_cost", Json::UInt(self.reuse.total_cost)),
+                    ("identical_output", Json::Bool(self.reuse.identical_output)),
+                ]),
+            ),
         ])
     }
 
@@ -309,6 +401,19 @@ impl SearchReport {
                 },
             ));
         }
+        out.push_str(&format!(
+            "reuse: {} jobs, cold {:.4}s -> warm {:.4}s ({} warm resets, {} cache hits, output {})\n",
+            self.reuse.num_jobs,
+            self.reuse.cold_wall_micros as f64 / 1e6,
+            self.reuse.warm_wall_micros as f64 / 1e6,
+            self.reuse.warm_reuses,
+            self.reuse.subrel_cache_hits,
+            if self.reuse.identical_output {
+                "identical"
+            } else {
+                "DRIFT"
+            },
+        ));
         out
     }
 }
@@ -343,7 +448,14 @@ mod tests {
         assert!(json.contains("\"schema\":\"brel-bench/search-strategies-run-v1\""));
         assert!(json.contains("\"fig10_exact\""));
         assert!(json.contains("\"churn\""));
+        assert!(json.contains("\"subrel_cache_hits\""));
         let text = report.render();
         assert!(text.contains("best-first"));
+        assert!(text.contains("reuse:"));
+        // The warm pool is invisible in the output and the duplicated
+        // corpus guarantees cache traffic.
+        assert!(report.reuse.identical_output);
+        assert!(report.reuse.subrel_cache_hits >= 1);
+        assert_eq!(report.reuse.num_jobs, 4); // 2 base jobs, doubled
     }
 }

@@ -30,4 +30,4 @@ pub mod iscas_like;
 pub mod random_relation;
 pub mod table2;
 
-pub use random_relation::random_well_defined_relation;
+pub use random_relation::{random_well_defined_relation, random_well_defined_relation_with};

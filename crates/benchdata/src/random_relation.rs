@@ -23,10 +23,41 @@ pub fn random_well_defined_relation(
     extra_pair_prob: f64,
     seed: u64,
 ) -> (RelationSpace, BooleanRelation) {
+    random_in_space(
+        RelationSpace::new(num_inputs, num_outputs),
+        extra_pair_prob,
+        seed,
+    )
+}
+
+/// Like [`random_well_defined_relation`], but the space's BDD manager is
+/// built with an explicit [`brel_bdd::BddConfig`]. Oracle tests use this to
+/// pin GC / reorder behaviour, which since the config redesign can only be
+/// chosen at construction.
+pub fn random_well_defined_relation_with(
+    num_inputs: usize,
+    num_outputs: usize,
+    extra_pair_prob: f64,
+    seed: u64,
+    config: brel_bdd::BddConfig,
+) -> (RelationSpace, BooleanRelation) {
+    random_in_space(
+        RelationSpace::with_config(num_inputs, num_outputs, 1024, config),
+        extra_pair_prob,
+        seed,
+    )
+}
+
+fn random_in_space(
+    space: RelationSpace,
+    extra_pair_prob: f64,
+    seed: u64,
+) -> (RelationSpace, BooleanRelation) {
+    let num_inputs = space.num_inputs();
+    let num_outputs = space.num_outputs();
     assert!(num_inputs <= 16, "input space must stay enumerable");
     assert!(num_outputs <= 16, "output space must stay enumerable");
     let mut rng = StdRng::seed_from_u64(seed);
-    let space = RelationSpace::new(num_inputs, num_outputs);
     let mut pairs: Vec<(Vec<bool>, Vec<bool>)> = Vec::new();
     let output_count = 1u64 << num_outputs;
     for input in space.enumerate_inputs() {

@@ -137,8 +137,31 @@ pub fn instance(name: &str) -> Option<Table2Instance> {
 
 /// Generates the relation of one instance.
 pub fn generate(instance: &Table2Instance) -> (RelationSpace, BooleanRelation) {
+    generate_in_space(
+        instance,
+        RelationSpace::new(instance.num_inputs, instance.num_outputs),
+    )
+}
+
+/// Generates the relation of one instance into a space with an explicit
+/// kernel lifecycle configuration. Used by workloads that must pin GC /
+/// reorder behaviour regardless of the `BREL_BDD_*` environment (which
+/// since the `BddConfig` redesign can only be chosen at construction).
+pub fn generate_with_config(
+    instance: &Table2Instance,
+    config: brel_bdd::BddConfig,
+) -> (RelationSpace, BooleanRelation) {
+    generate_in_space(
+        instance,
+        RelationSpace::with_config(instance.num_inputs, instance.num_outputs, 1024, config),
+    )
+}
+
+fn generate_in_space(
+    instance: &Table2Instance,
+    space: RelationSpace,
+) -> (RelationSpace, BooleanRelation) {
     let mut rng = StdRng::seed_from_u64(instance.seed);
-    let space = RelationSpace::new(instance.num_inputs, instance.num_outputs);
 
     // Hidden cut functions H_j(X): random reconvergent expressions.
     let hidden: Vec<Bdd> = (0..instance.num_outputs)

@@ -62,4 +62,4 @@ pub use search::{
     Frontier, SearchStrategy, SplitExpansion, StepOutcome, Subproblem,
 };
 pub use solver::{BrelConfig, BrelSolver, Solution, SolveStats, TraceEvent};
-pub use symmetry::SymmetryCache;
+pub use symmetry::{canonical_rows, input_support_mask, relation_fingerprint, SymmetryCache};

@@ -7,8 +7,12 @@
 //! relations already processed and skips a new relation when a symmetric
 //! variant is in the cache.
 
+use std::collections::hash_map::DefaultHasher;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::hash::{Hash, Hasher};
+
 use brel_bdd::Bdd;
-use brel_relation::BooleanRelation;
+use brel_relation::{BooleanRelation, RelationRow};
 
 /// A cache of already-explored relations with output-symmetry lookups.
 ///
@@ -74,6 +78,86 @@ impl SymmetryCache {
     }
 }
 
+/// Canonicalizes tabular relation rows: duplicate input vertices are
+/// merged, output sets are sorted and deduplicated, rows with an empty
+/// image are dropped (a missing input vertex and an empty image denote the
+/// same thing in [`BooleanRelation::from_rows`]), and the surviving rows
+/// are sorted by input vertex. Two row lists describe the same relation
+/// iff their canonical forms are equal, which is what lets the batch
+/// engine build its cross-job cache keys — and rehydrate relations — from
+/// one deterministic representation regardless of how a spec was authored.
+pub fn canonical_rows(rows: &[RelationRow]) -> Vec<RelationRow> {
+    let mut by_input: BTreeMap<Vec<bool>, BTreeSet<Vec<bool>>> = BTreeMap::new();
+    for (input, outputs) in rows {
+        let image = by_input.entry(input.clone()).or_default();
+        for output in outputs {
+            image.insert(output.clone());
+        }
+    }
+    by_input
+        .into_iter()
+        .filter(|(_, image)| !image.is_empty())
+        .map(|(input, image)| (input, image.into_iter().collect()))
+        .collect()
+}
+
+/// The input-support mask of canonical rows: bit `i` is set iff the
+/// relation actually depends on input `i`. Input `i` is *non-support* when
+/// every pair of input vertices differing only in bit `i` has the same
+/// image (a missing vertex counts as an empty image); such a column is
+/// noise for caching purposes — two subrelations equal up to irrelevant
+/// input columns solve identically.
+///
+/// `rows` must be canonical (see [`canonical_rows`]): unique input
+/// vertices with sorted images, so images compare by slice equality.
+pub fn input_support_mask(num_inputs: usize, rows: &[RelationRow]) -> u64 {
+    let by_input: HashMap<&[bool], &[Vec<bool>]> = rows
+        .iter()
+        .map(|(input, image)| (input.as_slice(), image.as_slice()))
+        .collect();
+    let mut mask = 0u64;
+    for i in 0..num_inputs.min(64) {
+        let depends = rows.iter().any(|(input, image)| {
+            let mut partner = input.clone();
+            partner[i] = !partner[i];
+            let partner_image = by_input.get(partner.as_slice()).copied().unwrap_or(&[]);
+            partner_image != image.as_slice()
+        });
+        if depends {
+            mask |= 1 << i;
+        }
+    }
+    mask
+}
+
+/// A 64-bit fingerprint of the relation a row list describes, invariant
+/// under row order, duplicate pairs, unordered images, *and* irrelevant
+/// input columns: rows are canonicalized, non-support input columns are
+/// projected away (the support mask itself stays part of the fingerprint,
+/// so relations that ignore *different* columns do not collide), and the
+/// result is hashed together with the space dimensions. The engine keys
+/// its cross-job solved-subrelation cache on this value.
+pub fn relation_fingerprint(num_inputs: usize, num_outputs: usize, rows: &[RelationRow]) -> u64 {
+    let canonical = canonical_rows(rows);
+    let mask = input_support_mask(num_inputs, &canonical);
+    let projected: BTreeSet<(Vec<bool>, Vec<Vec<bool>>)> = canonical
+        .into_iter()
+        .map(|(input, image)| {
+            let kept: Vec<bool> = (0..num_inputs)
+                .filter(|&i| i >= 64 || mask & (1 << i) != 0)
+                .map(|i| input[i])
+                .collect();
+            (kept, image)
+        })
+        .collect();
+    let mut hasher = DefaultHasher::new();
+    num_inputs.hash(&mut hasher);
+    num_outputs.hash(&mut hasher);
+    mask.hash(&mut hasher);
+    projected.hash(&mut hasher);
+    hasher.finish()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -105,6 +189,98 @@ mod tests {
         let mut cache = SymmetryCache::new();
         assert!(!cache.check_and_insert(&r));
         assert!(cache.check_and_insert(&r));
+    }
+
+    #[test]
+    fn canonical_rows_merge_sort_and_drop_empty_images() {
+        let rows: Vec<RelationRow> = vec![
+            (vec![true], vec![vec![true], vec![false]]),
+            (vec![false], vec![]),
+            (vec![true], vec![vec![true]]),
+        ];
+        let canonical = canonical_rows(&rows);
+        assert_eq!(
+            canonical,
+            vec![(vec![true], vec![vec![false], vec![true]])],
+            "duplicates merged, image sorted, empty row dropped"
+        );
+    }
+
+    #[test]
+    fn support_mask_spots_irrelevant_input_columns() {
+        // R over (x0, x1): image depends on x1 only.
+        let rows = canonical_rows(&[
+            (vec![false, false], vec![vec![false]]),
+            (vec![true, false], vec![vec![false]]),
+            (vec![false, true], vec![vec![true]]),
+            (vec![true, true], vec![vec![true]]),
+        ]);
+        assert_eq!(input_support_mask(2, &rows), 0b10);
+        // Making the images differ across x0 flips bit 0 on.
+        let dependent = canonical_rows(&[
+            (vec![false, false], vec![vec![false]]),
+            (vec![true, false], vec![vec![true]]),
+            (vec![false, true], vec![vec![false]]),
+            (vec![true, true], vec![vec![true]]),
+        ]);
+        assert_eq!(input_support_mask(2, &dependent), 0b01);
+        // A vertex with pairs whose flipped partner has none: that column
+        // is support too (missing means empty image, not "don't know").
+        let partial = canonical_rows(&[(vec![false, false], vec![vec![false]])]);
+        assert_eq!(input_support_mask(2, &partial), 0b11);
+    }
+
+    #[test]
+    fn fingerprint_is_invariant_under_row_noise() {
+        let base: Vec<RelationRow> = vec![
+            (vec![false, false], vec![vec![false], vec![true]]),
+            (vec![true, false], vec![vec![true]]),
+            (vec![false, true], vec![vec![false]]),
+            (vec![true, true], vec![vec![true]]),
+        ];
+        let fp = relation_fingerprint(2, 1, &base);
+        // Row permutation, image permutation, duplicate pairs: same print.
+        let noisy: Vec<RelationRow> = vec![
+            (vec![true, true], vec![vec![true]]),
+            (
+                vec![false, false],
+                vec![vec![true], vec![false], vec![true]],
+            ),
+            (vec![true, false], vec![vec![true]]),
+            (vec![false, true], vec![vec![false]]),
+        ];
+        assert_eq!(relation_fingerprint(2, 1, &noisy), fp);
+        // A genuinely different relation: different print.
+        let other: Vec<RelationRow> = vec![
+            (vec![false, false], vec![vec![false]]),
+            (vec![true, false], vec![vec![true]]),
+            (vec![false, true], vec![vec![false]]),
+            (vec![true, true], vec![vec![true]]),
+        ];
+        assert_ne!(relation_fingerprint(2, 1, &other), fp);
+    }
+
+    #[test]
+    fn fingerprint_normalizes_support_but_keeps_the_mask() {
+        // R ignores x0; S is the same relation over x1 alone.
+        let wide: Vec<RelationRow> = vec![
+            (vec![false, false], vec![vec![false]]),
+            (vec![true, false], vec![vec![false]]),
+            (vec![false, true], vec![vec![true]]),
+            (vec![true, true], vec![vec![true]]),
+        ];
+        // The same projected rows with a *different* irrelevant column must
+        // not collide: the mask participates in the hash.
+        let wide_other: Vec<RelationRow> = vec![
+            (vec![false, false], vec![vec![false]]),
+            (vec![false, true], vec![vec![false]]),
+            (vec![true, false], vec![vec![true]]),
+            (vec![true, true], vec![vec![true]]),
+        ];
+        assert_ne!(
+            relation_fingerprint(2, 1, &wide),
+            relation_fingerprint(2, 1, &wide_other)
+        );
     }
 
     #[test]

@@ -8,6 +8,7 @@ use brel_gyocro::{GyocroConfig, GyocroSolver};
 use brel_relation::{BooleanRelation, MultiOutputFunction, RelationError};
 
 use crate::job::{BackendKind, CostSpec, JobBudget};
+use crate::reuse::ReuseStats;
 
 /// What a backend hands back before uniform scoring: the compatible
 /// multiple-output function it found and how much of the search space it
@@ -144,6 +145,11 @@ pub struct SolutionReport {
     /// reclaimed nodes, reorder passes as deltas; live/peak nodes and the
     /// variable-order hash as gauges). Deterministic, like `cache`.
     pub gc: GcStats,
+    /// How this attempt was produced: warm-session rehydration and/or a
+    /// cross-job cache hit. Scheduling-dependent, so excluded from
+    /// deterministic serializations like `wall_micros` (see
+    /// [`crate::report`]).
+    pub reuse: ReuseStats,
     /// Wall-clock solve time in microseconds. Excluded from deterministic
     /// serializations (see [`crate::report`]).
     pub wall_micros: u64,
@@ -189,6 +195,7 @@ pub fn execute(
             .cache_stats()
             .delta_since(&stats_before),
         gc: relation.space().gc_stats().delta_since(&gc_before),
+        reuse: ReuseStats::default(),
         wall_micros: u64::try_from(wall.as_micros()).unwrap_or(u64::MAX),
     };
     Ok(report)

@@ -1,11 +1,13 @@
 //! Portable job descriptions.
 //!
-//! The BDD layer is `Rc`-based and therefore `!Send`: a [`brel_relation::BooleanRelation`]
-//! can never cross a thread boundary. The engine instead ships jobs as plain
-//! owned data — a [`RelationSpec`] (tabular rows) plus solver configuration —
-//! and every worker rehydrates the relation into a private BDD manager before
-//! solving. Rehydration is deterministic, so the same [`JobSpec`] produces
-//! the same solution on every worker and at every worker count.
+//! Although the redesigned BDD layer is `Send` (a [`brel_bdd::BddSession`]
+//! can cross threads), the engine still ships jobs as plain owned data — a
+//! [`RelationSpec`] (canonical tabular rows) plus solver configuration —
+//! and every worker rehydrates the relation into its own session before
+//! solving. Rehydration is deterministic and a pure function of the
+//! relation, so the same [`JobSpec`] produces the same solution on every
+//! worker and at every worker count, and the canonical rows give the
+//! cross-job cache a sound [`RelationSpec::fingerprint`] to key on.
 
 use brel_core::{CostFn, SearchStrategy};
 use brel_relation::{BooleanRelation, RelationError, RelationRow, RelationSpace};
@@ -40,7 +42,7 @@ impl BackendKind {
 /// The cost function a job minimizes: the clonable, thread-portable subset
 /// of [`brel_core::CostFn`] (the `Custom` closure variant cannot cross
 /// threads and is deliberately not representable here).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum CostSpec {
     /// Sum of the BDD sizes of the outputs (area-oriented; the default).
     #[default]
@@ -82,6 +84,13 @@ impl CostSpec {
 /// An owned, manager-free description of a Boolean relation: the dimension
 /// of its space plus its tabular rows (see [`BooleanRelation::to_rows`]).
 /// This is the serialization boundary jobs ride across threads.
+///
+/// Rows are stored in *canonical* form (merged inputs, sorted images,
+/// empty images dropped, rows sorted by input vertex — see
+/// [`brel_core::canonical_rows`]): two specs describing the same relation
+/// compare equal however their rows were authored, rehydration is a pure
+/// function of the relation rather than of row order, and the engine's
+/// cross-job cache can key on [`RelationSpec::fingerprint`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RelationSpec {
     num_inputs: usize,
@@ -92,7 +101,7 @@ pub struct RelationSpec {
 impl RelationSpec {
     /// Builds a spec from explicit rows, validating every vertex arity up
     /// front so that [`RelationSpec::rehydrate`] cannot fail later on a
-    /// worker thread.
+    /// worker thread. The rows are canonicalized on the way in.
     ///
     /// # Errors
     ///
@@ -122,7 +131,7 @@ impl RelationSpec {
         Ok(RelationSpec {
             num_inputs,
             num_outputs,
-            rows,
+            rows: brel_core::canonical_rows(&rows),
         })
     }
 
@@ -136,34 +145,25 @@ impl RelationSpec {
         Ok(RelationSpec {
             num_inputs: relation.space().num_inputs(),
             num_outputs: relation.space().num_outputs(),
-            rows: relation.to_rows()?,
+            rows: brel_core::canonical_rows(&relation.to_rows()?),
         })
     }
 
-    /// Rebuilds the relation inside a fresh, private BDD manager. Called by
-    /// each worker; the result never leaves the worker's thread.
-    ///
-    /// The manager is pre-sized from the row count: a characteristic
-    /// function built from `P` related pairs over `n + m` variables lands
-    /// near `P · (n + m)` decision nodes in the common case, so reserving
-    /// that many up front lets worker-pool managers typically build
-    /// without a unique-table rehash (an unlucky row set whose
-    /// intermediate disjunctions outgrow the estimate still rehashes —
-    /// the table grows automatically). The root table is pre-sized along
-    /// with the arena.
-    ///
-    /// Construction leaves minterm-accumulation garbage behind, so one
-    /// collection runs before the relation is handed to the backends:
-    /// every per-worker manager starts compact, with only the
-    /// characteristic function (and the literals) live.
+    /// Rebuilds the relation inside a fresh, private BDD manager: the
+    /// one-shot convenience over [`crate::WarmSession::rehydrate`], which
+    /// is the engine's single rehydration path (the worker pool and wide
+    /// mode call it with persistent warm sessions instead).
     pub fn rehydrate(&self) -> (RelationSpace, BooleanRelation) {
-        let pairs: usize = self.rows.iter().map(|(_, outs)| outs.len().max(1)).sum();
-        let expected_nodes = pairs.saturating_mul(self.num_inputs + self.num_outputs);
-        let space = RelationSpace::with_capacity(self.num_inputs, self.num_outputs, expected_nodes);
-        let relation = BooleanRelation::from_rows(&space, &self.rows)
-            .expect("arities were validated at construction");
-        space.collect_garbage();
+        let (space, relation, _warm) = crate::reuse::WarmSession::cold().rehydrate(self);
         (space, relation)
+    }
+
+    /// The canonical 64-bit fingerprint of the relation these rows
+    /// describe (see [`brel_core::relation_fingerprint`]): invariant under
+    /// row order, duplicate pairs, unordered images and irrelevant input
+    /// columns. The cross-job solved-subrelation cache keys on it.
+    pub fn fingerprint(&self) -> u64 {
+        brel_core::relation_fingerprint(self.num_inputs, self.num_outputs, &self.rows)
     }
 
     /// Number of input variables.
@@ -183,7 +183,7 @@ impl RelationSpec {
 }
 
 /// Per-job exploration budget, mapped onto each backend's own knobs.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct JobBudget {
     /// BREL: maximum number of subrelations explored (`None` = unbounded).
     pub max_explored: Option<usize>,

@@ -5,25 +5,37 @@
 //! branch-and-bound solver, the gyocro-style baseline, and the quick
 //! output-ordered solver).
 //!
-//! The BDD substrate is `Rc`-based and `!Send`, so nothing BDD-shaped ever
-//! crosses a thread. Instead:
+//! The BDD substrate is `Send` ([`brel_bdd::BddSession`] owns its manager
+//! behind an `Arc<Mutex<..>>`), but the engine still ships *specs*, not
+//! BDDs, across threads — rehydration is what makes batch output a pure
+//! function of the input:
 //!
-//! * a [`JobSpec`] carries an owned, manager-free [`RelationSpec`] (tabular
-//!   rows, see [`brel_relation::BooleanRelation::to_rows`]) plus a backend
-//!   list, a [`CostSpec`] and a [`JobBudget`];
-//! * each pool worker rehydrates the relation into a private BDD manager
-//!   and runs every requested backend through the uniform [`SolverBackend`]
-//!   trait — several backends form a *portfolio* whose cheapest solution
-//!   (under the job's cost function) is selected as the winner;
+//! * a [`JobSpec`] carries an owned, manager-free [`RelationSpec`]
+//!   (canonical tabular rows, see
+//!   [`brel_relation::BooleanRelation::to_rows`]) plus a backend list, a
+//!   [`CostSpec`] and a [`JobBudget`];
+//! * each pool worker rehydrates the relation into its own [`WarmSession`]
+//!   — kept warm across jobs via [`brel_bdd::BddSession::reset`], which is
+//!   observationally cold — and runs every requested backend through the
+//!   uniform [`SolverBackend`] trait; several backends form a *portfolio*
+//!   whose cheapest solution (under the job's cost function) is selected
+//!   as the winner;
+//! * workers share a cross-job *solved-subrelation cache* keyed by the
+//!   canonical [`RelationSpec::fingerprint`]: a batch containing the same
+//!   relation twice (even with permuted rows or renamed-away irrelevant
+//!   inputs) solves it once. Hits are all-or-nothing per job, so cached
+//!   reports are byte-identical to recomputation (see [`reuse`]);
 //! * the [`Engine`] fans a batch of jobs over a worker pool and collects
 //!   [`JobReport`]s sorted by job id, so batch output is byte-identical
 //!   regardless of the worker count (see [`report`] for the JSON/CSV
-//!   serializations that pin this down);
+//!   serializations that pin this down); warm/cache provenance is reported
+//!   in [`ReuseStats`]/[`BatchReuse`] but serialized only alongside
+//!   timings;
 //! * each job carries a [`SearchStrategy`] for its BREL backend, and
 //!   [`Engine::with_wide`] flips the pool into *wide* mode — parallel
-//!   frontier expansion inside each BREL solve (see [`wide`]) for batches
-//!   dominated by one hard relation, with the same worker-count
-//!   determinism guarantee.
+//!   frontier expansion inside each BREL solve (see [`wide`]) over
+//!   per-worker warm sessions that persist across rounds and jobs, with
+//!   the same worker-count determinism guarantee.
 //!
 //! ```
 //! use brel_engine::{Engine, JobSpec, RelationSpec};
@@ -50,12 +62,14 @@ mod job;
 mod pool;
 mod portfolio;
 pub mod report;
+pub mod reuse;
 pub mod wide;
 
 pub use backend::{execute, instantiate, BackendRun, SolutionReport, SolverBackend};
 pub use brel_core::SearchStrategy;
 pub use job::{BackendKind, CostSpec, JobBudget, JobSpec, RelationSpec};
 pub use pool::{BatchReport, Engine, EngineConfig};
-pub use portfolio::{run_job, run_job_wide, JobReport};
+pub use portfolio::{run_job, run_job_warm, run_job_wide, JobReport};
 pub use report::Json;
-pub use wide::{solve_wide, SubproblemSpec, WideOptions};
+pub use reuse::{BatchReuse, ReuseStats, WarmSession};
+pub use wide::{solve_wide, solve_wide_with, SubproblemSpec, WideOptions};

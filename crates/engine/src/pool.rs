@@ -3,9 +3,11 @@
 //! Workers share a single job queue behind a mutex (jobs are coarse enough
 //! that queue contention is negligible) and stream finished [`JobReport`]s
 //! back over an mpsc channel. Because each job is a pure function of its
-//! spec — every worker rehydrates the relation into a private BDD manager —
-//! the collected batch, sorted by job id, is byte-identical no matter how
-//! many workers ran it or how the scheduler interleaved them.
+//! spec — every worker rehydrates the relation into its own [`WarmSession`],
+//! and a successful warm reset is observationally cold — the collected
+//! batch, sorted by job id, is byte-identical (modulo wall clocks and the
+//! scheduling-dependent reuse flags) no matter how many workers ran it or
+//! how the scheduler interleaved them.
 
 use std::collections::VecDeque;
 use std::sync::mpsc;
@@ -14,7 +16,8 @@ use std::thread;
 use std::time::Instant;
 
 use crate::job::{BackendKind, JobSpec};
-use crate::portfolio::{run_job, run_job_wide, JobReport};
+use crate::portfolio::{run_job_wide_with, run_job_with, JobReport};
+use crate::reuse::{BatchReuse, ReuseState, WarmSession};
 use crate::wide::WideOptions;
 
 /// Engine configuration.
@@ -27,6 +30,13 @@ pub struct EngineConfig {
     /// BREL solve instead of across jobs (see [`crate::wide`]). Use it when
     /// one hard relation would otherwise serialize the batch.
     pub wide: Option<WideOptions>,
+    /// Cross-job reuse (the default): workers keep warm BDD sessions
+    /// across jobs and share the solved-subrelation cache. Turning it off
+    /// restores the pre-redesign cold-manager-per-job behaviour; the
+    /// deterministic output is identical either way (see
+    /// [`crate::reuse`]), only wall clocks and the [`BatchReuse`] counters
+    /// move.
+    pub reuse: bool,
 }
 
 impl Default for EngineConfig {
@@ -34,6 +44,7 @@ impl Default for EngineConfig {
         EngineConfig {
             num_workers: thread::available_parallelism().map_or(1, |n| n.get()),
             wide: None,
+            reuse: true,
         }
     }
 }
@@ -47,6 +58,11 @@ pub struct BatchReport {
     pub num_workers: usize,
     /// Wall-clock time of the whole batch in microseconds.
     pub wall_micros: u64,
+    /// Warm-vs-cold session counts and solved-subrelation cache traffic
+    /// for the whole batch. Scheduling-dependent (which worker lands which
+    /// job decides who resets warm), so it is serialized only alongside
+    /// timings — never in the deterministic output.
+    pub reuse: BatchReuse,
 }
 
 impl BatchReport {
@@ -110,6 +126,15 @@ impl Engine {
         self
     }
 
+    /// Turns cross-job reuse (warm sessions + the solved-subrelation
+    /// cache) on or off. Off restores the pre-redesign
+    /// cold-manager-per-job behaviour; the deterministic output is
+    /// identical either way.
+    pub fn with_reuse(mut self, reuse: bool) -> Self {
+        self.config.reuse = reuse;
+        self
+    }
+
     /// The configuration of this engine.
     pub fn config(&self) -> &EngineConfig {
         &self.config
@@ -127,22 +152,40 @@ impl Engine {
         let num_workers = self.config.num_workers.clamp(1, jobs.len().max(1));
         let queue: Mutex<VecDeque<(usize, &JobSpec)>> =
             Mutex::new(jobs.iter().enumerate().collect());
+        let reuse_state = ReuseState::new(self.config.reuse);
+        let session_counts = Mutex::new((0u64, 0u64));
         let (tx, rx) = mpsc::channel::<JobReport>();
         let mut reports: Vec<JobReport> = thread::scope(|scope| {
             for _ in 0..num_workers {
                 let tx = tx.clone();
                 let queue = &queue;
-                scope.spawn(move || loop {
-                    // Take the lock only to pop; the solve runs unlocked.
-                    let next = queue.lock().expect("job queue poisoned").pop_front();
-                    match next {
-                        Some((id, job)) => {
-                            // The receiver outlives the scope; a send can
-                            // only fail if the collector stopped early.
-                            let _ = tx.send(run_job(id, job));
+                let reuse_state = &reuse_state;
+                let session_counts = &session_counts;
+                let keep_warm = self.config.reuse;
+                scope.spawn(move || {
+                    // Each worker owns one session that stays warm across
+                    // every job it lands (cold mode never reuses it).
+                    let mut warm = if keep_warm {
+                        WarmSession::new()
+                    } else {
+                        WarmSession::cold()
+                    };
+                    loop {
+                        // Take the lock only to pop; the solve runs unlocked.
+                        let next = queue.lock().expect("job queue poisoned").pop_front();
+                        match next {
+                            Some((id, job)) => {
+                                // The receiver outlives the scope; a send can
+                                // only fail if the collector stopped early.
+                                let _ = tx.send(run_job_with(id, job, &mut warm, reuse_state));
+                            }
+                            None => break,
                         }
-                        None => break,
                     }
+                    let (reuses, colds) = warm.counts();
+                    let mut totals = session_counts.lock().expect("counts poisoned");
+                    totals.0 += reuses;
+                    totals.1 += colds;
                 });
             }
             // Drop the original sender so the channel closes once every
@@ -151,10 +194,18 @@ impl Engine {
             rx.iter().collect()
         });
         reports.sort_by_key(|r| r.job_id);
+        let (warm_reuses, cold_builds) = *session_counts.lock().expect("counts poisoned");
+        let (subrel_cache_hits, subrel_cache_misses) = reuse_state.counts();
         BatchReport {
             jobs: reports,
             num_workers,
             wall_micros: u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX),
+            reuse: BatchReuse {
+                warm_reuses,
+                cold_builds,
+                subrel_cache_hits,
+                subrel_cache_misses,
+            },
         }
     }
 
@@ -165,15 +216,41 @@ impl Engine {
     fn solve_batch_wide(&self, jobs: &[JobSpec], options: WideOptions) -> BatchReport {
         let start = Instant::now();
         let num_workers = self.config.num_workers.max(1);
-        let reports = jobs
+        // The coordinator and the per-worker expansion sessions persist
+        // across jobs (unless reuse is off), so wide rounds stop paying a
+        // fresh manager per expansion. The subrelation cache does not apply
+        // here: wide expansions are intermediate, not finished portfolios.
+        let make = || {
+            if self.config.reuse {
+                WarmSession::new()
+            } else {
+                WarmSession::cold()
+            }
+        };
+        let mut coordinator = make();
+        let mut sessions: Vec<WarmSession> = (0..num_workers).map(|_| make()).collect();
+        let reports: Vec<JobReport> = jobs
             .iter()
             .enumerate()
-            .map(|(id, job)| run_job_wide(id, job, num_workers, options))
+            .map(|(id, job)| run_job_wide_with(id, job, options, &mut coordinator, &mut sessions))
             .collect();
+        let mut warm_reuses = 0;
+        let mut cold_builds = 0;
+        for session in sessions.iter().chain(std::iter::once(&coordinator)) {
+            let (reuses, colds) = session.counts();
+            warm_reuses += reuses;
+            cold_builds += colds;
+        }
         BatchReport {
             jobs: reports,
             num_workers,
             wall_micros: u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX),
+            reuse: BatchReuse {
+                warm_reuses,
+                cold_builds,
+                subrel_cache_hits: 0,
+                subrel_cache_misses: 0,
+            },
         }
     }
 }
@@ -221,12 +298,44 @@ mod tests {
         let many = Engine::with_workers(8).solve_batch(&batch);
         assert_eq!(one.jobs.len(), many.jobs.len());
         for (a, b) in one.jobs.iter().zip(&many.jobs) {
-            // Wall-clock fields aside, the reports are structurally equal;
-            // compare them with timings masked out.
+            // Wall-clock fields and the scheduling-dependent reuse flags
+            // aside, the reports are structurally equal.
             let mask = |j: &JobReport| {
                 let mut j = j.clone();
                 for attempt in &mut j.attempts {
                     attempt.wall_micros = 0;
+                    attempt.reuse = Default::default();
+                }
+                j
+            };
+            assert_eq!(mask(a), mask(b));
+        }
+    }
+
+    #[test]
+    fn disabling_reuse_does_not_change_the_results() {
+        let batch = sample_batch();
+        let warm = Engine::with_workers(2).solve_batch(&batch);
+        let cold = Engine::with_workers(2)
+            .with_reuse(false)
+            .solve_batch(&batch);
+        assert_eq!(warm.total_winner_cost(), cold.total_winner_cost());
+        // Cold mode never resets a session warm and never consults the
+        // subrelation cache.
+        assert_eq!(cold.reuse.warm_reuses, 0);
+        assert_eq!(
+            cold.reuse.subrel_cache_hits + cold.reuse.subrel_cache_misses,
+            0
+        );
+        // Every job rehydrates cold exactly once (even the ill-defined
+        // one: rehydration succeeds, solving is what fails).
+        assert_eq!(cold.reuse.cold_builds as usize, batch.len());
+        for (a, b) in warm.jobs.iter().zip(&cold.jobs) {
+            let mask = |j: &JobReport| {
+                let mut j = j.clone();
+                for attempt in &mut j.attempts {
+                    attempt.wall_micros = 0;
+                    attempt.reuse = Default::default();
                 }
                 j
             };

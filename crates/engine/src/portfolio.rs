@@ -1,9 +1,12 @@
 //! Portfolio execution: race several backends on one job and keep the
 //! winner under the job's cost function.
 
+use std::time::Instant;
+
 use crate::backend::{execute, SolutionReport};
 use crate::job::{BackendKind, JobSpec};
-use crate::wide::{solve_wide, WideOptions};
+use crate::reuse::{ReuseState, ReuseStats, WarmSession};
+use crate::wide::{solve_wide_with, WideOptions};
 
 /// The outcome of one job: every backend attempt (in the job's backend
 /// order) plus the index of the selected winner.
@@ -36,19 +39,61 @@ impl JobReport {
 }
 
 /// Runs every backend of `job` on a freshly rehydrated relation and selects
-/// the cheapest solution. This is the unit of work executed by pool
-/// workers; it is a pure function of `(job_id, job)`, independent of the
-/// thread it runs on.
+/// the cheapest solution. One-shot wrapper over [`run_job_warm`] with a
+/// cold session; it is a pure function of `(job_id, job)`, independent of
+/// the thread it runs on.
 pub fn run_job(job_id: usize, job: &JobSpec) -> JobReport {
-    let (_space, relation) = job.relation.rehydrate();
+    run_job_warm(job_id, job, &mut WarmSession::cold())
+}
+
+/// Like [`run_job`], but rehydrates into the caller's persistent
+/// [`WarmSession`] — the API pool workers use to keep one manager alive
+/// across jobs. Apart from the scheduling-dependent [`ReuseStats`] flags
+/// and wall times, the report is byte-identical to a cold [`run_job`]:
+/// a successful session reset is observationally cold.
+pub fn run_job_warm(job_id: usize, job: &JobSpec, warm: &mut WarmSession) -> JobReport {
+    run_job_with(job_id, job, warm, &ReuseState::disabled())
+}
+
+/// The pool-worker entry point: warm rehydration plus the cross-job
+/// solved-subrelation cache. Cache hits are all-or-nothing per job (see
+/// [`crate::reuse`]), so every cached report is the product of a full
+/// clean portfolio run and hits never change the deterministic output.
+pub(crate) fn run_job_with(
+    job_id: usize,
+    job: &JobSpec,
+    warm: &mut WarmSession,
+    reuse: &ReuseState,
+) -> JobReport {
+    let fingerprint = job.relation.fingerprint();
+    let lookup_start = Instant::now();
+    if let Some(mut attempts) = reuse.lookup_job(fingerprint, job) {
+        let wall = u64::try_from(lookup_start.elapsed().as_micros()).unwrap_or(u64::MAX);
+        for attempt in &mut attempts {
+            attempt.reuse = ReuseStats {
+                warm_session: false,
+                subrel_cache_hit: true,
+            };
+            attempt.wall_micros = wall;
+        }
+        return finish_job(job_id, job, attempts, None);
+    }
+    let (_space, relation, was_warm) = warm.rehydrate(&job.relation);
     let mut attempts = Vec::with_capacity(job.backends.len());
     let mut error = None;
     for &kind in &job.backends {
         match execute(kind, job.cost, &job.budget, job.strategy, &relation) {
-            Ok(report) => attempts.push(report),
+            Ok(mut report) => {
+                report.reuse = ReuseStats {
+                    warm_session: was_warm,
+                    subrel_cache_hit: false,
+                };
+                attempts.push(report);
+            }
             Err(e) => error = Some(e.to_string()),
         }
     }
+    reuse.insert_job(fingerprint, job, &attempts);
     finish_job(job_id, job, attempts, error)
 }
 
@@ -62,6 +107,25 @@ pub fn run_job_wide(
     num_workers: usize,
     options: WideOptions,
 ) -> JobReport {
+    let mut coordinator = WarmSession::cold();
+    let mut sessions: Vec<WarmSession> = (0..num_workers.max(1))
+        .map(|_| WarmSession::new())
+        .collect();
+    run_job_wide_with(job_id, job, options, &mut coordinator, &mut sessions)
+}
+
+/// Wide mode with persistent sessions: the coordinator session hosts the
+/// non-BREL backends (and is reset between jobs), the per-worker sessions
+/// host the round expansions. The batch engine threads the same sessions
+/// through every job so wide rounds stop paying a fresh manager per
+/// expansion.
+pub(crate) fn run_job_wide_with(
+    job_id: usize,
+    job: &JobSpec,
+    options: WideOptions,
+    coordinator: &mut WarmSession,
+    sessions: &mut [WarmSession],
+) -> JobReport {
     // The coordinator manager is only needed by non-BREL backends (wide
     // BREL rehydrates per expansion); build it lazily so a Brel-only job
     // does not pay for an unused root construction.
@@ -70,10 +134,17 @@ pub fn run_job_wide(
     let mut error = None;
     for &kind in &job.backends {
         let result = if kind == BackendKind::Brel {
-            solve_wide(job, num_workers, options)
+            solve_wide_with(job, options, sessions)
         } else {
-            let (_space, relation) = rehydrated.get_or_insert_with(|| job.relation.rehydrate());
-            execute(kind, job.cost, &job.budget, job.strategy, relation)
+            let (_space, relation, was_warm) =
+                rehydrated.get_or_insert_with(|| coordinator.rehydrate(&job.relation));
+            execute(kind, job.cost, &job.budget, job.strategy, relation).map(|mut report| {
+                report.reuse = ReuseStats {
+                    warm_session: *was_warm,
+                    subrel_cache_hit: false,
+                };
+                report
+            })
         };
         match result {
             Ok(report) => attempts.push(report),

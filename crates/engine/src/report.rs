@@ -217,6 +217,16 @@ impl SolutionReport {
             ),
         ];
         if include_timing {
+            // Reuse provenance is scheduling-dependent (which worker landed
+            // the job decides warm vs cold), so it rides with the timing
+            // fields, outside the deterministic surface.
+            fields.push((
+                "reuse",
+                Json::object(vec![
+                    ("warm_session", Json::Bool(self.reuse.warm_session)),
+                    ("subrel_cache_hit", Json::Bool(self.reuse.subrel_cache_hit)),
+                ]),
+            ));
             fields.push(("wall_micros", Json::UInt(self.wall_micros)));
         }
         Json::object(fields)
@@ -270,6 +280,21 @@ impl BatchReport {
         if include_timing {
             fields.push(("num_workers", Json::UInt(self.num_workers as u64)));
             fields.push(("wall_micros", Json::UInt(self.wall_micros)));
+            fields.push((
+                "reuse",
+                Json::object(vec![
+                    ("warm_reuses", Json::UInt(self.reuse.warm_reuses)),
+                    ("cold_builds", Json::UInt(self.reuse.cold_builds)),
+                    (
+                        "subrel_cache_hits",
+                        Json::UInt(self.reuse.subrel_cache_hits),
+                    ),
+                    (
+                        "subrel_cache_misses",
+                        Json::UInt(self.reuse.subrel_cache_misses),
+                    ),
+                ]),
+            ));
         }
         fields.push((
             "wins",
@@ -302,7 +327,7 @@ impl BatchReport {
             "job_id,name,inputs,outputs,backend,strategy,winner,cost,cubes,literals,explored,splits,frontier_peak,cache_lookups,cache_hits,gc_collections,gc_nodes_reclaimed,gc_peak_live_nodes",
         );
         if include_timing {
-            out.push_str(",wall_micros");
+            out.push_str(",warm_session,subrel_cache_hit,wall_micros");
         }
         out.push('\n');
         for job in &self.jobs {
@@ -332,7 +357,13 @@ impl BatchReport {
                     attempt.map_or(0, |a| a.gc.peak_live_nodes),
                 );
                 if include_timing {
-                    let _ = write!(out, ",{}", attempt.map_or(0, |a| a.wall_micros));
+                    let _ = write!(
+                        out,
+                        ",{},{},{}",
+                        attempt.map_or(0, |a| u8::from(a.reuse.warm_session)),
+                        attempt.map_or(0, |a| u8::from(a.reuse.subrel_cache_hit)),
+                        attempt.map_or(0, |a| a.wall_micros)
+                    );
                 }
                 out.push('\n');
             };
@@ -441,5 +472,14 @@ mod tests {
         assert!(a.to_csv(true).starts_with("job_id,") && a.to_csv(true).contains("wall_micros"));
         assert!(a.to_json(true).contains("\"num_workers\""));
         assert!(!a.to_json(false).contains("\"num_workers\""));
+        // Reuse provenance is timing-gated: present with timings, absent
+        // from the deterministic surface.
+        assert!(a.to_json(true).contains("\"reuse\""));
+        assert!(a.to_json(true).contains("\"subrel_cache_hits\""));
+        assert!(!a.to_json(false).contains("\"reuse\""));
+        assert!(a
+            .to_csv(true)
+            .contains(",warm_session,subrel_cache_hit,wall_micros"));
+        assert!(!a.to_csv(false).contains("warm_session"));
     }
 }

@@ -1,0 +1,331 @@
+//! Cross-job reuse: warm per-worker BDD sessions and the solved-subrelation
+//! cache.
+//!
+//! Since the kernel redesign the BDD manager is `Send` and a
+//! [`BddSession`] can be *reset* back to a cold-equivalent state while
+//! keeping its allocations. The engine exploits that twice:
+//!
+//! * **Warm sessions** — every pool worker keeps one [`WarmSession`] for
+//!   its whole lifetime and rehydrates each job into it. A successful
+//!   [`BddSession::reset`] makes the manager observationally identical to
+//!   a freshly built one (same unique-table capacity, same operation-cache
+//!   growth schedule, same gauges) while reusing the arena's allocation,
+//!   so per-job reports stay byte-identical to cold runs and the batch
+//!   remains worker-count deterministic.
+//! * **The solved-subrelation cache** — jobs whose relations are equal up
+//!   to row order, duplicate pairs and irrelevant input columns (see
+//!   [`brel_core::relation_fingerprint`]) are solved once; later jobs take
+//!   the memoized [`SolutionReport`]s. Hits are all-or-nothing per job:
+//!   either every backend of the portfolio is served from the cache, or
+//!   the whole portfolio re-executes from a fresh rehydration, so a cached
+//!   report is always the product of a full clean portfolio run and
+//!   byte-identical (timing aside) to what re-solving would produce.
+//!
+//! Whether a particular job was served warm or from the cache depends on
+//! scheduling, so the per-attempt [`ReuseStats`] flags and the per-batch
+//! [`BatchReuse`] counters are *timing-class* data: they are only
+//! serialized when `include_timing` is set (see [`crate::report`]).
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use brel_bdd::{BddConfig, BddSession};
+use brel_relation::{BooleanRelation, RelationSpace};
+
+use crate::backend::SolutionReport;
+use crate::job::{JobSpec, RelationSpec};
+
+/// How one backend attempt was produced, for reuse accounting. Scheduling
+/// decides which jobs land on a warm session or hit the cache, so these
+/// flags are excluded from timing-free serializations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ReuseStats {
+    /// The relation was rehydrated into a reset (warm) worker session
+    /// rather than a freshly constructed manager.
+    pub warm_session: bool,
+    /// The report was served from the cross-job solved-subrelation cache.
+    pub subrel_cache_hit: bool,
+}
+
+/// Batch-level reuse counters, aggregated over every worker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BatchReuse {
+    /// Rehydrations that reused a warm worker session.
+    pub warm_reuses: u64,
+    /// Rehydrations that had to build a fresh manager (first job of each
+    /// worker, or a failed reset).
+    pub cold_builds: u64,
+    /// Jobs whose whole portfolio was served from the subrelation cache.
+    pub subrel_cache_hits: u64,
+    /// Jobs that executed and (when solvable) populated the cache.
+    pub subrel_cache_misses: u64,
+}
+
+/// A persistent per-worker BDD session, rehydrating successive jobs into
+/// one reusable manager. The single rehydration path of the engine: the
+/// one-shot [`RelationSpec::rehydrate`] and wide mode's per-expansion
+/// rehydration both go through here.
+#[derive(Debug)]
+pub struct WarmSession {
+    session: Option<BddSession>,
+    keep_warm: bool,
+    warm_reuses: u64,
+    cold_builds: u64,
+}
+
+impl Default for WarmSession {
+    fn default() -> Self {
+        WarmSession::new()
+    }
+}
+
+impl WarmSession {
+    /// A session that stays warm across rehydrations.
+    pub fn new() -> Self {
+        WarmSession {
+            session: None,
+            keep_warm: true,
+            warm_reuses: 0,
+            cold_builds: 0,
+        }
+    }
+
+    /// A session that rebuilds a fresh manager on every rehydration —
+    /// the pre-redesign per-job behaviour, kept for oracle comparisons
+    /// (see [`crate::EngineConfig::reuse`]).
+    pub fn cold() -> Self {
+        WarmSession {
+            session: None,
+            keep_warm: false,
+            warm_reuses: 0,
+            cold_builds: 0,
+        }
+    }
+
+    /// Rehydrates a spec into this session's manager, resetting the warm
+    /// manager when possible and building a fresh one otherwise. Returns
+    /// the space, the relation, and whether the warm path was taken.
+    ///
+    /// The manager is pre-sized from the row count: a characteristic
+    /// function built from `P` related pairs over `n + m` variables lands
+    /// near `P · (n + m)` decision nodes in the common case. Construction
+    /// leaves minterm-accumulation garbage behind, so one collection runs
+    /// before the relation is handed to the backends.
+    pub fn rehydrate(&mut self, spec: &RelationSpec) -> (RelationSpace, BooleanRelation, bool) {
+        let num_vars = spec.num_inputs() + spec.num_outputs();
+        let pairs: usize = spec.rows().iter().map(|(_, outs)| outs.len().max(1)).sum();
+        let expected_nodes = pairs.saturating_mul(num_vars);
+        let config = BddConfig::from_env();
+        let mut warm = false;
+        // A reset can only fail while handles from the previous job are
+        // still rooted; the engine drops them before re-entering, so the
+        // fallback is a safety net, not a code path jobs normally take.
+        let session = match self.session.take() {
+            Some(previous) if previous.reset(num_vars, expected_nodes, config) => {
+                warm = true;
+                previous
+            }
+            _ => BddSession::with_config(num_vars, expected_nodes, config),
+        };
+        if self.keep_warm {
+            self.session = Some(session.clone());
+        }
+        let space = RelationSpace::from_session(session, spec.num_inputs(), spec.num_outputs());
+        let relation = BooleanRelation::from_rows(&space, spec.rows())
+            .expect("arities were validated at construction");
+        space.collect_garbage();
+        if warm {
+            self.warm_reuses += 1;
+        } else {
+            self.cold_builds += 1;
+        }
+        (space, relation, warm)
+    }
+
+    /// `(warm_reuses, cold_builds)` of this session so far.
+    pub fn counts(&self) -> (u64, u64) {
+        (self.warm_reuses, self.cold_builds)
+    }
+}
+
+/// The key of one memoized backend attempt. The fingerprint canonicalizes
+/// the relation; the remaining fields pin everything else that shapes the
+/// report — including the *portfolio prefix* `backends[..=i]`, because the
+/// attempts of one job share a manager and a backend's kernel counters
+/// depend on which backends ran before it on that manager.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub(crate) struct SubrelKey {
+    fingerprint: u64,
+    cost: crate::job::CostSpec,
+    budget: crate::job::JobBudget,
+    strategy: brel_core::SearchStrategy,
+    prefix: Vec<crate::job::BackendKind>,
+}
+
+impl SubrelKey {
+    fn new(fingerprint: u64, job: &JobSpec, attempt: usize) -> Self {
+        SubrelKey {
+            fingerprint,
+            cost: job.cost,
+            budget: job.budget,
+            strategy: job.strategy,
+            prefix: job.backends[..=attempt].to_vec(),
+        }
+    }
+}
+
+/// The shared cross-job solved-subrelation cache plus its hit/miss
+/// counters. One instance per batch, shared by every worker.
+#[derive(Debug)]
+pub(crate) struct ReuseState {
+    enabled: bool,
+    map: Mutex<HashMap<SubrelKey, SolutionReport>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl ReuseState {
+    pub(crate) fn new(enabled: bool) -> Self {
+        ReuseState {
+            enabled,
+            map: Mutex::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    pub(crate) fn disabled() -> Self {
+        ReuseState::new(false)
+    }
+
+    /// Looks up the whole portfolio of a job. Returns the memoized reports
+    /// only when *every* attempt is cached (all-or-nothing, so a cached
+    /// report is always the product of a full portfolio run) and counts
+    /// the job as one hit or one miss.
+    pub(crate) fn lookup_job(
+        &self,
+        fingerprint: u64,
+        job: &JobSpec,
+    ) -> Option<Vec<SolutionReport>> {
+        if !self.enabled || job.backends.is_empty() {
+            return None;
+        }
+        let found = {
+            let map = self.map.lock().expect("subrel cache poisoned");
+            (0..job.backends.len())
+                .map(|i| map.get(&SubrelKey::new(fingerprint, job, i)).cloned())
+                .collect::<Option<Vec<_>>>()
+        };
+        match found {
+            Some(reports) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(reports)
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Memoizes a fully executed portfolio. Skipped when any backend
+    /// failed (`attempts` shorter than the backend list), so partial runs
+    /// never pollute the cache.
+    pub(crate) fn insert_job(&self, fingerprint: u64, job: &JobSpec, attempts: &[SolutionReport]) {
+        if !self.enabled || attempts.len() != job.backends.len() || attempts.is_empty() {
+            return;
+        }
+        let mut map = self.map.lock().expect("subrel cache poisoned");
+        for (i, attempt) in attempts.iter().enumerate() {
+            map.insert(SubrelKey::new(fingerprint, job, i), attempt.clone());
+        }
+    }
+
+    /// `(hits, misses)` counted so far.
+    pub(crate) fn counts(&self) -> (u64, u64) {
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn warm_sessions_reset_and_count() {
+        let mut warm = WarmSession::new();
+        let space = RelationSpace::new(2, 1);
+        let r = BooleanRelation::from_table(&space, "00:{0}\n01:{1}\n10:{1}\n11:{0}").unwrap();
+        let spec = RelationSpec::from_relation(&r).unwrap();
+        let (s1, r1, was_warm) = warm.rehydrate(&spec);
+        assert!(!was_warm, "first rehydration is cold");
+        assert!(r1.is_well_defined());
+        drop((s1, r1));
+        let (s2, r2, was_warm) = warm.rehydrate(&spec);
+        assert!(was_warm, "second rehydration reuses the session");
+        assert!(r2.is_well_defined());
+        drop((s2, r2));
+        assert_eq!(warm.counts(), (1, 1));
+    }
+
+    #[test]
+    fn cold_sessions_never_go_warm() {
+        let mut cold = WarmSession::cold();
+        let space = RelationSpace::new(1, 1);
+        let r = BooleanRelation::from_table(&space, "0:{0}\n1:{1}").unwrap();
+        let spec = RelationSpec::from_relation(&r).unwrap();
+        for _ in 0..3 {
+            let (_s, _r, was_warm) = cold.rehydrate(&spec);
+            assert!(!was_warm);
+        }
+        assert_eq!(cold.counts(), (0, 3));
+    }
+
+    #[test]
+    fn warm_rehydration_matches_cold_gauges() {
+        // The engine's determinism hinges on reset being observationally
+        // cold: a warm rehydration must report the same kernel gauges as a
+        // fresh one.
+        let space = RelationSpace::new(3, 2);
+        let r = BooleanRelation::from_table(
+            &space,
+            "000:{00}\n001:{01,10}\n010:{11}\n011:{00}\n100:{10}\n101:{01}\n110:{11,00}\n111:{01}",
+        )
+        .unwrap();
+        let spec = RelationSpec::from_relation(&r).unwrap();
+        let gauges = |space: &RelationSpace| {
+            let cache = space.mgr().cache_stats();
+            let gc = space.gc_stats();
+            (
+                cache.unique_len,
+                cache.unique_capacity,
+                cache.cache_slots,
+                cache.num_nodes,
+                gc.live_nodes,
+                gc.var_order_hash,
+            )
+        };
+        let mut warm = WarmSession::new();
+        let (s_cold, r_cold, _) = warm.rehydrate(&spec);
+        let cold_gauges = gauges(&s_cold);
+        drop((s_cold, r_cold));
+        let (s_warm, r_warm, was_warm) = warm.rehydrate(&spec);
+        assert!(was_warm);
+        assert_eq!(gauges(&s_warm), cold_gauges);
+        drop((s_warm, r_warm));
+    }
+
+    #[test]
+    fn disabled_cache_never_hits() {
+        let state = ReuseState::disabled();
+        let space = RelationSpace::new(1, 1);
+        let r = BooleanRelation::from_table(&space, "0:{0}\n1:{1}").unwrap();
+        let job = JobSpec::portfolio("j", RelationSpec::from_relation(&r).unwrap());
+        assert!(state.lookup_job(1, &job).is_none());
+        assert_eq!(state.counts(), (0, 0));
+    }
+}

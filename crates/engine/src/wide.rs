@@ -27,6 +27,7 @@ use brel_relation::RelationError;
 
 use crate::backend::SolutionReport;
 use crate::job::{BackendKind, CostSpec, JobSpec, RelationSpec};
+use crate::reuse::{ReuseStats, WarmSession};
 
 /// Wide-mode configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -91,15 +92,18 @@ struct WideExpansion {
     gc: GcStats,
 }
 
-/// Expands one portable subproblem inside a fresh private manager. Pure
-/// with respect to `(spec, prune_bound)` — the determinism anchor of wide
-/// mode.
+/// Expands one portable subproblem inside a private manager — warm when
+/// the worker's session can be reset, fresh otherwise. Pure with respect
+/// to `(spec, prune_bound)` — the determinism anchor of wide mode: a
+/// successful reset is observationally cold, so which session hosts an
+/// expansion can never change its result.
 fn expand_spec(
     spec: &SubproblemSpec,
     cost: CostSpec,
     prune_bound: u64,
+    warm: &mut WarmSession,
 ) -> Result<WideExpansion, RelationError> {
-    let (space, relation) = spec.relation.rehydrate();
+    let (space, relation, _was_warm) = warm.rehydrate(&spec.relation);
     let cache_before = space.mgr().cache_stats();
     space.mgr().reset_peak_live_nodes();
     let gc_before = space.gc_stats();
@@ -137,18 +141,18 @@ fn run_round(
     picked: &[SubproblemSpec],
     cost: CostSpec,
     prune_bound: u64,
-    num_workers: usize,
+    sessions: &mut [WarmSession],
 ) -> Result<Vec<WideExpansion>, RelationError> {
-    let workers = num_workers.clamp(1, picked.len().max(1));
+    let workers = sessions.len().clamp(1, picked.len().max(1));
     let (tx, rx) = mpsc::channel::<(usize, Result<WideExpansion, RelationError>)>();
     thread::scope(|scope| {
-        for w in 0..workers {
+        for (w, warm) in sessions.iter_mut().take(workers).enumerate() {
             let tx = tx.clone();
             scope.spawn(move || {
                 for (index, spec) in picked.iter().enumerate().skip(w).step_by(workers) {
                     // The receiver outlives the scope; a send only fails if
                     // the collector stopped early.
-                    let _ = tx.send((index, expand_spec(spec, cost, prune_bound)));
+                    let _ = tx.send((index, expand_spec(spec, cost, prune_bound, warm)));
                 }
             });
         }
@@ -258,13 +262,33 @@ pub fn solve_wide(
     num_workers: usize,
     options: WideOptions,
 ) -> Result<SolutionReport, RelationError> {
+    let mut sessions: Vec<WarmSession> = (0..num_workers.max(1))
+        .map(|_| WarmSession::new())
+        .collect();
+    solve_wide_with(job, options, &mut sessions)
+}
+
+/// [`solve_wide`] over the caller's persistent per-worker sessions (one
+/// worker per session): rounds — and, through the batch engine, successive
+/// jobs — reuse warm managers instead of building one per expansion.
+pub fn solve_wide_with(
+    job: &JobSpec,
+    options: WideOptions,
+    sessions: &mut [WarmSession],
+) -> Result<SolutionReport, RelationError> {
     let start = Instant::now();
     let top_k = options.top_k.max(1);
 
-    // Seed on the coordinator: rehydrate the root once for the quick
-    // incumbent (the §7.2 guarantee), then drop the manager — every later
-    // expansion brings its own.
-    let (space, root) = job.relation.rehydrate();
+    // Seed the incumbent on the first worker's session: rehydrate the root
+    // once for the quick incumbent (the §7.2 guarantee), then drop the
+    // space — rounds reset and reuse the same sessions.
+    let (space, root, seed_warm) = match sessions.first_mut() {
+        Some(first) => first.rehydrate(&job.relation),
+        None => {
+            let (space, root) = job.relation.rehydrate();
+            (space, root, false)
+        }
+    };
     if !root.is_well_defined() {
         return Err(RelationError::NotWellDefined);
     }
@@ -316,7 +340,7 @@ pub fn solve_wide(
 
         // Parallel expansion against the round-start bound…
         let round_bound = best.cost;
-        let results = run_round(&picked, job.cost, round_bound, num_workers)?;
+        let results = run_round(&picked, job.cost, round_bound, sessions)?;
 
         // …and the deterministic merge, in ascending round index.
         for (spec, expansion) in picked.iter().zip(results) {
@@ -377,6 +401,10 @@ pub fn solve_wide(
         strategy: Some(job.strategy),
         cache,
         gc,
+        reuse: ReuseStats {
+            warm_session: seed_warm,
+            subrel_cache_hit: false,
+        },
         wall_micros: u64::try_from(wall.as_micros()).unwrap_or(u64::MAX),
     })
 }

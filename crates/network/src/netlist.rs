@@ -3,7 +3,7 @@
 use std::collections::HashMap;
 use std::fmt;
 
-use brel_bdd::{Bdd, BddMgr, Var};
+use brel_bdd::{Bdd, BddSession, Var};
 use brel_sop::Cover;
 
 /// Identifier of a signal (net) in a [`Network`].
@@ -93,7 +93,7 @@ impl std::error::Error for NetworkError {}
 /// The result of [`Network::global_functions`]: the BDD manager, the
 /// variable assigned to each combinational input, and the global function of
 /// every signal.
-pub type GlobalFunctions = (BddMgr, HashMap<SignalId, Var>, HashMap<SignalId, Bdd>);
+pub type GlobalFunctions = (BddSession, HashMap<SignalId, Var>, HashMap<SignalId, Bdd>);
 
 /// A multilevel Boolean network: primary inputs and outputs, internal
 /// sum-of-products nodes and D flip-flops.
@@ -374,7 +374,7 @@ impl Network {
     /// Returns [`NetworkError::CombinationalCycle`] on cyclic networks.
     pub fn global_functions(&self) -> Result<GlobalFunctions, NetworkError> {
         let inputs = self.combinational_inputs();
-        let mgr = BddMgr::new(inputs.len());
+        let mgr = BddSession::new(inputs.len());
         let mut input_vars = HashMap::new();
         let mut funcs: HashMap<SignalId, Bdd> = HashMap::new();
         for (i, &s) in inputs.iter().enumerate() {

@@ -1,14 +1,14 @@
 //! The variable space shared by relations, ISFs and functions.
 
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 
-use brel_bdd::{Bdd, BddMgr, GcStats, Var};
+use brel_bdd::{Bdd, BddConfig, BddSession, GcStats, Var};
 
 use crate::error::RelationError;
 
 struct SpaceInner {
-    mgr: BddMgr,
+    mgr: BddSession,
     inputs: Vec<Var>,
     outputs: Vec<Var>,
     input_names: Vec<String>,
@@ -18,12 +18,14 @@ struct SpaceInner {
 /// The space `𝔹ⁿ × 𝔹ᵐ` a Boolean relation lives in: a shared BDD manager
 /// with `n` input variables followed by `m` output variables.
 ///
-/// The space is cheaply clonable; all objects built from the same space share
-/// one BDD manager, which is what gives the solver its node sharing across
-/// subrelations (Section 7.1 of the paper).
+/// The space is cheaply clonable and — like the [`BddSession`] it wraps —
+/// `Send`, so a space (with all its relations dropped or along for the
+/// ride) can move between threads. All objects built from the same space
+/// share one BDD manager, which is what gives the solver its node sharing
+/// across subrelations (Section 7.1 of the paper).
 #[derive(Clone)]
 pub struct RelationSpace {
-    inner: Rc<SpaceInner>,
+    inner: Arc<SpaceInner>,
 }
 
 impl fmt::Debug for RelationSpace {
@@ -50,7 +52,42 @@ impl RelationSpace {
     /// relation's size is known before rehydration, so building the
     /// characteristic function triggers no unique-table rehash.
     pub fn with_capacity(num_inputs: usize, num_outputs: usize, expected_nodes: usize) -> Self {
-        let mgr = BddMgr::with_capacity(num_inputs + num_outputs, expected_nodes);
+        Self::from_session(
+            BddSession::with_capacity(num_inputs + num_outputs, expected_nodes),
+            num_inputs,
+            num_outputs,
+        )
+    }
+
+    /// Creates a space with an explicit kernel lifecycle configuration
+    /// (see [`BddConfig`]); the former per-manager knob setters are gone.
+    pub fn with_config(
+        num_inputs: usize,
+        num_outputs: usize,
+        expected_nodes: usize,
+        config: BddConfig,
+    ) -> Self {
+        Self::from_session(
+            BddSession::with_config(num_inputs + num_outputs, expected_nodes, config),
+            num_inputs,
+            num_outputs,
+        )
+    }
+
+    /// Wraps an existing session — typically a freshly [`BddSession::reset`]
+    /// warm worker session — as a relation space. The session must already
+    /// have exactly `num_inputs + num_outputs` variables in identity order;
+    /// they are (re)named `x0..`/`y0..`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the session's variable count does not match.
+    pub fn from_session(mgr: BddSession, num_inputs: usize, num_outputs: usize) -> Self {
+        assert_eq!(
+            mgr.num_vars(),
+            num_inputs + num_outputs,
+            "session variable count does not match the space arity"
+        );
         let inputs: Vec<Var> = (0..num_inputs).map(Var::from).collect();
         let outputs: Vec<Var> = (num_inputs..num_inputs + num_outputs)
             .map(Var::from)
@@ -64,7 +101,7 @@ impl RelationSpace {
             mgr.set_var_name(*v, n.clone());
         }
         RelationSpace {
-            inner: Rc::new(SpaceInner {
+            inner: Arc::new(SpaceInner {
                 mgr,
                 inputs,
                 outputs,
@@ -77,7 +114,8 @@ impl RelationSpace {
     /// Creates a space with named variables.
     pub fn with_names(input_names: &[&str], output_names: &[&str]) -> Self {
         let space = RelationSpace::new(input_names.len(), output_names.len());
-        // Rc is fresh and unshared here, so names can be set through the manager.
+        // The session is fresh and unshared here, so names can be set
+        // through the manager.
         for (i, name) in input_names.iter().enumerate() {
             space.inner.mgr.set_var_name(space.inner.inputs[i], *name);
         }
@@ -92,17 +130,17 @@ impl RelationSpace {
             output_names: output_names.iter().map(|s| s.to_string()).collect(),
         };
         RelationSpace {
-            inner: Rc::new(inner),
+            inner: Arc::new(inner),
         }
     }
 
     /// Returns `true` if both handles denote the same space.
     pub fn same_space(&self, other: &RelationSpace) -> bool {
-        Rc::ptr_eq(&self.inner, &other.inner)
+        Arc::ptr_eq(&self.inner, &other.inner)
     }
 
     /// The shared BDD manager.
-    pub fn mgr(&self) -> &BddMgr {
+    pub fn mgr(&self) -> &BddSession {
         &self.inner.mgr
     }
 

@@ -2,7 +2,7 @@
 
 use std::fmt;
 
-use brel_bdd::{Bdd, BddMgr, IsopResult, Var};
+use brel_bdd::{Bdd, BddSession, IsopResult, Var};
 
 use crate::cube::{Cube, CubeValue};
 use crate::SopError;
@@ -131,7 +131,7 @@ impl Cover {
     }
 
     /// Builds the BDD of the cover using manager variables `0..width`.
-    pub fn to_bdd(&self, mgr: &BddMgr) -> Bdd {
+    pub fn to_bdd(&self, mgr: &BddSession) -> Bdd {
         let mut acc = mgr.zero();
         for c in &self.cubes {
             acc = acc.or(&c.to_bdd(mgr));
@@ -140,7 +140,7 @@ impl Cover {
     }
 
     /// Builds the BDD of the cover mapping position `i` to `vars[i]`.
-    pub fn to_bdd_with_vars(&self, mgr: &BddMgr, vars: &[Var]) -> Bdd {
+    pub fn to_bdd_with_vars(&self, mgr: &BddSession, vars: &[Var]) -> Bdd {
         let mut acc = mgr.zero();
         for c in &self.cubes {
             acc = acc.or(&c.to_bdd_with_vars(mgr, vars));
@@ -320,7 +320,7 @@ mod tests {
 
     #[test]
     fn eval_and_bdd_agree() {
-        let mgr = BddMgr::new(3);
+        let mgr = BddSession::new(3);
         let c = cover(3, &["1-0", "01-"]);
         let f = c.to_bdd(&mgr);
         for bits in 0..8u32 {
@@ -364,7 +364,7 @@ mod tests {
     fn irredundant_removes_consensus_cube() {
         // a·b + a'·c + b·c : the consensus term b·c is redundant.
         let mut c = cover(3, &["11-", "0-1", "-11"]);
-        let mgr = BddMgr::new(3);
+        let mgr = BddSession::new(3);
         let before = c.to_bdd(&mgr);
         c.make_irredundant();
         assert_eq!(c.num_cubes(), 2);
@@ -383,7 +383,7 @@ mod tests {
 
     #[test]
     fn cofactor_matches_semantics() {
-        let mgr = BddMgr::new(3);
+        let mgr = BddSession::new(3);
         let c = cover(3, &["11-", "0-1"]);
         let f = c.to_bdd(&mgr);
         let c0 = c.cofactor(0, false);
@@ -396,7 +396,7 @@ mod tests {
 
     #[test]
     fn from_isop_round_trip() {
-        let mgr = BddMgr::new(4);
+        let mgr = BddSession::new(4);
         let a = mgr.var(0);
         let b = mgr.var(1);
         let c = mgr.var(2);

@@ -2,7 +2,7 @@
 
 use std::fmt;
 
-use brel_bdd::{Bdd, BddMgr, Var};
+use brel_bdd::{Bdd, BddSession, Var};
 
 /// The value taken by one input variable inside a cube.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -198,7 +198,7 @@ impl Cube {
     }
 
     /// Builds the BDD of the cube using manager variables `0..width`.
-    pub fn to_bdd(&self, mgr: &BddMgr) -> Bdd {
+    pub fn to_bdd(&self, mgr: &BddSession) -> Bdd {
         let literals: Vec<(Var, bool)> = self
             .values
             .iter()
@@ -217,7 +217,7 @@ impl Cube {
     /// # Panics
     ///
     /// Panics if `vars` is shorter than the cube width.
-    pub fn to_bdd_with_vars(&self, mgr: &BddMgr, vars: &[Var]) -> Bdd {
+    pub fn to_bdd_with_vars(&self, mgr: &BddSession, vars: &[Var]) -> Bdd {
         let literals: Vec<(Var, bool)> = self
             .values
             .iter()
@@ -295,7 +295,7 @@ mod tests {
 
     #[test]
     fn to_bdd_matches_eval() {
-        let mgr = BddMgr::new(3);
+        let mgr = BddSession::new(3);
         let c = Cube::parse("0-1").unwrap();
         let f = c.to_bdd(&mgr);
         for bits in 0..8u32 {
@@ -306,7 +306,7 @@ mod tests {
 
     #[test]
     fn to_bdd_with_explicit_vars() {
-        let mgr = BddMgr::new(5);
+        let mgr = BddSession::new(5);
         let c = Cube::parse("10").unwrap();
         let f = c.to_bdd_with_vars(&mgr, &[Var(3), Var(1)]);
         assert_eq!(f.support(), vec![Var(1), Var(3)]);

@@ -8,7 +8,7 @@
 //! the oracle for validity checks (a cube may expand only while it stays
 //! inside `On ∪ Dc`; a cover is valid only while it still covers `On`).
 
-use brel_bdd::{Bdd, BddMgr, Var};
+use brel_bdd::{Bdd, BddSession, Var};
 
 use crate::cover::Cover;
 use crate::cube::{Cube, CubeValue};
@@ -39,7 +39,7 @@ impl Interval {
 
     /// Returns `true` if `cover` implements the interval: it covers `on`
     /// and stays within `upper`.
-    pub fn admits(&self, cover: &Cover, mgr: &BddMgr, vars: &[Var]) -> bool {
+    pub fn admits(&self, cover: &Cover, mgr: &BddSession, vars: &[Var]) -> bool {
         let f = cover.to_bdd_with_vars(mgr, vars);
         self.on.is_subset_of(&f) && f.is_subset_of(&self.upper)
     }
@@ -49,7 +49,7 @@ impl Interval {
 /// while the cube stays inside `interval.upper`. Literals are tried in
 /// ascending variable order, matching the greedy single-variable expansion
 /// described for Herb/gyocro in the paper.
-pub fn expand(cover: &mut Cover, interval: &Interval, mgr: &BddMgr, vars: &[Var]) {
+pub fn expand(cover: &mut Cover, interval: &Interval, mgr: &BddSession, vars: &[Var]) {
     let upper = &interval.upper;
     let width = cover.width();
     let cubes: Vec<Cube> = cover
@@ -78,7 +78,7 @@ pub fn expand(cover: &mut Cover, interval: &Interval, mgr: &BddMgr, vars: &[Var]
 /// Reduces every cube to the smallest cube that still covers the part of
 /// `interval.on` not covered by the other cubes. Cubes that become empty
 /// are dropped.
-pub fn reduce(cover: &mut Cover, interval: &Interval, mgr: &BddMgr, vars: &[Var]) {
+pub fn reduce(cover: &mut Cover, interval: &Interval, mgr: &BddSession, vars: &[Var]) {
     let width = cover.width();
     let cubes: Vec<Cube> = cover.cubes().to_vec();
     let mut result: Vec<Cube> = Vec::new();
@@ -120,7 +120,7 @@ pub fn reduce(cover: &mut Cover, interval: &Interval, mgr: &BddMgr, vars: &[Var]
 }
 
 /// Removes cubes not needed to cover `interval.on`.
-pub fn irredundant(cover: &mut Cover, interval: &Interval, mgr: &BddMgr, vars: &[Var]) {
+pub fn irredundant(cover: &mut Cover, interval: &Interval, mgr: &BddSession, vars: &[Var]) {
     cover.remove_contained_cubes();
     let mut i = 0;
     while i < cover.num_cubes() {
@@ -145,7 +145,7 @@ pub fn irredundant(cover: &mut Cover, interval: &Interval, mgr: &BddMgr, vars: &
 pub fn reduce_expand_irredundant(
     cover: &mut Cover,
     interval: &Interval,
-    mgr: &BddMgr,
+    mgr: &BddSession,
     vars: &[Var],
     max_iterations: usize,
 ) -> usize {
@@ -183,7 +183,7 @@ mod tests {
 
     #[test]
     fn expand_uses_dont_cares() {
-        let mgr = BddMgr::new(2);
+        let mgr = BddSession::new(2);
         let vs = vars(2);
         // on = a·b ; dc = a·b'  → the cube 11 can expand to 1-.
         let on = cover(2, &["11"]).to_bdd(&mgr);
@@ -198,7 +198,7 @@ mod tests {
 
     #[test]
     fn reduce_shrinks_overlapping_cube() {
-        let mgr = BddMgr::new(2);
+        let mgr = BddSession::new(2);
         let vs = vars(2);
         // on = a + b, cover = {1-, -1}; reducing either cube must keep validity.
         let on = cover(2, &["1-", "-1"]).to_bdd(&mgr);
@@ -213,7 +213,7 @@ mod tests {
 
     #[test]
     fn irredundant_drops_consensus_cube() {
-        let mgr = BddMgr::new(3);
+        let mgr = BddSession::new(3);
         let vs = vars(3);
         let full = cover(3, &["11-", "0-1", "-11"]);
         let on = full.to_bdd(&mgr);
@@ -226,7 +226,7 @@ mod tests {
 
     #[test]
     fn loop_converges_and_preserves_interval() {
-        let mgr = BddMgr::new(3);
+        let mgr = BddSession::new(3);
         let vs = vars(3);
         // on covers the odd-parity minterms of (a, b) plus dc on c.
         let on = cover(3, &["100", "010", "111", "001"]).to_bdd(&mgr);
@@ -243,7 +243,7 @@ mod tests {
 
     #[test]
     fn interval_admits_detects_violations() {
-        let mgr = BddMgr::new(2);
+        let mgr = BddSession::new(2);
         let vs = vars(2);
         let on = cover(2, &["11"]).to_bdd(&mgr);
         let interval = Interval::exact(on);

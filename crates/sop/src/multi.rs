@@ -7,7 +7,7 @@
 
 use std::fmt;
 
-use brel_bdd::{Bdd, BddMgr, Var};
+use brel_bdd::{Bdd, BddSession, Var};
 
 use crate::cover::Cover;
 use crate::cube::Cube;
@@ -102,12 +102,12 @@ impl MultiCover {
     }
 
     /// Builds the BDD of each output using manager variables `0..num_inputs`.
-    pub fn to_bdds(&self, mgr: &BddMgr) -> Vec<Bdd> {
+    pub fn to_bdds(&self, mgr: &BddSession) -> Vec<Bdd> {
         self.outputs.iter().map(|c| c.to_bdd(mgr)).collect()
     }
 
     /// Builds the BDD of each output mapping position `i` to `vars[i]`.
-    pub fn to_bdds_with_vars(&self, mgr: &BddMgr, vars: &[Var]) -> Vec<Bdd> {
+    pub fn to_bdds_with_vars(&self, mgr: &BddSession, vars: &[Var]) -> Vec<Bdd> {
         self.outputs
             .iter()
             .map(|c| c.to_bdd_with_vars(mgr, vars))
@@ -171,7 +171,7 @@ mod tests {
 
     #[test]
     fn to_bdds_match_eval() {
-        let mgr = BddMgr::new(2);
+        let mgr = BddSession::new(2);
         let mc =
             MultiCover::from_outputs(vec![cover(2, &["11"]), cover(2, &["0-", "-0"])]).unwrap();
         let bdds = mc.to_bdds(&mgr);

@@ -18,8 +18,8 @@
 
 use proptest::prelude::*;
 
-use brel_suite::bdd::{Bdd, BddManager, BddMgr, NodeId, Var};
-use brel_suite::benchdata::random_relation::random_well_defined_relation;
+use brel_suite::bdd::{Bdd, BddConfig, BddManager, BddSession, NodeId, Var};
+use brel_suite::benchdata::random_relation::random_well_defined_relation_with;
 use brel_suite::brel::{BrelConfig, BrelSolver};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -261,13 +261,15 @@ proptest! {
         extra in 0u32..3,
     ) {
         let prob = f64::from(extra) * 0.15;
-        let (space_a, rel_a) = random_well_defined_relation(3, 2, prob, seed);
-        let (space_b, rel_b) = random_well_defined_relation(3, 2, prob, seed);
-        space_a.mgr().set_auto_gc(false);
-        space_a.mgr().set_auto_reorder(false);
-        space_b.mgr().set_auto_gc(true);
-        space_b.mgr().set_gc_threshold(8);
-        space_b.mgr().set_auto_reorder(false);
+        let append_only = BddConfig::new().auto_gc(false).auto_reorder(false);
+        let aggressive = BddConfig::new()
+            .auto_gc(true)
+            .gc_min_nodes(8)
+            .auto_reorder(false);
+        let (space_a, rel_a) =
+            random_well_defined_relation_with(3, 2, prob, seed, append_only);
+        let (space_b, rel_b) =
+            random_well_defined_relation_with(3, 2, prob, seed, aggressive);
         let solver = BrelSolver::new(BrelConfig::default());
         let sol_a = solver.solve(&rel_a).expect("well defined");
         let sol_b = solver.solve(&rel_b).expect("well defined");
@@ -295,13 +297,15 @@ proptest! {
     /// to the untouched run even though the variable order moved.
     #[test]
     fn solver_under_forced_sifting_stays_sound(seed in 0u64..256) {
-        let (space_ref, rel_ref) = random_well_defined_relation(4, 2, 0.0, seed);
-        let (space_gc, rel_gc) = random_well_defined_relation(4, 2, 0.0, seed);
-        space_ref.mgr().set_auto_gc(false);
-        space_ref.mgr().set_auto_reorder(false);
-        space_gc.mgr().set_auto_gc(true);
-        space_gc.mgr().set_gc_threshold(32);
-        space_gc.mgr().set_auto_reorder(true);
+        let pinned = BddConfig::new().auto_gc(false).auto_reorder(false);
+        let sifting = BddConfig::new()
+            .auto_gc(true)
+            .gc_min_nodes(32)
+            .auto_reorder(true);
+        let (space_ref, rel_ref) =
+            random_well_defined_relation_with(4, 2, 0.0, seed, pinned);
+        let (space_gc, rel_gc) =
+            random_well_defined_relation_with(4, 2, 0.0, seed, sifting);
         let solver = BrelSolver::new(BrelConfig::default());
         let sol_ref = solver.solve(&rel_ref).expect("well defined");
         let sol_gc = solver.solve(&rel_gc).expect("well defined");
@@ -329,7 +333,7 @@ proptest! {
     /// table under the *new* order returns the identical handle.
     #[test]
     fn sifting_preserves_semantics_and_canonicity((nv, ops, seed) in params()) {
-        let mgr = BddMgr::new(nv);
+        let mgr = BddSession::new(nv);
         let checked = random_checked_handles(&mgr, nv, ops, seed);
         mgr.reorder_sift();
         for (f, table) in &checked {
@@ -349,7 +353,7 @@ proptest! {
 /// Handle-based sibling of `random_checked`: random connectives through
 /// rooted `Bdd`s, each paired with its truth table.
 fn random_checked_handles(
-    mgr: &BddMgr,
+    mgr: &BddSession,
     num_vars: usize,
     ops: usize,
     seed: u64,
@@ -389,7 +393,7 @@ fn random_checked_handles(
 
 /// Rebuilds a function from its truth table through handle operations
 /// (valid under any variable order, unlike the `mk`-based reference).
-fn handle_from_table(mgr: &BddMgr, num_vars: usize, table: &[bool]) -> Bdd {
+fn handle_from_table(mgr: &BddSession, num_vars: usize, table: &[bool]) -> Bdd {
     let mut acc = mgr.zero();
     for (idx, &bit) in table.iter().enumerate() {
         if bit {
@@ -406,8 +410,7 @@ fn handle_from_table(mgr: &BddMgr, num_vars: usize, table: &[bool]) -> Bdd {
 /// cache or unique-table entry can resurrect a reclaimed `NodeId`.
 #[test]
 fn sweep_evicts_cached_results_and_recycles_slots_safely() {
-    let mgr = BddMgr::new(6);
-    mgr.set_auto_gc(false);
+    let mgr = BddSession::with_config(6, 1024, BddConfig::new().auto_gc(false));
     let a = mgr.var(0);
     let b = mgr.var(1);
     let c = mgr.var(2);

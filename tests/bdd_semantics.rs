@@ -4,7 +4,7 @@
 
 use proptest::prelude::*;
 
-use brel_suite::bdd::{Bdd, BddMgr, Var};
+use brel_suite::bdd::{Bdd, BddSession, Var};
 
 /// A tiny expression language interpreted both over BDDs and truth tables.
 #[derive(Debug, Clone)]
@@ -28,7 +28,7 @@ fn expr_strategy(num_vars: usize) -> impl Strategy<Value = Expr> {
     })
 }
 
-fn to_bdd(expr: &Expr, mgr: &BddMgr) -> Bdd {
+fn to_bdd(expr: &Expr, mgr: &BddSession) -> Bdd {
     match expr {
         Expr::Var(i) => mgr.var(*i as u32),
         Expr::Not(e) => to_bdd(e, mgr).complement(),
@@ -61,7 +61,7 @@ proptest! {
     /// tables produce identical nodes.
     #[test]
     fn bdd_matches_truth_table_and_is_canonical(e1 in expr_strategy(NUM_VARS), e2 in expr_strategy(NUM_VARS)) {
-        let mgr = BddMgr::new(NUM_VARS);
+        let mgr = BddSession::new(NUM_VARS);
         let f1 = to_bdd(&e1, &mgr);
         let f2 = to_bdd(&e2, &mgr);
         let mut equal = true;
@@ -79,7 +79,7 @@ proptest! {
     /// truth-table definitions.
     #[test]
     fn quantification_and_cofactors_are_sound(e in expr_strategy(NUM_VARS), v in 0..NUM_VARS) {
-        let mgr = BddMgr::new(NUM_VARS);
+        let mgr = BddSession::new(NUM_VARS);
         let f = to_bdd(&e, &mgr);
         let var = Var::from(v);
         let exists = f.exists(&[var]);
@@ -104,7 +104,7 @@ proptest! {
     /// count/literal count are consistent.
     #[test]
     fn isop_cover_is_exact(e in expr_strategy(NUM_VARS)) {
-        let mgr = BddMgr::new(NUM_VARS);
+        let mgr = BddSession::new(NUM_VARS);
         let f = to_bdd(&e, &mgr);
         let isop = f.isop();
         prop_assert_eq!(isop.function, f.node_id());
@@ -118,7 +118,7 @@ proptest! {
     /// The generalized cofactors agree with the function on the care set.
     #[test]
     fn generalized_cofactors_agree_on_care(e in expr_strategy(NUM_VARS), c in expr_strategy(NUM_VARS)) {
-        let mgr = BddMgr::new(NUM_VARS);
+        let mgr = BddSession::new(NUM_VARS);
         let f = to_bdd(&e, &mgr);
         let care = to_bdd(&c, &mgr);
         prop_assume!(!care.is_zero());
@@ -139,7 +139,7 @@ proptest! {
     /// implicant; see §7.4 of the paper.)
     #[test]
     fn shortest_path_is_a_contained_cube(e in expr_strategy(NUM_VARS)) {
-        let mgr = BddMgr::new(NUM_VARS);
+        let mgr = BddSession::new(NUM_VARS);
         let f = to_bdd(&e, &mgr);
         prop_assume!(!f.is_zero());
         let cube = f.shortest_path().unwrap();
@@ -159,7 +159,7 @@ proptest! {
     /// sat_count equals brute-force counting.
     #[test]
     fn sat_count_is_exact(e in expr_strategy(NUM_VARS)) {
-        let mgr = BddMgr::new(NUM_VARS);
+        let mgr = BddSession::new(NUM_VARS);
         let f = to_bdd(&e, &mgr);
         let brute = assignments().filter(|a| eval(&e, a)).count() as u128;
         prop_assert_eq!(f.sat_count(NUM_VARS), brute);

@@ -80,7 +80,8 @@ fn batches_are_byte_identical_across_1_2_and_8_workers() {
     assert_eq!(csvs[0], csvs[2], "1 vs 8 workers (CSV)");
 
     // The structured reports agree field by field too (not just the
-    // serialized views): mask the wall-clock and compare directly.
+    // serialized views): mask the wall-clock and the scheduling-dependent
+    // reuse provenance, then compare directly.
     let masked: Vec<_> = reports
         .iter()
         .map(|r| {
@@ -90,6 +91,7 @@ fn batches_are_byte_identical_across_1_2_and_8_workers() {
                     let mut j = j.clone();
                     for a in &mut j.attempts {
                         a.wall_micros = 0;
+                        a.reuse = Default::default();
                     }
                     j
                 })

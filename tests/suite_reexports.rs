@@ -4,7 +4,7 @@
 
 #[test]
 fn bdd_reexport_resolves() {
-    let mgr = brel_suite::bdd::BddMgr::new(2);
+    let mgr = brel_suite::bdd::BddSession::new(2);
     let f = mgr.var(0).and(&mgr.var(1));
     assert!(f.eval(&[true, true]));
 }
