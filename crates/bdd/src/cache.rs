@@ -96,6 +96,23 @@ impl CacheStats {
         }
     }
 
+    /// The counters as `(name, value)` pairs, for absorption into a
+    /// [`brel_obs::MetricsRegistry`].
+    pub fn metrics(&self) -> [(&'static str, u64); 10] {
+        [
+            ("unique_lookups", self.unique_lookups),
+            ("unique_hits", self.unique_hits),
+            ("unique_len", self.unique_len),
+            ("unique_capacity", self.unique_capacity),
+            ("cache_lookups", self.cache_lookups),
+            ("cache_hits", self.cache_hits),
+            ("cache_inserts", self.cache_inserts),
+            ("cache_evictions", self.cache_evictions),
+            ("cache_slots", self.cache_slots),
+            ("num_nodes", self.num_nodes),
+        ]
+    }
+
     /// Unique-table load factor in `[0, 1]`.
     pub fn unique_load_factor(&self) -> f64 {
         if self.unique_capacity == 0 {

@@ -84,6 +84,19 @@ impl GcStats {
             var_order_hash: self.var_order_hash,
         }
     }
+
+    /// The counters as `(name, value)` pairs, for absorption into a
+    /// [`brel_obs::MetricsRegistry`].
+    pub fn metrics(&self) -> [(&'static str, u64); 6] {
+        [
+            ("collections", self.collections),
+            ("nodes_reclaimed", self.nodes_reclaimed),
+            ("live_nodes", self.live_nodes),
+            ("peak_live_nodes", self.peak_live_nodes),
+            ("reorder_passes", self.reorder_passes),
+            ("var_order_hash", self.var_order_hash),
+        ]
+    }
 }
 
 /// A root registration: the current node id and how many handles share it.
@@ -288,6 +301,7 @@ impl BddManager {
     /// out a reclaimed id. [`crate::Bdd`] handles are unaffected; raw
     /// [`NodeId`]s not reachable from any handle are invalidated.
     pub fn collect_garbage(&mut self) -> usize {
+        let _span = brel_obs::span(brel_obs::Category::Kernel, "gc_sweep");
         self.gc.pending = false;
         let (marks, _live) = self.mark_live();
         let mut reclaimed = 0usize;
@@ -327,6 +341,7 @@ impl BddManager {
     /// engine rehydration) to hand later operations a dense, cache-friendly
     /// arena.
     pub fn compact(&mut self) -> usize {
+        let _span = brel_obs::span(brel_obs::Category::Kernel, "compact");
         self.gc.pending = false;
         let (marks, live) = self.mark_live();
         let mut remap = vec![u32::MAX; self.nodes.len()];

@@ -45,6 +45,16 @@ use crate::manager::{BddManager, NodeId, Var};
 use crate::paths::PathCube;
 use crate::symmetry::SymmetryKind;
 
+/// One coherent snapshot of every kernel counter, taken under a single
+/// lock acquisition by [`BddSession::stats_snapshot`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct KernelSnapshot {
+    /// Cache and unique-table counters.
+    pub cache: CacheStats,
+    /// Lifecycle (GC/reorder) counters.
+    pub gc: GcStats,
+}
+
 /// An owning, clonable, `Send` handle to a [`BddManager`].
 ///
 /// Cloning the session does not copy the node store; all clones refer to
@@ -132,6 +142,18 @@ impl BddSession {
     /// live nodes, reorder passes, variable-order hash).
     pub fn gc_stats(&self) -> GcStats {
         self.lock().gc_stats()
+    }
+
+    /// Every kernel counter in one lock acquisition — equivalent to
+    /// calling [`BddSession::cache_stats`] and [`BddSession::gc_stats`]
+    /// back to back, but atomically and at half the locking cost. The
+    /// engine's per-backend delta computation uses this.
+    pub fn stats_snapshot(&self) -> KernelSnapshot {
+        let m = self.lock();
+        KernelSnapshot {
+            cache: m.cache_stats(),
+            gc: m.gc_stats(),
+        }
     }
 
     /// Runs a mark-and-sweep collection now; returns reclaimed node count.
@@ -478,6 +500,7 @@ impl Bdd {
         self.assert_same_mgr(then_f);
         self.assert_same_mgr(else_f);
         let (f, g, h) = (self.node_id(), then_f.node_id(), else_f.node_id());
+        let _op = brel_obs::span(brel_obs::Category::KernelOp, "ite");
         let id = self.session.lock().ite(f, g, h);
         self.session.wrap(id)
     }
@@ -514,6 +537,7 @@ impl Bdd {
     /// Existential quantification of `vars`.
     pub fn exists(&self, vars: &[Var]) -> Bdd {
         let f = self.node_id();
+        let _op = brel_obs::span(brel_obs::Category::KernelOp, "quantify");
         let id = self.session.lock().exists_many(f, vars);
         self.session.wrap(id)
     }
@@ -521,6 +545,7 @@ impl Bdd {
     /// Universal quantification of `vars`.
     pub fn forall(&self, vars: &[Var]) -> Bdd {
         let f = self.node_id();
+        let _op = brel_obs::span(brel_obs::Category::KernelOp, "quantify");
         let id = self.session.lock().forall_many(f, vars);
         self.session.wrap(id)
     }
@@ -569,12 +594,14 @@ impl Bdd {
     pub fn isop_interval(&self, upper: &Bdd) -> IsopResult {
         self.assert_same_mgr(upper);
         let (l, u) = (self.node_id(), upper.node_id());
+        let _op = brel_obs::span(brel_obs::Category::KernelOp, "isop");
         self.session.lock().isop(l, u)
     }
 
     /// Minato–Morreale ISOP of a completely specified function.
     pub fn isop(&self) -> IsopResult {
         let f = self.node_id();
+        let _op = brel_obs::span(brel_obs::Category::KernelOp, "isop");
         self.session.lock().isop_exact(f)
     }
 

@@ -72,7 +72,7 @@ pub use cache::CacheStats;
 pub use config::BddConfig;
 pub use dot::to_dot;
 pub use gc::GcStats;
-pub use handle::{Bdd, BddSession};
+pub use handle::{Bdd, BddSession, KernelSnapshot};
 pub use isop::{IsopCube, IsopResult};
 pub use manager::{BddManager, NodeId, Var};
 pub use paths::PathCube;

@@ -191,6 +191,7 @@ impl BddManager {
     /// change (that is the point), so callers that cache size-derived
     /// costs must recompute them.
     pub fn reorder_sift(&mut self) -> usize {
+        let _span = brel_obs::span(brel_obs::Category::Kernel, "sift");
         if self.num_vars() >= 2 {
             let counts = self.level_populations();
             let mut vars: Vec<Var> = (0..self.num_vars())

@@ -383,7 +383,7 @@ pub fn run(options: &KernelBenchOptions) -> KernelReport {
     });
     let batch_start = Instant::now();
     let batch = engine_batch::run(&jobs, 1);
-    let batch_wall_micros = u64::try_from(batch_start.elapsed().as_micros()).unwrap_or(u64::MAX);
+    let batch_wall_micros = brel_obs::wall_micros(batch_start);
     let batch_total_cost = batch.total_winner_cost();
 
     // End-to-end: the Table-1 ISF-minimization strategy sweep.
@@ -394,7 +394,7 @@ pub fn run(options: &KernelBenchOptions) -> KernelReport {
     };
     let t1_start = Instant::now();
     let rows = crate::table1::run(table1_instances);
-    let table1_wall_micros = u64::try_from(t1_start.elapsed().as_micros()).unwrap_or(u64::MAX);
+    let table1_wall_micros = brel_obs::wall_micros(t1_start);
     std::hint::black_box(rows.len());
 
     KernelReport {

@@ -25,11 +25,22 @@
 //! * `--csv`        emit the batch as CSV instead of the human table
 //! * `--timing`     include wall-clock fields in `--json`/`--csv` output
 //!   (timing makes the output run-dependent, so it is off by default)
+//! * `--trace-out PATH` record a full trace of the run and write it to
+//!   `PATH` as Chrome trace-event JSON (open in Perfetto or
+//!   `chrome://tracing`). Stdout is untouched: tracing is write-only with
+//!   respect to the deterministic output
+//! * `--obs-report` print the aggregate phase report (per-phase
+//!   total/self time, counts) and the unified metrics registry to stderr
+//! * `--overhead-gate NS` fail (exit 1) if a disabled (null-collector)
+//!   span costs more than `NS` nanoseconds per call — the CI guard that
+//!   keeps instrumentation free when tracing is off
 
 use std::process::ExitCode;
+use std::sync::Arc;
 
 use brel_bench::engine_batch::{corpus, render, CorpusOptions};
 use brel_engine::{BatchReport, Engine, EngineConfig, JobSpec, SearchStrategy, WideOptions};
+use brel_obs::{MetricsRegistry, RecordingCollector};
 
 fn main() -> ExitCode {
     let mut workers: Option<usize> = None;
@@ -44,6 +55,9 @@ fn main() -> ExitCode {
     let mut cold = false;
     let mut top_k = 8usize;
     let mut fingerprint: Option<u64> = None;
+    let mut trace_out: Option<String> = None;
+    let mut obs_report = false;
+    let mut overhead_gate: Option<u64> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -78,6 +92,15 @@ fn main() -> ExitCode {
             "--json" => json = true,
             "--csv" => csv = true,
             "--timing" => timing = true,
+            "--trace-out" => match args.next() {
+                Some(path) => trace_out = Some(path),
+                None => return usage("--trace-out needs a path"),
+            },
+            "--obs-report" => obs_report = true,
+            "--overhead-gate" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) => overhead_gate = Some(n),
+                None => return usage("--overhead-gate needs nanoseconds"),
+            },
             other => return usage(&format!("unknown flag `{other}`")),
         }
     }
@@ -99,6 +122,16 @@ fn main() -> ExitCode {
         options.strategy = s;
     }
 
+    // Arm the recording collector before any work runs so the trace and
+    // the phase report see the whole batch. The deterministic stdout is
+    // unaffected either way (the obs layer is write-only; the smoke gate
+    // below re-checks that on every run).
+    let collector = (trace_out.is_some() || obs_report).then(|| {
+        let collector = Arc::new(RecordingCollector::new());
+        brel_obs::install(collector.clone());
+        collector
+    });
+
     let jobs = corpus(&options);
     // Smoke pins 2 workers (the determinism gate re-runs on 1); otherwise
     // default to the machine's parallelism.
@@ -115,6 +148,21 @@ fn main() -> ExitCode {
         engine.solve_batch(jobs)
     };
     let report = solve(&jobs, num_workers);
+
+    if let Some(collector) = &collector {
+        if let Some(path) = &trace_out {
+            let trace = collector.chrome_trace();
+            if let Err(e) = std::fs::write(path, trace) {
+                eprintln!("engine_batch: cannot write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!("engine_batch: wrote trace to {path}");
+        }
+        if obs_report {
+            eprint!("{}", collector.phase_report().render());
+            eprint!("{}", unified_metrics(&report).render());
+        }
+    }
 
     if json {
         print!("{}", report.to_json(timing));
@@ -165,7 +213,71 @@ fn main() -> ExitCode {
             if wide { "wide, " } else { "" },
         );
     }
+
+    if let Some(gate_ns) = overhead_gate {
+        brel_obs::uninstall();
+        let per_span_ns = brel_obs::disabled_span_ns();
+        if per_span_ns > gate_ns {
+            eprintln!(
+                "engine_batch: disabled span costs {per_span_ns} ns/call, gate is {gate_ns} ns"
+            );
+            return ExitCode::FAILURE;
+        }
+        eprintln!(
+            "engine_batch: overhead OK (disabled span {per_span_ns} ns/call, gate {gate_ns} ns)"
+        );
+    }
     ExitCode::SUCCESS
+}
+
+/// Files the batch's siloed stats structs into one metrics registry —
+/// the unified read side `--obs-report` prints.
+fn unified_metrics(report: &BatchReport) -> MetricsRegistry {
+    let registry = MetricsRegistry::new();
+    registry.absorb("batch.reuse", &report.reuse.metrics());
+    let mut explored = 0u64;
+    let mut splits = 0u64;
+    for job in &report.jobs {
+        for attempt in &job.attempts {
+            explored += attempt.explored as u64;
+            splits += attempt.splits as u64;
+            registry.absorb_delta("batch.kernel.cache", &counters_only_cache(&attempt.cache));
+            registry.absorb_delta("batch.kernel.gc", &counters_only_gc(&attempt.gc));
+        }
+    }
+    registry.absorb(
+        "batch.search",
+        &[("explored", explored), ("splits", splits)],
+    );
+    registry
+}
+
+/// The additive subset of [`brel_bdd::CacheStats`] (gauges like table
+/// capacities are per-manager and meaningless summed across jobs).
+fn counters_only_cache(cache: &brel_bdd::CacheStats) -> Vec<(&'static str, u64)> {
+    cache
+        .metrics()
+        .into_iter()
+        .filter(|(name, _)| {
+            matches!(
+                *name,
+                "unique_lookups"
+                    | "unique_hits"
+                    | "cache_lookups"
+                    | "cache_hits"
+                    | "cache_inserts"
+                    | "cache_evictions"
+            )
+        })
+        .collect()
+}
+
+/// The additive subset of [`brel_bdd::GcStats`].
+fn counters_only_gc(gc: &brel_bdd::GcStats) -> Vec<(&'static str, u64)> {
+    gc.metrics()
+        .into_iter()
+        .filter(|(name, _)| matches!(*name, "collections" | "nodes_reclaimed" | "reorder_passes"))
+        .collect()
 }
 
 fn usage(error: &str) -> ExitCode {
@@ -173,7 +285,7 @@ fn usage(error: &str) -> ExitCode {
     eprintln!(
         "usage: engine_batch [--smoke] [--workers N] [--instances N] [--random N] \
          [--strategy fifo|dfs|best-first] [--wide] [--cold] [--topk N] [--fingerprint N] \
-         [--json|--csv] [--timing]"
+         [--json|--csv] [--timing] [--trace-out PATH] [--obs-report] [--overhead-gate NS]"
     );
     ExitCode::FAILURE
 }

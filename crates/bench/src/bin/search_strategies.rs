@@ -11,9 +11,11 @@
 //!
 //! The human-readable table always goes to stderr. Exits 1 if any strategy
 //! misses the Fig. 10 optimum, if best-first explores more than FIFO on
-//! it, if a wide-mode run was not worker-count deterministic, or if the
+//! it, if a wide-mode run was not worker-count deterministic, if the
 //! warm-pool run differed from the cold run (or never hit the subrelation
-//! cache on the doubled corpus) — the harness is its own acceptance gate.
+//! cache on the doubled corpus), if tracing the wide batch changed its
+//! output, or if the phase report attributes less than 90% of the wide
+//! solve to named phases — the harness is its own acceptance gate.
 
 use std::process::ExitCode;
 
@@ -85,6 +87,17 @@ fn main() -> ExitCode {
     }
     if report.reuse.subrel_cache_hits == 0 {
         eprintln!("search_strategies: the doubled corpus never hit the subrelation cache");
+        return ExitCode::FAILURE;
+    }
+    if !report.obs.identical_output {
+        eprintln!("search_strategies: tracing changed the wide batch output");
+        return ExitCode::FAILURE;
+    }
+    if report.obs.attributed_pct < 90 {
+        eprintln!(
+            "search_strategies: only {}% of the wide solve attributed to named phases",
+            report.obs.attributed_pct
+        );
         return ExitCode::FAILURE;
     }
 

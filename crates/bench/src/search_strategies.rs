@@ -30,7 +30,16 @@
 //! warm (per-worker sessions + the solved-subrelation cache). It records
 //! both wall clocks, the reuse counters, and that the timing-free outputs
 //! were byte-identical — the cache is a pure speedup or it is a bug.
+//!
+//! An **obs** block (once per run) re-runs the FIFO wide batch under a
+//! [`brel_obs::RecordingCollector`] and records the wide-mode phase
+//! breakdown (dispatch / rehydrate / expand / barrier-wait / merge, with
+//! total and self times), the share of the `wide_solve` span attributed
+//! to named phases, the disabled-span cost, and the traced-vs-untraced
+//! walls — pinning both the attribution and the zero-overhead contracts
+//! in the trajectory file.
 
+use std::sync::Arc;
 use std::time::Instant;
 
 use brel_benchdata::figures;
@@ -144,6 +153,41 @@ pub struct ReuseMetrics {
     pub identical_output: bool,
 }
 
+/// One phase of the wide-mode breakdown in the [`ObsMetrics`] block.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ObsPhase {
+    /// The phase name (an engine/session span name).
+    pub name: &'static str,
+    /// Completed span count over the traced batch.
+    pub count: u64,
+    /// Total wall time across all spans of the phase, microseconds.
+    pub total_us: u64,
+    /// Self time (total minus directly nested spans), microseconds.
+    pub self_us: u64,
+}
+
+/// The observability measurement: the FIFO wide batch traced end to end.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ObsMetrics {
+    /// Wall of the traced wide run (4 workers), microseconds.
+    pub traced_wall_micros: u64,
+    /// Wall of the identical untraced run, microseconds.
+    pub untraced_wall_micros: u64,
+    /// Per-call cost of a disabled span, nanoseconds (the zero-overhead
+    /// contract, measured with no collector installed).
+    pub disabled_span_ns: u64,
+    /// Wide rounds executed across the traced batch.
+    pub rounds: u64,
+    /// Percent of `wide_solve` time attributed to its named phases
+    /// (seed + round), rounded down.
+    pub attributed_pct: u64,
+    /// Whether the traced and untraced timing-free outputs were
+    /// byte-identical (tracing is write-only or it is a bug).
+    pub identical_output: bool,
+    /// The wide-mode phase breakdown, in call-structure order.
+    pub phases: Vec<ObsPhase>,
+}
+
 /// The complete harness output.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SearchReport {
@@ -153,6 +197,8 @@ pub struct SearchReport {
     pub rows: Vec<StrategyRow>,
     /// The warm-vs-cold engine measurement (once per run).
     pub reuse: ReuseMetrics,
+    /// The traced wide-mode phase breakdown (once per run).
+    pub obs: ObsMetrics,
 }
 
 /// Brel-only jobs over the harness corpus (the portfolio's quick/gyocro
@@ -175,7 +221,7 @@ fn brel_jobs(options: &SearchBenchOptions, strategy: SearchStrategy) -> Vec<JobS
 fn batch_metrics(jobs: &[JobSpec]) -> BatchMetrics {
     let start = Instant::now();
     let report = engine_batch::run(jobs, 1);
-    let wall_micros = u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX);
+    let wall_micros = brel_obs::wall_micros(start);
     let brel_attempts = || {
         report
             .jobs
@@ -237,10 +283,10 @@ fn reuse_metrics(options: &SearchBenchOptions) -> ReuseMetrics {
     let workers = 2;
     let cold_start = Instant::now();
     let cold = engine_batch::run_cold(&jobs, workers);
-    let cold_wall_micros = u64::try_from(cold_start.elapsed().as_micros()).unwrap_or(u64::MAX);
+    let cold_wall_micros = brel_obs::wall_micros(cold_start);
     let warm_start = Instant::now();
     let warm = engine_batch::run(&jobs, workers);
-    let warm_wall_micros = u64::try_from(warm_start.elapsed().as_micros()).unwrap_or(u64::MAX);
+    let warm_wall_micros = brel_obs::wall_micros(warm_start);
     ReuseMetrics {
         num_jobs: jobs.len() as u64,
         cold_wall_micros,
@@ -252,6 +298,73 @@ fn reuse_metrics(options: &SearchBenchOptions) -> ReuseMetrics {
         total_cost: warm.total_winner_cost(),
         identical_output: cold.to_json(false) == warm.to_json(false)
             && cold.to_csv(false) == warm.to_csv(false),
+    }
+}
+
+/// The observability workload: the FIFO wide batch run untraced and then
+/// under a full [`brel_obs::RecordingCollector`], so the trajectory pins
+/// the wide-mode phase breakdown, the attribution share, and the cost of
+/// both the enabled and the disabled instrumentation paths.
+fn obs_metrics(options: &SearchBenchOptions) -> ObsMetrics {
+    let jobs = brel_jobs(options, SearchStrategy::Fifo);
+
+    let untraced_start = Instant::now();
+    let untraced = engine_batch::run_wide(&jobs, 4, 4);
+    let untraced_wall_micros = brel_obs::wall_micros(untraced_start);
+
+    let collector = Arc::new(brel_obs::RecordingCollector::new());
+    brel_obs::install(collector.clone());
+    let traced_start = Instant::now();
+    let traced = engine_batch::run_wide(&jobs, 4, 4);
+    let traced_wall_micros = brel_obs::wall_micros(traced_start);
+    brel_obs::uninstall();
+
+    let report = collector.phase_report();
+    // The wide phases in call-structure order: per-job solve, its seed
+    // and rounds, and each round's stages.
+    let phases = [
+        "wide_solve",
+        "seed",
+        "round",
+        "select",
+        "dispatch",
+        "rehydrate",
+        "reset",
+        "expand",
+        "barrier_wait",
+        "merge",
+    ]
+    .iter()
+    .filter_map(|&name| {
+        report
+            .rows
+            .iter()
+            .find(|row| row.name == name)
+            .map(|row| ObsPhase {
+                name,
+                count: row.count,
+                total_us: row.total_us,
+                self_us: row.self_us,
+            })
+    })
+    .collect::<Vec<_>>();
+    let wide_solve_us = report.total_us("wide_solve");
+    let attributed_us = report.total_us("seed") + report.total_us("round");
+    ObsMetrics {
+        traced_wall_micros,
+        untraced_wall_micros,
+        disabled_span_ns: brel_obs::disabled_span_ns(),
+        rounds: report
+            .rows
+            .iter()
+            .find(|row| row.name == "round")
+            .map_or(0, |row| row.count),
+        attributed_pct: (attributed_us * 100)
+            .checked_div(wide_solve_us)
+            .unwrap_or(0),
+        identical_output: untraced.to_json(false) == traced.to_json(false)
+            && untraced.to_csv(false) == traced.to_csv(false),
+        phases,
     }
 }
 
@@ -275,7 +388,7 @@ pub fn run(options: &SearchBenchOptions) -> SearchReport {
         // Wide mode: 1 vs 4 workers must agree byte for byte.
         let wide_start = Instant::now();
         let wide4 = engine_batch::run_wide(&jobs, 4, 4);
-        let wide_wall_micros = u64::try_from(wide_start.elapsed().as_micros()).unwrap_or(u64::MAX);
+        let wide_wall_micros = brel_obs::wall_micros(wide_start);
         let wide1 = engine_batch::run_wide(&jobs, 1, 4);
         rows.push(StrategyRow {
             strategy,
@@ -295,6 +408,7 @@ pub fn run(options: &SearchBenchOptions) -> SearchReport {
         label: options.label.clone(),
         rows,
         reuse: reuse_metrics(options),
+        obs: obs_metrics(options),
     }
 }
 
@@ -302,7 +416,7 @@ impl SearchReport {
     /// The JSON representation of one harness run.
     pub fn to_json(&self) -> Json {
         Json::object(vec![
-            ("schema", Json::str("brel-bench/search-strategies-run-v1")),
+            ("schema", Json::str("brel-bench/search-strategies-run-v2")),
             ("label", Json::str(&self.label)),
             (
                 "strategies",
@@ -371,6 +485,40 @@ impl SearchReport {
                     ("identical_output", Json::Bool(self.reuse.identical_output)),
                 ]),
             ),
+            (
+                "obs",
+                Json::object(vec![
+                    (
+                        "traced_wall_micros",
+                        Json::UInt(self.obs.traced_wall_micros),
+                    ),
+                    (
+                        "untraced_wall_micros",
+                        Json::UInt(self.obs.untraced_wall_micros),
+                    ),
+                    ("disabled_span_ns", Json::UInt(self.obs.disabled_span_ns)),
+                    ("rounds", Json::UInt(self.obs.rounds)),
+                    ("attributed_pct", Json::UInt(self.obs.attributed_pct)),
+                    ("identical_output", Json::Bool(self.obs.identical_output)),
+                    (
+                        "phases",
+                        Json::Array(
+                            self.obs
+                                .phases
+                                .iter()
+                                .map(|phase| {
+                                    Json::object(vec![
+                                        ("name", Json::str(phase.name)),
+                                        ("count", Json::UInt(phase.count)),
+                                        ("total_micros", Json::UInt(phase.total_us)),
+                                        ("self_micros", Json::UInt(phase.self_us)),
+                                    ])
+                                })
+                                .collect(),
+                        ),
+                    ),
+                ]),
+            ),
         ])
     }
 
@@ -414,6 +562,19 @@ impl SearchReport {
                 "DRIFT"
             },
         ));
+        out.push_str(&format!(
+            "obs: wide traced {:.4}s vs untraced {:.4}s, {} rounds, {}% of wide_solve attributed, disabled span {} ns, output {}\n",
+            self.obs.traced_wall_micros as f64 / 1e6,
+            self.obs.untraced_wall_micros as f64 / 1e6,
+            self.obs.rounds,
+            self.obs.attributed_pct,
+            self.obs.disabled_span_ns,
+            if self.obs.identical_output {
+                "identical"
+            } else {
+                "DRIFT"
+            },
+        ));
         out
     }
 }
@@ -445,17 +606,29 @@ mod tests {
         let best = &report.rows[2];
         assert!(best.fig10_explored <= fifo.fig10_explored);
         let json = report.to_json().render();
-        assert!(json.contains("\"schema\":\"brel-bench/search-strategies-run-v1\""));
+        assert!(json.contains("\"schema\":\"brel-bench/search-strategies-run-v2\""));
         assert!(json.contains("\"fig10_exact\""));
         assert!(json.contains("\"churn\""));
         assert!(json.contains("\"subrel_cache_hits\""));
+        assert!(json.contains("\"attributed_pct\""));
         let text = report.render();
         assert!(text.contains("best-first"));
         assert!(text.contains("reuse:"));
+        assert!(text.contains("obs:"));
         // The warm pool is invisible in the output and the duplicated
         // corpus guarantees cache traffic.
         assert!(report.reuse.identical_output);
         assert!(report.reuse.subrel_cache_hits >= 1);
         assert_eq!(report.reuse.num_jobs, 4); // 2 base jobs, doubled
+                                              // Tracing the wide batch is write-only, catches every round, and
+                                              // attributes the wide solve to its seed/round phases.
+        assert!(report.obs.identical_output);
+        assert!(report.obs.rounds >= 1);
+        assert!(
+            report.obs.attributed_pct >= 90,
+            "attributed {}%",
+            report.obs.attributed_pct
+        );
+        assert!(report.obs.phases.iter().any(|p| p.name == "barrier_wait"));
     }
 }

@@ -500,12 +500,19 @@ impl Explorer {
                 }
             }
             let subproblem = self.frontier.pop().expect("frontier is non-empty");
+            brel_obs::event_with(
+                brel_obs::Category::Search,
+                "frontier_pop",
+                "depth",
+                subproblem.depth as u64,
+            );
             if self.frontier.prunes_dominated() && subproblem.lower_bound >= self.best_cost {
                 // Dominance: the bound recorded at split time can no longer
                 // beat the (since improved) incumbent. Counted and traced
                 // separately from candidate-cost prunes — this node was
                 // never minimized, so there is no Explored event for it.
                 self.stats.pruned_dominated += 1;
+                brel_obs::event(brel_obs::Category::Search, "pruned_dominated");
                 if self.config.trace {
                     self.trace.push(TraceEvent::PrunedDominated {
                         lower_bound: subproblem.lower_bound,
@@ -520,6 +527,15 @@ impl Explorer {
 
     fn explore(&mut self, subproblem: Subproblem) -> Result<StepOutcome, RelationError> {
         let index = self.stats.explored;
+        // The per-node span: one `expand` per explored subproblem, tagged
+        // with its depth and the bound it carried out of the frontier.
+        let _span = brel_obs::span!(
+            brel_obs::Category::Search,
+            "expand",
+            "depth" => subproblem.depth,
+            "bound" => subproblem.lower_bound,
+            "index" => index,
+        );
         self.stats.explored += 1;
         let expansion = expand(
             &self.config.minimizer,
@@ -542,6 +558,7 @@ impl Explorer {
         // candidate obtained with strictly more flexibility.
         if candidate_cost >= self.best_cost {
             self.stats.pruned_by_cost += 1;
+            brel_obs::event(brel_obs::Category::Search, "pruned_by_cost");
             if self.config.trace {
                 self.trace.push(TraceEvent::PrunedByCost {
                     candidate_cost,
@@ -592,6 +609,7 @@ impl Explorer {
                 && self.symmetry.check_and_insert(&child)
             {
                 self.stats.skipped_by_symmetry += 1;
+                brel_obs::event(brel_obs::Category::Search, "skipped_by_symmetry");
                 if self.config.trace {
                     self.trace.push(TraceEvent::SkippedBySymmetry);
                 }
@@ -600,9 +618,16 @@ impl Explorer {
             if let Some(cap) = self.config.fifo_capacity {
                 if self.frontier.len() >= cap {
                     self.stats.dropped_by_fifo += 1;
+                    brel_obs::event(brel_obs::Category::Search, "fifo_drop");
                     continue;
                 }
             }
+            brel_obs::event_with(
+                brel_obs::Category::Search,
+                "frontier_push",
+                "depth",
+                (subproblem.depth + 1) as u64,
+            );
             self.frontier.push(Subproblem {
                 relation: child,
                 depth: subproblem.depth + 1,
@@ -621,6 +646,7 @@ impl Explorer {
         self.best = function;
         self.best_cost = cost;
         self.stats.improvements += 1;
+        brel_obs::event_with(brel_obs::Category::Search, "improved", "cost", cost);
         if self.config.trace {
             self.trace.push(TraceEvent::Improved { cost });
         }

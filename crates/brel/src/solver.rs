@@ -237,6 +237,26 @@ pub struct SolveStats {
     pub gc_collections: u64,
 }
 
+impl SolveStats {
+    /// The counters as `(name, value)` pairs, for absorption into a
+    /// [`brel_obs::MetricsRegistry`].
+    pub fn metrics(&self) -> [(&'static str, u64); 11] {
+        [
+            ("explored", self.explored as u64),
+            ("splits", self.splits as u64),
+            ("pruned_by_cost", self.pruned_by_cost as u64),
+            ("pruned_dominated", self.pruned_dominated as u64),
+            ("skipped_by_symmetry", self.skipped_by_symmetry as u64),
+            ("dropped_by_fifo", self.dropped_by_fifo as u64),
+            ("improvements", self.improvements as u64),
+            ("complete", u64::from(self.complete)),
+            ("frontier_peak", self.frontier_peak as u64),
+            ("peak_live_nodes", self.peak_live_nodes),
+            ("gc_collections", self.gc_collections),
+        ]
+    }
+}
+
 /// The result of a solver run: the best compatible function found, its cost
 /// and the exploration statistics.
 #[derive(Debug, Clone)]

@@ -170,16 +170,22 @@ pub fn execute(
     relation: &BooleanRelation,
 ) -> Result<SolutionReport, RelationError> {
     let backend = instantiate(kind, cost, budget, strategy);
-    let stats_before = relation.space().mgr().cache_stats();
     // Portfolio backends share one rehydrated manager; re-base the peak
     // gauge so each report's `gc.peak_live_nodes` is this backend's own
     // high-water mark, not the construction peak or a predecessor's.
+    // (Re-basing only moves the peak gauge, so taking the combined
+    // snapshot after it sees the same counter baselines the two separate
+    // queries used to.)
     relation.space().mgr().reset_peak_live_nodes();
-    let gc_before = relation.space().gc_stats();
+    let before = relation.space().mgr().stats_snapshot();
     let start = Instant::now();
-    let run = backend.run(relation)?;
-    let wall = start.elapsed();
+    let run = {
+        let _span = brel_obs::span(brel_obs::Category::Engine, "backend");
+        backend.run(relation)?
+    };
+    let wall_us = brel_obs::wall_micros(start);
     debug_assert!(relation.is_compatible(&run.function));
+    let after = relation.space().mgr().stats_snapshot();
     let report = SolutionReport {
         backend: kind,
         cost: cost.to_cost_fn().cost(&run.function),
@@ -189,14 +195,10 @@ pub fn execute(
         splits: run.splits,
         frontier_peak: run.frontier_peak,
         strategy: (kind == BackendKind::Brel).then_some(strategy),
-        cache: relation
-            .space()
-            .mgr()
-            .cache_stats()
-            .delta_since(&stats_before),
-        gc: relation.space().gc_stats().delta_since(&gc_before),
+        cache: after.cache.delta_since(&before.cache),
+        gc: after.gc.delta_since(&before.gc),
         reuse: ReuseStats::default(),
-        wall_micros: u64::try_from(wall.as_micros()).unwrap_or(u64::MAX),
+        wall_micros: wall_us,
     };
     Ok(report)
 }

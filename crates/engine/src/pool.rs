@@ -156,13 +156,15 @@ impl Engine {
         let session_counts = Mutex::new((0u64, 0u64));
         let (tx, rx) = mpsc::channel::<JobReport>();
         let mut reports: Vec<JobReport> = thread::scope(|scope| {
-            for _ in 0..num_workers {
+            for worker in 0..num_workers {
                 let tx = tx.clone();
                 let queue = &queue;
                 let reuse_state = &reuse_state;
                 let session_counts = &session_counts;
                 let keep_warm = self.config.reuse;
                 scope.spawn(move || {
+                    let _track = brel_obs::enabled(brel_obs::Category::Engine)
+                        .then(|| brel_obs::set_track(&format!("pool-worker-{worker}")));
                     // Each worker owns one session that stays warm across
                     // every job it lands (cold mode never reuses it).
                     let mut warm = if keep_warm {
@@ -175,6 +177,11 @@ impl Engine {
                         let next = queue.lock().expect("job queue poisoned").pop_front();
                         match next {
                             Some((id, job)) => {
+                                let _job_span = brel_obs::span!(
+                                    brel_obs::Category::Engine,
+                                    "job",
+                                    "job_id" => id,
+                                );
                                 // The receiver outlives the scope; a send can
                                 // only fail if the collector stopped early.
                                 let _ = tx.send(run_job_with(id, job, &mut warm, reuse_state));
@@ -199,7 +206,7 @@ impl Engine {
         BatchReport {
             jobs: reports,
             num_workers,
-            wall_micros: u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX),
+            wall_micros: brel_obs::wall_micros(start),
             reuse: BatchReuse {
                 warm_reuses,
                 cold_builds,
@@ -232,7 +239,14 @@ impl Engine {
         let reports: Vec<JobReport> = jobs
             .iter()
             .enumerate()
-            .map(|(id, job)| run_job_wide_with(id, job, options, &mut coordinator, &mut sessions))
+            .map(|(id, job)| {
+                let _job_span = brel_obs::span!(
+                    brel_obs::Category::Engine,
+                    "job",
+                    "job_id" => id,
+                );
+                run_job_wide_with(id, job, options, &mut coordinator, &mut sessions)
+            })
             .collect();
         let mut warm_reuses = 0;
         let mut cold_builds = 0;
@@ -244,7 +258,7 @@ impl Engine {
         BatchReport {
             jobs: reports,
             num_workers,
-            wall_micros: u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX),
+            wall_micros: brel_obs::wall_micros(start),
             reuse: BatchReuse {
                 warm_reuses,
                 cold_builds,

@@ -68,7 +68,8 @@ pub(crate) fn run_job_with(
     let fingerprint = job.relation.fingerprint();
     let lookup_start = Instant::now();
     if let Some(mut attempts) = reuse.lookup_job(fingerprint, job) {
-        let wall = u64::try_from(lookup_start.elapsed().as_micros()).unwrap_or(u64::MAX);
+        brel_obs::event(brel_obs::Category::Session, "subrel_cache_hit");
+        let wall = brel_obs::wall_micros(lookup_start);
         for attempt in &mut attempts {
             attempt.reuse = ReuseStats {
                 warm_session: false,

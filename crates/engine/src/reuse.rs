@@ -62,6 +62,30 @@ pub struct BatchReuse {
     pub subrel_cache_misses: u64,
 }
 
+impl BatchReuse {
+    /// The counters as `(name, value)` pairs, for absorption into a
+    /// [`brel_obs::MetricsRegistry`].
+    pub fn metrics(&self) -> [(&'static str, u64); 4] {
+        [
+            ("warm_reuses", self.warm_reuses),
+            ("cold_builds", self.cold_builds),
+            ("subrel_cache_hits", self.subrel_cache_hits),
+            ("subrel_cache_misses", self.subrel_cache_misses),
+        ]
+    }
+}
+
+impl ReuseStats {
+    /// The flags as `(name, value)` pairs (`0`/`1`), for absorption into
+    /// a [`brel_obs::MetricsRegistry`].
+    pub fn metrics(&self) -> [(&'static str, u64); 2] {
+        [
+            ("warm_session", u64::from(self.warm_session)),
+            ("subrel_cache_hit", u64::from(self.subrel_cache_hit)),
+        ]
+    }
+}
+
 /// A persistent per-worker BDD session, rehydrating successive jobs into
 /// one reusable manager. The single rehydration path of the engine: the
 /// one-shot [`RelationSpec::rehydrate`] and wide mode's per-expansion
@@ -113,6 +137,7 @@ impl WarmSession {
     /// leaves minterm-accumulation garbage behind, so one collection runs
     /// before the relation is handed to the backends.
     pub fn rehydrate(&mut self, spec: &RelationSpec) -> (RelationSpace, BooleanRelation, bool) {
+        let _span = brel_obs::span(brel_obs::Category::Session, "rehydrate");
         let num_vars = spec.num_inputs() + spec.num_outputs();
         let pairs: usize = spec.rows().iter().map(|(_, outs)| outs.len().max(1)).sum();
         let expected_nodes = pairs.saturating_mul(num_vars);
@@ -122,11 +147,19 @@ impl WarmSession {
         // still rooted; the engine drops them before re-entering, so the
         // fallback is a safety net, not a code path jobs normally take.
         let session = match self.session.take() {
-            Some(previous) if previous.reset(num_vars, expected_nodes, config) => {
-                warm = true;
-                previous
+            Some(previous) => {
+                let reset_ok = {
+                    let _reset = brel_obs::span(brel_obs::Category::Session, "reset");
+                    previous.reset(num_vars, expected_nodes, config)
+                };
+                if reset_ok {
+                    warm = true;
+                    previous
+                } else {
+                    BddSession::with_config(num_vars, expected_nodes, config)
+                }
             }
-            _ => BddSession::with_config(num_vars, expected_nodes, config),
+            None => BddSession::with_config(num_vars, expected_nodes, config),
         };
         if self.keep_warm {
             self.session = Some(session.clone());
@@ -137,8 +170,12 @@ impl WarmSession {
         space.collect_garbage();
         if warm {
             self.warm_reuses += 1;
+            brel_obs::event(brel_obs::Category::Session, "warm_hit");
+            brel_obs::count(brel_obs::Category::Session, "session.warm_reuses", 1);
         } else {
             self.cold_builds += 1;
+            brel_obs::event(brel_obs::Category::Session, "cold_build");
+            brel_obs::count(brel_obs::Category::Session, "session.cold_builds", 1);
         }
         (space, relation, warm)
     }

@@ -103,10 +103,18 @@ fn expand_spec(
     prune_bound: u64,
     warm: &mut WarmSession,
 ) -> Result<WideExpansion, RelationError> {
+    // The per-expansion span; the nested session `rehydrate` span (see
+    // `WarmSession::rehydrate`) separates rehydration cost from expand
+    // proper in the phase report's self time.
+    let _span = brel_obs::span!(
+        brel_obs::Category::Engine,
+        "expand",
+        "depth" => spec.depth,
+        "bound" => spec.lower_bound,
+    );
     let (space, relation, _was_warm) = warm.rehydrate(&spec.relation);
-    let cache_before = space.mgr().cache_stats();
     space.mgr().reset_peak_live_nodes();
-    let gc_before = space.gc_stats();
+    let before = space.mgr().stats_snapshot();
     let minimizer = IsfMinimizer::default();
     let quick = QuickSolver::new().with_minimizer(minimizer);
     let cost_fn = cost.to_cost_fn();
@@ -118,6 +126,7 @@ fn expand_spec(
         ]),
         None => None,
     };
+    let after = space.mgr().stats_snapshot();
     Ok(WideExpansion {
         candidate_cost: expansion.candidate_cost,
         compatible: expansion.compatible,
@@ -128,8 +137,8 @@ fn expand_spec(
             .as_ref()
             .map(|(q, q_cost)| (*q_cost, q.num_cubes(), q.num_literals())),
         children,
-        cache: space.mgr().cache_stats().delta_since(&cache_before),
-        gc: space.gc_stats().delta_since(&gc_before),
+        cache: after.cache.delta_since(&before.cache),
+        gc: after.gc.delta_since(&before.gc),
     })
 }
 
@@ -146,9 +155,15 @@ fn run_round(
     let workers = sessions.len().clamp(1, picked.len().max(1));
     let (tx, rx) = mpsc::channel::<(usize, Result<WideExpansion, RelationError>)>();
     thread::scope(|scope| {
+        let dispatch = brel_obs::span(brel_obs::Category::Engine, "dispatch");
         for (w, warm) in sessions.iter_mut().take(workers).enumerate() {
             let tx = tx.clone();
             scope.spawn(move || {
+                // Scoped threads are respawned every round; pinning the
+                // track by worker index keeps one stable per-worker track
+                // in the trace across rounds.
+                let _track = brel_obs::enabled(brel_obs::Category::Engine)
+                    .then(|| brel_obs::set_track(&format!("wide-worker-{w}")));
                 for (index, spec) in picked.iter().enumerate().skip(w).step_by(workers) {
                     // The receiver outlives the scope; a send only fails if
                     // the collector stopped early.
@@ -157,6 +172,11 @@ fn run_round(
             });
         }
         drop(tx);
+        drop(dispatch);
+        // The round barrier: the coordinator blocks here until every
+        // worker has drained its stride — the wait ROADMAP item 1 wants
+        // attributed.
+        let _barrier = brel_obs::span(brel_obs::Category::Engine, "barrier_wait");
         let mut slots: Vec<Option<Result<WideExpansion, RelationError>>> =
             (0..picked.len()).map(|_| None).collect();
         for (index, result) in rx.iter() {
@@ -277,11 +297,13 @@ pub fn solve_wide_with(
     sessions: &mut [WarmSession],
 ) -> Result<SolutionReport, RelationError> {
     let start = Instant::now();
+    let solve_span = brel_obs::span(brel_obs::Category::Engine, "wide_solve");
     let top_k = options.top_k.max(1);
 
     // Seed the incumbent on the first worker's session: rehydrate the root
     // once for the quick incumbent (the §7.2 guarantee), then drop the
     // space — rounds reset and reuse the same sessions.
+    let seed_span = brel_obs::span(brel_obs::Category::Engine, "seed");
     let (space, root, seed_warm) = match sessions.first_mut() {
         Some(first) => first.rehydrate(&job.relation),
         None => {
@@ -292,9 +314,8 @@ pub fn solve_wide_with(
     if !root.is_well_defined() {
         return Err(RelationError::NotWellDefined);
     }
-    let cache_before = space.mgr().cache_stats();
     space.mgr().reset_peak_live_nodes();
-    let gc_before = space.gc_stats();
+    let before = space.mgr().stats_snapshot();
     let cost_fn = job.cost.to_cost_fn();
     let seed = QuickSolver::new()
         .with_minimizer(IsfMinimizer::default())
@@ -304,9 +325,11 @@ pub fn solve_wide_with(
         cubes: seed.num_cubes(),
         literals: seed.num_literals(),
     };
-    let mut cache = space.mgr().cache_stats().delta_since(&cache_before);
-    let mut gc = space.gc_stats().delta_since(&gc_before);
+    let after = space.mgr().stats_snapshot();
+    let mut cache = after.cache.delta_since(&before.cache);
+    let mut gc = after.gc.delta_since(&before.gc);
     drop((seed, root, space));
+    drop(seed_span);
 
     let mut frontier: Vec<SubproblemSpec> = vec![SubproblemSpec {
         relation: job.relation.clone(),
@@ -319,6 +342,7 @@ pub fn solve_wide_with(
     let mut splits = 0usize;
     let mut frontier_peak = 1usize;
 
+    let mut round_index = 0u64;
     loop {
         if frontier.is_empty() {
             break;
@@ -332,8 +356,17 @@ pub fn solve_wide_with(
             break;
         }
 
+        let mut round_span = brel_obs::span(brel_obs::Category::Engine, "round");
+        round_span
+            .arg("round", round_index)
+            .arg("frontier", frontier.len() as u64);
+        round_index += 1;
+
         let round_k = top_k.min(budget_left);
-        let picked = select_round(&mut frontier, job.strategy, round_k, best.cost);
+        let picked = {
+            let _select = brel_obs::span(brel_obs::Category::Engine, "select");
+            select_round(&mut frontier, job.strategy, round_k, best.cost)
+        };
         if picked.is_empty() {
             break;
         }
@@ -343,6 +376,7 @@ pub fn solve_wide_with(
         let results = run_round(&picked, job.cost, round_bound, sessions)?;
 
         // …and the deterministic merge, in ascending round index.
+        let _merge = brel_obs::span(brel_obs::Category::Engine, "merge");
         for (spec, expansion) in picked.iter().zip(results) {
             explored += 1;
             accumulate_cache(&mut cache, &expansion.cache);
@@ -389,7 +423,7 @@ pub fn solve_wide_with(
         }
     }
 
-    let wall = start.elapsed();
+    drop(solve_span);
     Ok(SolutionReport {
         backend: BackendKind::Brel,
         cost: best.cost,
@@ -405,7 +439,7 @@ pub fn solve_wide_with(
             warm_session: seed_warm,
             subrel_cache_hit: false,
         },
-        wall_micros: u64::try_from(wall.as_micros()).unwrap_or(u64::MAX),
+        wall_micros: brel_obs::wall_micros(start),
     })
 }
 

@@ -1,0 +1,162 @@
+//! The compact aggregate phase report: per-phase total/self time and
+//! call counts, plus counters, rendered as aligned text.
+
+use crate::collector::{PhaseAgg, SpanRecord};
+use crate::Category;
+
+/// One phase (a `(category, name)` pair) in the aggregate report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PhaseRow {
+    /// The phase's category.
+    pub category: Category,
+    /// The phase name.
+    pub name: String,
+    /// Completed span count.
+    pub count: u64,
+    /// Total wall time across all spans, microseconds.
+    pub total_us: u64,
+    /// Self time: total minus time spent in directly nested recorded
+    /// spans, microseconds. Phases kept only as aggregates (kernel ops
+    /// by default) report `self_us == total_us`.
+    pub self_us: u64,
+}
+
+/// Aggregate per-phase accounting built from a recording.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct PhaseReport {
+    /// Rows sorted by total time, largest first.
+    pub rows: Vec<PhaseRow>,
+    /// Named counters, sorted by name.
+    pub counters: Vec<(String, u64)>,
+    /// Observed wall span of the recording (max end − min start over
+    /// all recorded spans), microseconds.
+    pub wall_us: u64,
+}
+
+impl PhaseReport {
+    /// Builds the report from recorded spans plus the (possibly larger)
+    /// aggregate set — phases folded to aggregates have no span records
+    /// but still get a row.
+    pub(crate) fn build(
+        spans: &[SpanRecord],
+        phases: &[(Category, &'static str, PhaseAgg)],
+        counters: Vec<(String, u64)>,
+    ) -> PhaseReport {
+        // Reconstruct nesting per track to charge each span's duration
+        // to its parent exactly once; self = total − children.
+        let mut child_us: Vec<u64> = vec![0; spans.len()];
+        let mut order: Vec<usize> = (0..spans.len()).collect();
+        order.sort_by(|&a, &b| {
+            let (sa, sb) = (&spans[a], &spans[b]);
+            sa.track
+                .cmp(&sb.track)
+                .then(sa.start_us.cmp(&sb.start_us))
+                .then(sb.dur_us.cmp(&sa.dur_us))
+                .then(sa.depth.cmp(&sb.depth))
+        });
+        let mut stack: Vec<usize> = Vec::new();
+        let mut current_track = None;
+        for &i in &order {
+            let span = &spans[i];
+            if current_track != Some(span.track) {
+                stack.clear();
+                current_track = Some(span.track);
+            }
+            while let Some(&top) = stack.last() {
+                if spans[top].end_us() <= span.start_us {
+                    stack.pop();
+                } else {
+                    break;
+                }
+            }
+            if let Some(&parent) = stack.last() {
+                child_us[parent] = child_us[parent].saturating_add(span.dur_us);
+            }
+            stack.push(i);
+        }
+
+        let mut nested: std::collections::BTreeMap<(Category, &'static str), u64> =
+            std::collections::BTreeMap::new();
+        for (i, span) in spans.iter().enumerate() {
+            *nested.entry((span.cat, span.name)).or_default() += child_us[i];
+        }
+
+        let mut rows: Vec<PhaseRow> = phases
+            .iter()
+            .map(|&(category, name, agg)| {
+                let children = nested.get(&(category, name)).copied().unwrap_or(0);
+                PhaseRow {
+                    category,
+                    name: name.to_string(),
+                    count: agg.count,
+                    total_us: agg.total_us,
+                    self_us: agg.total_us.saturating_sub(children),
+                }
+            })
+            .collect();
+        rows.sort_by(|a, b| {
+            b.total_us
+                .cmp(&a.total_us)
+                .then_with(|| a.name.cmp(&b.name))
+        });
+
+        let wall_us = match (
+            spans.iter().map(|s| s.start_us).min(),
+            spans.iter().map(|s| s.end_us()).max(),
+        ) {
+            (Some(lo), Some(hi)) => hi.saturating_sub(lo),
+            _ => 0,
+        };
+
+        PhaseReport {
+            rows,
+            counters,
+            wall_us,
+        }
+    }
+
+    /// Total time of the named phase, microseconds (0 when absent).
+    pub fn total_us(&self, name: &str) -> u64 {
+        self.rows
+            .iter()
+            .filter(|r| r.name == name)
+            .map(|r| r.total_us)
+            .sum()
+    }
+
+    /// Renders the report as aligned text (the `--obs-report` output).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "phase report · wall {:.3} ms\n",
+            self.wall_us as f64 / 1e3
+        ));
+        out.push_str(&format!(
+            "  {:<10} {:<14} {:>10} {:>12} {:>12} {:>6}\n",
+            "category", "phase", "count", "total ms", "self ms", "wall%"
+        ));
+        for row in &self.rows {
+            let pct = if self.wall_us == 0 {
+                0.0
+            } else {
+                100.0 * row.total_us as f64 / self.wall_us as f64
+            };
+            out.push_str(&format!(
+                "  {:<10} {:<14} {:>10} {:>12.3} {:>12.3} {:>5.1}%\n",
+                row.category.label(),
+                row.name,
+                row.count,
+                row.total_us as f64 / 1e3,
+                row.self_us as f64 / 1e3,
+                pct
+            ));
+        }
+        if !self.counters.is_empty() {
+            out.push_str("  counters:\n");
+            for (name, value) in &self.counters {
+                out.push_str(&format!("    {name:<40} {value}\n"));
+            }
+        }
+        out
+    }
+}

@@ -9,5 +9,6 @@ pub use brel_core as brel;
 pub use brel_engine as engine;
 pub use brel_gyocro as gyocro;
 pub use brel_network as network;
+pub use brel_obs as obs;
 pub use brel_relation as relation;
 pub use brel_sop as sop;

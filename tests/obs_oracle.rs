@@ -1,0 +1,340 @@
+//! Oracle tests for the `brel-obs` observability layer.
+//!
+//! Three contracts are pinned here:
+//!
+//! 1. the Chrome trace export is well-formed JSON whose per-track
+//!    timestamps never decrease (so Perfetto renders it without repair);
+//! 2. span guards rebalance the per-thread nesting depth even when the
+//!    instrumented code panics (RAII across unwinding);
+//! 3. tracing is write-only: a fully traced batch produces byte-identical
+//!    timing-free output to an untraced one, at 1/2/8 workers, in narrow
+//!    and wide mode, warm and cold.
+//!
+//! The collector is process-global, so the tests serialize on a mutex
+//! (`cargo test` runs the functions of one binary concurrently).
+
+use std::sync::{Arc, Mutex, PoisonError};
+
+use brel_suite::benchdata::random_relation::random_well_defined_relation;
+use brel_suite::benchdata::table2;
+use brel_suite::engine::{Engine, JobSpec, RelationSpec, WideOptions};
+use brel_suite::obs::{self, Category, RecordingCollector};
+
+/// Serializes the tests of this binary: each installs/uninstalls the
+/// process-global collector. `into_inner` because the panic test poisons
+/// the lock by design.
+static OBS_LOCK: Mutex<()> = Mutex::new(());
+
+fn small_batch() -> Vec<JobSpec> {
+    let mut jobs = Vec::new();
+    for instance in table2::instances().into_iter().take(2) {
+        let (_space, relation) = table2::generate(&instance);
+        jobs.push(JobSpec::portfolio(
+            instance.name,
+            RelationSpec::from_relation(&relation).unwrap(),
+        ));
+    }
+    let (_space, relation) = random_well_defined_relation(4, 3, 0.25, 11);
+    jobs.push(JobSpec::portfolio(
+        "rand11",
+        RelationSpec::from_relation(&relation).unwrap(),
+    ));
+    jobs
+}
+
+// ---------------------------------------------------------------------------
+// A minimal JSON value + recursive-descent parser, enough to round-trip
+// the trace exporter's output (objects, arrays, strings, unsigned ints).
+// The point of hand-rolling it: the oracle must not share code with the
+// exporter it checks.
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq)]
+enum J {
+    Obj(Vec<(String, J)>),
+    Arr(Vec<J>),
+    Str(String),
+    Num(u64),
+}
+
+impl J {
+    fn get(&self, key: &str) -> Option<&J> {
+        match self {
+            J::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            J::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    fn as_num(&self) -> Option<u64> {
+        match self {
+            J::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(text: &'a str) -> Self {
+        Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> u8 {
+        self.bytes[self.pos]
+    }
+
+    fn bump(&mut self) -> u8 {
+        let b = self.bytes[self.pos];
+        self.pos += 1;
+        b
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.bytes.len() && self.peek().is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) {
+        self.skip_ws();
+        assert_eq!(
+            self.bump(),
+            b,
+            "expected {:?} at byte {}",
+            b as char,
+            self.pos
+        );
+    }
+
+    fn value(&mut self) -> J {
+        self.skip_ws();
+        match self.peek() {
+            b'{' => self.object(),
+            b'[' => self.array(),
+            b'"' => J::Str(self.string()),
+            b'0'..=b'9' => self.number(),
+            other => panic!("unexpected byte {:?} at {}", other as char, self.pos),
+        }
+    }
+
+    fn object(&mut self) -> J {
+        self.expect(b'{');
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == b'}' {
+            self.bump();
+            return J::Obj(fields);
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string();
+            self.expect(b':');
+            fields.push((key, self.value()));
+            self.skip_ws();
+            match self.bump() {
+                b',' => continue,
+                b'}' => return J::Obj(fields),
+                other => panic!("bad object separator {:?}", other as char),
+            }
+        }
+    }
+
+    fn array(&mut self) -> J {
+        self.expect(b'[');
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == b']' {
+            self.bump();
+            return J::Arr(items);
+        }
+        loop {
+            items.push(self.value());
+            self.skip_ws();
+            match self.bump() {
+                b',' => continue,
+                b']' => return J::Arr(items),
+                other => panic!("bad array separator {:?}", other as char),
+            }
+        }
+    }
+
+    fn string(&mut self) -> String {
+        assert_eq!(self.bump(), b'"', "expected string at byte {}", self.pos);
+        let mut out = String::new();
+        loop {
+            match self.bump() {
+                b'"' => return out,
+                b'\\' => match self.bump() {
+                    b'"' => out.push('"'),
+                    b'\\' => out.push('\\'),
+                    b'n' => out.push('\n'),
+                    b'r' => out.push('\r'),
+                    b't' => out.push('\t'),
+                    b'u' => {
+                        let hex: String = (0..4).map(|_| self.bump() as char).collect();
+                        let code = u32::from_str_radix(&hex, 16).expect("hex escape");
+                        out.push(char::from_u32(code).expect("scalar value"));
+                    }
+                    other => panic!("unsupported escape {:?}", other as char),
+                },
+                byte => out.push(byte as char),
+            }
+        }
+    }
+
+    fn number(&mut self) -> J {
+        let start = self.pos;
+        while self.pos < self.bytes.len() && self.peek().is_ascii_digit() {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        J::Num(text.parse().expect("u64 number"))
+    }
+}
+
+fn parse_json(text: &str) -> J {
+    let mut parser = Parser::new(text);
+    let value = parser.value();
+    parser.skip_ws();
+    assert_eq!(parser.pos, parser.bytes.len(), "trailing bytes after JSON");
+    value
+}
+
+#[test]
+fn chrome_trace_is_well_formed_with_monotone_tracks() {
+    let _lock = OBS_LOCK.lock().unwrap_or_else(PoisonError::into_inner);
+    let collector = Arc::new(RecordingCollector::new());
+    obs::install(collector.clone());
+    let report = Engine::with_workers(2)
+        .with_wide(WideOptions { top_k: 4 })
+        .solve_batch(&small_batch());
+    obs::uninstall();
+    assert_eq!(report.num_solved(), 3);
+
+    let trace = collector.chrome_trace();
+    let root = parse_json(&trace);
+    let J::Arr(events) = root.get("traceEvents").expect("traceEvents").clone() else {
+        panic!("traceEvents is not an array");
+    };
+    assert!(!events.is_empty(), "the traced batch recorded no events");
+
+    // Track names arrive as thread_name metadata; the wide workers must
+    // be pinned to their own stable tracks.
+    let mut names = Vec::new();
+    let mut last_ts: std::collections::BTreeMap<u64, u64> = Default::default();
+    for event in &events {
+        let ph = event.get("ph").and_then(J::as_str).expect("ph");
+        let tid = event.get("tid").and_then(J::as_num).expect("tid");
+        assert_eq!(event.get("pid").and_then(J::as_num), Some(1));
+        match ph {
+            "M" => {
+                assert_eq!(event.get("name").and_then(J::as_str), Some("thread_name"));
+                let args = event.get("args").expect("metadata args");
+                names.push(args.get("name").and_then(J::as_str).unwrap().to_string());
+            }
+            "X" => {
+                let ts = event.get("ts").and_then(J::as_num).expect("ts");
+                event.get("dur").and_then(J::as_num).expect("dur");
+                event.get("cat").and_then(J::as_str).expect("cat");
+                event.get("name").and_then(J::as_str).expect("name");
+                // Per-track timestamps never decrease in file order, so
+                // viewers need no repair pass.
+                let prev = last_ts.insert(tid, ts).unwrap_or(0);
+                assert!(ts >= prev, "track {tid}: ts {ts} after {prev}");
+            }
+            "i" => {
+                event.get("ts").and_then(J::as_num).expect("ts");
+                assert_eq!(event.get("s").and_then(J::as_str), Some("t"));
+            }
+            other => panic!("unexpected event phase {other:?}"),
+        }
+    }
+    assert!(
+        names.iter().any(|n| n == "wide-worker-0"),
+        "tracks: {names:?}"
+    );
+    assert!(
+        names.iter().any(|n| n == "wide-worker-1"),
+        "tracks: {names:?}"
+    );
+
+    // The aggregate view of the same recording attributes the wide solve
+    // to its seed/round phases (the >= 90% acceptance criterion).
+    let phase = collector.phase_report();
+    let wide_solve = phase.total_us("wide_solve");
+    let attributed = phase.total_us("seed") + phase.total_us("round");
+    assert!(wide_solve > 0);
+    assert!(
+        attributed * 100 >= wide_solve * 90,
+        "only {attributed} of {wide_solve} us attributed"
+    );
+}
+
+#[test]
+fn span_guards_rebalance_depth_across_panics() {
+    let _lock = OBS_LOCK.lock().unwrap_or_else(PoisonError::into_inner);
+    let collector = Arc::new(RecordingCollector::new());
+    obs::install(collector.clone());
+    assert_eq!(obs::current_depth(), 0);
+
+    let unwound = std::panic::catch_unwind(|| {
+        let _outer = obs::span(Category::Engine, "outer");
+        let _inner = obs::span(Category::Search, "inner");
+        assert_eq!(obs::current_depth(), 2);
+        panic!("instrumented code failed");
+    });
+    assert!(unwound.is_err());
+
+    // Both guards unwound: the depth is rebalanced and both spans were
+    // still reported to the collector.
+    assert_eq!(obs::current_depth(), 0);
+    obs::uninstall();
+    let spans = collector.spans();
+    assert!(spans.iter().any(|s| s.name == "outer" && s.depth == 0));
+    assert!(spans.iter().any(|s| s.name == "inner" && s.depth == 1));
+}
+
+#[test]
+fn tracing_leaves_batch_output_byte_identical() {
+    let _lock = OBS_LOCK.lock().unwrap_or_else(PoisonError::into_inner);
+    obs::uninstall();
+    let jobs = small_batch();
+    let solve = |workers: usize, wide: bool, warm: bool| {
+        let mut engine = Engine::with_workers(workers).with_reuse(warm);
+        if wide {
+            engine = engine.with_wide(WideOptions { top_k: 4 });
+        }
+        let report = engine.solve_batch(&jobs);
+        (report.to_json(false), report.to_csv(false))
+    };
+    for wide in [false, true] {
+        for warm in [true, false] {
+            for workers in [1usize, 2, 8] {
+                let baseline = solve(workers, wide, warm);
+                let collector = Arc::new(RecordingCollector::new());
+                obs::install(collector.clone());
+                let traced = solve(workers, wide, warm);
+                obs::uninstall();
+                assert_eq!(
+                    baseline, traced,
+                    "tracing changed output: {workers} workers, wide={wide}, warm={warm}"
+                );
+                assert!(!collector.spans().is_empty());
+            }
+        }
+    }
+}
