@@ -392,6 +392,12 @@ impl BddManager {
     /// explicit calls" contract that raw-`NodeId` holders rely on.
     pub fn maybe_gc(&mut self) {
         if !self.gc.auto_gc {
+            // A governor quota trip still gets its sweep: the quota
+            // contract is "GC first, then abort", independent of the
+            // session's auto-GC tuning.
+            if self.gc.pending && self.governor.as_ref().is_some_and(|g| g.tripped()) {
+                self.collect_garbage();
+            }
             return;
         }
         if self.gc.auto_reorder && self.live_nodes() >= self.gc.next_reorder_at {

@@ -40,6 +40,7 @@ use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use crate::cache::CacheStats;
 use crate::config::BddConfig;
 use crate::gc::GcStats;
+use crate::governor::ResourceGovernor;
 use crate::isop::IsopResult;
 use crate::manager::{BddManager, NodeId, Var};
 use crate::paths::PathCube;
@@ -154,6 +155,21 @@ impl BddSession {
             cache: m.cache_stats(),
             gc: m.gc_stats(),
         }
+    }
+
+    /// Installs a [`ResourceGovernor`] on the underlying manager: every
+    /// subsequent node allocation is checked against its live-node quota
+    /// and deadline, and a blown budget unwinds with a typed
+    /// [`crate::BddError`] payload (catch it at the work boundary with
+    /// [`crate::catch_resource_abort`]). Replaces any previous governor;
+    /// cleared by [`BddSession::clear_governor`] and by a session reset.
+    pub fn set_governor(&self, governor: ResourceGovernor) {
+        self.lock().set_governor(governor);
+    }
+
+    /// Removes the session's resource governor, returning it if installed.
+    pub fn clear_governor(&self) -> Option<ResourceGovernor> {
+        self.lock().clear_governor()
     }
 
     /// Runs a mark-and-sweep collection now; returns reclaimed node count.
@@ -826,6 +842,95 @@ mod tests {
         assert!(a.or(&b).eval(&[true, false]));
         drop((a, b, zero));
         assert_eq!(session.live_roots(), 0);
+    }
+
+    #[test]
+    fn governed_session_aborts_when_a_sweep_cannot_help() {
+        use crate::governor::{catch_resource_abort, BddError, ResourceGovernor};
+        // Everything stays rooted, so the quota's GC-first attempt reclaims
+        // nothing and the abort must fire.
+        let session = BddSession::with_config(16, 64, BddConfig::new().gc_min_nodes(16));
+        session.set_governor(ResourceGovernor::new().with_max_live_nodes(8));
+        let result = catch_resource_abort(|| {
+            let mut rooted = Vec::new();
+            let mut f = session.var(0);
+            for i in 1..16u32 {
+                f = f.xor(&session.var(i));
+                rooted.push(f.clone());
+            }
+            rooted.len()
+        });
+        assert!(
+            matches!(result, Err(BddError::QuotaExceeded { .. })),
+            "rooted growth past the quota must abort, got {result:?}"
+        );
+        // The manager survived the unwind structurally intact: new handle
+        // traffic works and the governor can be cleared.
+        assert!(session.clear_governor().is_some());
+        let a = session.var(0);
+        let b = session.var(1);
+        assert!(a.or(&b).eval(&[true, false]));
+    }
+
+    #[test]
+    fn governed_session_survives_when_gc_reclaims_enough() {
+        use crate::governor::{catch_resource_abort, ResourceGovernor};
+        // The same amount of churn, but nothing stays rooted: every trip's
+        // sweep reclaims the garbage, so the quota never aborts.
+        let session = BddSession::with_config(16, 64, BddConfig::new().gc_min_nodes(16));
+        session.set_governor(ResourceGovernor::new().with_max_live_nodes(64));
+        let result = catch_resource_abort(|| {
+            for round in 0..32u32 {
+                let mut f = session.var(round % 16);
+                for i in 0..16u32 {
+                    f = f.xor(&session.var(i));
+                }
+                // `f` drops here; the next safe point can reclaim its cone.
+            }
+            session.live_nodes()
+        });
+        let live = result.expect("reclaimable churn must stay under quota");
+        assert!(live <= 64 * 2 + 2, "live nodes stayed bounded, got {live}");
+        session.clear_governor();
+    }
+
+    #[test]
+    fn governed_session_honours_an_expired_deadline() {
+        use crate::governor::{catch_resource_abort, BddError, ResourceGovernor};
+        let session = BddSession::new(20);
+        session.set_governor(ResourceGovernor::new().with_deadline_in(std::time::Duration::ZERO));
+        let result = catch_resource_abort(|| {
+            // Enough allocations to pass several deadline-check intervals.
+            let mut rooted = Vec::new();
+            let mut f = session.var(0);
+            for round in 0..64u32 {
+                for i in 0..20u32 {
+                    f = f.xor(&session.var((i + round) % 20)).or(&session.var(i));
+                    rooted.push(f.clone());
+                }
+            }
+            rooted.len()
+        });
+        assert!(
+            matches!(result, Err(BddError::DeadlineExceeded { .. })),
+            "an already-expired deadline must abort, got {result:?}"
+        );
+        session.clear_governor();
+    }
+
+    #[test]
+    fn session_reset_clears_the_governor() {
+        use crate::governor::ResourceGovernor;
+        let session = BddSession::new(2);
+        session.set_governor(ResourceGovernor::new().with_max_live_nodes(1));
+        assert!(session.reset(2, 64, BddConfig::new()));
+        // Were the governor still installed, this rooted growth past one
+        // live node would abort (and poison the test with a panic).
+        let a = session.var(0);
+        let b = session.var(1);
+        let f = a.and(&b).or(&a.xor(&b));
+        assert!(f.eval(&[true, false]));
+        assert!(session.clear_governor().is_none());
     }
 
     #[test]

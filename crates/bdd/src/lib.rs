@@ -60,6 +60,7 @@ mod config;
 mod dot;
 mod gc;
 mod gencof;
+mod governor;
 mod handle;
 mod isop;
 mod manager;
@@ -72,6 +73,7 @@ pub use cache::CacheStats;
 pub use config::BddConfig;
 pub use dot::to_dot;
 pub use gc::GcStats;
+pub use governor::{catch_resource_abort, quiet_resource_aborts, BddError, ResourceGovernor};
 pub use handle::{Bdd, BddSession, KernelSnapshot};
 pub use isop::{IsopCube, IsopResult};
 pub use manager::{BddManager, NodeId, Var};

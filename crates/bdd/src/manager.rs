@@ -27,6 +27,7 @@ use std::fmt;
 use crate::cache::{CacheStats, OpCache, OpTag, UniqueTable};
 use crate::config::BddConfig;
 use crate::gc::{GcState, RootTable};
+use crate::governor::{GovernorVerdict, ResourceGovernor};
 
 /// Index of a BDD variable.
 ///
@@ -140,6 +141,9 @@ pub struct BddManager {
     pub(crate) roots: RootTable,
     /// Lifecycle bookkeeping: GC triggers and counters.
     pub(crate) gc: GcState,
+    /// Optional resource budget enforced by `note_alloc`; see
+    /// [`crate::governor`].
+    pub(crate) governor: Option<ResourceGovernor>,
     /// Interned monotone rename maps (sorted `(old, new)` pairs); the index
     /// is the stable identity used in rename cache keys.
     rename_maps: Vec<Vec<(Var, Var)>>,
@@ -190,6 +194,7 @@ impl BddManager {
             level2var: (0..num_vars).map(Var::from).collect(),
             roots: RootTable::with_capacity(expected_roots),
             gc: GcState::new(&config),
+            governor: None,
             rename_maps: Vec::new(),
             visit_scratch: RefCell::new(VisitScratch::new()),
             var_names: (0..num_vars).map(|i| format!("x{i}")).collect(),
@@ -252,6 +257,9 @@ impl BddManager {
             self.gc.reorder_passes,
         ) = counters;
         self.gc.peak_live_nodes = self.live_nodes() as u64;
+        // A governor budgets one unit of work; it never survives into the
+        // next job's session.
+        self.governor = None;
         true
     }
 
@@ -307,8 +315,13 @@ impl BddManager {
         v
     }
 
-    /// Post-allocation bookkeeping: tracks the live-node high-water mark
-    /// and arms the deferred-GC flag once the growth threshold is crossed.
+    /// Post-allocation bookkeeping: tracks the live-node high-water mark,
+    /// arms the deferred-GC flag once the growth threshold is crossed, and
+    /// enforces the session's [`ResourceGovernor`] (if one is installed).
+    /// A governor abort unwinds with a typed [`crate::BddError`] payload;
+    /// the node just created is fully inserted and will be reclaimed as
+    /// unrooted garbage by the next sweep, so the manager stays
+    /// structurally consistent.
     #[inline]
     pub(crate) fn note_alloc(&mut self) {
         let live = self.nodes.len() - self.free.len();
@@ -318,6 +331,29 @@ impl BddManager {
         if self.gc.auto_gc && live >= self.gc.next_gc_at {
             self.gc.pending = true;
         }
+        if let Some(governor) = &mut self.governor {
+            match governor.note_alloc(live as u64, self.gc.collections) {
+                GovernorVerdict::Proceed => {}
+                GovernorVerdict::RequestGc => self.gc.pending = true,
+                GovernorVerdict::Abort(error) => std::panic::panic_any(error),
+            }
+        }
+    }
+
+    /// Installs a resource governor, replacing any previous one. The
+    /// governor budgets one unit of work: a session reset clears it.
+    pub fn set_governor(&mut self, governor: ResourceGovernor) {
+        self.governor = Some(governor);
+    }
+
+    /// Removes the resource governor, returning it if one was installed.
+    pub fn clear_governor(&mut self) -> Option<ResourceGovernor> {
+        self.governor.take()
+    }
+
+    /// The installed resource governor, if any.
+    pub fn governor(&self) -> Option<&ResourceGovernor> {
+        self.governor.as_ref()
     }
 
     /// Sets the display name of a variable.

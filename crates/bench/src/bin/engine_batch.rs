@@ -20,7 +20,22 @@
 //!   pre-redesign behaviour. The deterministic output is identical either
 //!   way; use this to measure what the warm pool buys
 //! * `--fingerprint N` fail (exit 1) unless the batch's total winner cost
-//!   equals `N` — the CI drift gate for the default FIFO strategy
+//!   equals `N` — the CI drift gate for the default FIFO strategy. With
+//!   `--chaos` the gate applies to the no-fault reference run
+//! * `--chaos SEED` chaos mode: derive a deterministic fault-injection
+//!   plan from `SEED` (one panic, one quota trip, one step deadline, on
+//!   three distinct jobs), run a no-fault reference batch first, then the
+//!   injected batch, and fail (exit 1) unless every injection fired,
+//!   exactly that many jobs report a non-`solved` outcome (each still
+//!   carrying a verified winner), and every untargeted job's timing-free
+//!   output is byte-identical to the reference
+//! * `--deadline-ms N` per-job wall-clock deadline for the BREL backend
+//!   (kernel governor; timing-dependent, so keep it out of determinism
+//!   gates)
+//! * `--max-live-nodes N` per-job live-BDD-node quota for the BREL
+//!   backend (kernel governor)
+//! * `--retries N`  retry transient (panic-class) faults up to `N` times
+//!   on a quarantined-and-rebuilt session
 //! * `--json`       emit the batch as JSON instead of the human table
 //! * `--csv`        emit the batch as CSV instead of the human table
 //! * `--timing`     include wall-clock fields in `--json`/`--csv` output
@@ -39,7 +54,10 @@ use std::process::ExitCode;
 use std::sync::Arc;
 
 use brel_bench::engine_batch::{corpus, render, CorpusOptions};
-use brel_engine::{BatchReport, Engine, EngineConfig, JobSpec, SearchStrategy, WideOptions};
+use brel_engine::{
+    BatchReport, Engine, EngineConfig, FaultPlan, FaultPolicy, JobOutcome, JobSpec, SearchStrategy,
+    WideOptions,
+};
 use brel_obs::{MetricsRegistry, RecordingCollector};
 
 fn main() -> ExitCode {
@@ -58,6 +76,10 @@ fn main() -> ExitCode {
     let mut trace_out: Option<String> = None;
     let mut obs_report = false;
     let mut overhead_gate: Option<u64> = None;
+    let mut chaos: Option<u64> = None;
+    let mut deadline_ms: Option<u64> = None;
+    let mut max_live_nodes: Option<u64> = None;
+    let mut retries = 0u32;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -101,6 +123,22 @@ fn main() -> ExitCode {
                 Some(n) => overhead_gate = Some(n),
                 None => return usage("--overhead-gate needs nanoseconds"),
             },
+            "--chaos" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(seed) => chaos = Some(seed),
+                None => return usage("--chaos needs a seed"),
+            },
+            "--deadline-ms" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) => deadline_ms = Some(n),
+                None => return usage("--deadline-ms needs milliseconds"),
+            },
+            "--max-live-nodes" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) => max_live_nodes = Some(n),
+                None => return usage("--max-live-nodes needs a number"),
+            },
+            "--retries" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) => retries = n,
+                None => return usage("--retries needs a number"),
+            },
             other => return usage(&format!("unknown flag `{other}`")),
         }
     }
@@ -132,7 +170,18 @@ fn main() -> ExitCode {
         collector
     });
 
-    let jobs = corpus(&options);
+    let mut jobs = corpus(&options);
+    // Map the fault flags onto every job's policy. The default policy is a
+    // no-op, so the flags cost nothing when unused.
+    let policy = FaultPolicy {
+        deadline_ms,
+        max_live_nodes,
+        retries,
+        ..FaultPolicy::default()
+    };
+    if policy != FaultPolicy::default() {
+        jobs = jobs.into_iter().map(|j| j.with_fault(policy)).collect();
+    }
     // Smoke pins 2 workers (the determinism gate re-runs on 1); otherwise
     // default to the machine's parallelism.
     let num_workers = workers.unwrap_or(if smoke {
@@ -140,14 +189,27 @@ fn main() -> ExitCode {
     } else {
         EngineConfig::default().num_workers
     });
-    let solve = |jobs: &[JobSpec], num_workers: usize| -> BatchReport {
+    let names: Vec<&str> = jobs.iter().map(|j| j.name.as_str()).collect();
+    // Injections are armed-once, so every chaos solve arms a fresh copy of
+    // the (seed-deterministic) plan — the smoke re-run below needs its own.
+    let solve = |jobs: &[JobSpec],
+                 num_workers: usize,
+                 chaos_seed: Option<u64>|
+     -> (BatchReport, Option<Arc<FaultPlan>>) {
         let mut engine = Engine::with_workers(num_workers).with_reuse(!cold);
         if wide {
             engine = engine.with_wide(WideOptions { top_k });
         }
-        engine.solve_batch(jobs)
+        let plan = chaos_seed.map(|seed| Arc::new(FaultPlan::seeded(seed, &names)));
+        if let Some(plan) = &plan {
+            engine = engine.with_fault_plan(plan.clone());
+        }
+        (engine.solve_batch(jobs), plan)
     };
-    let report = solve(&jobs, num_workers);
+    // Chaos mode runs a no-fault reference batch first: it anchors the
+    // fingerprint gate and the untargeted-job byte comparison.
+    let reference = chaos.map(|_| solve(&jobs, num_workers, None).0);
+    let (report, plan) = solve(&jobs, num_workers, chaos);
 
     if let Some(collector) = &collector {
         if let Some(path) = &trace_out {
@@ -182,7 +244,9 @@ fn main() -> ExitCode {
     }
 
     if let Some(expected) = fingerprint {
-        let actual = report.total_winner_cost();
+        // Under chaos the injected batch deliberately degrades jobs; the
+        // drift gate anchors on the no-fault reference instead.
+        let actual = reference.as_ref().unwrap_or(&report).total_winner_cost();
         if actual != expected {
             eprintln!(
                 "engine_batch: fingerprint drift — total winner cost {actual}, expected {expected}"
@@ -192,10 +256,68 @@ fn main() -> ExitCode {
         eprintln!("engine_batch: fingerprint OK (total winner cost {actual})");
     }
 
+    if let (Some(reference), Some(plan)) = (&reference, &plan) {
+        let injected = plan.injections().len();
+        if plan.num_fired() != injected {
+            eprintln!(
+                "engine_batch: chaos plan misfired — {} of {injected} injections fired",
+                plan.num_fired()
+            );
+            return ExitCode::FAILURE;
+        }
+        let non_solved: Vec<&str> = report
+            .jobs
+            .iter()
+            .filter(|j| j.outcome != Some(JobOutcome::Solved))
+            .map(|j| j.name.as_str())
+            .collect();
+        if non_solved.len() != injected {
+            eprintln!(
+                "engine_batch: expected {injected} non-solved outcomes, got {} ({:?})",
+                non_solved.len(),
+                non_solved
+            );
+            return ExitCode::FAILURE;
+        }
+        // Graceful degradation: every injected job still carries a winner
+        // (the engine hard-asserts each attempt's compatibility, so a
+        // winner is a verified solution). The batch-wide num_solved gate
+        // above already covered this; re-check per targeted job anyway.
+        let targets = plan.targets();
+        for job in &report.jobs {
+            if targets.contains(&job.name.as_str()) && job.winner.is_none() {
+                eprintln!("engine_batch: injected job {} lost its winner", job.name);
+                return ExitCode::FAILURE;
+            }
+        }
+        // Fault isolation: jobs the plan does not target must be
+        // byte-identical to the no-fault reference.
+        for (chaotic, clean) in report.jobs.iter().zip(&reference.jobs) {
+            if targets.contains(&chaotic.name.as_str()) {
+                continue;
+            }
+            if chaotic.to_json(false).render() != clean.to_json(false).render() {
+                eprintln!(
+                    "engine_batch: untargeted job {} changed under chaos",
+                    chaotic.name
+                );
+                return ExitCode::FAILURE;
+            }
+        }
+        eprintln!(
+            "engine_batch: chaos OK (seed {}, {injected} injections fired on {:?}, \
+             {} session quarantines, clean jobs byte-identical)",
+            plan.seed(),
+            targets,
+            report.reuse.quarantines,
+        );
+    }
+
     if smoke {
         // The determinism gate: the same corpus on one worker must produce
-        // byte-identical timing-free output (in whichever mode ran above).
-        let single = solve(&jobs, 1);
+        // byte-identical timing-free output (in whichever mode ran above,
+        // chaos included — the re-run arms a fresh plan from the same seed).
+        let (single, _) = solve(&jobs, 1, chaos);
         if single.to_json(false) != report.to_json(false)
             || single.to_csv(false) != report.to_csv(false)
         {
@@ -206,11 +328,12 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
         eprintln!(
-            "engine_batch: smoke OK ({} jobs, {} workers, strategy {}, {}deterministic vs 1 worker)",
+            "engine_batch: smoke OK ({} jobs, {} workers, strategy {}, {}{}deterministic vs 1 worker)",
             report.jobs.len(),
             report.num_workers,
             options.strategy,
             if wide { "wide, " } else { "" },
+            if chaos.is_some() { "chaos, " } else { "" },
         );
     }
 
@@ -285,6 +408,7 @@ fn usage(error: &str) -> ExitCode {
     eprintln!(
         "usage: engine_batch [--smoke] [--workers N] [--instances N] [--random N] \
          [--strategy fifo|dfs|best-first] [--wide] [--cold] [--topk N] [--fingerprint N] \
+         [--chaos SEED] [--deadline-ms N] [--max-live-nodes N] [--retries N] \
          [--json|--csv] [--timing] [--trace-out PATH] [--obs-report] [--overhead-gate NS]"
     );
     ExitCode::FAILURE

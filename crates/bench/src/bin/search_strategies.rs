@@ -14,8 +14,11 @@
 //! it, if a wide-mode run was not worker-count deterministic, if the
 //! warm-pool run differed from the cold run (or never hit the subrelation
 //! cache on the doubled corpus), if tracing the wide batch changed its
-//! output, or if the phase report attributes less than 90% of the wide
-//! solve to named phases — the harness is its own acceptance gate.
+//! output, if the phase report attributes less than 90% of the wide
+//! solve to named phases, or if any chaos contract broke (an injection
+//! never fired, a fault leaked onto a clean job, a targeted job lost its
+//! solution, or the chaos run drifted across worker counts) — the harness
+//! is its own acceptance gate.
 
 use std::process::ExitCode;
 
@@ -98,6 +101,34 @@ fn main() -> ExitCode {
             "search_strategies: only {}% of the wide solve attributed to named phases",
             report.obs.attributed_pct
         );
+        return ExitCode::FAILURE;
+    }
+
+    // The chaos contracts: every injected fault fires, is attributed to a
+    // structured non-solved outcome, recovers a solution, and leaves the
+    // rest of the batch byte-untouched and worker-count deterministic.
+    let chaos = &report.chaos;
+    if chaos.fired != chaos.injections || chaos.non_solved != chaos.injections {
+        eprintln!(
+            "search_strategies: chaos fired {}/{} injections with {} non-solved outcomes",
+            chaos.fired, chaos.injections, chaos.non_solved
+        );
+        return ExitCode::FAILURE;
+    }
+    if !chaos.all_recovered {
+        eprintln!("search_strategies: a chaos-targeted job lost its solution");
+        return ExitCode::FAILURE;
+    }
+    if chaos.quarantines == 0 {
+        eprintln!("search_strategies: chaos faults never quarantined a session");
+        return ExitCode::FAILURE;
+    }
+    if !chaos.deterministic {
+        eprintln!("search_strategies: the chaos run drifted between 1 and 2 workers");
+        return ExitCode::FAILURE;
+    }
+    if !chaos.clean_identical {
+        eprintln!("search_strategies: a chaos fault polluted an untargeted job");
         return ExitCode::FAILURE;
     }
 

@@ -7,9 +7,13 @@
 //! corpus is fanned out over a worker pool and every job races the full
 //! backend portfolio.
 
+use std::sync::Arc;
+
 use brel_benchdata::random_relation::random_well_defined_relation;
 use brel_benchdata::table2 as family;
-use brel_engine::{BatchReport, Engine, JobSpec, RelationSpec, SearchStrategy, WideOptions};
+use brel_engine::{
+    BatchReport, Engine, FaultPlan, JobSpec, RelationSpec, SearchStrategy, WideOptions,
+};
 
 /// Shape of the mixed corpus.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -107,6 +111,15 @@ pub fn run_wide(jobs: &[JobSpec], num_workers: usize, top_k: usize) -> BatchRepo
         .solve_batch(jobs)
 }
 
+/// Runs a corpus with an armed fault plan: the engine fires the plan's
+/// injections into the matching jobs and classifies the outcomes. Plans are
+/// armed-once, so callers must build a fresh plan per run.
+pub fn run_chaos(jobs: &[JobSpec], num_workers: usize, plan: Arc<FaultPlan>) -> BatchReport {
+    Engine::with_workers(num_workers)
+        .with_fault_plan(plan)
+        .solve_batch(jobs)
+}
+
 /// Renders the batch as a human-readable table: one line per job with every
 /// backend's cost and the selected winner.
 pub fn render(report: &BatchReport) -> String {
@@ -126,6 +139,18 @@ pub fn render(report: &BatchReport) -> String {
             out.push_str(&format!(
                 "{:8} {:2} {:2} | error: {error}\n",
                 job.name, job.num_inputs, job.num_outputs
+            ));
+            continue;
+        }
+        if job.attempts.is_empty() {
+            // Every backend faulted away and no fallback recovered the job.
+            out.push_str(&format!(
+                "{:8} {:2} {:2} | {}: {}\n",
+                job.name,
+                job.num_inputs,
+                job.num_outputs,
+                job.outcome.map_or("failed", |o| o.name()),
+                job.fault.as_deref().unwrap_or("no attempt completed"),
             ));
             continue;
         }
@@ -151,23 +176,27 @@ pub fn render(report: &BatchReport) -> String {
                 attempt.explored,
                 attempt.cache.cache_hit_rate() * 100.0,
                 attempt.wall_micros as f64 / 1e6,
-                if job.winner == Some(i) {
-                    "<-- winner"
-                } else {
-                    ""
+                match (job.winner == Some(i), job.outcome) {
+                    (true, Some(brel_engine::JobOutcome::Degraded)) => "<-- winner (degraded)",
+                    (true, _) => "<-- winner",
+                    (false, _) => "",
                 },
             ));
+        }
+        if let Some(fault) = &job.fault {
+            out.push_str(&format!("{} | fault: {fault}\n", " ".repeat(14)));
         }
     }
     for (kind, wins) in report.wins_by_backend() {
         out.push_str(&format!("wins[{}] = {}\n", kind.name(), wins));
     }
     out.push_str(&format!(
-        "reuse: {} warm resets, {} cold builds, {} cache hits / {} misses\n",
+        "reuse: {} warm resets, {} cold builds, {} cache hits / {} misses, {} quarantines\n",
         report.reuse.warm_reuses,
         report.reuse.cold_builds,
         report.reuse.subrel_cache_hits,
         report.reuse.subrel_cache_misses,
+        report.reuse.quarantines,
     ));
     out
 }

@@ -38,6 +38,16 @@
 //! to named phases, the disabled-span cost, and the traced-vs-untraced
 //! walls — pinning both the attribution and the zero-overhead contracts
 //! in the trajectory file.
+//!
+//! A **chaos** block (once per run) fires a seeded [`brel_engine::FaultPlan`]
+//! — one panic, one quota trip, one step deadline on three distinct jobs —
+//! into the FIFO portfolio corpus and records the fault-tolerance
+//! contracts: every injection fired, every targeted job came back with a
+//! structured non-`solved` outcome *and* a recovered solution, faulted
+//! sessions were quarantined, the chaos run itself is worker-count
+//! invariant, and the untargeted jobs' timing-free reports are
+//! byte-identical to a no-fault run (fault isolation is perfect or it is
+//! a bug).
 
 use std::sync::Arc;
 use std::time::Instant;
@@ -45,7 +55,7 @@ use std::time::Instant;
 use brel_benchdata::figures;
 use brel_benchdata::table2 as family;
 use brel_core::{BrelConfig, BrelSolver, SearchStrategy};
-use brel_engine::{BackendKind, JobSpec, Json};
+use brel_engine::{BackendKind, FaultPlan, JobOutcome, JobSpec, Json};
 
 use crate::engine_batch::{self, CorpusOptions};
 
@@ -188,6 +198,35 @@ pub struct ObsMetrics {
     pub phases: Vec<ObsPhase>,
 }
 
+/// The fault-tolerance measurement: a seeded fault plan fired into the
+/// FIFO portfolio corpus, with every contract recorded as data so the run
+/// (and the CI gate over it) can prove the engine degrades instead of
+/// failing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChaosMetrics {
+    /// Seed of the injected [`FaultPlan`].
+    pub seed: u64,
+    /// Injections the plan carried (one per [`brel_engine::FaultKind`],
+    /// clamped to the corpus size).
+    pub injections: u64,
+    /// Injections that actually fired — must equal `injections`.
+    pub fired: u64,
+    /// Jobs whose outcome was not `solved` — must equal `injections`
+    /// (every fault is attributed, no fault leaks onto a clean job).
+    pub non_solved: u64,
+    /// Whether every targeted job still produced a verified solution
+    /// (the degradation ladder or surviving portfolio attempts won).
+    pub all_recovered: bool,
+    /// Warm sessions quarantined and rebuilt cold by the 2-worker chaos run.
+    pub quarantines: u64,
+    /// Whether the 1- and 2-worker chaos runs' timing-free outputs were
+    /// byte-identical (fault injection preserves determinism).
+    pub deterministic: bool,
+    /// Whether every *untargeted* job's timing-free report was
+    /// byte-identical to the no-fault run (fault isolation).
+    pub clean_identical: bool,
+}
+
 /// The complete harness output.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SearchReport {
@@ -199,6 +238,8 @@ pub struct SearchReport {
     pub reuse: ReuseMetrics,
     /// The traced wide-mode phase breakdown (once per run).
     pub obs: ObsMetrics,
+    /// The seeded fault-injection measurement (once per run).
+    pub chaos: ChaosMetrics,
 }
 
 /// Brel-only jobs over the harness corpus (the portfolio's quick/gyocro
@@ -368,6 +409,57 @@ fn obs_metrics(options: &SearchBenchOptions) -> ObsMetrics {
     }
 }
 
+/// The chaos workload: the FIFO portfolio corpus under a seeded
+/// [`FaultPlan`], run at 1 and 2 workers (a fresh plan each — injections
+/// are armed-once) and compared against a no-fault reference. Everything
+/// recorded is deterministic in `(seed, corpus)`.
+fn chaos_metrics(options: &SearchBenchOptions) -> ChaosMetrics {
+    let jobs = engine_batch::corpus(&CorpusOptions {
+        table2_instances: options.table2_instances,
+        random_relations: options.random_relations,
+        ..CorpusOptions::full()
+    });
+    let names: Vec<&str> = jobs.iter().map(|j| j.name.as_str()).collect();
+    let seed = 29;
+    let clean = engine_batch::run(&jobs, 2);
+    let chaos_run = |workers: usize| {
+        let plan = Arc::new(FaultPlan::seeded(seed, &names));
+        (engine_batch::run_chaos(&jobs, workers, plan.clone()), plan)
+    };
+    let (two, plan) = chaos_run(2);
+    let (one, _) = chaos_run(1);
+    let targets = plan.targets();
+    let non_solved = two
+        .jobs
+        .iter()
+        .filter(|j| j.outcome != Some(JobOutcome::Solved))
+        .count() as u64;
+    let all_recovered = two
+        .jobs
+        .iter()
+        .filter(|j| targets.contains(&j.name.as_str()))
+        .all(|j| j.winner.is_some());
+    let clean_identical = two
+        .jobs
+        .iter()
+        .zip(clean.jobs.iter())
+        .filter(|(j, _)| !targets.contains(&j.name.as_str()))
+        .all(|(chaotic, reference)| {
+            chaotic.to_json(false).render() == reference.to_json(false).render()
+        });
+    ChaosMetrics {
+        seed,
+        injections: plan.injections().len() as u64,
+        fired: plan.num_fired() as u64,
+        non_solved,
+        all_recovered,
+        quarantines: two.reuse.quarantines,
+        deterministic: one.to_json(false) == two.to_json(false)
+            && one.to_csv(false) == two.to_csv(false),
+        clean_identical,
+    }
+}
+
 /// Runs the harness and collects the report.
 pub fn run(options: &SearchBenchOptions) -> SearchReport {
     let mut rows = Vec::new();
@@ -409,6 +501,7 @@ pub fn run(options: &SearchBenchOptions) -> SearchReport {
         rows,
         reuse: reuse_metrics(options),
         obs: obs_metrics(options),
+        chaos: chaos_metrics(options),
     }
 }
 
@@ -416,7 +509,7 @@ impl SearchReport {
     /// The JSON representation of one harness run.
     pub fn to_json(&self) -> Json {
         Json::object(vec![
-            ("schema", Json::str("brel-bench/search-strategies-run-v2")),
+            ("schema", Json::str("brel-bench/search-strategies-run-v3")),
             ("label", Json::str(&self.label)),
             (
                 "strategies",
@@ -519,6 +612,19 @@ impl SearchReport {
                     ),
                 ]),
             ),
+            (
+                "chaos",
+                Json::object(vec![
+                    ("seed", Json::UInt(self.chaos.seed)),
+                    ("injections", Json::UInt(self.chaos.injections)),
+                    ("fired", Json::UInt(self.chaos.fired)),
+                    ("non_solved", Json::UInt(self.chaos.non_solved)),
+                    ("all_recovered", Json::Bool(self.chaos.all_recovered)),
+                    ("quarantines", Json::UInt(self.chaos.quarantines)),
+                    ("deterministic", Json::Bool(self.chaos.deterministic)),
+                    ("clean_identical", Json::Bool(self.chaos.clean_identical)),
+                ]),
+            ),
         ])
     }
 
@@ -575,6 +681,25 @@ impl SearchReport {
                 "DRIFT"
             },
         ));
+        out.push_str(&format!(
+            "chaos: seed {}, {}/{} injections fired, {} non-solved, {} quarantines, recovery {}, workers {}, clean jobs {}\n",
+            self.chaos.seed,
+            self.chaos.fired,
+            self.chaos.injections,
+            self.chaos.non_solved,
+            self.chaos.quarantines,
+            if self.chaos.all_recovered { "ok" } else { "FAILED" },
+            if self.chaos.deterministic {
+                "deterministic"
+            } else {
+                "DRIFT"
+            },
+            if self.chaos.clean_identical {
+                "identical"
+            } else {
+                "POLLUTED"
+            },
+        ));
         out
     }
 }
@@ -606,15 +731,18 @@ mod tests {
         let best = &report.rows[2];
         assert!(best.fig10_explored <= fifo.fig10_explored);
         let json = report.to_json().render();
-        assert!(json.contains("\"schema\":\"brel-bench/search-strategies-run-v2\""));
+        assert!(json.contains("\"schema\":\"brel-bench/search-strategies-run-v3\""));
         assert!(json.contains("\"fig10_exact\""));
         assert!(json.contains("\"churn\""));
         assert!(json.contains("\"subrel_cache_hits\""));
         assert!(json.contains("\"attributed_pct\""));
+        assert!(json.contains("\"chaos\""));
+        assert!(json.contains("\"clean_identical\""));
         let text = report.render();
         assert!(text.contains("best-first"));
         assert!(text.contains("reuse:"));
         assert!(text.contains("obs:"));
+        assert!(text.contains("chaos:"));
         // The warm pool is invisible in the output and the duplicated
         // corpus guarantees cache traffic.
         assert!(report.reuse.identical_output);
@@ -630,5 +758,15 @@ mod tests {
             report.obs.attributed_pct
         );
         assert!(report.obs.phases.iter().any(|p| p.name == "barrier_wait"));
+        // Every chaos contract holds on the tiny corpus: the plan clamps to
+        // the corpus size, fires completely, attributes every fault, keeps
+        // recovered solutions, and leaves clean jobs untouched.
+        assert_eq!(report.chaos.injections, 2); // 2 jobs -> 2 fault kinds
+        assert_eq!(report.chaos.fired, report.chaos.injections);
+        assert_eq!(report.chaos.non_solved, report.chaos.injections);
+        assert!(report.chaos.all_recovered);
+        assert!(report.chaos.deterministic);
+        assert!(report.chaos.clean_identical);
+        assert!(report.chaos.quarantines >= 1);
     }
 }

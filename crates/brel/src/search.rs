@@ -380,6 +380,10 @@ pub enum StepOutcome {
     /// The configured `max_explored` budget is spent while subproblems are
     /// still pending; the explorer can be resumed after raising the budget.
     BudgetExhausted,
+    /// The configured `step_deadline` (a fault-policy truncation, distinct
+    /// from the quality budget `max_explored`) expired; the incumbent is
+    /// kept, but the result counts as degraded.
+    DeadlineExpired,
 }
 
 /// Why [`Explorer::run_budget`] returned.
@@ -392,6 +396,8 @@ pub enum ExploreStatus {
     BudgetExhausted,
     /// The per-call step budget is spent; call `run_budget` again to resume.
     Paused,
+    /// The configured `step_deadline` expired (fault-policy truncation).
+    DeadlineExpired,
 }
 
 /// The incremental branch-and-bound exploration: owns the frontier, the
@@ -497,6 +503,15 @@ impl Explorer {
                     // Budget exhausted: stop exploring, keep the incumbent.
                     self.stats.complete = false;
                     return Ok(StepOutcome::BudgetExhausted);
+                }
+            }
+            if let Some(deadline) = self.config.step_deadline {
+                if self.stats.explored >= deadline {
+                    // Fault-policy truncation: like a blown budget the
+                    // incumbent is kept, but reported as a deadline so the
+                    // engine can classify the job as degraded.
+                    self.stats.complete = false;
+                    return Ok(StepOutcome::DeadlineExpired);
                 }
             }
             let subproblem = self.frontier.pop().expect("frontier is non-empty");
@@ -681,8 +696,25 @@ impl Explorer {
                 StepOutcome::Explored { .. } => steps += 1,
                 StepOutcome::Exhausted => return Ok(ExploreStatus::Complete),
                 StepOutcome::BudgetExhausted => return Ok(ExploreStatus::BudgetExhausted),
+                StepOutcome::DeadlineExpired => return Ok(ExploreStatus::DeadlineExpired),
             }
         }
+    }
+
+    /// Like [`Explorer::step`], but additionally catches a kernel resource
+    /// abort (the [`brel_bdd::ResourceGovernor`]'s cooperative unwind) at
+    /// the step boundary and surfaces it as
+    /// [`RelationError::ResourceExhausted`]. The explorer must not be
+    /// stepped again after that error — the aborted step's subproblem was
+    /// consumed — but the shared manager itself is structurally intact.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`Explorer::step`] returns, plus
+    /// [`RelationError::ResourceExhausted`] on a governor abort.
+    pub fn step_guarded(&mut self) -> Result<StepOutcome, RelationError> {
+        brel_bdd::catch_resource_abort(|| self.step())
+            .unwrap_or_else(|abort| Err(RelationError::ResourceExhausted(abort)))
     }
 
     /// The best compatible solution found so far.
@@ -858,7 +890,9 @@ mod tests {
                     last = explorer.best_cost();
                 }
                 ExploreStatus::Complete => break,
-                ExploreStatus::BudgetExhausted => unreachable!("exact mode has no budget"),
+                ExploreStatus::BudgetExhausted | ExploreStatus::DeadlineExpired => {
+                    unreachable!("exact mode has no budget or deadline")
+                }
             }
         }
         assert!(paused >= 1, "fig10 needs more than one exploration");

@@ -46,6 +46,11 @@ pub struct BrelConfig {
     /// Capacity of the frontier of pending subrelations (historically the
     /// FIFO bound, applied to every strategy). `None` means unbounded.
     pub fifo_capacity: Option<usize>,
+    /// Fault-policy truncation: stop after this many explored subrelations
+    /// and report [`crate::search::StepOutcome::DeadlineExpired`]. Unlike
+    /// `max_explored` (a quality knob), hitting this deadline marks the
+    /// result as degraded. `None` (the default) means no deadline.
+    pub step_deadline: Option<usize>,
     /// Enable output-symmetry pruning (Section 7.7).
     pub use_symmetry: bool,
     /// Only check symmetries for subrelations created within this depth from
@@ -63,6 +68,7 @@ impl Default for BrelConfig {
             strategy: SearchStrategy::Fifo,
             max_explored: Some(10),
             fifo_capacity: Some(64),
+            step_deadline: None,
             use_symmetry: false,
             symmetry_depth: 4,
             trace: false,
@@ -128,6 +134,13 @@ impl BrelConfig {
     /// Sets the capacity of the frontier of pending subrelations.
     pub fn with_fifo_capacity(mut self, capacity: Option<usize>) -> Self {
         self.fifo_capacity = capacity;
+        self
+    }
+
+    /// Sets the fault-policy step deadline (see
+    /// [`BrelConfig::step_deadline`]).
+    pub fn with_step_deadline(mut self, deadline: Option<usize>) -> Self {
+        self.step_deadline = deadline;
         self
     }
 
@@ -509,6 +522,78 @@ mod tests {
                 assert!(sol.stats.complete);
             }
         }
+    }
+
+    #[test]
+    fn step_deadline_truncates_with_the_incumbent_kept() {
+        use crate::search::{ExploreStatus, Explorer, StepOutcome};
+        let space = RelationSpace::with_names(&["a", "b"], &["x", "y"]);
+        let r = BooleanRelation::from_table(
+            &space,
+            "00 : {00, 11}\n01 : {10}\n10 : {01, 10}\n11 : {11}",
+        )
+        .unwrap();
+        // Deadline of 1: the quick seed is available, but exploration stops
+        // before the cost-2 optimum can be proved.
+        let config = BrelConfig::exact().with_step_deadline(Some(1));
+        let mut explorer = Explorer::new(config, &r).unwrap();
+        assert!(matches!(
+            explorer.run().unwrap(),
+            ExploreStatus::DeadlineExpired
+        ));
+        assert_eq!(explorer.explored(), 1);
+        assert!(r.is_compatible(explorer.best()));
+        assert!(!explorer.stats().complete);
+        // A further step keeps reporting the expired deadline.
+        assert!(matches!(
+            explorer.step().unwrap(),
+            StepOutcome::DeadlineExpired
+        ));
+        // Without the deadline the same exploration completes at cost 2.
+        let sol = BrelSolver::new(BrelConfig::exact()).solve(&r).unwrap();
+        assert_eq!(sol.cost, 2);
+    }
+
+    #[test]
+    fn step_guarded_surfaces_a_governor_abort_as_an_error() {
+        use crate::search::Explorer;
+        use brel_bdd::{BddError, ResourceGovernor};
+        use brel_relation::RelationError;
+        let space = RelationSpace::new(4, 3);
+        // A relation with enough structure that exploration allocates.
+        let mut table = String::new();
+        for v in 0..16u32 {
+            let bits: String = (0..4)
+                .map(|i| char::from(b'0' + ((v >> (3 - i)) & 1) as u8))
+                .collect();
+            let img = if v % 3 == 0 {
+                "{000, 111}"
+            } else {
+                "{010, 101}"
+            };
+            table.push_str(&format!("{bits} : {img}\n"));
+        }
+        let r = BooleanRelation::from_table(&space, &table).unwrap();
+        let mut explorer = Explorer::new(BrelConfig::exact(), &r).unwrap();
+        // An impossible quota: the very next allocating step must abort.
+        space
+            .mgr()
+            .set_governor(ResourceGovernor::new().with_max_live_nodes(1));
+        let mut aborted = false;
+        for _ in 0..64 {
+            match explorer.step_guarded() {
+                Ok(_) => continue,
+                Err(RelationError::ResourceExhausted(BddError::QuotaExceeded { .. })) => {
+                    aborted = true;
+                    break;
+                }
+                Err(other) => panic!("unexpected error: {other}"),
+            }
+        }
+        assert!(aborted, "a one-node quota must abort the exploration");
+        space.mgr().clear_governor();
+        // The shared manager is structurally intact after the abort.
+        assert!(r.is_well_defined());
     }
 
     #[test]

@@ -2,11 +2,14 @@
 
 use std::time::Instant;
 
-use brel_bdd::{CacheStats, GcStats};
-use brel_core::{BrelConfig, BrelSolver, CostFunction, QuickSolver, SearchStrategy};
+use brel_bdd::{BddError, CacheStats, GcStats};
+use brel_core::{
+    BrelConfig, BrelSolver, CostFunction, Explorer, QuickSolver, SearchStrategy, StepOutcome,
+};
 use brel_gyocro::{GyocroConfig, GyocroSolver};
 use brel_relation::{BooleanRelation, MultiOutputFunction, RelationError};
 
+use crate::fault::{FaultInjection, FaultKind, InjectedPanic};
 use crate::job::{BackendKind, CostSpec, JobBudget};
 use crate::reuse::ReuseStats;
 
@@ -150,9 +153,30 @@ pub struct SolutionReport {
     /// deterministic serializations like `wall_micros` (see
     /// [`crate::report`]).
     pub reuse: ReuseStats,
+    /// `true` when the attempt is a degraded result: a step-deadline
+    /// truncation's incumbent or a degradation-ladder rung run after the
+    /// primary attempt faulted (see [`crate::fault`]). Deterministic.
+    pub degraded: bool,
     /// Wall-clock solve time in microseconds. Excluded from deterministic
     /// serializations (see [`crate::report`]).
     pub wall_micros: u64,
+}
+
+/// The fault-policy context of one backend execution: the wall-clock
+/// deadline, the deterministic step deadline, and the fault injections
+/// aimed at this job. Empty for plain [`execute`] calls.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct ExecContext<'a> {
+    /// Wall-clock deadline, checked cooperatively between exploration
+    /// steps (the kernel governor checks it inside `mk` as well).
+    pub deadline: Option<Instant>,
+    /// The policy's `deadline_ms`, carried into the structured error.
+    pub deadline_ms: u64,
+    /// Deterministic truncation: stop after this many expansions and keep
+    /// the incumbent as a degraded result.
+    pub step_deadline: Option<usize>,
+    /// Fault injections targeting this job (BREL attempts only).
+    pub injections: &'a [&'a FaultInjection],
 }
 
 /// Runs one backend on one (already rehydrated) relation and scores the
@@ -169,7 +193,36 @@ pub fn execute(
     strategy: SearchStrategy,
     relation: &BooleanRelation,
 ) -> Result<SolutionReport, RelationError> {
-    let backend = instantiate(kind, cost, budget, strategy);
+    execute_with(
+        kind,
+        cost,
+        budget,
+        strategy,
+        relation,
+        &ExecContext::default(),
+    )
+    .map(|(report, _)| report)
+}
+
+/// [`execute`] under a fault-policy context. The second return value is the
+/// deterministic truncation description when a step deadline expired (the
+/// report's `degraded` flag is set accordingly).
+///
+/// # Errors
+///
+/// Returns [`RelationError::NotWellDefined`] if the relation has no
+/// compatible function, and [`RelationError::ResourceExhausted`] when the
+/// kernel governor or the wall-clock deadline aborted the attempt.
+/// Injected panics and quota trips unwind — callers isolate attempts with
+/// [`crate::fault::catch_fault`].
+pub(crate) fn execute_with(
+    kind: BackendKind,
+    cost: CostSpec,
+    budget: &JobBudget,
+    strategy: SearchStrategy,
+    relation: &BooleanRelation,
+    ctx: &ExecContext<'_>,
+) -> Result<(SolutionReport, Option<String>), RelationError> {
     // Portfolio backends share one rehydrated manager; re-base the peak
     // gauge so each report's `gc.peak_live_nodes` is this backend's own
     // high-water mark, not the construction peak or a predecessor's.
@@ -179,13 +232,24 @@ pub fn execute(
     relation.space().mgr().reset_peak_live_nodes();
     let before = relation.space().mgr().stats_snapshot();
     let start = Instant::now();
-    let run = {
+    let (run, truncated) = {
         let _span = brel_obs::span(brel_obs::Category::Engine, "backend");
-        backend.run(relation)?
+        if kind == BackendKind::Brel {
+            run_brel_guarded(cost, budget, strategy, relation, ctx)?
+        } else {
+            let backend = instantiate(kind, cost, budget, strategy);
+            (backend.run(relation)?, None)
+        }
     };
     let wall_us = brel_obs::wall_micros(start);
-    debug_assert!(relation.is_compatible(&run.function));
+    // Snapshot before the compatibility check so the verification's own
+    // kernel traffic never leaks into the attributed counters.
     let after = relation.space().mgr().stats_snapshot();
+    assert!(
+        relation.is_compatible(&run.function),
+        "backend {} returned an incompatible function",
+        kind.name()
+    );
     let report = SolutionReport {
         backend: kind,
         cost: cost.to_cost_fn().cost(&run.function),
@@ -198,9 +262,103 @@ pub fn execute(
         cache: after.cache.delta_since(&before.cache),
         gc: after.gc.delta_since(&before.gc),
         reuse: ReuseStats::default(),
+        degraded: truncated.is_some(),
         wall_micros: wall_us,
     };
-    Ok(report)
+    Ok((report, truncated))
+}
+
+/// The BREL attempt as a fault-aware exploration loop: between steps it
+/// fires due injections, checks the wall-clock deadline, and catches the
+/// kernel governor's cooperative unwind ([`Explorer::step_guarded`]).
+/// Behaviourally identical to `BrelSolver::solve` when the context is
+/// empty, so clean runs stay byte-identical to the unguarded path.
+fn run_brel_guarded(
+    cost: CostSpec,
+    budget: &JobBudget,
+    strategy: SearchStrategy,
+    relation: &BooleanRelation,
+    ctx: &ExecContext<'_>,
+) -> Result<(BackendRun, Option<String>), RelationError> {
+    let config = BrelConfig::default()
+        .with_cost(cost.to_cost_fn())
+        .with_strategy(strategy)
+        .with_max_explored(budget.max_explored)
+        .with_fifo_capacity(budget.fifo_capacity)
+        .with_step_deadline(ctx.step_deadline);
+    let mut explorer = Explorer::new(config, relation)?;
+    let mut truncated: Option<String> = None;
+    loop {
+        for injection in ctx.injections {
+            if injection.at_expansion() != explorer.explored() {
+                continue;
+            }
+            match injection.kind() {
+                FaultKind::Panic => {
+                    if injection.fire() {
+                        std::panic::panic_any(InjectedPanic {
+                            job: injection.job().to_string(),
+                            at_expansion: injection.at_expansion(),
+                        });
+                    }
+                }
+                FaultKind::QuotaTrip => {
+                    if injection.fire() {
+                        // The same typed payload a real governor abort
+                        // carries, so classification and quarantine follow
+                        // the organic path. Deterministic values only.
+                        std::panic::panic_any(BddError::QuotaExceeded {
+                            live_nodes: 0,
+                            max_live_nodes: 0,
+                        });
+                    }
+                }
+                FaultKind::StepDeadline => {
+                    if injection.fire() {
+                        explorer.config_mut().step_deadline = Some(explorer.explored());
+                        truncated = Some(format!(
+                            "injected step deadline at expansion {} of job {}",
+                            injection.at_expansion(),
+                            injection.job()
+                        ));
+                    }
+                }
+            }
+        }
+        if let Some(deadline) = ctx.deadline {
+            if Instant::now() >= deadline {
+                return Err(RelationError::ResourceExhausted(
+                    BddError::DeadlineExceeded {
+                        elapsed_ms: ctx.deadline_ms,
+                        deadline_ms: ctx.deadline_ms,
+                    },
+                ));
+            }
+        }
+        match explorer.step_guarded()? {
+            StepOutcome::Explored { .. } => {}
+            StepOutcome::Exhausted | StepOutcome::BudgetExhausted => break,
+            StepOutcome::DeadlineExpired => {
+                if truncated.is_none() {
+                    truncated = Some(format!(
+                        "step deadline expired after {} expansions",
+                        explorer.explored()
+                    ));
+                }
+                break;
+            }
+        }
+    }
+    let solution = explorer.into_solution();
+    Ok((
+        BackendRun {
+            function: solution.function,
+            explored: solution.stats.explored,
+            splits: solution.stats.splits,
+            frontier_peak: solution.stats.frontier_peak,
+        },
+        truncated,
+    ))
 }
 
 #[cfg(test)]

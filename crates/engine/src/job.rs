@@ -12,6 +12,8 @@
 use brel_core::{CostFn, SearchStrategy};
 use brel_relation::{BooleanRelation, RelationError, RelationRow, RelationSpace};
 
+use crate::fault::FaultPolicy;
+
 /// Which solver implementation a job runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum BackendKind {
@@ -222,6 +224,10 @@ pub struct JobSpec {
     /// (`SearchStrategy` is plain-old-data, so it rides across threads with
     /// the rest of the spec). Ignored by the quick and gyocro backends.
     pub strategy: SearchStrategy,
+    /// The fault policy: deadlines, the live-node quota, retries and the
+    /// degradation switch (see [`crate::fault`]). The default policy is
+    /// unrestricted with fallback enabled.
+    pub fault: FaultPolicy,
 }
 
 impl JobSpec {
@@ -234,6 +240,7 @@ impl JobSpec {
             cost: CostSpec::default(),
             budget: JobBudget::default(),
             strategy: SearchStrategy::default(),
+            fault: FaultPolicy::default(),
         }
     }
 
@@ -246,6 +253,7 @@ impl JobSpec {
             cost: CostSpec::default(),
             budget: JobBudget::default(),
             strategy: SearchStrategy::default(),
+            fault: FaultPolicy::default(),
         }
     }
 
@@ -264,6 +272,12 @@ impl JobSpec {
     /// Sets the BREL backend's search strategy.
     pub fn with_strategy(mut self, strategy: SearchStrategy) -> Self {
         self.strategy = strategy;
+        self
+    }
+
+    /// Sets the fault policy.
+    pub fn with_fault(mut self, fault: FaultPolicy) -> Self {
+        self.fault = fault;
         self
     }
 }

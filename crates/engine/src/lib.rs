@@ -35,7 +35,15 @@
 //!   [`Engine::with_wide`] flips the pool into *wide* mode — parallel
 //!   frontier expansion inside each BREL solve (see [`wide`]) over
 //!   per-worker warm sessions that persist across rounds and jobs, with
-//!   the same worker-count determinism guarantee.
+//!   the same worker-count determinism guarantee;
+//! * the engine is *fault-tolerant*: every attempt runs behind a panic
+//!   isolation boundary, a [`FaultPolicy`] per job arms the kernel's
+//!   resource governor (live-node quota, wall deadline) and a cooperative
+//!   step deadline, faulted sessions are quarantined and rebuilt cold,
+//!   transient faults retry with bounded backoff, and a degradation
+//!   ladder keeps one verified row per solvable job — classified by
+//!   [`JobOutcome`]. A seeded [`FaultPlan`] injects deterministic faults
+//!   for chaos testing ([`Engine::with_fault_plan`]).
 //!
 //! ```
 //! use brel_engine::{Engine, JobSpec, RelationSpec};
@@ -58,6 +66,7 @@
 #![warn(missing_debug_implementations)]
 
 mod backend;
+mod fault;
 mod job;
 mod pool;
 mod portfolio;
@@ -67,6 +76,10 @@ pub mod wide;
 
 pub use backend::{execute, instantiate, BackendRun, SolutionReport, SolverBackend};
 pub use brel_core::SearchStrategy;
+pub use fault::{
+    quiet_fault_panics, FaultInjection, FaultKind, FaultPlan, FaultPolicy, InjectedPanic,
+    JobOutcome,
+};
 pub use job::{BackendKind, CostSpec, JobBudget, JobSpec, RelationSpec};
 pub use pool::{BatchReport, Engine, EngineConfig};
 pub use portfolio::{run_job, run_job_warm, run_job_wide, JobReport};

@@ -11,12 +11,13 @@
 
 use std::collections::VecDeque;
 use std::sync::mpsc;
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::thread;
 use std::time::Instant;
 
+use crate::fault::{FaultInjection, FaultPlan};
 use crate::job::{BackendKind, JobSpec};
-use crate::portfolio::{run_job_wide_with, run_job_with, JobReport};
+use crate::portfolio::{run_job_faulted, run_job_wide_with, JobReport};
 use crate::reuse::{BatchReuse, ReuseState, WarmSession};
 use crate::wide::WideOptions;
 
@@ -103,12 +104,15 @@ impl BatchReport {
 #[derive(Debug, Clone, Default)]
 pub struct Engine {
     config: EngineConfig,
+    /// Deterministic fault-injection plan for chaos runs; `None` (the
+    /// default) injects nothing and adds no overhead beyond a slice check.
+    plan: Option<Arc<FaultPlan>>,
 }
 
 impl Engine {
     /// Creates an engine with the given configuration.
     pub fn new(config: EngineConfig) -> Self {
-        Engine { config }
+        Engine { config, plan: None }
     }
 
     /// Creates an engine with a fixed worker count.
@@ -135,6 +139,15 @@ impl Engine {
         self
     }
 
+    /// Arms a deterministic fault-injection plan: each injection fires
+    /// exactly once, at the Nth BREL expansion of its target job, in both
+    /// narrow and wide mode. Jobs the plan does not target are untouched —
+    /// their deterministic output is byte-identical to an uninjected run.
+    pub fn with_fault_plan(mut self, plan: Arc<FaultPlan>) -> Self {
+        self.plan = Some(plan);
+        self
+    }
+
     /// The configuration of this engine.
     pub fn config(&self) -> &EngineConfig {
         &self.config
@@ -153,7 +166,7 @@ impl Engine {
         let queue: Mutex<VecDeque<(usize, &JobSpec)>> =
             Mutex::new(jobs.iter().enumerate().collect());
         let reuse_state = ReuseState::new(self.config.reuse);
-        let session_counts = Mutex::new((0u64, 0u64));
+        let session_counts = Mutex::new((0u64, 0u64, 0u64));
         let (tx, rx) = mpsc::channel::<JobReport>();
         let mut reports: Vec<JobReport> = thread::scope(|scope| {
             for worker in 0..num_workers {
@@ -162,6 +175,7 @@ impl Engine {
                 let reuse_state = &reuse_state;
                 let session_counts = &session_counts;
                 let keep_warm = self.config.reuse;
+                let plan = self.plan.as_deref();
                 scope.spawn(move || {
                     let _track = brel_obs::enabled(brel_obs::Category::Engine)
                         .then(|| brel_obs::set_track(&format!("pool-worker-{worker}")));
@@ -182,17 +196,26 @@ impl Engine {
                                     "job",
                                     "job_id" => id,
                                 );
+                                let injections: Vec<&FaultInjection> =
+                                    plan.map_or_else(Vec::new, |p| p.for_job(&job.name));
                                 // The receiver outlives the scope; a send can
                                 // only fail if the collector stopped early.
-                                let _ = tx.send(run_job_with(id, job, &mut warm, reuse_state));
+                                let _ = tx.send(run_job_faulted(
+                                    id,
+                                    job,
+                                    &mut warm,
+                                    reuse_state,
+                                    &injections,
+                                ));
                             }
                             None => break,
                         }
                     }
-                    let (reuses, colds) = warm.counts();
+                    let (reuses, colds, quarantined) = warm.counts();
                     let mut totals = session_counts.lock().expect("counts poisoned");
                     totals.0 += reuses;
                     totals.1 += colds;
+                    totals.2 += quarantined;
                 });
             }
             // Drop the original sender so the channel closes once every
@@ -201,7 +224,8 @@ impl Engine {
             rx.iter().collect()
         });
         reports.sort_by_key(|r| r.job_id);
-        let (warm_reuses, cold_builds) = *session_counts.lock().expect("counts poisoned");
+        let (warm_reuses, cold_builds, quarantines) =
+            *session_counts.lock().expect("counts poisoned");
         let (subrel_cache_hits, subrel_cache_misses) = reuse_state.counts();
         BatchReport {
             jobs: reports,
@@ -212,6 +236,7 @@ impl Engine {
                 cold_builds,
                 subrel_cache_hits,
                 subrel_cache_misses,
+                quarantines,
             },
         }
     }
@@ -245,15 +270,28 @@ impl Engine {
                     "job",
                     "job_id" => id,
                 );
-                run_job_wide_with(id, job, options, &mut coordinator, &mut sessions)
+                let injections: Vec<&FaultInjection> = self
+                    .plan
+                    .as_deref()
+                    .map_or_else(Vec::new, |p| p.for_job(&job.name));
+                run_job_wide_with(
+                    id,
+                    job,
+                    options,
+                    &mut coordinator,
+                    &mut sessions,
+                    &injections,
+                )
             })
             .collect();
         let mut warm_reuses = 0;
         let mut cold_builds = 0;
+        let mut quarantines = 0;
         for session in sessions.iter().chain(std::iter::once(&coordinator)) {
-            let (reuses, colds) = session.counts();
+            let (reuses, colds, quarantined) = session.counts();
             warm_reuses += reuses;
             cold_builds += colds;
+            quarantines += quarantined;
         }
         BatchReport {
             jobs: reports,
@@ -264,6 +302,7 @@ impl Engine {
                 cold_builds,
                 subrel_cache_hits: 0,
                 subrel_cache_misses: 0,
+                quarantines,
             },
         }
     }
@@ -355,6 +394,49 @@ mod tests {
             };
             assert_eq!(mask(a), mask(b));
         }
+    }
+
+    #[test]
+    fn chaos_batches_terminate_with_structured_outcomes() {
+        use crate::fault::{FaultPlan, JobOutcome};
+        // Drop the ill-defined job: chaos runs assert that every *solvable*
+        // job still yields a winner.
+        let batch: Vec<JobSpec> = sample_batch()
+            .into_iter()
+            .filter(|j| j.name != "broken")
+            .collect();
+        let names: Vec<&str> = batch.iter().map(|j| j.name.as_str()).collect();
+        let mask = |j: &JobReport| {
+            let mut j = j.clone();
+            for attempt in &mut j.attempts {
+                attempt.wall_micros = 0;
+                attempt.reuse = Default::default();
+            }
+            j
+        };
+        let mut runs = Vec::new();
+        for workers in [1usize, 2, 8] {
+            // Injections are armed-once, so each run arms a fresh plan.
+            let plan = Arc::new(FaultPlan::seeded(9, &names));
+            assert_eq!(plan.injections().len(), 3);
+            let report = Engine::with_workers(workers)
+                .with_fault_plan(plan.clone())
+                .solve_batch(&batch);
+            assert_eq!(plan.num_fired(), 3, "every injection must fire");
+            let non_solved = report
+                .jobs
+                .iter()
+                .filter(|j| j.outcome != Some(JobOutcome::Solved))
+                .count();
+            assert_eq!(non_solved, 3, "exactly the injected jobs degrade");
+            assert!(
+                report.jobs.iter().all(|j| j.winner.is_some()),
+                "every solvable job still returns a row"
+            );
+            runs.push(report.jobs.iter().map(mask).collect::<Vec<_>>());
+        }
+        assert_eq!(runs[0], runs[1], "1 vs 2 workers");
+        assert_eq!(runs[0], runs[2], "1 vs 8 workers");
     }
 
     #[test]

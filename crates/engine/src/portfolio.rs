@@ -1,12 +1,26 @@
 //! Portfolio execution: race several backends on one job and keep the
 //! winner under the job's cost function.
+//!
+//! Every backend attempt runs inside the engine's panic-isolation boundary
+//! ([`crate::fault::catch_fault`]): a panic, a kernel quota abort or a
+//! deadline never escapes a job. Faults are classified, transient ones
+//! retried on a quarantined-and-rebuilt session (bounded backoff), and
+//! when every backend of a job falls away the degradation ladder — a
+//! budget-capped best-first BREL probe, then the quick solver — still
+//! produces one scored, verified-compatible row, so a batch always
+//! returns a structured [`JobOutcome`] per job.
 
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
-use crate::backend::{execute, SolutionReport};
-use crate::job::{BackendKind, JobSpec};
+use brel_bdd::ResourceGovernor;
+use brel_core::SearchStrategy;
+use brel_relation::{BooleanRelation, RelationError, RelationSpace};
+
+use crate::backend::{execute_with, ExecContext, SolutionReport};
+use crate::fault::{catch_fault, FaultClass, FaultInjection, JobOutcome};
+use crate::job::{BackendKind, JobBudget, JobSpec};
 use crate::reuse::{ReuseState, ReuseStats, WarmSession};
-use crate::wide::{solve_wide_with, WideOptions};
+use crate::wide::{solve_wide_faulted, WideOptions};
 
 /// The outcome of one job: every backend attempt (in the job's backend
 /// order) plus the index of the selected winner.
@@ -21,11 +35,20 @@ pub struct JobReport {
     pub num_inputs: usize,
     /// Number of output variables of the relation.
     pub num_outputs: usize,
-    /// One report per backend that completed, in backend order.
+    /// One report per backend that completed, in backend order (plus a
+    /// trailing degradation-ladder rung when one recovered the job).
     pub attempts: Vec<SolutionReport>,
     /// Index into `attempts` of the cheapest solution (ties broken towards
     /// the earlier backend). `None` iff no backend completed.
     pub winner: Option<usize>,
+    /// The structured outcome classification: `Solved` for a clean job,
+    /// `Degraded` when a fault or truncation was survived, and the fault's
+    /// own outcome (`TimedOut`/`QuotaExceeded`/`Panicked`) when no solution
+    /// survived. `None` iff the job failed structurally (see `error`).
+    pub outcome: Option<JobOutcome>,
+    /// Deterministic description of the first fault or truncation the job
+    /// saw, `None` for clean jobs.
+    pub fault: Option<String>,
     /// The failure message when no backend completed (e.g. the relation is
     /// not well defined).
     pub error: Option<String>,
@@ -65,37 +88,219 @@ pub(crate) fn run_job_with(
     warm: &mut WarmSession,
     reuse: &ReuseState,
 ) -> JobReport {
+    run_job_faulted(job_id, job, warm, reuse, &[])
+}
+
+/// One backend attempt, classified. `Done` carries the optional
+/// deterministic truncation description (step deadline expired with an
+/// incumbent in hand); `Fault` means the session is suspect and must be
+/// quarantined by the caller.
+enum AttemptOutcome {
+    Done(SolutionReport, Option<String>),
+    Error(RelationError),
+    Fault(FaultClass),
+}
+
+/// Runs `kind` once on the hydrated relation inside the panic-isolation
+/// boundary, with the job's governor armed for the BREL backend. The
+/// governor is cleared again before returning on the clean path; a fault
+/// leaves the session to be quarantined, which rebuilds it anyway.
+fn attempt_once(
+    kind: BackendKind,
+    job: &JobSpec,
+    hydrated: &(RelationSpace, BooleanRelation, bool),
+    deadline: Option<Instant>,
+    injections: &[&FaultInjection],
+) -> AttemptOutcome {
+    let (space, relation, _was_warm) = hydrated;
+    // Fault policies and injections only target the recursive BREL solve;
+    // the quick and gyocro backends are single-pass and fast by design.
+    let brel = kind == BackendKind::Brel;
+    let ctx = ExecContext {
+        deadline: if brel { deadline } else { None },
+        deadline_ms: job.fault.deadline_ms.unwrap_or(0),
+        step_deadline: if brel { job.fault.step_deadline } else { None },
+        injections: if brel { injections } else { &[] },
+    };
+    let governed = brel && job.fault.governs();
+    if governed {
+        let mut governor = ResourceGovernor::new();
+        if let Some(max) = job.fault.max_live_nodes {
+            governor = governor.with_max_live_nodes(max);
+        }
+        if let Some(at) = deadline {
+            governor = governor.with_deadline_at(at);
+        }
+        space.mgr().set_governor(governor);
+    }
+    let outcome =
+        catch_fault(|| execute_with(kind, job.cost, &job.budget, job.strategy, relation, &ctx));
+    if governed {
+        space.mgr().clear_governor();
+    }
+    match outcome {
+        Ok(Ok((report, truncation))) => AttemptOutcome::Done(report, truncation),
+        Ok(Err(RelationError::ResourceExhausted(err))) => {
+            AttemptOutcome::Fault(FaultClass::from_resource(&err))
+        }
+        Ok(Err(error)) => AttemptOutcome::Error(error),
+        Err(class) => AttemptOutcome::Fault(class),
+    }
+}
+
+/// The full fault-aware job runner behind [`run_job_with`]: cache lookup,
+/// per-backend isolation, bounded retries with session quarantine, and the
+/// degradation ladder. With an empty injection slice and a default
+/// [`crate::fault::FaultPolicy`] this reduces exactly to the clean path.
+pub(crate) fn run_job_faulted(
+    job_id: usize,
+    job: &JobSpec,
+    warm: &mut WarmSession,
+    reuse: &ReuseState,
+    injections: &[&FaultInjection],
+) -> JobReport {
     let fingerprint = job.relation.fingerprint();
     let lookup_start = Instant::now();
-    if let Some(mut attempts) = reuse.lookup_job(fingerprint, job) {
-        brel_obs::event(brel_obs::Category::Session, "subrel_cache_hit");
-        let wall = brel_obs::wall_micros(lookup_start);
-        for attempt in &mut attempts {
-            attempt.reuse = ReuseStats {
-                warm_session: false,
-                subrel_cache_hit: true,
-            };
-            attempt.wall_micros = wall;
+    // A job with pending injections must actually execute so the fault
+    // fires; fired injections are inert, so later duplicates hit as usual.
+    let pending_injection = injections.iter().any(|i| !i.has_fired());
+    if !pending_injection {
+        if let Some(mut attempts) = reuse.lookup_job(fingerprint, job) {
+            brel_obs::event(brel_obs::Category::Session, "subrel_cache_hit");
+            let wall = brel_obs::wall_micros(lookup_start);
+            for attempt in &mut attempts {
+                attempt.reuse = ReuseStats {
+                    warm_session: false,
+                    subrel_cache_hit: true,
+                };
+                attempt.wall_micros = wall;
+            }
+            return finish_job(job_id, job, attempts, None, None, None);
         }
-        return finish_job(job_id, job, attempts, None);
     }
-    let (_space, relation, was_warm) = warm.rehydrate(&job.relation);
+    let deadline = job
+        .fault
+        .deadline_ms
+        .map(|ms| Instant::now() + Duration::from_millis(ms));
+    let mut hydrated: Option<(RelationSpace, BooleanRelation, bool)> =
+        Some(warm.rehydrate(&job.relation));
     let mut attempts = Vec::with_capacity(job.backends.len());
-    let mut error = None;
+    let mut error: Option<String> = None;
+    let mut fault: Option<String> = None;
+    let mut fault_class: Option<FaultClass> = None;
     for &kind in &job.backends {
-        match execute(kind, job.cost, &job.budget, job.strategy, &relation) {
-            Ok(mut report) => {
+        let mut tries = 0u32;
+        let result = loop {
+            let session = hydrated.get_or_insert_with(|| warm.rehydrate(&job.relation));
+            let outcome = attempt_once(kind, job, session, deadline, injections);
+            if let AttemptOutcome::Fault(class) = outcome {
+                // The faulted manager may hold arbitrary mid-operation
+                // state: drop our handles into it, then quarantine so the
+                // next rehydrate builds a cold session.
+                hydrated = None;
+                warm.quarantine();
+                if class.transient() && tries < job.fault.retries {
+                    tries += 1;
+                    std::thread::sleep(Duration::from_millis(1u64 << (tries - 1).min(6)));
+                    continue;
+                }
+                break AttemptOutcome::Fault(class);
+            }
+            break outcome;
+        };
+        match result {
+            AttemptOutcome::Done(mut report, truncation) => {
+                report.reuse = ReuseStats {
+                    warm_session: hydrated.as_ref().is_some_and(|h| h.2),
+                    subrel_cache_hit: false,
+                };
+                if let Some(desc) = truncation {
+                    fault.get_or_insert(desc);
+                }
+                attempts.push(report);
+            }
+            AttemptOutcome::Error(e) => error = Some(e.to_string()),
+            AttemptOutcome::Fault(class) => {
+                fault.get_or_insert_with(|| class.describe());
+                fault_class.get_or_insert(class);
+            }
+        }
+    }
+    if fault_class.is_some() && attempts.is_empty() && job.fault.fallback {
+        run_ladder(job, warm, &mut hydrated, &mut attempts);
+    }
+    // Only pure products of (job spec) enter the cross-job cache: a fault
+    // or an injected truncation depends on the fault plan, not the job, so
+    // replaying it from the cache would corrupt a later clean duplicate.
+    if fault.is_none() && error.is_none() && injections.is_empty() {
+        reuse.insert_job(fingerprint, job, &attempts);
+    }
+    finish_job(
+        job_id,
+        job,
+        attempts,
+        error,
+        fault,
+        fault_class.map(|class| class.outcome()),
+    )
+}
+
+/// The degradation ladder: when every backend of a job faulted away, run
+/// cheaper replacements on fresh sessions until one yields a scored
+/// solution — a budget-capped best-first BREL probe (skipped when the job
+/// never asked for BREL), then the quick solver. Rungs run ungoverned and
+/// uninjected but still panic-isolated; a rung that faults is quarantined
+/// and the next rung tried.
+fn run_ladder(
+    job: &JobSpec,
+    warm: &mut WarmSession,
+    hydrated: &mut Option<(RelationSpace, BooleanRelation, bool)>,
+    attempts: &mut Vec<SolutionReport>,
+) {
+    let capped = JobBudget {
+        max_explored: Some(4),
+        fifo_capacity: Some(16),
+        ..job.budget
+    };
+    let rungs = [
+        (BackendKind::Brel, capped, SearchStrategy::BestFirst),
+        (BackendKind::Quick, job.budget, job.strategy),
+    ];
+    for (kind, budget, strategy) in rungs {
+        if kind == BackendKind::Brel && !job.backends.contains(&BackendKind::Brel) {
+            continue;
+        }
+        let session = hydrated.get_or_insert_with(|| warm.rehydrate(&job.relation));
+        let was_warm = session.2;
+        let relation = &session.1;
+        let outcome = catch_fault(|| {
+            execute_with(
+                kind,
+                job.cost,
+                &budget,
+                strategy,
+                relation,
+                &ExecContext::default(),
+            )
+        });
+        match outcome {
+            Ok(Ok((mut report, _truncation))) => {
+                report.degraded = true;
                 report.reuse = ReuseStats {
                     warm_session: was_warm,
                     subrel_cache_hit: false,
                 };
+                brel_obs::event(brel_obs::Category::Engine, "ladder_recovered");
                 attempts.push(report);
+                return;
             }
-            Err(e) => error = Some(e.to_string()),
+            Ok(Err(_)) => {}
+            Err(_) => {
+                *hydrated = None;
+                warm.quarantine();
+            }
         }
     }
-    reuse.insert_job(fingerprint, job, &attempts);
-    finish_job(job_id, job, attempts, error)
 }
 
 /// Wide-mode variant of [`run_job`]: the BREL backend runs with parallel
@@ -112,7 +317,7 @@ pub fn run_job_wide(
     let mut sessions: Vec<WarmSession> = (0..num_workers.max(1))
         .map(|_| WarmSession::new())
         .collect();
-    run_job_wide_with(job_id, job, options, &mut coordinator, &mut sessions)
+    run_job_wide_with(job_id, job, options, &mut coordinator, &mut sessions, &[])
 }
 
 /// Wide mode with persistent sessions: the coordinator session hosts the
@@ -126,6 +331,7 @@ pub(crate) fn run_job_wide_with(
     options: WideOptions,
     coordinator: &mut WarmSession,
     sessions: &mut [WarmSession],
+    injections: &[&FaultInjection],
 ) -> JobReport {
     // The coordinator manager is only needed by non-BREL backends (wide
     // BREL rehydrates per expansion); build it lazily so a Brel-only job
@@ -133,26 +339,38 @@ pub(crate) fn run_job_wide_with(
     let mut rehydrated = None;
     let mut attempts = Vec::with_capacity(job.backends.len());
     let mut error = None;
+    let mut fault: Option<String> = None;
     for &kind in &job.backends {
-        let result = if kind == BackendKind::Brel {
-            solve_wide_with(job, options, sessions)
-        } else {
-            let (_space, relation, was_warm) =
-                rehydrated.get_or_insert_with(|| coordinator.rehydrate(&job.relation));
-            execute(kind, job.cost, &job.budget, job.strategy, relation).map(|mut report| {
+        if kind == BackendKind::Brel {
+            // Wide BREL degrades internally: a faulted expansion closes the
+            // search and the report keeps the best incumbent found so far,
+            // so a fault here still yields an attempt row.
+            match solve_wide_faulted(job, options, sessions, injections) {
+                Ok((report, wide_fault)) => {
+                    if let Some(desc) = wide_fault {
+                        fault.get_or_insert(desc);
+                    }
+                    attempts.push(report);
+                }
+                Err(e) => error = Some(e.to_string()),
+            }
+            continue;
+        }
+        let (_space, relation, was_warm) =
+            rehydrated.get_or_insert_with(|| coordinator.rehydrate(&job.relation));
+        let ctx = ExecContext::default();
+        match execute_with(kind, job.cost, &job.budget, job.strategy, relation, &ctx) {
+            Ok((mut report, _truncation)) => {
                 report.reuse = ReuseStats {
                     warm_session: *was_warm,
                     subrel_cache_hit: false,
                 };
-                report
-            })
-        };
-        match result {
-            Ok(report) => attempts.push(report),
+                attempts.push(report);
+            }
             Err(e) => error = Some(e.to_string()),
         }
     }
-    finish_job(job_id, job, attempts, error)
+    finish_job(job_id, job, attempts, error, fault, None)
 }
 
 fn finish_job(
@@ -160,6 +378,8 @@ fn finish_job(
     job: &JobSpec,
     attempts: Vec<SolutionReport>,
     error: Option<String>,
+    fault: Option<String>,
+    fault_outcome: Option<JobOutcome>,
 ) -> JobReport {
     // `min_by_key` keeps the first of equal minima, so ties deterministically
     // go to the earlier backend in the job's list.
@@ -168,6 +388,16 @@ fn finish_job(
         .enumerate()
         .min_by_key(|(_, a)| a.cost)
         .map(|(i, _)| i);
+    let degraded = fault.is_some() || attempts.iter().any(|a| a.degraded);
+    let outcome = if winner.is_some() {
+        Some(if degraded {
+            JobOutcome::Degraded
+        } else {
+            JobOutcome::Solved
+        })
+    } else {
+        fault_outcome
+    };
     JobReport {
         job_id,
         name: job.name.clone(),
@@ -175,6 +405,8 @@ fn finish_job(
         num_outputs: job.relation.num_outputs(),
         attempts,
         winner,
+        outcome,
+        fault,
         error: if winner.is_none() { error } else { None },
     }
 }
@@ -182,6 +414,7 @@ fn finish_job(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::{FaultKind, FaultPolicy};
     use crate::job::{BackendKind, JobBudget, RelationSpec};
     use brel_relation::{BooleanRelation, RelationSpace};
 
@@ -211,6 +444,9 @@ mod tests {
         assert_eq!(winner.cost, 2);
         assert!(report.attempts.iter().all(|a| a.cost >= winner.cost));
         assert!(report.error.is_none());
+        assert_eq!(report.outcome, Some(JobOutcome::Solved));
+        assert!(report.fault.is_none());
+        assert!(report.attempts.iter().all(|a| !a.degraded));
     }
 
     #[test]
@@ -230,10 +466,185 @@ mod tests {
         assert!(report.attempts.is_empty());
         assert_eq!(report.winner, None);
         assert!(report.winning().is_none());
+        // Structural failure, not a fault: no outcome classification.
+        assert_eq!(report.outcome, None);
+        assert!(report.fault.is_none());
         assert!(report
             .error
             .as_deref()
             .unwrap()
             .contains("not well defined"));
+    }
+
+    fn fig10() -> RelationSpec {
+        spec("00:{00,11}\n01:{10}\n10:{01,10}\n11:{11}", 2, 2)
+    }
+
+    /// Masks the scheduling-dependent fields so reports from different
+    /// sessions can be compared byte-for-byte.
+    fn masked(mut report: JobReport) -> JobReport {
+        for attempt in &mut report.attempts {
+            attempt.wall_micros = 0;
+            attempt.reuse = ReuseStats {
+                warm_session: false,
+                subrel_cache_hit: false,
+            };
+        }
+        report
+    }
+
+    #[test]
+    fn injected_panics_degrade_portfolio_jobs() {
+        let job = JobSpec::portfolio("fig10", fig10());
+        let injection = FaultInjection::new("fig10", 0, FaultKind::Panic);
+        let mut warm = WarmSession::cold();
+        let report = run_job_faulted(0, &job, &mut warm, &ReuseState::disabled(), &[&injection]);
+        assert!(injection.has_fired());
+        // The BREL attempt died, but the quick and gyocro rows survived, so
+        // the job still has a verified winner.
+        assert_eq!(report.attempts.len(), 2);
+        assert!(report.winning().is_some());
+        assert_eq!(report.outcome, Some(JobOutcome::Degraded));
+        assert!(report.fault.as_deref().unwrap().contains("injected panic"));
+        assert_eq!(warm.counts().2, 1);
+    }
+
+    #[test]
+    fn panicked_sessions_never_rehydrate_warm() {
+        // Satellite regression: a session that saw a panic must be discarded,
+        // and the next job on the same WarmSession must be byte-identical to
+        // a cold reference run.
+        let mut warm = WarmSession::cold();
+        let job = JobSpec::single("boom", fig10(), BackendKind::Brel).with_fault(FaultPolicy {
+            fallback: false,
+            ..FaultPolicy::default()
+        });
+        let injection = FaultInjection::new("boom", 0, FaultKind::Panic);
+        let report = run_job_faulted(0, &job, &mut warm, &ReuseState::disabled(), &[&injection]);
+        assert!(report.attempts.is_empty());
+        assert_eq!(report.outcome, Some(JobOutcome::Panicked));
+        assert!(report.fault.as_deref().unwrap().contains("injected panic"));
+        assert_eq!(warm.counts().2, 1);
+
+        let clean = JobSpec::single("boom", fig10(), BackendKind::Brel);
+        let next = run_job_warm(1, &clean, &mut warm);
+        assert!(
+            !next.attempts[0].reuse.warm_session,
+            "a quarantined session must rebuild cold"
+        );
+        assert_eq!(masked(next), masked(run_job(1, &clean)));
+    }
+
+    #[test]
+    fn transient_faults_retry_on_a_quarantined_session() {
+        let job = JobSpec::portfolio("fig10", fig10()).with_fault(FaultPolicy {
+            retries: 2,
+            ..FaultPolicy::default()
+        });
+        let injection = FaultInjection::new("fig10", 1, FaultKind::Panic);
+        let mut warm = WarmSession::cold();
+        let report = run_job_faulted(4, &job, &mut warm, &ReuseState::disabled(), &[&injection]);
+        assert!(injection.has_fired());
+        // The retry re-runs BREL on a rebuilt session; the injection is
+        // already spent, so the second attempt completes exactly.
+        assert_eq!(report.attempts.len(), 3);
+        assert_eq!(report.outcome, Some(JobOutcome::Solved));
+        assert_eq!(report.winning().unwrap().cost, 2);
+        assert_eq!(warm.counts().2, 1);
+        // The retried attempt ran on a rebuilt manager, so its kernel
+        // counters differ from an uninterrupted run — but the solution
+        // itself must match the clean reference exactly.
+        let reference = run_job(4, &job);
+        assert_eq!(report.winner, reference.winner);
+        for (a, b) in report.attempts.iter().zip(&reference.attempts) {
+            assert_eq!(
+                (a.backend, a.cost, a.cubes, a.literals),
+                (b.backend, b.cost, b.cubes, b.literals)
+            );
+        }
+    }
+
+    #[test]
+    fn the_ladder_recovers_a_faulted_single_backend_job() {
+        let job = JobSpec::single("fig10", fig10(), BackendKind::Brel);
+        let injection = FaultInjection::new("fig10", 0, FaultKind::Panic);
+        let mut warm = WarmSession::cold();
+        let report = run_job_faulted(0, &job, &mut warm, &ReuseState::disabled(), &[&injection]);
+        assert_eq!(report.outcome, Some(JobOutcome::Degraded));
+        assert_eq!(report.attempts.len(), 1, "one ladder rung row");
+        let rung = report.winning().expect("ladder recovered a solution");
+        assert!(rung.degraded);
+        assert_eq!(rung.backend, BackendKind::Brel);
+        assert_eq!(warm.counts().2, 1);
+    }
+
+    #[test]
+    fn quota_policies_abort_and_classify() {
+        let job = JobSpec::single("fig10", fig10(), BackendKind::Brel).with_fault(FaultPolicy {
+            max_live_nodes: Some(1),
+            fallback: false,
+            ..FaultPolicy::default()
+        });
+        let report = run_job(0, &job);
+        assert!(report.attempts.is_empty());
+        assert_eq!(report.outcome, Some(JobOutcome::QuotaExceeded));
+        assert_eq!(report.fault.as_deref(), Some("live-node quota exceeded"));
+    }
+
+    #[test]
+    fn quota_aborts_still_degrade_through_the_ladder() {
+        let job = JobSpec::single("fig10", fig10(), BackendKind::Brel).with_fault(FaultPolicy {
+            max_live_nodes: Some(1),
+            ..FaultPolicy::default()
+        });
+        let mut warm = WarmSession::cold();
+        let report = run_job_faulted(0, &job, &mut warm, &ReuseState::disabled(), &[]);
+        // The ladder rung runs ungoverned, so the capped best-first probe
+        // completes and the job degrades instead of failing outright.
+        assert_eq!(report.outcome, Some(JobOutcome::Degraded));
+        assert_eq!(report.fault.as_deref(), Some("live-node quota exceeded"));
+        assert!(report.winning().unwrap().degraded);
+        assert_eq!(warm.counts().2, 1);
+    }
+
+    #[test]
+    fn step_deadline_truncation_keeps_the_incumbent() {
+        let job = JobSpec::single("fig10", fig10(), BackendKind::Brel).with_fault(FaultPolicy {
+            step_deadline: Some(1),
+            ..FaultPolicy::default()
+        });
+        let mut warm = WarmSession::cold();
+        let report = run_job_faulted(0, &job, &mut warm, &ReuseState::disabled(), &[]);
+        assert_eq!(report.outcome, Some(JobOutcome::Degraded));
+        assert!(report
+            .fault
+            .as_deref()
+            .unwrap()
+            .contains("step deadline expired"));
+        let attempt = report.winning().expect("incumbent kept");
+        assert!(attempt.degraded);
+        assert_eq!(attempt.explored, 1);
+        // A truncation is a clean return, not a fault: the session survives.
+        assert_eq!(warm.counts().2, 0);
+    }
+
+    #[test]
+    fn faulted_jobs_never_enter_the_subrel_cache() {
+        let reuse = ReuseState::new(true);
+        let job = JobSpec::portfolio("fig10", fig10());
+        let injection = FaultInjection::new("fig10", 0, FaultKind::Panic);
+        let mut warm = WarmSession::cold();
+        let faulted = run_job_faulted(0, &job, &mut warm, &reuse, &[&injection]);
+        assert_eq!(faulted.outcome, Some(JobOutcome::Degraded));
+        // The partial result must not be replayed for the clean duplicate:
+        // the rerun must miss the cache and produce a full Solved report.
+        let clean = run_job_faulted(1, &job, &mut warm, &reuse, &[]);
+        assert_eq!(clean.outcome, Some(JobOutcome::Solved));
+        assert_eq!(clean.attempts.len(), 3);
+        assert!(clean.attempts.iter().all(|a| !a.reuse.subrel_cache_hit));
+        // ...and the clean run does populate the cache as usual.
+        let hit = run_job_faulted(2, &job, &mut warm, &reuse, &[]);
+        assert!(hit.attempts.iter().all(|a| a.reuse.subrel_cache_hit));
+        assert_eq!(hit.outcome, Some(JobOutcome::Solved));
     }
 }

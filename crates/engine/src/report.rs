@@ -187,6 +187,9 @@ impl SolutionReport {
             ("explored", Json::UInt(self.explored as u64)),
             ("splits", Json::UInt(self.splits as u64)),
             ("frontier_peak", Json::UInt(self.frontier_peak as u64)),
+            // Deterministic: a truncated or ladder-recovered attempt is
+            // degraded at every worker count or not at all.
+            ("degraded", Json::Bool(self.degraded)),
             (
                 "cache",
                 Json::object(vec![
@@ -249,6 +252,13 @@ impl JobReport {
                 },
             ),
             (
+                "outcome",
+                match self.outcome {
+                    Some(outcome) => Json::str(outcome.name()),
+                    None => Json::Null,
+                },
+            ),
+            (
                 "attempts",
                 Json::Array(
                     self.attempts
@@ -256,6 +266,13 @@ impl JobReport {
                         .map(|a| a.to_json(include_timing))
                         .collect(),
                 ),
+            ),
+            (
+                "fault",
+                match &self.fault {
+                    Some(f) => Json::str(f),
+                    None => Json::Null,
+                },
             ),
             (
                 "error",
@@ -293,6 +310,7 @@ impl BatchReport {
                         "subrel_cache_misses",
                         Json::UInt(self.reuse.subrel_cache_misses),
                     ),
+                    ("quarantines", Json::UInt(self.reuse.quarantines)),
                 ]),
             ));
         }
@@ -324,17 +342,20 @@ impl BatchReport {
     /// output is byte-identical across worker counts.
     pub fn to_csv(&self, include_timing: bool) -> String {
         let mut out = String::from(
-            "job_id,name,inputs,outputs,backend,strategy,winner,cost,cubes,literals,explored,splits,frontier_peak,cache_lookups,cache_hits,gc_collections,gc_nodes_reclaimed,gc_peak_live_nodes",
+            "job_id,name,inputs,outputs,backend,strategy,winner,outcome,cost,cubes,literals,explored,splits,frontier_peak,cache_lookups,cache_hits,gc_collections,gc_nodes_reclaimed,gc_peak_live_nodes",
         );
         if include_timing {
             out.push_str(",warm_session,subrel_cache_hit,wall_micros");
         }
         out.push('\n');
         for job in &self.jobs {
+            // The outcome classifies the whole job, so every attempt row of
+            // a job repeats it ("-" for structural failures, see `error`).
+            let outcome = job.outcome.map_or("-", |o| o.name());
             let mut line = |backend: &str, winner: u8, attempt: Option<&SolutionReport>| {
                 let _ = write!(
                     out,
-                    "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+                    "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
                     job.job_id,
                     csv_field(&job.name),
                     job.num_inputs,
@@ -344,6 +365,7 @@ impl BatchReport {
                         .and_then(|a| a.strategy)
                         .map_or("-", |strategy| strategy.name()),
                     winner,
+                    outcome,
                     attempt.map_or(0, |a| a.cost),
                     attempt.map_or(0, |a| a.cubes as u64),
                     attempt.map_or(0, |a| a.literals as u64),
@@ -432,9 +454,12 @@ mod tests {
             .lines()
             .nth(1)
             .unwrap()
-            .starts_with("0,broken,1,1,error,-,0,"));
+            .starts_with("0,broken,1,1,error,-,0,-,"));
         let json = report.to_json(false);
         assert!(json.contains("not well defined"));
+        // A structural failure has no outcome classification and no fault.
+        assert!(json.contains("\"outcome\": null"));
+        assert!(json.contains("\"fault\": null"));
     }
 
     #[test]
@@ -462,7 +487,12 @@ mod tests {
         assert!(a.to_json(false).contains("\"peak_live_nodes\""));
         assert!(a
             .to_csv(false)
-            .starts_with("job_id,name,inputs,outputs,backend,strategy,winner,cost,cubes,literals,explored,splits,frontier_peak,cache_lookups,cache_hits,gc_collections,gc_nodes_reclaimed,gc_peak_live_nodes\n"));
+            .starts_with("job_id,name,inputs,outputs,backend,strategy,winner,outcome,cost,cubes,literals,explored,splits,frontier_peak,cache_lookups,cache_hits,gc_collections,gc_nodes_reclaimed,gc_peak_live_nodes\n"));
+        // The fault-tolerance columns are part of the deterministic surface:
+        // a clean job is classified "solved" with no degraded attempts.
+        assert!(a.to_json(false).contains("\"outcome\": \"solved\""));
+        assert!(a.to_json(false).contains("\"degraded\": false"));
+        assert!(a.to_csv(false).lines().nth(1).unwrap().contains(",solved,"));
         // The search columns are part of the deterministic surface.
         assert!(a.to_json(false).contains("\"strategy\""));
         assert!(a.to_json(false).contains("\"splits\""));

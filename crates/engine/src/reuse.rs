@@ -60,17 +60,21 @@ pub struct BatchReuse {
     pub subrel_cache_hits: u64,
     /// Jobs that executed and (when solvable) populated the cache.
     pub subrel_cache_misses: u64,
+    /// Sessions discarded after a panic or resource abort (see
+    /// [`WarmSession::quarantine`]); the next rehydration builds cold.
+    pub quarantines: u64,
 }
 
 impl BatchReuse {
     /// The counters as `(name, value)` pairs, for absorption into a
     /// [`brel_obs::MetricsRegistry`].
-    pub fn metrics(&self) -> [(&'static str, u64); 4] {
+    pub fn metrics(&self) -> [(&'static str, u64); 5] {
         [
             ("warm_reuses", self.warm_reuses),
             ("cold_builds", self.cold_builds),
             ("subrel_cache_hits", self.subrel_cache_hits),
             ("subrel_cache_misses", self.subrel_cache_misses),
+            ("quarantines", self.quarantines),
         ]
     }
 }
@@ -96,6 +100,7 @@ pub struct WarmSession {
     keep_warm: bool,
     warm_reuses: u64,
     cold_builds: u64,
+    quarantines: u64,
 }
 
 impl Default for WarmSession {
@@ -112,6 +117,7 @@ impl WarmSession {
             keep_warm: true,
             warm_reuses: 0,
             cold_builds: 0,
+            quarantines: 0,
         }
     }
 
@@ -124,7 +130,21 @@ impl WarmSession {
             keep_warm: false,
             warm_reuses: 0,
             cold_builds: 0,
+            quarantines: 0,
         }
+    }
+
+    /// Quarantines the stored session: a job that panicked or hit a
+    /// resource abort may leave the manager in an arbitrary intermediate
+    /// state, so it is discarded outright — never reset, never rehydrated
+    /// into — and the next rehydration builds a cold manager. The engine
+    /// calls this on *every* classified fault (panic, quota, deadline);
+    /// only clean truncations keep their session.
+    pub fn quarantine(&mut self) {
+        self.session = None;
+        self.quarantines += 1;
+        brel_obs::event(brel_obs::Category::Session, "quarantine");
+        brel_obs::count(brel_obs::Category::Session, "session.quarantines", 1);
     }
 
     /// Rehydrates a spec into this session's manager, resetting the warm
@@ -180,9 +200,9 @@ impl WarmSession {
         (space, relation, warm)
     }
 
-    /// `(warm_reuses, cold_builds)` of this session so far.
-    pub fn counts(&self) -> (u64, u64) {
-        (self.warm_reuses, self.cold_builds)
+    /// `(warm_reuses, cold_builds, quarantines)` of this session so far.
+    pub fn counts(&self) -> (u64, u64, u64) {
+        (self.warm_reuses, self.cold_builds, self.quarantines)
     }
 }
 
@@ -197,6 +217,9 @@ pub(crate) struct SubrelKey {
     cost: crate::job::CostSpec,
     budget: crate::job::JobBudget,
     strategy: brel_core::SearchStrategy,
+    // The fault policy shapes the report (step deadlines truncate, quotas
+    // abort), so jobs under different policies never share cache entries.
+    fault: crate::fault::FaultPolicy,
     prefix: Vec<crate::job::BackendKind>,
 }
 
@@ -207,6 +230,7 @@ impl SubrelKey {
             cost: job.cost,
             budget: job.budget,
             strategy: job.strategy,
+            fault: job.fault,
             prefix: job.backends[..=attempt].to_vec(),
         }
     }
@@ -306,7 +330,23 @@ mod tests {
         assert!(was_warm, "second rehydration reuses the session");
         assert!(r2.is_well_defined());
         drop((s2, r2));
-        assert_eq!(warm.counts(), (1, 1));
+        assert_eq!(warm.counts(), (1, 1, 0));
+    }
+
+    #[test]
+    fn quarantined_sessions_rebuild_cold() {
+        let mut warm = WarmSession::new();
+        let space = RelationSpace::new(2, 1);
+        let r = BooleanRelation::from_table(&space, "00:{0}\n01:{1}\n10:{1}\n11:{0}").unwrap();
+        let spec = RelationSpec::from_relation(&r).unwrap();
+        let (s1, r1, _) = warm.rehydrate(&spec);
+        drop((s1, r1));
+        warm.quarantine();
+        let (s2, r2, was_warm) = warm.rehydrate(&spec);
+        assert!(!was_warm, "a quarantined session is never rehydrated");
+        assert!(r2.is_well_defined());
+        drop((s2, r2));
+        assert_eq!(warm.counts(), (0, 2, 1));
     }
 
     #[test]
@@ -319,7 +359,7 @@ mod tests {
             let (_s, _r, was_warm) = cold.rehydrate(&spec);
             assert!(!was_warm);
         }
-        assert_eq!(cold.counts(), (0, 3));
+        assert_eq!(cold.counts(), (0, 3, 0));
     }
 
     #[test]

@@ -17,15 +17,17 @@
 //! — costs, statistics, even the per-expansion kernel counters — is
 //! byte-identical at every worker count.
 
+use std::panic::panic_any;
 use std::sync::mpsc;
 use std::thread;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
-use brel_bdd::{CacheStats, GcStats};
+use brel_bdd::{BddError, CacheStats, GcStats, ResourceGovernor};
 use brel_core::{expand, CostFunction, IsfMinimizer, QuickSolver, SearchStrategy};
 use brel_relation::RelationError;
 
 use crate::backend::SolutionReport;
+use crate::fault::{catch_fault, FaultClass, FaultInjection, FaultKind, InjectedPanic};
 use crate::job::{BackendKind, CostSpec, JobSpec, RelationSpec};
 use crate::reuse::{ReuseStats, WarmSession};
 
@@ -92,6 +94,57 @@ struct WideExpansion {
     gc: GcStats,
 }
 
+/// The per-job fault context threaded into wide rounds: the wall-clock
+/// deadline and node quota arm the governor of every expansion's manager,
+/// and the injection slice lets workers fire deterministic faults at
+/// global expansion indices.
+#[derive(Clone, Copy, Default)]
+struct WideGuard<'a> {
+    deadline: Option<Instant>,
+    max_live_nodes: Option<u64>,
+    injections: &'a [&'a FaultInjection],
+}
+
+/// Why one wide-round expansion produced no result.
+#[derive(Debug)]
+enum WideFailure {
+    /// Structural failure from the expansion itself; deterministic.
+    Error(RelationError),
+    /// The expansion faulted (panic or resource abort). The worker already
+    /// quarantined its own session before shipping this.
+    Fault(FaultClass),
+}
+
+/// Fires any panic or quota-trip injection aimed at the global expansion
+/// index (round base + round index). Step-deadline injections are the
+/// coordinator's job — they truncate the search, they don't unwind it.
+fn fire_worker_injections(injections: &[&FaultInjection], global_index: usize) {
+    for injection in injections {
+        if injection.at_expansion() != global_index {
+            continue;
+        }
+        match injection.kind() {
+            FaultKind::Panic => {
+                if injection.fire() {
+                    panic_any(InjectedPanic {
+                        job: injection.job().to_string(),
+                        at_expansion: injection.at_expansion(),
+                    });
+                }
+            }
+            FaultKind::QuotaTrip => {
+                if injection.fire() {
+                    panic_any(BddError::QuotaExceeded {
+                        live_nodes: 0,
+                        max_live_nodes: 0,
+                    });
+                }
+            }
+            FaultKind::StepDeadline => {}
+        }
+    }
+}
+
 /// Expands one portable subproblem inside a private manager — warm when
 /// the worker's session can be reset, fresh otherwise. Pure with respect
 /// to `(spec, prune_bound)` — the determinism anchor of wide mode: a
@@ -102,6 +155,7 @@ fn expand_spec(
     cost: CostSpec,
     prune_bound: u64,
     warm: &mut WarmSession,
+    guard: &WideGuard<'_>,
 ) -> Result<WideExpansion, RelationError> {
     // The per-expansion span; the nested session `rehydrate` span (see
     // `WarmSession::rehydrate`) separates rehydration cost from expand
@@ -113,6 +167,17 @@ fn expand_spec(
         "bound" => spec.lower_bound,
     );
     let (space, relation, _was_warm) = warm.rehydrate(&spec.relation);
+    let governed = guard.max_live_nodes.is_some() || guard.deadline.is_some();
+    if governed {
+        let mut governor = ResourceGovernor::new();
+        if let Some(max) = guard.max_live_nodes {
+            governor = governor.with_max_live_nodes(max);
+        }
+        if let Some(at) = guard.deadline {
+            governor = governor.with_deadline_at(at);
+        }
+        space.mgr().set_governor(governor);
+    }
     space.mgr().reset_peak_live_nodes();
     let before = space.mgr().stats_snapshot();
     let minimizer = IsfMinimizer::default();
@@ -127,6 +192,9 @@ fn expand_spec(
         None => None,
     };
     let after = space.mgr().stats_snapshot();
+    if governed {
+        space.mgr().clear_governor();
+    }
     Ok(WideExpansion {
         candidate_cost: expansion.candidate_cost,
         compatible: expansion.compatible,
@@ -144,16 +212,26 @@ fn expand_spec(
 
 /// Runs one round of expansions over a scoped worker pool (strided
 /// assignment; results re-ordered by round index, so the merge is
-/// worker-count independent). Errors are deterministic too: the error of
-/// the lowest round index wins.
+/// worker-count independent). Failures are deterministic too: the merge
+/// resolves slots by ascending round index.
+///
+/// Every expansion runs inside the panic-isolation boundary: a panic (or
+/// injected fault) is caught in the worker, the worker quarantines its own
+/// session and ships a structured [`WideFailure`], so the coordinator's
+/// collection loop below can never hang on a dead worker. Should a worker
+/// thread still die without reporting (a panic outside the boundary), its
+/// unfilled slots resolve to a structured failure instead of poisoning the
+/// round.
 fn run_round(
     picked: &[SubproblemSpec],
     cost: CostSpec,
     prune_bound: u64,
     sessions: &mut [WarmSession],
-) -> Result<Vec<WideExpansion>, RelationError> {
+    guard: &WideGuard<'_>,
+    base: usize,
+) -> Vec<Result<WideExpansion, WideFailure>> {
     let workers = sessions.len().clamp(1, picked.len().max(1));
-    let (tx, rx) = mpsc::channel::<(usize, Result<WideExpansion, RelationError>)>();
+    let (tx, rx) = mpsc::channel::<(usize, Result<WideExpansion, WideFailure>)>();
     thread::scope(|scope| {
         let dispatch = brel_obs::span(brel_obs::Category::Engine, "dispatch");
         for (w, warm) in sessions.iter_mut().take(workers).enumerate() {
@@ -165,9 +243,27 @@ fn run_round(
                 let _track = brel_obs::enabled(brel_obs::Category::Engine)
                     .then(|| brel_obs::set_track(&format!("wide-worker-{w}")));
                 for (index, spec) in picked.iter().enumerate().skip(w).step_by(workers) {
+                    let outcome = catch_fault(|| {
+                        fire_worker_injections(guard.injections, base + index);
+                        expand_spec(spec, cost, prune_bound, warm, guard)
+                    });
+                    let message = match outcome {
+                        Ok(Ok(expansion)) => Ok(expansion),
+                        Ok(Err(RelationError::ResourceExhausted(err))) => {
+                            warm.quarantine();
+                            Err(WideFailure::Fault(FaultClass::from_resource(&err)))
+                        }
+                        Ok(Err(error)) => Err(WideFailure::Error(error)),
+                        Err(fault) => {
+                            // The session may be mid-operation: discard it
+                            // before this worker touches the next stride.
+                            warm.quarantine();
+                            Err(WideFailure::Fault(fault))
+                        }
+                    };
                     // The receiver outlives the scope; a send only fails if
                     // the collector stopped early.
-                    let _ = tx.send((index, expand_spec(spec, cost, prune_bound, warm)));
+                    let _ = tx.send((index, message));
                 }
             });
         }
@@ -177,15 +273,21 @@ fn run_round(
         // worker has drained its stride — the wait ROADMAP item 1 wants
         // attributed.
         let _barrier = brel_obs::span(brel_obs::Category::Engine, "barrier_wait");
-        let mut slots: Vec<Option<Result<WideExpansion, RelationError>>> =
+        let mut slots: Vec<Option<Result<WideExpansion, WideFailure>>> =
             (0..picked.len()).map(|_| None).collect();
         for (index, result) in rx.iter() {
             slots[index] = Some(result);
         }
         slots
             .into_iter()
-            .map(|slot| slot.expect("every round index is expanded exactly once"))
-            .collect::<Result<Vec<_>, _>>()
+            .map(|slot| {
+                slot.unwrap_or_else(|| {
+                    Err(WideFailure::Fault(FaultClass::Panicked(
+                        "wide worker died before reporting an expansion".to_string(),
+                    )))
+                })
+            })
+            .collect()
     })
 }
 
@@ -296,6 +398,23 @@ pub fn solve_wide_with(
     options: WideOptions,
     sessions: &mut [WarmSession],
 ) -> Result<SolutionReport, RelationError> {
+    solve_wide_faulted(job, options, sessions, &[]).map(|(report, _)| report)
+}
+
+/// The fault-aware core of wide mode. On top of [`solve_wide_with`] it
+/// honors the job's [`crate::fault::FaultPolicy`] (wall deadline, node
+/// quota, step deadline) and the deterministic injection slice. A faulted
+/// or truncated search *degrades*: the round's surviving expansions are
+/// merged, the loop closes, and the report keeps the best incumbent (wide
+/// mode always holds one from the quick seed) with `degraded` set and the
+/// first fault described in the second tuple slot. Structural errors still
+/// fail the job.
+pub(crate) fn solve_wide_faulted(
+    job: &JobSpec,
+    options: WideOptions,
+    sessions: &mut [WarmSession],
+    injections: &[&FaultInjection],
+) -> Result<(SolutionReport, Option<String>), RelationError> {
     let start = Instant::now();
     let solve_span = brel_obs::span(brel_obs::Category::Engine, "wide_solve");
     let top_k = options.top_k.max(1);
@@ -342,10 +461,62 @@ pub fn solve_wide_with(
     let mut splits = 0usize;
     let mut frontier_peak = 1usize;
 
+    let deadline = job
+        .fault
+        .deadline_ms
+        .map(|ms| Instant::now() + Duration::from_millis(ms));
+    let guard = WideGuard {
+        deadline,
+        max_live_nodes: job.fault.max_live_nodes,
+        injections,
+    };
+    let mut fault: Option<String> = None;
+    let mut degraded = false;
+
     let mut round_index = 0u64;
     loop {
         if frontier.is_empty() {
             break;
+        }
+        // Deterministic truncations first: an injected step deadline fires
+        // once the cumulative expansion count reaches its mark…
+        for injection in injections {
+            if injection.kind() == FaultKind::StepDeadline
+                && explored >= injection.at_expansion()
+                && injection.fire()
+            {
+                degraded = true;
+                fault.get_or_insert_with(|| {
+                    format!(
+                        "injected step deadline at expansion {} of job {}",
+                        injection.at_expansion(),
+                        injection.job()
+                    )
+                });
+            }
+        }
+        // …and the policy step deadline bounds the same counter.
+        if !degraded {
+            if let Some(limit) = job.fault.step_deadline {
+                if explored >= limit {
+                    degraded = true;
+                    fault.get_or_insert_with(|| {
+                        format!("step deadline expired after {explored} expansions")
+                    });
+                }
+            }
+        }
+        if degraded {
+            break;
+        }
+        // The wall deadline is timing-dependent by nature; determinism
+        // gates use step deadlines instead.
+        if let Some(at) = deadline {
+            if Instant::now() >= at {
+                degraded = true;
+                fault.get_or_insert_with(|| FaultClass::Deadline.describe());
+                break;
+            }
         }
         let budget_left = job
             .budget
@@ -362,7 +533,19 @@ pub fn solve_wide_with(
             .arg("frontier", frontier.len() as u64);
         round_index += 1;
 
-        let round_k = top_k.min(budget_left);
+        // A pending step deadline (policy or injected) clamps the round
+        // width so the cumulative count lands exactly on the mark instead
+        // of overshooting by up to a round.
+        let mut step_left = job
+            .fault
+            .step_deadline
+            .map_or(usize::MAX, |limit| limit.saturating_sub(explored));
+        for injection in injections {
+            if injection.kind() == FaultKind::StepDeadline && !injection.has_fired() {
+                step_left = step_left.min(injection.at_expansion().saturating_sub(explored));
+            }
+        }
+        let round_k = top_k.min(budget_left).min(step_left.max(1));
         let picked = {
             let _select = brel_obs::span(brel_obs::Category::Engine, "select");
             select_round(&mut frontier, job.strategy, round_k, best.cost)
@@ -373,11 +556,25 @@ pub fn solve_wide_with(
 
         // Parallel expansion against the round-start bound…
         let round_bound = best.cost;
-        let results = run_round(&picked, job.cost, round_bound, sessions)?;
+        let results = run_round(&picked, job.cost, round_bound, sessions, &guard, explored);
 
-        // …and the deterministic merge, in ascending round index.
+        // …and the deterministic merge, in ascending round index: the
+        // round's successes are merged in full, then the first failure (by
+        // round index) resolves the round — a structural error fails the
+        // job, a fault closes the search on the incumbent.
         let _merge = brel_obs::span(brel_obs::Category::Engine, "merge");
-        for (spec, expansion) in picked.iter().zip(results) {
+        let mut round_fault: Option<FaultClass> = None;
+        for (spec, slot) in picked.iter().zip(results) {
+            let expansion = match slot {
+                Ok(expansion) => expansion,
+                Err(WideFailure::Error(error)) => return Err(error),
+                Err(WideFailure::Fault(class)) => {
+                    if round_fault.is_none() {
+                        round_fault = Some(class);
+                    }
+                    continue;
+                }
+            };
             explored += 1;
             accumulate_cache(&mut cache, &expansion.cache);
             accumulate_gc(&mut gc, &expansion.gc);
@@ -421,26 +618,57 @@ pub fn solve_wide_with(
                 frontier_peak = frontier_peak.max(frontier.len());
             }
         }
+        if let Some(class) = round_fault {
+            degraded = true;
+            fault.get_or_insert_with(|| class.describe());
+            break;
+        }
+    }
+
+    // The narrow loop's injection check precedes the would-be next step
+    // even when the frontier is exhausted; mirror that so a plan aimed at
+    // the tail of a short search still fires deterministically.
+    for injection in injections {
+        if injection.at_expansion() <= explored && injection.fire() {
+            degraded = true;
+            fault.get_or_insert_with(|| match injection.kind() {
+                FaultKind::Panic => InjectedPanic {
+                    job: injection.job().to_string(),
+                    at_expansion: injection.at_expansion(),
+                }
+                .describe(),
+                FaultKind::QuotaTrip => FaultClass::Quota.describe(),
+                FaultKind::StepDeadline => format!(
+                    "injected step deadline at expansion {} of job {}",
+                    injection.at_expansion(),
+                    injection.job()
+                ),
+            });
+        }
     }
 
     drop(solve_span);
-    Ok(SolutionReport {
-        backend: BackendKind::Brel,
-        cost: best.cost,
-        cubes: best.cubes,
-        literals: best.literals,
-        explored,
-        splits,
-        frontier_peak,
-        strategy: Some(job.strategy),
-        cache,
-        gc,
-        reuse: ReuseStats {
-            warm_session: seed_warm,
-            subrel_cache_hit: false,
+    Ok((
+        SolutionReport {
+            backend: BackendKind::Brel,
+            cost: best.cost,
+            cubes: best.cubes,
+            literals: best.literals,
+            explored,
+            splits,
+            frontier_peak,
+            strategy: Some(job.strategy),
+            cache,
+            gc,
+            reuse: ReuseStats {
+                warm_session: seed_warm,
+                subrel_cache_hit: false,
+            },
+            degraded,
+            wall_micros: brel_obs::wall_micros(start),
         },
-        wall_micros: brel_obs::wall_micros(start),
-    })
+        fault,
+    ))
 }
 
 #[cfg(test)]
@@ -503,6 +731,68 @@ mod tests {
         let report = solve_wide(&job, 4, WideOptions { top_k: 8 }).unwrap();
         assert_eq!(report.explored, 1, "top-k must be clamped to the budget");
         assert!(report.cost >= 2);
+    }
+
+    #[test]
+    fn a_wide_worker_panic_degrades_instead_of_hanging() {
+        // Satellite regression: a worker death mid-round must surface as a
+        // structured per-subproblem failure, never a hung barrier. The
+        // injected panic unwinds inside the worker; the coordinator merges
+        // the round and closes on the quick-seed incumbent.
+        let job = fig10_job();
+        let injection = FaultInjection::new("fig10", 0, FaultKind::Panic);
+        let mut sessions: Vec<WarmSession> = (0..2).map(|_| WarmSession::new()).collect();
+        let (report, fault) =
+            solve_wide_faulted(&job, WideOptions::default(), &mut sessions, &[&injection])
+                .expect("a fault degrades, it does not error");
+        assert!(injection.has_fired());
+        assert!(report.degraded);
+        assert!(fault.as_deref().unwrap().contains("injected panic"));
+        assert_eq!(report.explored, 0, "the only round-0 slot faulted");
+        assert!(report.cost >= 2, "quick-seed incumbent survives");
+        let quarantines: u64 = sessions.iter().map(|s| s.counts().2).sum();
+        assert_eq!(quarantines, 1, "the faulted worker discards its session");
+    }
+
+    #[test]
+    fn wide_faults_are_worker_count_invariant() {
+        let job = fig10_job();
+        let mask = |mut r: SolutionReport| {
+            r.wall_micros = 0;
+            r
+        };
+        let mut runs = Vec::new();
+        for workers in [1usize, 2, 8] {
+            // Injections are armed-once, so each run gets a fresh one.
+            let injection = FaultInjection::new("fig10", 1, FaultKind::QuotaTrip);
+            let mut sessions: Vec<WarmSession> = (0..workers).map(|_| WarmSession::new()).collect();
+            let (report, fault) =
+                solve_wide_faulted(&job, WideOptions { top_k: 3 }, &mut sessions, &[&injection])
+                    .unwrap();
+            runs.push((mask(report), fault));
+        }
+        assert_eq!(runs[0], runs[1], "1 vs 2 workers");
+        assert_eq!(runs[0], runs[2], "1 vs 8 workers");
+        assert!(runs[0].0.degraded);
+        assert!(runs[0].1.as_deref().unwrap().contains("quota"));
+    }
+
+    #[test]
+    fn injected_step_deadlines_truncate_deterministically() {
+        let job = fig10_job();
+        let injection = FaultInjection::new("fig10", 1, FaultKind::StepDeadline);
+        let mut sessions: Vec<WarmSession> = (0..2).map(|_| WarmSession::new()).collect();
+        let (report, fault) =
+            solve_wide_faulted(&job, WideOptions { top_k: 8 }, &mut sessions, &[&injection])
+                .unwrap();
+        assert!(report.degraded);
+        assert_eq!(
+            report.explored, 1,
+            "the round width must clamp to the injected mark"
+        );
+        assert!(fault.as_deref().unwrap().contains("injected step deadline"));
+        // Truncation is a clean return: no session is quarantined.
+        assert_eq!(sessions.iter().map(|s| s.counts().2).sum::<u64>(), 0);
     }
 
     #[test]
