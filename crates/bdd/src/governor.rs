@@ -51,6 +51,12 @@ pub enum BddError {
         /// The configured deadline, in milliseconds.
         deadline_ms: u64,
     },
+    /// The session mutex is poisoned: a previous operation panicked while
+    /// holding the manager lock. Surfaced only by the *checked* session
+    /// entry points (`BddSession::try_with`); the plain handle API keeps
+    /// clearing poisoning so drops during unwinding never wedge, and the
+    /// engine's quarantine path rebuilds the session anyway.
+    Poisoned,
 }
 
 impl fmt::Display for BddError {
@@ -69,6 +75,10 @@ impl fmt::Display for BddError {
             } => write!(
                 f,
                 "deadline exceeded: {elapsed_ms} ms elapsed, deadline {deadline_ms} ms"
+            ),
+            BddError::Poisoned => write!(
+                f,
+                "session poisoned: a previous operation panicked while holding the manager lock"
             ),
         }
     }

@@ -13,8 +13,10 @@
 //! rehydrating into cold ones. The lock is not a concurrency strategy —
 //! the solvers drive one session from one thread at a time — it is the
 //! memory-safety fence that makes the move legal. Lock poisoning is
-//! deliberately ignored (a panicking operation, e.g. `constrain` on an
-//! empty care set, must not wedge every subsequent handle drop).
+//! deliberately ignored by the handle API (a panicking operation, e.g.
+//! `constrain` on an empty care set, must not wedge every subsequent
+//! handle drop); direct session users that want poisoning *surfaced*
+//! instead use [`BddSession::try_with`] / [`BddSession::is_poisoned`].
 //!
 //! The handles are also the kernel's *rooting discipline*: every `Bdd`
 //! registers an external reference in the manager's root table when it is
@@ -40,7 +42,7 @@ use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use crate::cache::CacheStats;
 use crate::config::BddConfig;
 use crate::gc::GcStats;
-use crate::governor::ResourceGovernor;
+use crate::governor::{BddError, ResourceGovernor};
 use crate::isop::IsopResult;
 use crate::manager::{BddManager, NodeId, Var};
 use crate::paths::PathCube;
@@ -112,6 +114,16 @@ impl BddSession {
     /// release their root slots.
     pub(crate) fn lock(&self) -> MutexGuard<'_, BddManager> {
         self.core.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Whether a previous operation panicked while holding the manager
+    /// lock. The plain handle API deliberately keeps working on a poisoned
+    /// session (see [`BddSession::with`]); callers that want a panicked
+    /// session *surfaced* rather than silently cleared — e.g. long-running
+    /// services deciding whether to quarantine — check this flag or use
+    /// [`BddSession::try_with`].
+    pub fn is_poisoned(&self) -> bool {
+        self.core.is_poisoned()
     }
 
     /// Rewinds the session to the state a cold
@@ -240,6 +252,30 @@ impl BddSession {
     /// afterwards.
     pub fn with<R>(&self, f: impl FnOnce(&mut BddManager) -> R) -> R {
         f(&mut self.lock())
+    }
+
+    /// The checked variant of [`BddSession::with`]: refuses to run on a
+    /// poisoned session instead of silently clearing the poison flag.
+    ///
+    /// [`BddSession::with`] (and the whole handle API) intentionally
+    /// ignores poisoning so handle drops during unwinding never wedge and
+    /// the engine's quarantine path can still inspect a faulted manager.
+    /// Direct session users outside that path get no such safety net: a
+    /// panic mid-operation may have left *application-level* state (not
+    /// the manager's own invariants) inconsistent. `try_with` surfaces
+    /// that as [`BddError::Poisoned`] so the caller can rebuild instead of
+    /// computing on a session another computation died in. The same
+    /// non-reentrancy contract as [`BddSession::with`] applies.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BddError::Poisoned`] if a previous operation panicked
+    /// while holding the manager lock.
+    pub fn try_with<R>(&self, f: impl FnOnce(&mut BddManager) -> R) -> Result<R, BddError> {
+        match self.core.lock() {
+            Ok(mut guard) => Ok(f(&mut guard)),
+            Err(_) => Err(BddError::Poisoned),
+        }
     }
 
     /// Number of variables.
@@ -840,6 +876,32 @@ mod tests {
         // The lock is poisoned now; handle traffic must still work.
         let b = session.var(1);
         assert!(a.or(&b).eval(&[true, false]));
+        drop((a, b, zero));
+        assert_eq!(session.live_roots(), 0);
+    }
+
+    #[test]
+    fn try_with_surfaces_poisoning_instead_of_clearing_it() {
+        let session = BddSession::new(2);
+        assert!(!session.is_poisoned());
+        // A healthy session runs the closure like `with` does.
+        assert_eq!(session.try_with(|m| m.num_vars()).unwrap(), 2);
+        let a = session.var(0);
+        let zero = session.zero();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _ = a.constrain(&zero); // panics while holding the lock
+        }));
+        assert!(result.is_err());
+        // The checked API refuses the poisoned session with a typed error…
+        assert!(session.is_poisoned());
+        assert_eq!(session.try_with(|m| m.num_vars()), Err(BddError::Poisoned));
+        // …and keeps refusing: observing the poison must not clear it.
+        assert!(session.is_poisoned());
+        assert_eq!(session.try_with(|m| m.num_vars()), Err(BddError::Poisoned));
+        // The unchecked path (engine quarantine, handle drops) still works.
+        let b = session.var(1);
+        assert!(a.or(&b).eval(&[true, false]));
+        assert_eq!(session.with(|m| m.num_vars()), 2);
         drop((a, b, zero));
         assert_eq!(session.live_roots(), 0);
     }

@@ -28,7 +28,10 @@
 //!   injected batch, and fail (exit 1) unless every injection fired,
 //!   exactly that many jobs report a non-`solved` outcome (each still
 //!   carrying a verified winner), and every untargeted job's timing-free
-//!   output is byte-identical to the reference
+//!   output is byte-identical to the reference. The corpus must have at
+//!   least 3 jobs (one per fault kind); smaller corpora are rejected with
+//!   a structured error and a failure exit instead of arming a partial
+//!   plan silently
 //! * `--deadline-ms N` per-job wall-clock deadline for the BREL backend
 //!   (kernel governor; timing-dependent, so keep it out of determinism
 //!   gates)
@@ -53,7 +56,7 @@
 use std::process::ExitCode;
 use std::sync::Arc;
 
-use brel_bench::engine_batch::{corpus, render, CorpusOptions};
+use brel_bench::engine_batch::{chaos_corpus_error, corpus, render, CorpusOptions};
 use brel_engine::{
     BatchReport, Engine, EngineConfig, FaultPlan, FaultPolicy, JobOutcome, JobSpec, SearchStrategy,
     WideOptions,
@@ -171,6 +174,14 @@ fn main() -> ExitCode {
     });
 
     let mut jobs = corpus(&options);
+    // A seeded plan places its three fault kinds on distinct jobs; a
+    // smaller corpus would arm fewer injections and the chaos gates below
+    // would pass vacuously. Reject it up front instead.
+    if chaos.is_some() {
+        if let Some(message) = chaos_corpus_error(jobs.len()) {
+            return usage(&message);
+        }
+    }
     // Map the fault flags onto every job's policy. The default policy is a
     // no-op, so the flags cost nothing when unused.
     let policy = FaultPolicy {

@@ -111,6 +111,25 @@ pub fn run_wide(jobs: &[JobSpec], num_workers: usize, top_k: usize) -> BatchRepo
         .solve_batch(jobs)
 }
 
+/// Minimum corpus size for a seeded chaos run: [`FaultPlan::seeded`]
+/// places its three fault kinds on *distinct* jobs, so a smaller corpus
+/// would silently arm fewer injections and the chaos gates ("all
+/// injections fired") would pass vacuously.
+pub const MIN_CHAOS_JOBS: usize = 3;
+
+/// Checks that a corpus is large enough for a seeded chaos run. Returns
+/// the structured error message for the CLI to print (and fail with) when
+/// it is not.
+pub fn chaos_corpus_error(num_jobs: usize) -> Option<String> {
+    (num_jobs < MIN_CHAOS_JOBS).then(|| {
+        format!(
+            "chaos run needs at least {MIN_CHAOS_JOBS} jobs so every fault kind \
+             lands on a distinct job, but the corpus has only {num_jobs}; \
+             raise --instances/--random"
+        )
+    })
+}
+
 /// Runs a corpus with an armed fault plan: the engine fires the plan's
 /// injections into the matching jobs and classifies the outcomes. Plans are
 /// armed-once, so callers must build a fresh plan per run.
@@ -212,6 +231,16 @@ mod tests {
         assert_eq!(jobs[0].name, "int1");
         assert_eq!(jobs[4].name, "rand0");
         assert!(jobs.iter().all(|j| j.backends.len() == 3));
+    }
+
+    #[test]
+    fn chaos_needs_three_jobs_for_three_fault_kinds() {
+        for too_small in 0..MIN_CHAOS_JOBS {
+            let message = chaos_corpus_error(too_small).expect("sub-3 corpora are rejected");
+            assert!(message.contains(&format!("only {too_small}")), "{message}");
+        }
+        assert_eq!(chaos_corpus_error(MIN_CHAOS_JOBS), None);
+        assert_eq!(chaos_corpus_error(100), None);
     }
 
     #[test]

@@ -30,6 +30,8 @@
 
 use std::collections::{BinaryHeap, VecDeque};
 use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 
 use brel_bdd::GcStats;
 use brel_relation::{BooleanRelation, MultiOutputFunction, RelationError};
@@ -362,6 +364,34 @@ pub fn expand(
     })
 }
 
+/// A cooperative cancellation flag shared between a driver thread and a
+/// running exploration. Cloning the token shares the flag; any clone can
+/// request cancellation and the [`Explorer`] observes it at the next
+/// [`Explorer::run_budget`] step boundary — between subproblems, never
+/// inside one, so the incumbent in hand stays a valid, verified anytime
+/// solution when the loop returns [`ExploreStatus::Cancelled`].
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, uncancelled token.
+    pub fn new() -> Self {
+        CancelToken::default()
+    }
+
+    /// Requests cancellation. Idempotent and never blocks.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Release);
+    }
+
+    /// Whether cancellation has been requested on any clone of this token.
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Acquire)
+    }
+}
+
 /// What one [`Explorer::step`] call did.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum StepOutcome {
@@ -398,6 +428,10 @@ pub enum ExploreStatus {
     Paused,
     /// The configured `step_deadline` expired (fault-policy truncation).
     DeadlineExpired,
+    /// A [`CancelToken`] attached via [`Explorer::set_cancel_token`] was
+    /// cancelled; the incumbent is kept and the frontier left intact, so
+    /// the caller may still resume if it chooses to.
+    Cancelled,
 }
 
 /// The incremental branch-and-bound exploration: owns the frontier, the
@@ -417,6 +451,7 @@ pub struct Explorer {
     best_cost: u64,
     stats: SolveStats,
     trace: Vec<TraceEvent>,
+    cancel: Option<CancelToken>,
 }
 
 impl Explorer {
@@ -482,7 +517,19 @@ impl Explorer {
             best_cost,
             stats,
             trace,
+            cancel: None,
         })
+    }
+
+    /// Attaches a cooperative [`CancelToken`]: [`Explorer::run_budget`]
+    /// checks it between subproblems and returns
+    /// [`ExploreStatus::Cancelled`] once it fires. A single [`step`] call
+    /// never observes the token, so the per-node semantics (and batch
+    /// fingerprints) are unchanged when no driver ever cancels.
+    ///
+    /// [`step`]: Explorer::step
+    pub fn set_cancel_token(&mut self, token: CancelToken) {
+        self.cancel = Some(token);
     }
 
     /// Explores the next subproblem (consuming any dominance-pruned pops on
@@ -687,6 +734,9 @@ impl Explorer {
     pub fn run_budget(&mut self, max_steps: Option<usize>) -> Result<ExploreStatus, RelationError> {
         let mut steps = 0usize;
         loop {
+            if self.cancel.as_ref().is_some_and(CancelToken::is_cancelled) {
+                return Ok(ExploreStatus::Cancelled);
+            }
             if let Some(max) = max_steps {
                 if steps >= max {
                     return Ok(ExploreStatus::Paused);
@@ -890,8 +940,10 @@ mod tests {
                     last = explorer.best_cost();
                 }
                 ExploreStatus::Complete => break,
-                ExploreStatus::BudgetExhausted | ExploreStatus::DeadlineExpired => {
-                    unreachable!("exact mode has no budget or deadline")
+                ExploreStatus::BudgetExhausted
+                | ExploreStatus::DeadlineExpired
+                | ExploreStatus::Cancelled => {
+                    unreachable!("exact mode has no budget, deadline or token")
                 }
             }
         }
@@ -948,5 +1000,30 @@ mod tests {
         // A prune bound at or below the candidate cost suppresses the split.
         let pruned = expand(&minimizer, &cost, &quick, &r, a.candidate_cost).unwrap();
         assert!(pruned.split.is_none() && pruned.quick.is_none());
+    }
+
+    #[test]
+    fn cancel_token_stops_run_budget_at_the_step_boundary() {
+        let (_space, r) = fig10();
+        let mut explorer = Explorer::new(BrelConfig::exact(), &r).unwrap();
+        let token = CancelToken::new();
+        explorer.set_cancel_token(token.clone());
+        assert!(!token.is_cancelled());
+        // An uncancelled token never perturbs the search.
+        assert_eq!(explorer.run_budget(Some(1)).unwrap(), ExploreStatus::Paused);
+        assert_eq!(explorer.explored(), 1);
+        // Cancel: the next run returns immediately, incumbent and frontier
+        // intact.
+        token.cancel();
+        assert!(token.is_cancelled());
+        let before = explorer.explored();
+        assert_eq!(explorer.run().unwrap(), ExploreStatus::Cancelled);
+        assert_eq!(explorer.explored(), before, "no step after cancellation");
+        assert!(r.is_compatible(explorer.best()));
+        // The incumbent survives into the final solution.
+        let cancelled_cost = explorer.best_cost();
+        let solution = explorer.into_solution();
+        assert_eq!(solution.cost, cancelled_cost);
+        assert!(!solution.stats.complete);
     }
 }

@@ -9,6 +9,7 @@ use brel_core::{
 use brel_gyocro::{GyocroConfig, GyocroSolver};
 use brel_relation::{BooleanRelation, MultiOutputFunction, RelationError};
 
+use crate::control::JobControl;
 use crate::fault::{FaultInjection, FaultKind, InjectedPanic};
 use crate::job::{BackendKind, CostSpec, JobBudget};
 use crate::reuse::ReuseStats;
@@ -177,6 +178,11 @@ pub(crate) struct ExecContext<'a> {
     pub step_deadline: Option<usize>,
     /// Fault injections targeting this job (BREL attempts only).
     pub injections: &'a [&'a FaultInjection],
+    /// The job's control surface (cooperative cancellation + incumbent
+    /// streaming), when an interactive caller installed one. `None` on
+    /// the batch path — and an inert control behaves identically to
+    /// `None`, which is what keeps serial replays byte-identical.
+    pub control: Option<&'a JobControl>,
 }
 
 /// Runs one backend on one (already rehydrated) relation and scores the
@@ -287,6 +293,11 @@ fn run_brel_guarded(
         .with_fifo_capacity(budget.fifo_capacity)
         .with_step_deadline(ctx.step_deadline);
     let mut explorer = Explorer::new(config, relation)?;
+    if let Some(control) = ctx.control {
+        // The quick-solver seed is the first incumbent: a valid, verified
+        // compatible solution available before any exploration step.
+        control.notify_incumbent(explorer.best_cost(), explorer.explored());
+    }
     let mut truncated: Option<String> = None;
     loop {
         for injection in ctx.injections {
@@ -335,8 +346,23 @@ fn run_brel_guarded(
                 ));
             }
         }
+        if ctx.control.is_some_and(JobControl::is_cancelled) {
+            // Cooperative cancellation: truncate like a step deadline —
+            // stop at the step boundary, keep the incumbent, classify the
+            // job as degraded rather than failed.
+            truncated.get_or_insert_with(|| {
+                format!("cancelled after {} expansions", explorer.explored())
+            });
+            break;
+        }
         match explorer.step_guarded()? {
-            StepOutcome::Explored { .. } => {}
+            StepOutcome::Explored { improved, .. } => {
+                if improved {
+                    if let Some(control) = ctx.control {
+                        control.notify_incumbent(explorer.best_cost(), explorer.explored());
+                    }
+                }
+            }
             StepOutcome::Exhausted | StepOutcome::BudgetExhausted => break,
             StepOutcome::DeadlineExpired => {
                 if truncated.is_none() {

@@ -311,7 +311,10 @@ impl FaultClass {
                 return match *error {
                     BddError::QuotaExceeded { .. } => FaultClass::Quota,
                     BddError::DeadlineExceeded { .. } => FaultClass::Deadline,
-                }
+                    // A poisoned session means some computation died on it:
+                    // treat it like a panic (transient, quarantine + retry).
+                    BddError::Poisoned => FaultClass::Panicked(error.to_string()),
+                };
             }
             Err(payload) => payload,
         };
@@ -336,6 +339,7 @@ impl FaultClass {
         match error {
             BddError::QuotaExceeded { .. } => FaultClass::Quota,
             BddError::DeadlineExceeded { .. } => FaultClass::Deadline,
+            BddError::Poisoned => FaultClass::Panicked(error.to_string()),
         }
     }
 

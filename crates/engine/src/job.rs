@@ -207,7 +207,7 @@ impl Default for JobBudget {
 
 /// One unit of work: a relation, the backends to race on it, the cost
 /// function that scores them, and the exploration budget.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct JobSpec {
     /// Human-readable job name (instance name in the benchmark corpora).
     pub name: String,

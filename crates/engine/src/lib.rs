@@ -66,6 +66,7 @@
 #![warn(missing_debug_implementations)]
 
 mod backend;
+mod control;
 mod fault;
 mod job;
 mod pool;
@@ -75,14 +76,15 @@ pub mod reuse;
 pub mod wide;
 
 pub use backend::{execute, instantiate, BackendRun, SolutionReport, SolverBackend};
-pub use brel_core::SearchStrategy;
+pub use brel_core::{CancelToken, SearchStrategy};
+pub use control::JobControl;
 pub use fault::{
     quiet_fault_panics, FaultInjection, FaultKind, FaultPlan, FaultPolicy, InjectedPanic,
     JobOutcome,
 };
 pub use job::{BackendKind, CostSpec, JobBudget, JobSpec, RelationSpec};
 pub use pool::{BatchReport, Engine, EngineConfig};
-pub use portfolio::{run_job, run_job_warm, run_job_wide, JobReport};
+pub use portfolio::{run_job, run_job_controlled, run_job_warm, run_job_wide, JobReport};
 pub use report::Json;
 pub use reuse::{BatchReuse, ReuseStats, WarmSession};
 pub use wide::{solve_wide, solve_wide_with, SubproblemSpec, WideOptions};

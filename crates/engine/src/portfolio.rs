@@ -17,6 +17,7 @@ use brel_core::SearchStrategy;
 use brel_relation::{BooleanRelation, RelationError, RelationSpace};
 
 use crate::backend::{execute_with, ExecContext, SolutionReport};
+use crate::control::JobControl;
 use crate::fault::{catch_fault, FaultClass, FaultInjection, JobOutcome};
 use crate::job::{BackendKind, JobBudget, JobSpec};
 use crate::reuse::{ReuseState, ReuseStats, WarmSession};
@@ -111,16 +112,19 @@ fn attempt_once(
     hydrated: &(RelationSpace, BooleanRelation, bool),
     deadline: Option<Instant>,
     injections: &[&FaultInjection],
+    control: Option<&JobControl>,
 ) -> AttemptOutcome {
     let (space, relation, _was_warm) = hydrated;
-    // Fault policies and injections only target the recursive BREL solve;
-    // the quick and gyocro backends are single-pass and fast by design.
+    // Fault policies, injections and job controls only target the
+    // recursive BREL solve; the quick and gyocro backends are single-pass
+    // and fast by design.
     let brel = kind == BackendKind::Brel;
     let ctx = ExecContext {
         deadline: if brel { deadline } else { None },
         deadline_ms: job.fault.deadline_ms.unwrap_or(0),
         step_deadline: if brel { job.fault.step_deadline } else { None },
         injections: if brel { injections } else { &[] },
+        control: if brel { control } else { None },
     };
     let governed = brel && job.fault.governs();
     if governed {
@@ -159,6 +163,42 @@ pub(crate) fn run_job_faulted(
     reuse: &ReuseState,
     injections: &[&FaultInjection],
 ) -> JobReport {
+    run_job_controlled_inner(job_id, job, warm, reuse, injections, None)
+}
+
+/// The interactive entry point behind the serving layer: one job on the
+/// caller's warm session under a [`JobControl`] — cooperative cancellation
+/// checked between BREL exploration steps (a cancelled job truncates to
+/// its incumbent and classifies as [`JobOutcome::Degraded`]) and incumbent
+/// streaming via the control's callback. Fault injections ride along for
+/// chaos-seeded serving runs. With an inert control and no injections the
+/// report is byte-identical to [`run_job_warm`], so a serial replay of a
+/// served corpus reproduces the batch engine's output exactly.
+pub fn run_job_controlled(
+    job_id: usize,
+    job: &JobSpec,
+    warm: &mut WarmSession,
+    control: &JobControl,
+    injections: &[&FaultInjection],
+) -> JobReport {
+    run_job_controlled_inner(
+        job_id,
+        job,
+        warm,
+        &ReuseState::disabled(),
+        injections,
+        Some(control),
+    )
+}
+
+fn run_job_controlled_inner(
+    job_id: usize,
+    job: &JobSpec,
+    warm: &mut WarmSession,
+    reuse: &ReuseState,
+    injections: &[&FaultInjection],
+    control: Option<&JobControl>,
+) -> JobReport {
     let fingerprint = job.relation.fingerprint();
     let lookup_start = Instant::now();
     // A job with pending injections must actually execute so the fault
@@ -192,7 +232,7 @@ pub(crate) fn run_job_faulted(
         let mut tries = 0u32;
         let result = loop {
             let session = hydrated.get_or_insert_with(|| warm.rehydrate(&job.relation));
-            let outcome = attempt_once(kind, job, session, deadline, injections);
+            let outcome = attempt_once(kind, job, session, deadline, injections, control);
             if let AttemptOutcome::Fault(class) = outcome {
                 // The faulted manager may hold arbitrary mid-operation
                 // state: drop our handles into it, then quarantine so the
@@ -626,6 +666,63 @@ mod tests {
         assert_eq!(attempt.explored, 1);
         // A truncation is a clean return, not a fault: the session survives.
         assert_eq!(warm.counts().2, 0);
+    }
+
+    #[test]
+    fn an_inert_control_reduces_to_the_warm_path() {
+        let job = JobSpec::portfolio("fig10", fig10());
+        let mut warm = WarmSession::cold();
+        let controlled = run_job_controlled(0, &job, &mut warm, &JobControl::new(), &[]);
+        assert_eq!(masked(controlled), masked(run_job(0, &job)));
+    }
+
+    #[test]
+    fn a_pre_cancelled_job_degrades_to_the_quick_seed() {
+        use brel_core::CancelToken;
+        let token = CancelToken::new();
+        token.cancel();
+        let control = JobControl::new().with_cancel(token);
+        let job = JobSpec::single("fig10", fig10(), BackendKind::Brel);
+        let mut warm = WarmSession::cold();
+        let report = run_job_controlled(0, &job, &mut warm, &control, &[]);
+        // Cancellation is a truncation, not a fault: the job degrades to
+        // the quick-solver seed and the session survives unquarantined.
+        assert_eq!(report.outcome, Some(JobOutcome::Degraded));
+        assert!(report
+            .fault
+            .as_deref()
+            .unwrap()
+            .contains("cancelled after 0 expansions"));
+        let attempt = report.winning().expect("seed incumbent kept");
+        assert!(attempt.degraded);
+        assert_eq!(attempt.explored, 0);
+        assert_eq!(warm.counts().2, 0);
+    }
+
+    #[test]
+    fn incumbent_streaming_reports_the_seed_then_improvements() {
+        use std::sync::{Arc, Mutex};
+        let seen: Arc<Mutex<Vec<(u64, usize)>>> = Arc::new(Mutex::new(Vec::new()));
+        let sink = seen.clone();
+        let control = JobControl::new()
+            .on_incumbent(move |cost, explored| sink.lock().unwrap().push((cost, explored)));
+        let job = JobSpec::single("fig10", fig10(), BackendKind::Brel).with_budget(JobBudget {
+            max_explored: None,
+            fifo_capacity: None,
+            ..JobBudget::default()
+        });
+        let mut warm = WarmSession::cold();
+        let report = run_job_controlled(0, &job, &mut warm, &control, &[]);
+        assert_eq!(report.outcome, Some(JobOutcome::Solved));
+        let stream = seen.lock().unwrap();
+        assert!(stream.len() >= 2, "seed plus the cost-2 improvement");
+        assert_eq!(stream[0].1, 0, "the seed arrives before any expansion");
+        // Costs never regress along the stream, and the last one is the
+        // winner's cost.
+        for pair in stream.windows(2) {
+            assert!(pair[1].0 <= pair[0].0);
+        }
+        assert_eq!(stream.last().unwrap().0, report.winning().unwrap().cost);
     }
 
     #[test]

@@ -78,11 +78,14 @@ pub enum Category {
     Engine = 3,
     /// Session reuse: warm rehydration hits/misses, reset cost.
     Session = 4,
+    /// Serve-layer work: connection accept, admission, queue wait,
+    /// incumbent streaming, load shedding.
+    Serve = 5,
 }
 
 impl Category {
     /// Every category enabled.
-    pub const ALL: u32 = 0b1_1111;
+    pub const ALL: u32 = 0b11_1111;
 
     /// The mask bit for this category.
     #[inline]
@@ -98,6 +101,7 @@ impl Category {
             Category::Search => "search",
             Category::Engine => "engine",
             Category::Session => "session",
+            Category::Serve => "serve",
         }
     }
 }

@@ -1,0 +1,388 @@
+//! A blocking protocol client and the synthetic load driver.
+//!
+//! [`Client`] is the nuts-and-bolts side: connect, submit, stream, cancel,
+//! drain. [`drive`] is the load harness — N client threads hammering a
+//! daemon with a corpus under mixed deadlines, opportunistic mid-stream
+//! cancels and backoff-respecting retry behaviour, producing the latency
+//! samples `BENCH_serve.json` records.
+
+use std::io;
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+use brel_engine::JobSpec;
+
+use crate::protocol::{read_frame, write_frame, FinalReport, Frame, StatsSnapshot, Submit};
+
+/// A blocking client over one TCP connection.
+#[derive(Debug)]
+pub struct Client {
+    stream: TcpStream,
+}
+
+/// What one submission produced, as seen from the client.
+#[derive(Debug, Clone)]
+pub struct SolveOutcome {
+    /// The server ticket (`None` when the job was shed).
+    pub ticket: Option<u64>,
+    /// Shed details when rejected.
+    pub rejected: Option<(String, u64)>,
+    /// Streamed `(cost, explored)` incumbents, in arrival order.
+    pub incumbents: Vec<(u64, u64)>,
+    /// The final report (`None` when the job was shed).
+    pub final_report: Option<FinalReport>,
+    /// Client-measured submit-to-decision latency, microseconds.
+    pub admission_us: u64,
+    /// Client-measured submit-to-first-incumbent latency, microseconds.
+    pub first_incumbent_us: Option<u64>,
+}
+
+impl Client {
+    /// Connects with a generous read timeout (a stuck daemon fails tests
+    /// instead of hanging them).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the connect failure.
+    pub fn connect(addr: SocketAddr) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(Duration::from_secs(120)))?;
+        Ok(Client { stream })
+    }
+
+    /// Sends one frame.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the write failure.
+    pub fn send(&mut self, frame: &Frame) -> io::Result<()> {
+        write_frame(&mut self.stream, frame)
+    }
+
+    /// Blocking read of the next frame.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the read failure (including the read timeout).
+    pub fn recv(&mut self) -> io::Result<Frame> {
+        read_frame(&mut self.stream)
+    }
+
+    /// Cancels a ticket (fire-and-forget; the `Final` still arrives).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the write failure.
+    pub fn cancel(&mut self, job: u64) -> io::Result<()> {
+        self.send(&Frame::Cancel { job })
+    }
+
+    /// Requests and returns a stats snapshot. Must not be called while a
+    /// solve of this connection is still streaming (frames would
+    /// interleave).
+    ///
+    /// # Errors
+    ///
+    /// `InvalidData` if the daemon answers with something else.
+    pub fn stats(&mut self) -> io::Result<StatsSnapshot> {
+        self.send(&Frame::StatsRequest)?;
+        match self.recv()? {
+            Frame::Stats(stats) => Ok(stats),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Requests a drain shutdown and blocks until the final `Stats` frame
+    /// arrives (skipping any late `Final`/`Incumbent` frames of this
+    /// connection's own jobs).
+    ///
+    /// # Errors
+    ///
+    /// Propagates read/write failures.
+    pub fn shutdown_and_wait(&mut self) -> io::Result<StatsSnapshot> {
+        self.send(&Frame::Shutdown)?;
+        loop {
+            match self.recv()? {
+                Frame::Stats(stats) => return Ok(stats),
+                Frame::Final(_) | Frame::Incumbent { .. } => {}
+                other => return Err(unexpected(&other)),
+            }
+        }
+    }
+
+    /// Submits a job and pumps frames to completion: collects the
+    /// admission decision, every streamed incumbent and the final report.
+    /// With `cancel_after_first_incumbent` the client sends a `cancel` as
+    /// soon as the first incumbent arrives — the mid-stream cancel path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures; a shed submission is an `Ok` outcome with
+    /// `rejected` set.
+    pub fn solve(
+        &mut self,
+        job: &JobSpec,
+        client_id: &str,
+        deadline_ms: Option<u64>,
+        max_cost: Option<u64>,
+        cancel_after_first_incumbent: bool,
+    ) -> io::Result<SolveOutcome> {
+        let submitted = Instant::now();
+        self.send(&Frame::Submit(Submit {
+            client: client_id.to_string(),
+            job: job.clone(),
+            deadline_ms,
+            max_cost,
+        }))?;
+
+        let ticket = match self.recv()? {
+            Frame::Admitted { job, .. } => job,
+            Frame::Rejected {
+                reason,
+                retry_after_ms,
+            } => {
+                return Ok(SolveOutcome {
+                    ticket: None,
+                    rejected: Some((reason, retry_after_ms)),
+                    incumbents: Vec::new(),
+                    final_report: None,
+                    admission_us: submitted.elapsed().as_micros() as u64,
+                    first_incumbent_us: None,
+                })
+            }
+            other => return Err(unexpected(&other)),
+        };
+        let admission_us = submitted.elapsed().as_micros() as u64;
+
+        let mut incumbents = Vec::new();
+        let mut first_incumbent_us = None;
+        let mut cancelled = false;
+        loop {
+            match self.recv()? {
+                Frame::Incumbent {
+                    job,
+                    cost,
+                    explored,
+                } if job == ticket => {
+                    if first_incumbent_us.is_none() {
+                        first_incumbent_us = Some(submitted.elapsed().as_micros() as u64);
+                    }
+                    incumbents.push((cost, explored));
+                    if cancel_after_first_incumbent && !cancelled {
+                        cancelled = true;
+                        self.cancel(ticket)?;
+                    }
+                }
+                Frame::Final(report) if report.job == ticket => {
+                    return Ok(SolveOutcome {
+                        ticket: Some(ticket),
+                        rejected: None,
+                        incumbents,
+                        final_report: Some(report),
+                        admission_us,
+                        first_incumbent_us,
+                    })
+                }
+                // Frames for other tickets of this connection (late
+                // finals after a cancel race) are skipped.
+                Frame::Incumbent { .. } | Frame::Final(_) => {}
+                other => return Err(unexpected(&other)),
+            }
+        }
+    }
+}
+
+fn unexpected(frame: &Frame) -> io::Error {
+    io::Error::new(
+        io::ErrorKind::InvalidData,
+        format!("unexpected frame: {frame:?}"),
+    )
+}
+
+/// Shape of one synthetic load run.
+#[derive(Debug, Clone)]
+pub struct LoadOptions {
+    /// Concurrent client connections.
+    pub clients: usize,
+    /// Submissions per client (cycling through the corpus).
+    pub jobs_per_client: usize,
+    /// Deadlines cycled across submissions (`None` = unbounded).
+    pub deadlines_ms: Vec<Option<u64>>,
+    /// Cancel after the first incumbent on every Nth submission
+    /// (0 = never).
+    pub cancel_every: usize,
+    /// On a shed, retry once after the server's backoff hint
+    /// (exercises the backoff contract end to end).
+    pub retry_after_shed: bool,
+}
+
+impl Default for LoadOptions {
+    fn default() -> Self {
+        LoadOptions {
+            clients: 8,
+            jobs_per_client: 4,
+            deadlines_ms: vec![None, Some(400), Some(100)],
+            cancel_every: 5,
+            retry_after_shed: true,
+        }
+    }
+}
+
+/// Aggregated results of one load run.
+#[derive(Debug, Clone, Default)]
+pub struct LoadReport {
+    /// Total submissions sent (retries included).
+    pub submitted: u64,
+    /// Admissions.
+    pub admitted: u64,
+    /// Sheds observed.
+    pub shed: u64,
+    /// Final frames received.
+    pub finals: u64,
+    /// Finals carrying a degraded winner.
+    pub degraded: u64,
+    /// Finals whose fault marks a cooperative cancellation.
+    pub cancelled_finals: u64,
+    /// Mid-stream cancels the driver sent.
+    pub cancels_sent: u64,
+    /// Incumbent frames streamed to the drivers.
+    pub incumbents: u64,
+    /// Client-measured admission latencies, microseconds.
+    pub admission_us: Vec<u64>,
+    /// Client-measured first-incumbent latencies, microseconds.
+    pub first_incumbent_us: Vec<u64>,
+    /// I/O errors client threads hit (0 in a healthy run).
+    pub io_errors: u64,
+}
+
+impl LoadReport {
+    fn merge(&mut self, other: LoadReport) {
+        self.submitted += other.submitted;
+        self.admitted += other.admitted;
+        self.shed += other.shed;
+        self.finals += other.finals;
+        self.degraded += other.degraded;
+        self.cancelled_finals += other.cancelled_finals;
+        self.cancels_sent += other.cancels_sent;
+        self.incumbents += other.incumbents;
+        self.admission_us.extend(other.admission_us);
+        self.first_incumbent_us.extend(other.first_incumbent_us);
+        self.io_errors += other.io_errors;
+    }
+}
+
+/// Runs the synthetic load: `options.clients` threads, each with its own
+/// connection and client id, submitting `jobs_per_client` jobs from the
+/// corpus (round-robin, offset per client) under the cycled deadlines.
+pub fn drive(addr: SocketAddr, corpus: &[JobSpec], options: &LoadOptions) -> LoadReport {
+    assert!(!corpus.is_empty(), "load driver needs a non-empty corpus");
+    let threads: Vec<_> = (0..options.clients)
+        .map(|client_index| {
+            let corpus = corpus.to_vec();
+            let options = options.clone();
+            std::thread::spawn(move || drive_one(addr, &corpus, &options, client_index))
+        })
+        .collect();
+    let mut merged = LoadReport::default();
+    for thread in threads {
+        if let Ok(report) = thread.join() {
+            merged.merge(report);
+        }
+    }
+    merged
+}
+
+fn drive_one(
+    addr: SocketAddr,
+    corpus: &[JobSpec],
+    options: &LoadOptions,
+    client_index: usize,
+) -> LoadReport {
+    let mut report = LoadReport::default();
+    let client_id = format!("client-{client_index}");
+    let Ok(mut client) = Client::connect(addr) else {
+        report.io_errors += 1;
+        return report;
+    };
+    for submission in 0..options.jobs_per_client {
+        let job = &corpus[(client_index + submission) % corpus.len()];
+        let deadline_ms = if options.deadlines_ms.is_empty() {
+            None
+        } else {
+            options.deadlines_ms[submission % options.deadlines_ms.len()]
+        };
+        let cancel = options.cancel_every != 0
+            && (client_index + submission).is_multiple_of(options.cancel_every);
+        let mut attempts = 0;
+        loop {
+            attempts += 1;
+            report.submitted += 1;
+            match client.solve(job, &client_id, deadline_ms, None, cancel) {
+                Ok(outcome) => {
+                    report.admission_us.push(outcome.admission_us);
+                    if let Some((_, retry_after_ms)) = outcome.rejected {
+                        report.shed += 1;
+                        if options.retry_after_shed && attempts == 1 {
+                            std::thread::sleep(Duration::from_millis(retry_after_ms));
+                            continue;
+                        }
+                        break;
+                    }
+                    report.admitted += 1;
+                    report.incumbents += outcome.incumbents.len() as u64;
+                    if cancel && !outcome.incumbents.is_empty() {
+                        report.cancels_sent += 1;
+                    }
+                    if let Some(us) = outcome.first_incumbent_us {
+                        report.first_incumbent_us.push(us);
+                    }
+                    if let Some(final_report) = outcome.final_report {
+                        report.finals += 1;
+                        if final_report.degraded {
+                            report.degraded += 1;
+                        }
+                        if final_report
+                            .fault
+                            .as_deref()
+                            .is_some_and(|f| f.contains("cancelled"))
+                        {
+                            report.cancelled_finals += 1;
+                        }
+                    }
+                    break;
+                }
+                Err(_) => {
+                    report.io_errors += 1;
+                    break;
+                }
+            }
+        }
+    }
+    report
+}
+
+/// Percentile over an unsorted sample set (nearest-rank); 0 for empty.
+pub fn percentile_us(samples: &[u64], pct: f64) -> u64 {
+    if samples.is_empty() {
+        return 0;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_unstable();
+    let rank = ((pct / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_use_nearest_rank() {
+        let samples = [50u64, 10, 40, 20, 30];
+        assert_eq!(percentile_us(&samples, 50.0), 30);
+        assert_eq!(percentile_us(&samples, 99.0), 50);
+        assert_eq!(percentile_us(&samples, 1.0), 10);
+        assert_eq!(percentile_us(&[], 99.0), 0);
+    }
+}

@@ -1,0 +1,330 @@
+//! A hand-rolled JSON parser producing [`brel_engine::Json`] values.
+//!
+//! The workspace has no registry access, so the wire protocol cannot lean
+//! on serde; the write side already exists ([`Json::render`]) and this
+//! module supplies the read side. It is a strict recursive-descent parser
+//! over the subset `Json` can represent: non-negative integers parse as
+//! [`Json::UInt`], every other number (negative, fractional, exponent) as
+//! [`Json::Float`], and duplicate object keys are rejected rather than
+//! silently last-wins — a malformed frame must fail loudly at the
+//! protocol boundary, not deep inside a job.
+
+use brel_engine::Json;
+
+/// Maximum container nesting the parser accepts. Protocol frames are
+/// three levels deep; the cap turns a hostile deeply-nested payload into
+/// a parse error instead of a stack overflow.
+const MAX_DEPTH: usize = 64;
+
+/// Parses one JSON value, requiring the whole input to be consumed
+/// (trailing whitespace allowed).
+///
+/// # Errors
+///
+/// Returns a human-readable message with the byte offset of the problem.
+pub fn parse(input: &str) -> Result<Json, String> {
+    let bytes = input.as_bytes();
+    let mut pos = 0usize;
+    let value = parse_value(bytes, &mut pos, 0)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing data at byte {pos}"));
+    }
+    Ok(value)
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while let Some(b) = bytes.get(*pos) {
+        match b {
+            b' ' | b'\t' | b'\n' | b'\r' => *pos += 1,
+            _ => break,
+        }
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize, depth: usize) -> Result<Json, String> {
+    if depth > MAX_DEPTH {
+        return Err(format!("nesting deeper than {MAX_DEPTH} at byte {pos}"));
+    }
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err("unexpected end of input".to_string()),
+        Some(b'n') => parse_literal(bytes, pos, "null", Json::Null),
+        Some(b't') => parse_literal(bytes, pos, "true", Json::Bool(true)),
+        Some(b'f') => parse_literal(bytes, pos, "false", Json::Bool(false)),
+        Some(b'"') => parse_string(bytes, pos).map(Json::Str),
+        Some(b'[') => parse_array(bytes, pos, depth),
+        Some(b'{') => parse_object(bytes, pos, depth),
+        Some(b'-' | b'0'..=b'9') => parse_number(bytes, pos),
+        Some(other) => Err(format!("unexpected byte {other:#04x} at byte {pos}")),
+    }
+}
+
+fn parse_literal(bytes: &[u8], pos: &mut usize, word: &str, value: Json) -> Result<Json, String> {
+    if bytes[*pos..].starts_with(word.as_bytes()) {
+        *pos += word.len();
+        Ok(value)
+    } else {
+        Err(format!("invalid literal at byte {pos} (expected `{word}`)"))
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    let start = *pos;
+    if bytes.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    let int_start = *pos;
+    while matches!(bytes.get(*pos), Some(b'0'..=b'9')) {
+        *pos += 1;
+    }
+    if *pos == int_start {
+        return Err(format!("invalid number at byte {start}"));
+    }
+    // Leading zeros are invalid JSON ("01"), but a lone "0" is fine.
+    if bytes[int_start] == b'0' && *pos - int_start > 1 {
+        return Err(format!("leading zero in number at byte {start}"));
+    }
+    let mut integral = true;
+    if bytes.get(*pos) == Some(&b'.') {
+        integral = false;
+        *pos += 1;
+        let frac_start = *pos;
+        while matches!(bytes.get(*pos), Some(b'0'..=b'9')) {
+            *pos += 1;
+        }
+        if *pos == frac_start {
+            return Err(format!("missing digits after `.` at byte {start}"));
+        }
+    }
+    if matches!(bytes.get(*pos), Some(b'e' | b'E')) {
+        integral = false;
+        *pos += 1;
+        if matches!(bytes.get(*pos), Some(b'+' | b'-')) {
+            *pos += 1;
+        }
+        let exp_start = *pos;
+        while matches!(bytes.get(*pos), Some(b'0'..=b'9')) {
+            *pos += 1;
+        }
+        if *pos == exp_start {
+            return Err(format!("missing digits in exponent at byte {start}"));
+        }
+    }
+    let text = std::str::from_utf8(&bytes[start..*pos]).expect("digits are ASCII");
+    if integral && bytes[start] != b'-' {
+        if let Ok(n) = text.parse::<u64>() {
+            return Ok(Json::UInt(n));
+        }
+    }
+    text.parse::<f64>()
+        .map(Json::Float)
+        .map_err(|_| format!("unrepresentable number at byte {start}"))
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+    debug_assert_eq!(bytes.get(*pos), Some(&b'"'));
+    *pos += 1;
+    let mut out = String::new();
+    let mut run_start = *pos;
+    loop {
+        match bytes.get(*pos) {
+            None => return Err("unterminated string".to_string()),
+            Some(b'"') => {
+                out.push_str(str_run(bytes, run_start, *pos)?);
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                out.push_str(str_run(bytes, run_start, *pos)?);
+                *pos += 1;
+                let escape = *bytes
+                    .get(*pos)
+                    .ok_or_else(|| "unterminated escape".to_string())?;
+                *pos += 1;
+                match escape {
+                    b'"' => out.push('"'),
+                    b'\\' => out.push('\\'),
+                    b'/' => out.push('/'),
+                    b'b' => out.push('\u{0008}'),
+                    b'f' => out.push('\u{000c}'),
+                    b'n' => out.push('\n'),
+                    b'r' => out.push('\r'),
+                    b't' => out.push('\t'),
+                    b'u' => out.push(parse_unicode_escape(bytes, pos)?),
+                    other => return Err(format!("invalid escape `\\{}`", other as char)),
+                }
+                run_start = *pos;
+            }
+            Some(b) if *b < 0x20 => {
+                return Err(format!("unescaped control byte {b:#04x} at byte {pos}"));
+            }
+            Some(_) => *pos += 1,
+        }
+    }
+}
+
+fn str_run(bytes: &[u8], start: usize, end: usize) -> Result<&str, String> {
+    std::str::from_utf8(&bytes[start..end]).map_err(|_| "invalid UTF-8 in string".to_string())
+}
+
+fn parse_unicode_escape(bytes: &[u8], pos: &mut usize) -> Result<char, String> {
+    let unit = parse_hex4(bytes, pos)?;
+    // Surrogate pairs: a high surrogate must be followed by `\uXXXX` with a
+    // low surrogate; anything else is malformed.
+    if (0xd800..0xdc00).contains(&unit) {
+        if bytes.get(*pos) != Some(&b'\\') || bytes.get(*pos + 1) != Some(&b'u') {
+            return Err("high surrogate without a following low surrogate".to_string());
+        }
+        *pos += 2;
+        let low = parse_hex4(bytes, pos)?;
+        if !(0xdc00..0xe000).contains(&low) {
+            return Err("invalid low surrogate".to_string());
+        }
+        let code = 0x10000 + ((unit - 0xd800) << 10) + (low - 0xdc00);
+        return char::from_u32(code).ok_or_else(|| "invalid surrogate pair".to_string());
+    }
+    if (0xdc00..0xe000).contains(&unit) {
+        return Err("unpaired low surrogate".to_string());
+    }
+    char::from_u32(unit).ok_or_else(|| "invalid unicode escape".to_string())
+}
+
+fn parse_hex4(bytes: &[u8], pos: &mut usize) -> Result<u32, String> {
+    let mut value = 0u32;
+    for _ in 0..4 {
+        let digit = bytes
+            .get(*pos)
+            .and_then(|b| (*b as char).to_digit(16))
+            .ok_or_else(|| format!("invalid \\u escape at byte {pos}"))?;
+        value = value * 16 + digit;
+        *pos += 1;
+    }
+    Ok(value)
+}
+
+fn parse_array(bytes: &[u8], pos: &mut usize, depth: usize) -> Result<Json, String> {
+    *pos += 1; // consume `[`
+    let mut items = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(Json::Array(items));
+    }
+    loop {
+        items.push(parse_value(bytes, pos, depth + 1)?);
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(Json::Array(items));
+            }
+            _ => return Err(format!("expected `,` or `]` at byte {pos}")),
+        }
+    }
+}
+
+fn parse_object(bytes: &[u8], pos: &mut usize, depth: usize) -> Result<Json, String> {
+    *pos += 1; // consume `{`
+    let mut fields: Vec<(String, Json)> = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(Json::Object(fields));
+    }
+    loop {
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) != Some(&b'"') {
+            return Err(format!("expected object key at byte {pos}"));
+        }
+        let key = parse_string(bytes, pos)?;
+        if fields.iter().any(|(k, _)| *k == key) {
+            return Err(format!("duplicate object key `{key}`"));
+        }
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) != Some(&b':') {
+            return Err(format!("expected `:` at byte {pos}"));
+        }
+        *pos += 1;
+        let value = parse_value(bytes, pos, depth + 1)?;
+        fields.push((key, value));
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(Json::Object(fields));
+            }
+            _ => return Err(format!("expected `,` or `}}` at byte {pos}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_round_trip() {
+        for (text, value) in [
+            ("null", Json::Null),
+            ("true", Json::Bool(true)),
+            ("false", Json::Bool(false)),
+            ("0", Json::UInt(0)),
+            ("18446744073709551615", Json::UInt(u64::MAX)),
+            ("-3.5", Json::Float(-3.5)),
+            ("1e3", Json::Float(1000.0)),
+            ("\"hi\"", Json::str("hi")),
+        ] {
+            assert_eq!(parse(text).unwrap(), value, "{text}");
+        }
+    }
+
+    #[test]
+    fn containers_and_escapes_round_trip() {
+        let value = Json::object(vec![
+            ("name", Json::str("int1 \"quoted\" \\ \n \u{1f600} ☃")),
+            ("rows", Json::Array(vec![Json::UInt(1), Json::Null])),
+            ("nested", Json::object(vec![("deep", Json::Bool(false))])),
+        ]);
+        assert_eq!(parse(&value.render()).unwrap(), value);
+        assert_eq!(parse(&value.render_pretty()).unwrap(), value);
+    }
+
+    #[test]
+    fn surrogate_pairs_decode() {
+        assert_eq!(parse("\"\\ud83d\\ude00\"").unwrap(), Json::str("\u{1f600}"));
+        assert!(parse("\"\\ud83d\"").is_err());
+        assert!(parse("\"\\ude00\"").is_err());
+    }
+
+    #[test]
+    fn malformed_inputs_are_rejected() {
+        for bad in [
+            "",
+            "{",
+            "[1,",
+            "01",
+            "1.",
+            "1e",
+            "{\"a\":1,\"a\":2}",
+            "nul",
+            "\"\\q\"",
+            "[1] x",
+            "+1",
+            "\u{0001}",
+        ] {
+            assert!(parse(bad).is_err(), "{bad:?} should fail");
+        }
+        let deep = "[".repeat(200) + &"]".repeat(200);
+        assert!(parse(&deep).is_err());
+    }
+
+    #[test]
+    fn whitespace_is_tolerated_everywhere() {
+        let parsed = parse(" { \"a\" : [ 1 , 2 ] , \"b\" : null } \n").unwrap();
+        assert_eq!(parsed.get("a").and_then(Json::as_array).unwrap().len(), 2);
+        assert_eq!(parsed.get("b"), Some(&Json::Null));
+    }
+}

@@ -11,4 +11,5 @@ pub use brel_gyocro as gyocro;
 pub use brel_network as network;
 pub use brel_obs as obs;
 pub use brel_relation as relation;
+pub use brel_serve as serve;
 pub use brel_sop as sop;
