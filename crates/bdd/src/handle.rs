@@ -377,6 +377,81 @@ impl BddSession {
         self.lock().shared_size(&ids)
     }
 
+    /// Copies a function from another session into this one by structural
+    /// DAG rebuild: the source's nodes are read out bottom-up (one
+    /// [`BddManager::mk`] per node, memoized on the source id), so the
+    /// copy is `O(|f|)` with no apply-cache traffic and no enumeration.
+    /// Importing a function of this session is just a clone.
+    ///
+    /// Both sessions must order the variables of `f`'s support
+    /// identically (the engine's wide mode guarantees this: worker
+    /// sessions share the initial order and never auto-reorder). The two
+    /// locks are taken one after the other, never nested — source to read
+    /// the DAG, this session to rebuild — so concurrent imports between
+    /// any pair of sessions cannot deadlock.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sessions disagree on the number of variables, or
+    /// (in debug builds, via [`BddManager::mk`]) on the order of the
+    /// imported function's support.
+    pub fn import(&self, f: &Bdd) -> Bdd {
+        if self.same_manager(f.manager()) {
+            return f.clone();
+        }
+        assert_eq!(
+            self.num_vars(),
+            f.manager().num_vars(),
+            "import between sessions of different variable counts"
+        );
+        let root = f.node_id();
+        if root.is_terminal() {
+            return self.wrap(root);
+        }
+        // Phase 1: read the DAG out of the source in postorder (children
+        // before parents), under the source lock only.
+        let nodes: Vec<(NodeId, Var, NodeId, NodeId)> = f.manager().with(|src| {
+            let mut order = Vec::new();
+            let mut visited = std::collections::HashSet::new();
+            let mut stack = vec![(root, false)];
+            while let Some((id, expanded)) = stack.pop() {
+                if id.is_terminal() {
+                    continue;
+                }
+                let (lo, hi) = src.node_children(id);
+                if expanded {
+                    order.push((id, src.node_var(id), lo, hi));
+                } else if visited.insert(id) {
+                    stack.push((id, true));
+                    stack.push((lo, false));
+                    stack.push((hi, false));
+                }
+            }
+            order
+        });
+        // Phase 2: rebuild bottom-up under this session's lock. Terminals
+        // are the same ids in every manager; internal nodes resolve
+        // through the memo (postorder guarantees children come first).
+        let copied = self.with(|dst| {
+            let mut memo: std::collections::HashMap<NodeId, NodeId> =
+                std::collections::HashMap::with_capacity(nodes.len());
+            let resolve = |memo: &std::collections::HashMap<NodeId, NodeId>, id: NodeId| {
+                if id.is_terminal() {
+                    id
+                } else {
+                    memo[&id]
+                }
+            };
+            for &(id, var, lo, hi) in &nodes {
+                let lo = resolve(&memo, lo);
+                let hi = resolve(&memo, hi);
+                memo.insert(id, dst.mk(var, lo, hi));
+            }
+            memo[&root]
+        });
+        self.wrap(copied)
+    }
+
     /// Clears the operation caches of the underlying manager.
     pub fn clear_caches(&self) {
         self.lock().clear_caches();
@@ -817,6 +892,27 @@ mod tests {
         .unwrap();
         assert!(f.eval(&[true, true, false]));
         assert_eq!(session.num_vars(), 3);
+    }
+
+    #[test]
+    fn import_copies_functions_across_sessions() {
+        let a = BddSession::new(5);
+        let b = BddSession::new(5);
+        // A function with sharing and both polarities of several vars.
+        let f = (a.var(0).xor(&a.var(1)))
+            .or(&a.var(2).and(&a.nvar(3)))
+            .iff(&a.var(4));
+        let g = b.import(&f);
+        assert!(g.manager().same_manager(&b));
+        assert_eq!(g.size(), f.size(), "canonical copy preserves DAG size");
+        for bits in 0..32u32 {
+            let assignment: Vec<bool> = (0..5).map(|i| bits & (1 << i) != 0).collect();
+            assert_eq!(f.eval(&assignment), g.eval(&assignment), "{assignment:?}");
+        }
+        // Terminals and same-session imports are trivial.
+        assert!(b.import(&a.one()).is_one());
+        assert!(b.import(&a.zero()).is_zero());
+        assert_eq!(b.import(&g), g);
     }
 
     #[test]

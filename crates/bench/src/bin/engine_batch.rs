@@ -13,8 +13,17 @@
 //! * `--strategy S` BREL search strategy: `fifo` (default), `dfs`,
 //!   `best-first`
 //! * `--wide`       wide mode: jobs run one at a time and the worker pool
-//!   expands each BREL frontier in parallel (top-k per round)
-//! * `--topk N`     wide-mode round width (default: 8)
+//!   runs an asynchronous work-stealing search over each BREL frontier
+//! * `--lookahead N` wide-mode speculation window: how far past the commit
+//!   head a worker may claim work (default: 8; `--topk` is an alias kept
+//!   for old scripts)
+//! * `--steal-threshold N` minimum subproblem size (relation pairs) worth
+//!   shipping as rows to another worker; smaller subproblems stay as live
+//!   BDD handles on their owner (default: 4)
+//! * `--hard`       swap in the checked-in hard corpus
+//!   (`hard-rand7x4`): four seeded 7-input/4-output relations whose
+//!   sequential solve takes ≥1s total — the wide-vs-sequential perf
+//!   workload
 //! * `--cold`       disable cross-job reuse (warm per-worker sessions and
 //!   the solved-subrelation cache): one cold BDD manager per job, the
 //!   pre-redesign behaviour. The deterministic output is identical either
@@ -56,7 +65,7 @@
 use std::process::ExitCode;
 use std::sync::Arc;
 
-use brel_bench::engine_batch::{chaos_corpus_error, corpus, render, CorpusOptions};
+use brel_bench::engine_batch::{chaos_corpus_error, corpus, hard_corpus, render, CorpusOptions};
 use brel_engine::{
     BatchReport, Engine, EngineConfig, FaultPlan, FaultPolicy, JobOutcome, JobSpec, SearchStrategy,
     WideOptions,
@@ -74,7 +83,9 @@ fn main() -> ExitCode {
     let mut timing = false;
     let mut wide = false;
     let mut cold = false;
-    let mut top_k = 8usize;
+    let mut hard = false;
+    let mut lookahead = 8usize;
+    let mut steal_threshold = 4usize;
     let mut fingerprint: Option<u64> = None;
     let mut trace_out: Option<String> = None;
     let mut obs_report = false;
@@ -106,9 +117,14 @@ fn main() -> ExitCode {
             },
             "--wide" => wide = true,
             "--cold" => cold = true,
-            "--topk" => match args.next().and_then(|v| v.parse().ok()) {
-                Some(n) => top_k = n,
-                None => return usage("--topk needs a number"),
+            "--hard" => hard = true,
+            "--lookahead" | "--topk" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) => lookahead = n,
+                None => return usage("--lookahead needs a number"),
+            },
+            "--steal-threshold" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) => steal_threshold = n,
+                None => return usage("--steal-threshold needs a number"),
             },
             "--fingerprint" => match args.next().and_then(|v| v.parse().ok()) {
                 Some(n) => fingerprint = Some(n),
@@ -173,7 +189,11 @@ fn main() -> ExitCode {
         collector
     });
 
-    let mut jobs = corpus(&options);
+    let mut jobs = if hard {
+        hard_corpus()
+    } else {
+        corpus(&options)
+    };
     // A seeded plan places its three fault kinds on distinct jobs; a
     // smaller corpus would arm fewer injections and the chaos gates below
     // would pass vacuously. Reject it up front instead.
@@ -209,7 +229,11 @@ fn main() -> ExitCode {
      -> (BatchReport, Option<Arc<FaultPlan>>) {
         let mut engine = Engine::with_workers(num_workers).with_reuse(!cold);
         if wide {
-            engine = engine.with_wide(WideOptions { top_k });
+            engine = engine.with_wide(WideOptions {
+                lookahead,
+                steal_threshold,
+                ..WideOptions::default()
+            });
         }
         let plan = chaos_seed.map(|seed| Arc::new(FaultPlan::seeded(seed, &names)));
         if let Some(plan) = &plan {
@@ -417,8 +441,9 @@ fn counters_only_gc(gc: &brel_bdd::GcStats) -> Vec<(&'static str, u64)> {
 fn usage(error: &str) -> ExitCode {
     eprintln!("engine_batch: {error}");
     eprintln!(
-        "usage: engine_batch [--smoke] [--workers N] [--instances N] [--random N] \
-         [--strategy fifo|dfs|best-first] [--wide] [--cold] [--topk N] [--fingerprint N] \
+        "usage: engine_batch [--smoke] [--hard] [--workers N] [--instances N] [--random N] \
+         [--strategy fifo|dfs|best-first] [--wide] [--cold] [--lookahead N] \
+         [--steal-threshold N] [--fingerprint N] \
          [--chaos SEED] [--deadline-ms N] [--max-live-nodes N] [--retries N] \
          [--json|--csv] [--timing] [--trace-out PATH] [--obs-report] [--overhead-gate NS]"
     );

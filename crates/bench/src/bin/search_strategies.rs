@@ -15,10 +15,12 @@
 //! warm-pool run differed from the cold run (or never hit the subrelation
 //! cache on the doubled corpus), if tracing the wide batch changed its
 //! output, if the phase report attributes less than 90% of the wide
-//! solve to named phases, or if any chaos contract broke (an injection
+//! solve to named phases, if any chaos contract broke (an injection
 //! never fired, a fault leaked onto a clean job, a targeted job lost its
-//! solution, or the chaos run drifted across worker counts) — the harness
-//! is its own acceptance gate.
+//! solution, or the chaos run drifted across worker counts), or — on
+//! full runs — if the hard workload's wide wall exceeded its sequential
+//! wall or any job's cost differed between the modes (the wide perf
+//! gate) — the harness is its own acceptance gate.
 
 use std::process::ExitCode;
 
@@ -130,6 +132,27 @@ fn main() -> ExitCode {
     if !chaos.clean_identical {
         eprintln!("search_strategies: a chaos fault polluted an untargeted job");
         return ExitCode::FAILURE;
+    }
+
+    // The wide perf gate: on the hard workload the stealing workers must
+    // beat the sequential walk outright, landing on the same costs.
+    if let Some(hard) = &report.hard {
+        if !hard.cost_parity {
+            eprintln!(
+                "search_strategies: wide costs differed from sequential on {}",
+                hard.corpus
+            );
+            return ExitCode::FAILURE;
+        }
+        if hard.wide_wall_micros > hard.sequential_wall_micros {
+            eprintln!(
+                "search_strategies: wide (8 workers) took {:.4}s vs sequential {:.4}s on {}",
+                hard.wide_wall_micros as f64 / 1e6,
+                hard.sequential_wall_micros as f64 / 1e6,
+                hard.corpus
+            );
+            return ExitCode::FAILURE;
+        }
     }
 
     let json = report.to_json().render_pretty();

@@ -104,11 +104,46 @@ pub fn run_cold(jobs: &[JobSpec], num_workers: usize) -> BatchReport {
 }
 
 /// Runs a corpus in wide mode: jobs go one at a time and the worker pool
-/// expands each BREL frontier in parallel (top-k subproblems per round).
-pub fn run_wide(jobs: &[JobSpec], num_workers: usize, top_k: usize) -> BatchReport {
+/// runs a work-stealing search inside each BREL solve.
+pub fn run_wide(jobs: &[JobSpec], num_workers: usize, options: WideOptions) -> BatchReport {
     Engine::with_workers(num_workers)
-        .with_wide(WideOptions { top_k })
+        .with_wide(options)
         .solve_batch(jobs)
+}
+
+/// Stable provenance tag of the default mixed corpus ([`corpus`]), logged
+/// next to every bench number measured on it so a JSON consumer can tell
+/// which corpus a wide-vs-sequential comparison ran on.
+pub const DEFAULT_CORPUS_NAME: &str = "table2+rand5x3";
+
+/// Stable provenance tag of [`hard_corpus`], logged next to every bench
+/// number measured on it so a JSON consumer can tell which corpus a
+/// wide-vs-sequential comparison ran on.
+pub const HARD_CORPUS_NAME: &str = "hard-rand7x4";
+
+/// The checked-in hard-relation workload: seeded random 7-input/4-output
+/// relations with heavy output flexibility and a deep exploration budget,
+/// sized so the *sequential* explorer needs on the order of a second — a
+/// search long enough for wide mode's parallelism to pay for its
+/// coordination. Single-backend BREL jobs under FIFO (no dominance
+/// pruning), so the explored set is budget-shaped, not bound-shaped, and
+/// the wide speedup measures raw expansion throughput.
+pub fn hard_corpus() -> Vec<JobSpec> {
+    use brel_engine::{BackendKind, JobBudget};
+    (0..4u64)
+        .map(|seed| {
+            let (_space, relation) = random_well_defined_relation(7, 4, 0.35, 1000 + seed);
+            let spec =
+                RelationSpec::from_relation(&relation).expect("random spaces are enumerable");
+            JobSpec::single(format!("hard{seed}"), spec, BackendKind::Brel)
+                .with_strategy(SearchStrategy::Fifo)
+                .with_budget(JobBudget {
+                    max_explored: Some(600),
+                    fifo_capacity: Some(8192),
+                    ..JobBudget::default()
+                })
+        })
+        .collect()
 }
 
 /// Minimum corpus size for a seeded chaos run: [`FaultPlan::seeded`]
@@ -234,6 +269,18 @@ mod tests {
     }
 
     #[test]
+    fn the_hard_corpus_is_stable_and_single_backend() {
+        use brel_engine::BackendKind;
+        let jobs = hard_corpus();
+        assert_eq!(jobs.len(), 4);
+        assert_eq!(jobs[0].name, "hard0");
+        assert!(jobs
+            .iter()
+            .all(|j| j.backends == vec![BackendKind::Brel] && j.strategy == SearchStrategy::Fifo));
+        assert!(jobs.iter().all(|j| j.budget.max_explored == Some(600)));
+    }
+
+    #[test]
     fn chaos_needs_three_jobs_for_three_fault_kinds() {
         for too_small in 0..MIN_CHAOS_JOBS {
             let message = chaos_corpus_error(too_small).expect("sub-3 corpora are rejected");
@@ -282,8 +329,12 @@ mod tests {
             strategy: SearchStrategy::BestFirst,
             ..CorpusOptions::smoke()
         });
-        let one = run_wide(&jobs, 1, 4);
-        let two = run_wide(&jobs, 2, 4);
+        let options = WideOptions {
+            lookahead: 4,
+            ..WideOptions::default()
+        };
+        let one = run_wide(&jobs, 1, options);
+        let two = run_wide(&jobs, 2, options);
         assert_eq!(one.num_solved(), jobs.len());
         assert_eq!(one.to_json(false), two.to_json(false));
         assert_eq!(one.to_csv(false), two.to_csv(false));

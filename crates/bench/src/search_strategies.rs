@@ -19,10 +19,19 @@
 //!   strategies' frontier shapes (DFS's stack vs. BFS's queue) show up as
 //!   different peak live-node counts.
 //!
-//! A **wide** block re-runs the batch in the engine's wide mode (parallel
-//! frontier expansion) on 1 and 4 workers and records that the
-//! timing-free outputs agree — the determinism demonstration the CI smoke
-//! re-checks per PR.
+//! A **wide** block re-runs the batch in the engine's wide mode (the
+//! asynchronous work-stealing search) on 1 and 4 workers and records that
+//! the timing-free outputs agree — the determinism demonstration the CI
+//! smoke re-checks per PR. Each wide number carries the provenance tag of
+//! the corpus it was measured on.
+//!
+//! A **hard** block (full runs only) solves the checked-in hard corpus
+//! ([`engine_batch::hard_corpus`], tag
+//! [`engine_batch::HARD_CORPUS_NAME`]) sequentially and then wide on 8
+//! workers: the sequential solve takes on the order of a second, long
+//! enough for the stealing workers to win outright. It records both
+//! walls, the speedup, and that every job's winning cost matched across
+//! the two modes — the CI perf gate asserts wide ≤ sequential here.
 //!
 //! A **reuse** block (once per run, not per strategy) measures what the
 //! engine's warm pool buys: the FIFO portfolio corpus, with every job
@@ -33,11 +42,12 @@
 //!
 //! An **obs** block (once per run) re-runs the FIFO wide batch under a
 //! [`brel_obs::RecordingCollector`] and records the wide-mode phase
-//! breakdown (dispatch / rehydrate / expand / barrier-wait / merge, with
-//! total and self times), the share of the `wide_solve` span attributed
-//! to named phases, the disabled-span cost, and the traced-vs-untraced
-//! walls — pinning both the attribution and the zero-overhead contracts
-//! in the trajectory file.
+//! breakdown (seed / drive / expand / steal-build / idle / rehydrate,
+//! with total and self times), the steal count, the share of the
+//! coordinator track's `wide_solve` time attributed to named phases, the
+//! disabled-span cost, and the traced-vs-untraced walls — pinning both
+//! the attribution and the zero-overhead contracts in the trajectory
+//! file.
 //!
 //! A **chaos** block (once per run) fires a seeded [`brel_engine::FaultPlan`]
 //! — one panic, one quota trip, one step deadline on three distinct jobs —
@@ -55,9 +65,18 @@ use std::time::Instant;
 use brel_benchdata::figures;
 use brel_benchdata::table2 as family;
 use brel_core::{BrelConfig, BrelSolver, SearchStrategy};
-use brel_engine::{BackendKind, FaultPlan, JobOutcome, JobSpec, Json};
+use brel_engine::{BackendKind, FaultPlan, JobOutcome, JobSpec, Json, WideOptions};
 
 use crate::engine_batch::{self, CorpusOptions};
+
+/// The wide configuration every harness measurement uses: a modest
+/// speculation window, default steal threshold, no stagger.
+fn wide_options() -> WideOptions {
+    WideOptions {
+        lookahead: 4,
+        ..WideOptions::default()
+    }
+}
 
 /// Harness configuration.
 #[derive(Debug, Clone, PartialEq)]
@@ -68,6 +87,9 @@ pub struct SearchBenchOptions {
     pub random_relations: usize,
     /// Exploration budget of the churn workload.
     pub churn_budget: usize,
+    /// Whether to run the hard wide-vs-sequential workload (skipped by
+    /// the smoke preset: its sequential leg alone takes about a second).
+    pub hard: bool,
     /// Label recorded in the emitted JSON (names the solver generation).
     pub label: String,
 }
@@ -79,6 +101,7 @@ impl SearchBenchOptions {
             table2_instances: usize::MAX,
             random_relations: 8,
             churn_budget: 200,
+            hard: true,
             label: label.into(),
         }
     }
@@ -90,6 +113,7 @@ impl SearchBenchOptions {
             table2_instances: 4,
             random_relations: 2,
             churn_budget: 40,
+            hard: false,
             label: label.into(),
         }
     }
@@ -186,16 +210,45 @@ pub struct ObsMetrics {
     /// Per-call cost of a disabled span, nanoseconds (the zero-overhead
     /// contract, measured with no collector installed).
     pub disabled_span_ns: u64,
-    /// Wide rounds executed across the traced batch.
-    pub rounds: u64,
-    /// Percent of `wide_solve` time attributed to its named phases
-    /// (seed + round), rounded down.
+    /// Cross-worker steals across the traced batch (subproblems shipped
+    /// as rows to a worker that did not create them).
+    pub steals: u64,
+    /// Percent of the coordinator track's `wide_solve` time attributed
+    /// to its named phases (seed + the parallel section), rounded down.
+    /// Computed per-track so concurrent workers' time cannot inflate it
+    /// past 100.
     pub attributed_pct: u64,
     /// Whether the traced and untraced timing-free outputs were
     /// byte-identical (tracing is write-only or it is a bug).
     pub identical_output: bool,
     /// The wide-mode phase breakdown, in call-structure order.
     pub phases: Vec<ObsPhase>,
+}
+
+/// The hard wide-vs-sequential measurement: the checked-in hard corpus
+/// solved sequentially and then by the work-stealing wide mode on 8
+/// workers. The corpus is sized so the sequential leg takes on the order
+/// of a second — long enough that the wide walk's coordination overhead
+/// is noise and the measured ratio is the parallel speedup.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HardMetrics {
+    /// Provenance tag of the corpus both walls were measured on.
+    pub corpus: &'static str,
+    /// Jobs in the corpus.
+    pub num_jobs: u64,
+    /// Total winner cost (shared by both runs when `cost_parity`).
+    pub total_cost: u64,
+    /// Wall of the sequential run (1 worker, narrow mode), microseconds.
+    pub sequential_wall_micros: u64,
+    /// Wall of the wide run (8 workers), microseconds.
+    pub wide_wall_micros: u64,
+    /// Whether every job's winning cost matched between the sequential
+    /// and the wide run (wide mode is a speedup at equal cost or it is a
+    /// bug). Full-output byte identity is asserted *across wide worker
+    /// counts*, not across modes: wide scopes its kernel cache/GC
+    /// counters to the deterministic seed phase, so those stat blocks
+    /// legitimately differ from a narrow run's.
+    pub cost_parity: bool,
 }
 
 /// The fault-tolerance measurement: a seeded fault plan fired into the
@@ -240,6 +293,8 @@ pub struct SearchReport {
     pub obs: ObsMetrics,
     /// The seeded fault-injection measurement (once per run).
     pub chaos: ChaosMetrics,
+    /// The hard wide-vs-sequential measurement (full runs only).
+    pub hard: Option<HardMetrics>,
 }
 
 /// Brel-only jobs over the harness corpus (the portfolio's quick/gyocro
@@ -350,30 +405,30 @@ fn obs_metrics(options: &SearchBenchOptions) -> ObsMetrics {
     let jobs = brel_jobs(options, SearchStrategy::Fifo);
 
     let untraced_start = Instant::now();
-    let untraced = engine_batch::run_wide(&jobs, 4, 4);
+    let untraced = engine_batch::run_wide(&jobs, 4, wide_options());
     let untraced_wall_micros = brel_obs::wall_micros(untraced_start);
 
     let collector = Arc::new(brel_obs::RecordingCollector::new());
     brel_obs::install(collector.clone());
     let traced_start = Instant::now();
-    let traced = engine_batch::run_wide(&jobs, 4, 4);
+    let traced = engine_batch::run_wide(&jobs, 4, wide_options());
     let traced_wall_micros = brel_obs::wall_micros(traced_start);
     brel_obs::uninstall();
 
     let report = collector.phase_report();
-    // The wide phases in call-structure order: per-job solve, its seed
-    // and rounds, and each round's stages.
+    // The wide phases in call-structure order: per-job solve, its seed,
+    // then each worker's drive loop and the stages inside it.
     let phases = [
         "wide_solve",
         "seed",
-        "round",
-        "select",
-        "dispatch",
+        "parallel",
+        "drive",
+        "expand",
+        "steal_build",
+        "idle",
+        "prepare",
         "rehydrate",
         "reset",
-        "expand",
-        "barrier_wait",
-        "merge",
     ]
     .iter()
     .filter_map(|&name| {
@@ -389,23 +444,63 @@ fn obs_metrics(options: &SearchBenchOptions) -> ObsMetrics {
             })
     })
     .collect::<Vec<_>>();
-    let wide_solve_us = report.total_us("wide_solve");
-    let attributed_us = report.total_us("seed") + report.total_us("round");
+    // Attribution is per-track: on the coordinator's track the seed and
+    // the parallel section (worker spawn, the inline worker's drive,
+    // join) nest directly under `wide_solve`, so their share is
+    // meaningful (concurrent workers' drive time lives on their own
+    // tracks and is excluded).
+    let (wide_solve_us, attributed_us) = report
+        .track_with("wide_solve")
+        .map(|t| {
+            (
+                t.total_us("wide_solve"),
+                t.total_us("seed") + t.total_us("parallel"),
+            )
+        })
+        .unwrap_or((0, 0));
     ObsMetrics {
         traced_wall_micros,
         untraced_wall_micros,
         disabled_span_ns: brel_obs::disabled_span_ns(),
-        rounds: report
-            .rows
+        steals: collector
+            .events()
             .iter()
-            .find(|row| row.name == "round")
-            .map_or(0, |row| row.count),
+            .filter(|e| e.name == "steal")
+            .count() as u64,
         attributed_pct: (attributed_us * 100)
             .checked_div(wide_solve_us)
             .unwrap_or(0),
         identical_output: untraced.to_json(false) == traced.to_json(false)
             && untraced.to_csv(false) == traced.to_csv(false),
         phases,
+    }
+}
+
+/// The hard workload: the checked-in hard corpus solved sequentially and
+/// then wide on 8 workers. Every job must land on the same winning cost;
+/// the walls are the wide-vs-sequential comparison the CI perf gate
+/// asserts on.
+fn hard_metrics() -> HardMetrics {
+    let jobs = engine_batch::hard_corpus();
+    let sequential_start = Instant::now();
+    let sequential = engine_batch::run(&jobs, 1);
+    let sequential_wall_micros = brel_obs::wall_micros(sequential_start);
+    let wide_start = Instant::now();
+    let wide = engine_batch::run_wide(&jobs, 8, wide_options());
+    let wide_wall_micros = brel_obs::wall_micros(wide_start);
+    let cost_parity = sequential.jobs.len() == wide.jobs.len()
+        && sequential
+            .jobs
+            .iter()
+            .zip(&wide.jobs)
+            .all(|(s, w)| s.winning().map(|a| a.cost) == w.winning().map(|a| a.cost));
+    HardMetrics {
+        corpus: engine_batch::HARD_CORPUS_NAME,
+        num_jobs: jobs.len() as u64,
+        total_cost: wide.total_winner_cost(),
+        sequential_wall_micros,
+        wide_wall_micros,
+        cost_parity,
     }
 }
 
@@ -479,9 +574,9 @@ pub fn run(options: &SearchBenchOptions) -> SearchReport {
 
         // Wide mode: 1 vs 4 workers must agree byte for byte.
         let wide_start = Instant::now();
-        let wide4 = engine_batch::run_wide(&jobs, 4, 4);
+        let wide4 = engine_batch::run_wide(&jobs, 4, wide_options());
         let wide_wall_micros = brel_obs::wall_micros(wide_start);
-        let wide1 = engine_batch::run_wide(&jobs, 1, 4);
+        let wide1 = engine_batch::run_wide(&jobs, 1, wide_options());
         rows.push(StrategyRow {
             strategy,
             batch,
@@ -502,14 +597,15 @@ pub fn run(options: &SearchBenchOptions) -> SearchReport {
         reuse: reuse_metrics(options),
         obs: obs_metrics(options),
         chaos: chaos_metrics(options),
+        hard: options.hard.then(hard_metrics),
     }
 }
 
 impl SearchReport {
     /// The JSON representation of one harness run.
     pub fn to_json(&self) -> Json {
-        Json::object(vec![
-            ("schema", Json::str("brel-bench/search-strategies-run-v3")),
+        let mut fields = vec![
+            ("schema", Json::str("brel-bench/search-strategies-run-v4")),
             ("label", Json::str(&self.label)),
             (
                 "strategies",
@@ -548,6 +644,7 @@ impl SearchReport {
                                 (
                                     "wide",
                                     Json::object(vec![
+                                        ("corpus", Json::str(engine_batch::DEFAULT_CORPUS_NAME)),
                                         ("total_cost", Json::UInt(row.wide_total_cost)),
                                         ("deterministic", Json::Bool(row.wide_deterministic)),
                                         ("wall_micros", Json::UInt(row.wide_wall_micros)),
@@ -590,7 +687,7 @@ impl SearchReport {
                         Json::UInt(self.obs.untraced_wall_micros),
                     ),
                     ("disabled_span_ns", Json::UInt(self.obs.disabled_span_ns)),
-                    ("rounds", Json::UInt(self.obs.rounds)),
+                    ("steals", Json::UInt(self.obs.steals)),
                     ("attributed_pct", Json::UInt(self.obs.attributed_pct)),
                     ("identical_output", Json::Bool(self.obs.identical_output)),
                     (
@@ -625,7 +722,24 @@ impl SearchReport {
                     ("clean_identical", Json::Bool(self.chaos.clean_identical)),
                 ]),
             ),
-        ])
+        ];
+        if let Some(hard) = &self.hard {
+            fields.push((
+                "hard",
+                Json::object(vec![
+                    ("corpus", Json::str(hard.corpus)),
+                    ("num_jobs", Json::UInt(hard.num_jobs)),
+                    ("total_cost", Json::UInt(hard.total_cost)),
+                    (
+                        "sequential_wall_micros",
+                        Json::UInt(hard.sequential_wall_micros),
+                    ),
+                    ("wide_wall_micros", Json::UInt(hard.wide_wall_micros)),
+                    ("cost_parity", Json::Bool(hard.cost_parity)),
+                ]),
+            ));
+        }
+        Json::object(fields)
     }
 
     /// Human-readable rendering.
@@ -669,10 +783,10 @@ impl SearchReport {
             },
         ));
         out.push_str(&format!(
-            "obs: wide traced {:.4}s vs untraced {:.4}s, {} rounds, {}% of wide_solve attributed, disabled span {} ns, output {}\n",
+            "obs: wide traced {:.4}s vs untraced {:.4}s, {} steals, {}% of wide_solve attributed, disabled span {} ns, output {}\n",
             self.obs.traced_wall_micros as f64 / 1e6,
             self.obs.untraced_wall_micros as f64 / 1e6,
-            self.obs.rounds,
+            self.obs.steals,
             self.obs.attributed_pct,
             self.obs.disabled_span_ns,
             if self.obs.identical_output {
@@ -700,6 +814,18 @@ impl SearchReport {
                 "POLLUTED"
             },
         ));
+        if let Some(hard) = &self.hard {
+            out.push_str(&format!(
+                "hard[{}]: {} jobs, sequential {:.4}s -> wide(8) {:.4}s ({:.2}x, cost {}, output {})\n",
+                hard.corpus,
+                hard.num_jobs,
+                hard.sequential_wall_micros as f64 / 1e6,
+                hard.wide_wall_micros as f64 / 1e6,
+                hard.sequential_wall_micros as f64 / hard.wide_wall_micros.max(1) as f64,
+                hard.total_cost,
+                if hard.cost_parity { "cost-parity" } else { "COST DRIFT" },
+            ));
+        }
         out
     }
 }
@@ -714,6 +840,7 @@ mod tests {
             table2_instances: 1,
             random_relations: 1,
             churn_budget: 5,
+            hard: false,
             label: "test".into(),
         };
         let report = run(&options);
@@ -731,7 +858,8 @@ mod tests {
         let best = &report.rows[2];
         assert!(best.fig10_explored <= fifo.fig10_explored);
         let json = report.to_json().render();
-        assert!(json.contains("\"schema\":\"brel-bench/search-strategies-run-v3\""));
+        assert!(json.contains("\"schema\":\"brel-bench/search-strategies-run-v4\""));
+        assert!(json.contains("\"corpus\":\"table2+rand5x3\""));
         assert!(json.contains("\"fig10_exact\""));
         assert!(json.contains("\"churn\""));
         assert!(json.contains("\"subrel_cache_hits\""));
@@ -751,13 +879,30 @@ mod tests {
                                               // Tracing the wide batch is write-only, catches every round, and
                                               // attributes the wide solve to its seed/round phases.
         assert!(report.obs.identical_output);
-        assert!(report.obs.rounds >= 1);
         assert!(
             report.obs.attributed_pct >= 90,
             "attributed {}%",
             report.obs.attributed_pct
         );
-        assert!(report.obs.phases.iter().any(|p| p.name == "barrier_wait"));
+        // The work-stealing walk has no rounds and no barrier: the old
+        // barrier_wait phase must be gone for good, and the whole batch
+        // rehydrates once per wide solve (in its seed), not per steal.
+        assert!(report.obs.phases.iter().any(|p| p.name == "wide_solve"));
+        assert!(report.obs.phases.iter().all(|p| p.name != "barrier_wait"));
+        let wide_solves = report
+            .obs
+            .phases
+            .iter()
+            .find(|p| p.name == "wide_solve")
+            .map_or(0, |p| p.count);
+        if let Some(rehydrate) = report.obs.phases.iter().find(|p| p.name == "rehydrate") {
+            assert!(
+                rehydrate.count <= wide_solves,
+                "{} rehydrates across {} wide solves",
+                rehydrate.count,
+                wide_solves
+            );
+        }
         // Every chaos contract holds on the tiny corpus: the plan clamps to
         // the corpus size, fires completely, attributes every fault, keeps
         // recovered solutions, and leaves clean jobs untouched.

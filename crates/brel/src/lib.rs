@@ -59,7 +59,7 @@ pub use minimize_isf::{IsfMinimizer, MinimizerKind};
 pub use quick::QuickSolver;
 pub use search::{
     expand, BestFirstFrontier, CancelToken, DfsFrontier, Expansion, ExploreStatus, Explorer,
-    FifoFrontier, Frontier, SearchStrategy, SplitExpansion, StepOutcome, Subproblem,
+    FifoFrontier, Frontier, SearchStrategy, SharedBound, SplitExpansion, StepOutcome, Subproblem,
 };
 pub use solver::{BrelConfig, BrelSolver, Solution, SolveStats, TraceEvent};
 pub use symmetry::{canonical_rows, input_support_mask, relation_fingerprint, SymmetryCache};

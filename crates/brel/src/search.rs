@@ -30,7 +30,7 @@
 
 use std::collections::{BinaryHeap, VecDeque};
 use std::fmt;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use brel_bdd::GcStats;
@@ -392,6 +392,55 @@ impl CancelToken {
     }
 }
 
+/// A cross-thread best-known incumbent cost: a monotonically decreasing
+/// atomic bound shared by several explorations of the *same* relation
+/// (the engine's wide mode gives one to every worker). Cloning shares the
+/// cell. Attached to an [`Explorer`] via [`Explorer::set_shared_bound`],
+/// the bound tightens every prune check — dominance pruning fires the
+/// moment *any* participant improves the incumbent, not just this one —
+/// and every local improvement is published back.
+///
+/// Sharing a bound is sound because pruning is conservative: the bound
+/// only ever decreases, so a prune decision taken against a stale (higher)
+/// value is a decision the tighter bound would also have taken. An
+/// explorer with no shared bound behaves exactly as before.
+#[derive(Debug, Clone, Default)]
+pub struct SharedBound {
+    cell: Arc<AtomicU64>,
+}
+
+impl SharedBound {
+    /// A fresh bound at `u64::MAX` (nothing known yet).
+    pub fn new() -> Self {
+        SharedBound {
+            cell: Arc::new(AtomicU64::new(u64::MAX)),
+        }
+    }
+
+    /// The current best-known cost (`u64::MAX` until first improved).
+    pub fn get(&self) -> u64 {
+        self.cell.load(Ordering::Acquire)
+    }
+
+    /// Lowers the bound to `cost` if it improves on the current value
+    /// (compare-and-swap min). Returns whether this call improved it.
+    pub fn improve(&self, cost: u64) -> bool {
+        let mut current = self.cell.load(Ordering::Acquire);
+        while cost < current {
+            match self.cell.compare_exchange_weak(
+                current,
+                cost,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => return true,
+                Err(observed) => current = observed,
+            }
+        }
+        false
+    }
+}
+
 /// What one [`Explorer::step`] call did.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum StepOutcome {
@@ -452,6 +501,7 @@ pub struct Explorer {
     stats: SolveStats,
     trace: Vec<TraceEvent>,
     cancel: Option<CancelToken>,
+    shared_bound: Option<SharedBound>,
 }
 
 impl Explorer {
@@ -518,6 +568,7 @@ impl Explorer {
             stats,
             trace,
             cancel: None,
+            shared_bound: None,
         })
     }
 
@@ -530,6 +581,26 @@ impl Explorer {
     /// [`step`]: Explorer::step
     pub fn set_cancel_token(&mut self, token: CancelToken) {
         self.cancel = Some(token);
+    }
+
+    /// Attaches a [`SharedBound`]: prune checks tighten to
+    /// `min(local best, shared)` and every local improvement is published.
+    /// The local incumbent *function* still only tracks solutions this
+    /// explorer verified itself — a shared cost can prune, but never
+    /// replace, the incumbent in hand. Publishes the seed cost immediately
+    /// so peers can prune against it.
+    pub fn set_shared_bound(&mut self, bound: SharedBound) {
+        bound.improve(self.best_cost);
+        self.shared_bound = Some(bound);
+    }
+
+    /// The bound prune checks compare against: the local incumbent cost,
+    /// tightened by the shared cross-thread bound when one is attached.
+    fn prune_bound(&self) -> u64 {
+        match &self.shared_bound {
+            Some(shared) => self.best_cost.min(shared.get()),
+            None => self.best_cost,
+        }
     }
 
     /// Explores the next subproblem (consuming any dominance-pruned pops on
@@ -568,7 +639,7 @@ impl Explorer {
                 "depth",
                 subproblem.depth as u64,
             );
-            if self.frontier.prunes_dominated() && subproblem.lower_bound >= self.best_cost {
+            if self.frontier.prunes_dominated() && subproblem.lower_bound >= self.prune_bound() {
                 // Dominance: the bound recorded at split time can no longer
                 // beat the (since improved) incumbent. Counted and traced
                 // separately from candidate-cost prunes — this node was
@@ -604,7 +675,7 @@ impl Explorer {
             &self.config.cost,
             &self.quick,
             &subproblem.relation,
-            self.best_cost,
+            self.prune_bound(),
         )?;
         let candidate_cost = expansion.candidate_cost;
         let compatible = expansion.compatible;
@@ -618,7 +689,7 @@ impl Explorer {
 
         // Prune by cost: constraining the relation further cannot beat a
         // candidate obtained with strictly more flexibility.
-        if candidate_cost >= self.best_cost {
+        if candidate_cost >= self.prune_bound() {
             self.stats.pruned_by_cost += 1;
             brel_obs::event(brel_obs::Category::Search, "pruned_by_cost");
             if self.config.trace {
@@ -708,6 +779,9 @@ impl Explorer {
         self.best = function;
         self.best_cost = cost;
         self.stats.improvements += 1;
+        if let Some(shared) = &self.shared_bound {
+            shared.improve(cost);
+        }
         brel_obs::event_with(brel_obs::Category::Search, "improved", "cost", cost);
         if self.config.trace {
             self.trace.push(TraceEvent::Improved { cost });
@@ -1025,5 +1099,83 @@ mod tests {
         let solution = explorer.into_solution();
         assert_eq!(solution.cost, cancelled_cost);
         assert!(!solution.stats.complete);
+    }
+
+    #[test]
+    fn shared_bound_is_a_monotone_atomic_min() {
+        let bound = SharedBound::new();
+        assert_eq!(bound.get(), u64::MAX);
+        assert!(bound.improve(10));
+        assert!(!bound.improve(10), "equal cost is not an improvement");
+        assert!(!bound.improve(12), "the bound never regresses");
+        assert_eq!(bound.get(), 10);
+        // Clones share the cell in both directions.
+        let peer = bound.clone();
+        assert!(peer.improve(7));
+        assert_eq!(bound.get(), 7);
+    }
+
+    #[test]
+    fn shared_bound_tightens_explorer_pruning_and_publishes_improvements() {
+        let (_space, r) = fig10();
+        // Reference: an unshared exact best-first run.
+        let alone = BrelSolver::new(BrelConfig::exact().with_strategy(SearchStrategy::BestFirst))
+            .solve(&r)
+            .unwrap();
+        assert_eq!(alone.cost, 2);
+
+        // A peer holding a cost-1 incumbent prunes this explorer's whole
+        // search down to one bound check: no candidate can beat the bound,
+        // so the root is cost-pruned and nothing ever splits.
+        let bound = SharedBound::new();
+        bound.improve(1);
+        let mut explorer = Explorer::new(
+            BrelConfig::exact().with_strategy(SearchStrategy::BestFirst),
+            &r,
+        )
+        .unwrap();
+        explorer.set_shared_bound(bound.clone());
+        assert_eq!(explorer.run().unwrap(), ExploreStatus::Complete);
+        let bounded = explorer.into_solution();
+        assert!(
+            bounded.stats.explored < alone.stats.explored,
+            "a shared incumbent must prune ({} >= {})",
+            bounded.stats.explored,
+            alone.stats.explored
+        );
+        assert_eq!(bounded.stats.splits, 0, "every candidate is bound-pruned");
+
+        // The reverse direction: local improvements are published, so the
+        // bound ends at the optimum after an unassisted run.
+        let fresh = SharedBound::new();
+        let mut explorer = Explorer::new(
+            BrelConfig::exact().with_strategy(SearchStrategy::BestFirst),
+            &r,
+        )
+        .unwrap();
+        explorer.set_shared_bound(fresh.clone());
+        let seed_cost = explorer.best_cost();
+        assert_eq!(fresh.get(), seed_cost, "attaching publishes the seed");
+        assert_eq!(explorer.run().unwrap(), ExploreStatus::Complete);
+        let published = explorer.into_solution();
+        assert_eq!(published.cost, 2);
+        assert_eq!(fresh.get(), 2);
+    }
+
+    #[test]
+    fn an_unattached_shared_bound_changes_nothing() {
+        let (_space, r) = fig10();
+        let config = BrelConfig::exact().with_strategy(SearchStrategy::BestFirst);
+        let plain = BrelSolver::new(config.clone()).solve(&r).unwrap();
+        let mut explorer = Explorer::new(config, &r).unwrap();
+        explorer.set_shared_bound(SharedBound::new());
+        explorer.run().unwrap();
+        let shared = explorer.into_solution();
+        // A bound nobody else feeds is exactly the local incumbent: the
+        // exploration is step-for-step identical.
+        assert_eq!(shared.cost, plain.cost);
+        assert_eq!(shared.stats.explored, plain.stats.explored);
+        assert_eq!(shared.stats.splits, plain.stats.splits);
+        assert_eq!(shared.stats.pruned_dominated, plain.stats.pruned_dominated);
     }
 }

@@ -278,7 +278,9 @@ impl FaultPlan {
     }
 }
 
-fn splitmix64(state: &mut u64) -> u64 {
+/// The SplitMix64 step shared by the chaos planner and wide mode's
+/// stagger plans: cheap, seedable, and good enough to scramble schedules.
+pub(crate) fn splitmix64(state: &mut u64) -> u64 {
     *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
     let mut z = *state;
     z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);

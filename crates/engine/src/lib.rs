@@ -32,10 +32,10 @@
 //!   in [`ReuseStats`]/[`BatchReuse`] but serialized only alongside
 //!   timings;
 //! * each job carries a [`SearchStrategy`] for its BREL backend, and
-//!   [`Engine::with_wide`] flips the pool into *wide* mode — parallel
-//!   frontier expansion inside each BREL solve (see [`wide`]) over
-//!   per-worker warm sessions that persist across rounds and jobs, with
-//!   the same worker-count determinism guarantee;
+//!   [`Engine::with_wide`] flips the pool into *wide* mode — an
+//!   asynchronous work-stealing search inside each BREL solve (see
+//!   [`wide`]) over per-worker warm sessions that persist across jobs,
+//!   with the same worker-count determinism guarantee;
 //! * the engine is *fault-tolerant*: every attempt runs behind a panic
 //!   isolation boundary, a [`FaultPolicy`] per job arms the kernel's
 //!   resource governor (live-node quota, wall deadline) and a cooperative
@@ -84,7 +84,9 @@ pub use fault::{
 };
 pub use job::{BackendKind, CostSpec, JobBudget, JobSpec, RelationSpec};
 pub use pool::{BatchReport, Engine, EngineConfig};
-pub use portfolio::{run_job, run_job_controlled, run_job_warm, run_job_wide, JobReport};
+pub use portfolio::{
+    run_job, run_job_controlled, run_job_warm, run_job_wide, run_job_wide_controlled, JobReport,
+};
 pub use report::Json;
 pub use reuse::{BatchReuse, ReuseStats, WarmSession};
-pub use wide::{solve_wide, solve_wide_with, SubproblemSpec, WideOptions};
+pub use wide::{solve_wide, solve_wide_with, StaggerPlan, WideOptions};

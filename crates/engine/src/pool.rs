@@ -280,6 +280,7 @@ impl Engine {
                     options,
                     &mut coordinator,
                     &mut sessions,
+                    None,
                     &injections,
                 )
             })

@@ -357,25 +357,61 @@ pub fn run_job_wide(
     let mut sessions: Vec<WarmSession> = (0..num_workers.max(1))
         .map(|_| WarmSession::new())
         .collect();
-    run_job_wide_with(job_id, job, options, &mut coordinator, &mut sessions, &[])
+    run_job_wide_with(
+        job_id,
+        job,
+        options,
+        &mut coordinator,
+        &mut sessions,
+        None,
+        &[],
+    )
+}
+
+/// The serving-layer entry point for wide mode: one job over the caller's
+/// persistent worker sessions under a [`JobControl`] — the shared
+/// incumbent bound reports *every* cross-worker improvement through the
+/// control's callback (improvements are committed under the search lock,
+/// so the stream is strictly decreasing), and cancellation closes the
+/// work-stealing search at the next commit. With an inert control this is
+/// byte-identical to [`run_job_wide`] at the same worker count.
+pub fn run_job_wide_controlled(
+    job_id: usize,
+    job: &JobSpec,
+    options: WideOptions,
+    coordinator: &mut WarmSession,
+    sessions: &mut [WarmSession],
+    control: &JobControl,
+    injections: &[&FaultInjection],
+) -> JobReport {
+    run_job_wide_with(
+        job_id,
+        job,
+        options,
+        coordinator,
+        sessions,
+        Some(control),
+        injections,
+    )
 }
 
 /// Wide mode with persistent sessions: the coordinator session hosts the
 /// non-BREL backends (and is reset between jobs), the per-worker sessions
-/// host the round expansions. The batch engine threads the same sessions
-/// through every job so wide rounds stop paying a fresh manager per
-/// expansion.
+/// host the work-stealing search. The batch engine threads the same
+/// sessions through every job, so subproblems expand in warm managers and
+/// only cross-worker steals ever copy BDDs between sessions.
 pub(crate) fn run_job_wide_with(
     job_id: usize,
     job: &JobSpec,
     options: WideOptions,
     coordinator: &mut WarmSession,
     sessions: &mut [WarmSession],
+    control: Option<&JobControl>,
     injections: &[&FaultInjection],
 ) -> JobReport {
     // The coordinator manager is only needed by non-BREL backends (wide
-    // BREL rehydrates per expansion); build it lazily so a Brel-only job
-    // does not pay for an unused root construction.
+    // BREL seeds and expands in the worker sessions); build it lazily so a
+    // Brel-only job does not pay for an unused root construction.
     let mut rehydrated = None;
     let mut attempts = Vec::with_capacity(job.backends.len());
     let mut error = None;
@@ -385,7 +421,7 @@ pub(crate) fn run_job_wide_with(
             // Wide BREL degrades internally: a faulted expansion closes the
             // search and the report keeps the best incumbent found so far,
             // so a fault here still yields an attempt row.
-            match solve_wide_faulted(job, options, sessions, injections) {
+            match solve_wide_faulted(job, options, sessions, control, injections) {
                 Ok((report, wide_fault)) => {
                     if let Some(desc) = wide_fault {
                         fault.get_or_insert(desc);

@@ -157,11 +157,60 @@ impl WarmSession {
     /// leaves minterm-accumulation garbage behind, so one collection runs
     /// before the relation is handed to the backends.
     pub fn rehydrate(&mut self, spec: &RelationSpec) -> (RelationSpace, BooleanRelation, bool) {
+        self.rehydrate_with(spec, BddConfig::from_env())
+    }
+
+    /// [`WarmSession::rehydrate`] with automatic variable reordering
+    /// forced off, whatever the environment says. Wide mode uses this:
+    /// its sessions stay warm across many expansions, so a sifting pass
+    /// would fire at a point that depends on which subproblems a worker
+    /// happened to execute — making BDD shapes (and thus costs) depend
+    /// on steal order.
+    pub fn rehydrate_stable(
+        &mut self,
+        spec: &RelationSpec,
+    ) -> (RelationSpace, BooleanRelation, bool) {
+        self.rehydrate_with(spec, BddConfig::from_env().auto_reorder(false))
+    }
+
+    fn rehydrate_with(
+        &mut self,
+        spec: &RelationSpec,
+        config: BddConfig,
+    ) -> (RelationSpace, BooleanRelation, bool) {
         let _span = brel_obs::span(brel_obs::Category::Session, "rehydrate");
         let num_vars = spec.num_inputs() + spec.num_outputs();
         let pairs: usize = spec.rows().iter().map(|(_, outs)| outs.len().max(1)).sum();
         let expected_nodes = pairs.saturating_mul(num_vars);
-        let config = BddConfig::from_env();
+        let (session, warm) = self.obtain(num_vars, expected_nodes, config);
+        let space = RelationSpace::from_session(session, spec.num_inputs(), spec.num_outputs());
+        let relation = BooleanRelation::from_rows(&space, spec.rows())
+            .expect("arities were validated at construction");
+        space.collect_garbage();
+        (space, relation, warm)
+    }
+
+    /// Prepares a sized session *without* constructing a relation — the
+    /// wide-mode entry point for workers that receive their subproblems
+    /// as in-manager handles (or steal them as rows later) rather than
+    /// rehydrating a spec up front. Reordering is forced off for the
+    /// same steal-order-determinism reason as
+    /// [`WarmSession::rehydrate_stable`]. Returns the session and
+    /// whether the warm path was taken.
+    pub fn prepare(&mut self, num_vars: usize, expected_nodes: usize) -> (BddSession, bool) {
+        let _span = brel_obs::span(brel_obs::Category::Session, "prepare");
+        let config = BddConfig::from_env().auto_reorder(false);
+        self.obtain(num_vars, expected_nodes, config)
+    }
+
+    /// The single reset-or-build path behind [`WarmSession::rehydrate`]
+    /// and [`WarmSession::prepare`].
+    fn obtain(
+        &mut self,
+        num_vars: usize,
+        expected_nodes: usize,
+        config: BddConfig,
+    ) -> (BddSession, bool) {
         let mut warm = false;
         // A reset can only fail while handles from the previous job are
         // still rooted; the engine drops them before re-entering, so the
@@ -184,10 +233,6 @@ impl WarmSession {
         if self.keep_warm {
             self.session = Some(session.clone());
         }
-        let space = RelationSpace::from_session(session, spec.num_inputs(), spec.num_outputs());
-        let relation = BooleanRelation::from_rows(&space, spec.rows())
-            .expect("arities were validated at construction");
-        space.collect_garbage();
         if warm {
             self.warm_reuses += 1;
             brel_obs::event(brel_obs::Category::Session, "warm_hit");
@@ -197,7 +242,7 @@ impl WarmSession {
             brel_obs::event(brel_obs::Category::Session, "cold_build");
             brel_obs::count(brel_obs::Category::Session, "session.cold_builds", 1);
         }
-        (space, relation, warm)
+        (session, warm)
     }
 
     /// `(warm_reuses, cold_builds, quarantines)` of this session so far.
@@ -394,6 +439,26 @@ mod tests {
         assert!(was_warm);
         assert_eq!(gauges(&s_warm), cold_gauges);
         drop((s_warm, r_warm));
+    }
+
+    #[test]
+    fn prepare_reuses_the_warm_manager_like_rehydrate() {
+        let mut warm = WarmSession::new();
+        let (s1, was_warm) = warm.prepare(3, 64);
+        assert!(!was_warm, "first prepare is cold");
+        drop(s1);
+        let (s2, was_warm) = warm.prepare(3, 64);
+        assert!(was_warm, "second prepare reuses the session");
+        drop(s2);
+        // prepare and rehydrate share one warm session.
+        let space = RelationSpace::new(2, 1);
+        let r = BooleanRelation::from_table(&space, "00:{0}\n01:{1}\n10:{1}\n11:{0}").unwrap();
+        let spec = RelationSpec::from_relation(&r).unwrap();
+        let (s3, r3, was_warm) = warm.rehydrate_stable(&spec);
+        assert!(was_warm, "rehydrate_stable reuses the prepared session");
+        assert!(r3.is_well_defined());
+        drop((s3, r3));
+        assert_eq!(warm.counts(), (2, 1, 0));
     }
 
     #[test]

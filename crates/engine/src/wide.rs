@@ -1,75 +1,105 @@
-//! Wide mode: engine-parallel frontier expansion for a single hard
-//! relation.
+//! Wide mode: asynchronous work-stealing search inside one BREL solve.
 //!
 //! The batch engine's unit of parallelism is the *job* — useless when one
 //! relation dominates the batch. Wide mode parallelizes *inside* one BREL
-//! solve instead: each round it takes the top-k pending subproblems of the
-//! search frontier (ordered by the job's [`SearchStrategy`]) and expands
-//! them concurrently. Nothing BDD-shaped crosses a thread: a pending node
-//! travels as a [`SubproblemSpec`] (tabular rows plus depth and lower
-//! bound), each expansion rehydrates its subrelation into a private BDD
-//! manager and runs the same [`brel_core::expand`] transition the
-//! sequential explorer uses, and the coordinator merges results in round
-//! order — improvements, prunes and child subproblems are applied by
-//! ascending round index, and fresh children enter the frontier in
-//! `(lower bound, insertion sequence)` order. Every expansion is a pure
-//! function of `(spec, round-start incumbent cost)`, so the merged outcome
-//! — costs, statistics, even the per-expansion kernel counters — is
-//! byte-identical at every worker count.
+//! solve instead, without the round barrier of its first incarnation:
+//! every worker loops over three phases — **commit** ready expansions in
+//! the exact order the sequential explorer would pop them, **claim** a
+//! pending subproblem near the head of the frontier, and **execute** it
+//! speculatively against a snapshot of the shared incumbent bound. There
+//! is no coordinator thread and no round: whichever worker holds the
+//! state lock drives the commit sequence forward, and idle workers steal
+//! work instead of waiting for the slowest expansion of a round.
+//!
+//! Determinism is by construction, not by synchronization:
+//!
+//! * every subproblem carries a stable sequence number assigned at commit
+//!   time (children are numbered in split order by the committing
+//!   worker), so the frontier's pop order is a pure function of the
+//!   search, never of thread timing;
+//! * results only take effect at commit, in pop order — the incumbent,
+//!   the explored/split counters, dominance pruning and child admission
+//!   all advance exactly as a sequential run would;
+//! * a speculative expansion runs against a *snapshot* of the shared
+//!   bound taken when the subproblem was claimed. The bound only tightens
+//!   at commit, so the snapshot is always ≥ the bound the sequential run
+//!   would have used: a stale snapshot can only make the worker compute a
+//!   superset of the needed result (children that commit then discards),
+//!   never a different one.
+//!
+//! The rows-rehydration tax is gone from the hot path: a subproblem
+//! expanded by the worker that created it reuses that worker's warm
+//! [`brel_bdd::BddSession`] directly (the split halves are kept as live
+//! BDD handles — the kernel is `Send`). Only subproblems *stolen* across
+//! workers ship, lazily at steal time, by structural DAG copy from the
+//! owner's live handle into the stealer's session
+//! ([`brel_bdd::BddSession::import`] — O(shared nodes), no row
+//! enumeration); subproblems below [`WideOptions::steal_threshold`]
+//! input/output pairs are never stolen at all — they stay pinned to
+//! their owner, where re-expanding is cheaper than shipping.
 
-use std::panic::panic_any;
-use std::sync::mpsc;
+use std::collections::BTreeSet;
+use std::sync::{Condvar, Mutex};
 use std::thread;
 use std::time::{Duration, Instant};
 
-use brel_bdd::{BddError, CacheStats, GcStats, ResourceGovernor};
-use brel_core::{expand, CostFunction, IsfMinimizer, QuickSolver, SearchStrategy};
-use brel_relation::RelationError;
+use brel_bdd::ResourceGovernor;
+use brel_core::{
+    expand, CostFn, CostFunction, IsfMinimizer, QuickSolver, SearchStrategy, SharedBound,
+};
+use brel_relation::{BooleanRelation, RelationError, RelationSpace};
 
 use crate::backend::SolutionReport;
-use crate::fault::{catch_fault, FaultClass, FaultInjection, FaultKind, InjectedPanic};
-use crate::job::{BackendKind, CostSpec, JobSpec, RelationSpec};
+use crate::control::JobControl;
+use crate::fault::{catch_fault, splitmix64, FaultClass, FaultInjection, FaultKind, InjectedPanic};
+use crate::job::{BackendKind, JobSpec};
 use crate::reuse::{ReuseStats, WarmSession};
 
 /// Wide-mode configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct WideOptions {
-    /// Maximum number of frontier subproblems expanded in parallel per
-    /// round (clamped to at least 1).
-    pub top_k: usize,
+    /// How far past the frontier head a worker may look for claimable
+    /// work (clamped to at least 1). A larger lookahead keeps more
+    /// workers busy on speculative expansions; a smaller one wastes less
+    /// work when the incumbent improves quickly.
+    pub lookahead: usize,
+    /// Minimum size — in input/output pairs ([`BooleanRelation::num_pairs`])
+    /// — for a subproblem to be stealable by other workers. Subproblems
+    /// below the threshold stay pinned to the worker that created them
+    /// (whose warm session already holds their BDD handles); at or above
+    /// it, a stealer copies the owner's handle into its own session by
+    /// structural DAG import ([`brel_bdd::BddSession::import`]).
+    pub steal_threshold: usize,
+    /// Optional seeded artificial delay before each expansion, used by
+    /// the steal-order-invariance tests to scramble thread timing without
+    /// touching results.
+    pub stagger: Option<StaggerPlan>,
 }
 
 impl Default for WideOptions {
     fn default() -> Self {
-        WideOptions { top_k: 8 }
+        WideOptions {
+            lookahead: 8,
+            steal_threshold: 4,
+            stagger: None,
+        }
     }
 }
 
-/// A pending subproblem in portable form: the serialization boundary wide
-/// mode ships to worker threads (the engine-side mirror of
-/// [`brel_core::Subproblem`]).
-#[derive(Debug, Clone)]
-pub struct SubproblemSpec {
-    /// The subrelation, as tabular rows.
-    pub relation: RelationSpec,
-    /// Distance from the root relation (number of splits on the path).
-    pub depth: usize,
-    /// Lower bound inherited from the parent's candidate cost (0 for the
-    /// root).
-    pub lower_bound: u64,
-    /// Insertion sequence number: the deterministic FIFO/DFS key and the
-    /// best-first tie-break.
-    seq: u64,
+/// A seeded per-expansion delay plan: worker `w` sleeps a SplitMix64-
+/// derived number of microseconds (below `max_micros`) before expanding
+/// subproblem `seq`. Changes scheduling, must never change results —
+/// that is exactly what the invariance tests assert.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StaggerPlan {
+    /// Seed mixed with the worker index and subproblem sequence number.
+    pub seed: u64,
+    /// Exclusive upper bound on the injected delay, in microseconds.
+    pub max_micros: u64,
 }
 
-// Wide mode's whole point: pending work must be free to cross threads.
-const _: fn() = || {
-    fn assert_send_sync<T: Send + Sync>() {}
-    assert_send_sync::<SubproblemSpec>();
-};
-
-/// The incumbent's scored metrics (the function itself stays on whichever
-/// thread found it; reports only carry numbers).
+/// The incumbent's scored metrics (the function itself is re-derivable;
+/// reports only carry numbers).
 #[derive(Debug, Clone, Copy)]
 struct Incumbent {
     cost: u64,
@@ -77,303 +107,632 @@ struct Incumbent {
     literals: usize,
 }
 
-/// What one worker expansion sends back to the coordinator.
-#[derive(Debug)]
-struct WideExpansion {
+/// The committed-form result of one expansion: everything `apply` needs,
+/// with the candidate/quick functions already scored down to numbers.
+/// Cover statistics re-run ISOP, so they are only present when the
+/// commit can actually consume them: the bound at commit is never above
+/// the claim-time snapshot, so a cost at or above the snapshot can never
+/// improve the incumbent and its cover is never scored.
+struct ReadyExpansion {
     candidate_cost: u64,
     compatible: bool,
-    /// Candidate metrics (meaningful when `compatible`).
-    cubes: usize,
-    literals: usize,
-    /// Quick-solver fallback metrics, when the node split.
+    /// `(cubes, literals)` of the candidate, iff it can still improve.
+    cover: Option<(usize, usize)>,
+    /// `(cost, cubes, literals)` of the quick solution, iff it can still
+    /// improve.
     quick: Option<(u64, usize, usize)>,
-    /// The two split halves, re-exported as portable rows.
-    children: Option<[RelationSpec; 2]>,
-    /// Kernel counters of this expansion's private manager.
-    cache: CacheStats,
-    gc: GcStats,
+    /// Split halves as live handles in the expanding worker's session.
+    children: Option<[BooleanRelation; 2]>,
 }
 
-/// The per-job fault context threaded into wide rounds: the wall-clock
-/// deadline and node quota arm the governor of every expansion's manager,
-/// and the injection slice lets workers fire deterministic faults at
-/// global expansion indices.
-#[derive(Clone, Copy, Default)]
-struct WideGuard<'a> {
+/// Lifecycle of one frontier entry.
+enum EntryState {
+    /// Waiting to be claimed.
+    Pending,
+    /// Claimed by a worker; its expansion is in flight.
+    Running,
+    /// Expanded; waiting for the commit sequence to reach it.
+    Ready(Box<ReadyExpansion>),
+    /// Dominance-dropped at commit before (or while) expanding.
+    Discarded,
+}
+
+/// One subproblem. Indexed by its sequence number: `entries[seq]` is the
+/// subproblem whose deterministic identity is `seq` (the root is 0;
+/// children get `entries.len()` at the moment their parent commits,
+/// negative half first).
+struct Entry {
+    depth: usize,
+    lower_bound: u64,
+    /// The worker whose session hosts `relation` (meaningful while
+    /// `relation` is `Some`).
+    owner: usize,
+    /// Live handle in the owner's session; taken when claimed.
+    relation: Option<BooleanRelation>,
+    state: EntryState,
+}
+
+/// Everything the commit sequence owns, guarded by one mutex.
+struct CommitState {
+    entries: Vec<Entry>,
+    /// Uncommitted subproblems as `(bound-or-zero, seq)` keys: best-first
+    /// keys on `(lower_bound, seq)`, FIFO/DFS on `(0, seq)` — FIFO pops
+    /// the minimum seq, DFS the maximum (the global sequence counter is
+    /// monotone, so the max key *is* the top of the sequential stack).
+    frontier: BTreeSet<(u64, u64)>,
+    best: Incumbent,
+    explored: usize,
+    splits: usize,
+    frontier_peak: usize,
+    done: bool,
+    degraded: bool,
+    fault: Option<String>,
+    error: Option<RelationError>,
+    /// Worker whose session must be quarantined after the join (injected
+    /// faults are synthesized at commit, outside any worker's unwind, so
+    /// the quarantine is applied by the orchestrator).
+    quarantine_worker: Option<usize>,
+}
+
+/// The shared search: commit state, a wakeup channel for idle workers,
+/// and the cross-worker incumbent bound (readable without the lock).
+struct Shared {
+    state: Mutex<CommitState>,
+    work_ready: Condvar,
+    bound: SharedBound,
+}
+
+/// Immutable per-run context threaded to every worker.
+struct RunContext<'a> {
+    job: &'a JobSpec,
+    options: WideOptions,
     deadline: Option<Instant>,
-    max_live_nodes: Option<u64>,
+    control: Option<&'a JobControl>,
     injections: &'a [&'a FaultInjection],
 }
 
-/// Why one wide-round expansion produced no result.
-#[derive(Debug)]
-enum WideFailure {
-    /// Structural failure from the expansion itself; deterministic.
-    Error(RelationError),
-    /// The expansion faulted (panic or resource abort). The worker already
-    /// quarantined its own session before shipping this.
-    Fault(FaultClass),
+/// A claimed subproblem, ready to execute outside the lock. On a steal,
+/// `relation` is the *old owner's* handle: the stealer serializes it to
+/// rows, rebuilds in its own session, and drops it — all outside the
+/// state lock.
+struct Claimed {
+    seq: usize,
+    depth: usize,
+    lower_bound: u64,
+    relation: BooleanRelation,
+    /// Shared-bound snapshot taken at claim time.
+    snapshot: u64,
+    stolen: bool,
 }
 
-/// Fires any panic or quota-trip injection aimed at the global expansion
-/// index (round base + round index). Step-deadline injections are the
-/// coordinator's job — they truncate the search, they don't unwind it.
-fn fire_worker_injections(injections: &[&FaultInjection], global_index: usize) {
-    for injection in injections {
-        if injection.at_expansion() != global_index {
-            continue;
-        }
-        match injection.kind() {
-            FaultKind::Panic => {
-                if injection.fire() {
-                    panic_any(InjectedPanic {
-                        job: injection.job().to_string(),
-                        at_expansion: injection.at_expansion(),
-                    });
-                }
-            }
-            FaultKind::QuotaTrip => {
-                if injection.fire() {
-                    panic_any(BddError::QuotaExceeded {
-                        live_nodes: 0,
-                        max_live_nodes: 0,
-                    });
-                }
-            }
-            FaultKind::StepDeadline => {}
+fn frontier_key(strategy: SearchStrategy, lower_bound: u64, seq: u64) -> (u64, u64) {
+    match strategy {
+        SearchStrategy::BestFirst => (lower_bound, seq),
+        SearchStrategy::Fifo | SearchStrategy::Dfs => (0, seq),
+    }
+}
+
+/// The key the sequential strategy would pop next.
+fn head_key(frontier: &BTreeSet<(u64, u64)>, strategy: SearchStrategy) -> Option<(u64, u64)> {
+    match strategy {
+        SearchStrategy::Dfs => frontier.iter().next_back().copied(),
+        SearchStrategy::Fifo | SearchStrategy::BestFirst => frontier.iter().next().copied(),
+    }
+}
+
+/// Records a new incumbent (only ever called at commit, under the state
+/// lock, so improvements are serialized and strictly decreasing).
+fn improve(
+    state: &mut CommitState,
+    shared: &Shared,
+    ctx: &RunContext<'_>,
+    cost: u64,
+    cubes: usize,
+    literals: usize,
+) {
+    state.best = Incumbent {
+        cost,
+        cubes,
+        literals,
+    };
+    shared.bound.improve(cost);
+    brel_obs::event_with(brel_obs::Category::Engine, "bound_improve", "cost", cost);
+    if let Some(control) = ctx.control {
+        control.notify_incumbent(cost, state.explored);
+    }
+}
+
+fn discard_entry(entry: &mut Entry, garbage: &mut Vec<BooleanRelation>) {
+    if let Some(handle) = entry.relation.take() {
+        garbage.push(handle);
+    }
+    if let EntryState::Ready(ready) = std::mem::replace(&mut entry.state, EntryState::Discarded) {
+        if let Some(children) = ready.children {
+            garbage.extend(children);
         }
     }
 }
 
-/// Expands one portable subproblem inside a private manager — warm when
-/// the worker's session can be reset, fresh otherwise. Pure with respect
-/// to `(spec, prune_bound)` — the determinism anchor of wide mode: a
-/// successful reset is observationally cold, so which session hosts an
-/// expansion can never change its result.
-fn expand_spec(
-    spec: &SubproblemSpec,
-    cost: CostSpec,
+/// Applies one committed expansion: counters, incumbent, dominance prune
+/// and child admission — the exact transition the sequential explorer
+/// performs on a popped subproblem.
+fn apply_expansion(
+    state: &mut CommitState,
+    shared: &Shared,
+    ctx: &RunContext<'_>,
+    seq: usize,
+    ready: ReadyExpansion,
+    garbage: &mut Vec<BooleanRelation>,
+) {
+    let depth = state.entries[seq].depth;
+    let owner = state.entries[seq].owner;
+    state.explored += 1;
+    if ready.candidate_cost >= state.best.cost {
+        // Cost-pruned. The expansion may still carry children (it ran
+        // against a stale-but-larger bound snapshot); they are exactly
+        // the work the sequential run would never have produced.
+        if let Some(children) = ready.children {
+            garbage.extend(children);
+        }
+        return;
+    }
+    if ready.compatible {
+        let (cubes, literals) = ready
+            .cover
+            .expect("cover stats exist for any cost below the claim snapshot");
+        improve(state, shared, ctx, ready.candidate_cost, cubes, literals);
+        return;
+    }
+    if let Some((q_cost, q_cubes, q_literals)) = ready.quick {
+        if q_cost < state.best.cost {
+            improve(state, shared, ctx, q_cost, q_cubes, q_literals);
+        }
+    }
+    let children = ready
+        .children
+        .expect("expand splits every unpruned incompatible candidate");
+    state.splits += 1;
+    for child in children {
+        if let Some(cap) = ctx.job.budget.fifo_capacity {
+            if state.frontier.len() >= cap {
+                garbage.push(child);
+                continue;
+            }
+        }
+        let child_seq = state.entries.len() as u64;
+        state.entries.push(Entry {
+            depth: depth + 1,
+            lower_bound: ready.candidate_cost,
+            owner,
+            relation: Some(child),
+            state: EntryState::Pending,
+        });
+        state.frontier.insert(frontier_key(
+            ctx.job.strategy,
+            ready.candidate_cost,
+            child_seq,
+        ));
+        state.frontier_peak = state.frontier_peak.max(state.frontier.len());
+    }
+}
+
+/// Drives the commit sequence as far as it can go: fires injections and
+/// budget/deadline/cancel checks at each expansion index (mirroring the
+/// sequential engine's per-step checks), then commits the frontier head
+/// while it is `Ready`. Returns with the head `Pending`/`Running` (go
+/// speculate) or with `done` set.
+fn commit_ready(
+    state: &mut CommitState,
+    shared: &Shared,
+    ctx: &RunContext<'_>,
+    garbage: &mut Vec<BooleanRelation>,
+) {
+    while !state.done {
+        // Injections fire by equality with the cumulative expansion
+        // count — the commit sequence passes through every index, so a
+        // plan aimed anywhere in the search fires deterministically,
+        // before the next commit and regardless of worker count.
+        for injection in ctx.injections {
+            if injection.at_expansion() != state.explored {
+                continue;
+            }
+            match injection.kind() {
+                FaultKind::Panic => {
+                    if injection.fire() {
+                        state.degraded = true;
+                        let described = FaultClass::Panicked(
+                            InjectedPanic {
+                                job: injection.job().to_string(),
+                                at_expansion: injection.at_expansion(),
+                            }
+                            .describe(),
+                        )
+                        .describe();
+                        state.fault.get_or_insert(described);
+                        state.quarantine_worker.get_or_insert(0);
+                        state.done = true;
+                    }
+                }
+                FaultKind::QuotaTrip => {
+                    if injection.fire() {
+                        state.degraded = true;
+                        state
+                            .fault
+                            .get_or_insert_with(|| FaultClass::Quota.describe());
+                        state.quarantine_worker.get_or_insert(0);
+                        state.done = true;
+                    }
+                }
+                FaultKind::StepDeadline => {
+                    if injection.fire() {
+                        state.degraded = true;
+                        state.fault.get_or_insert_with(|| {
+                            format!(
+                                "injected step deadline at expansion {} of job {}",
+                                injection.at_expansion(),
+                                injection.job()
+                            )
+                        });
+                        state.done = true;
+                    }
+                }
+            }
+        }
+        if state.done {
+            return;
+        }
+        if state.frontier.is_empty() {
+            state.done = true;
+            return;
+        }
+        if let Some(limit) = ctx.job.fault.step_deadline {
+            if state.explored >= limit {
+                state.degraded = true;
+                let explored = state.explored;
+                state.fault.get_or_insert_with(|| {
+                    format!("step deadline expired after {explored} expansions")
+                });
+                state.done = true;
+                return;
+            }
+        }
+        // The wall deadline is timing-dependent by nature; determinism
+        // gates use step deadlines instead.
+        if let Some(at) = ctx.deadline {
+            if Instant::now() >= at {
+                state.degraded = true;
+                state
+                    .fault
+                    .get_or_insert_with(|| FaultClass::Deadline.describe());
+                state.done = true;
+                return;
+            }
+        }
+        if let Some(control) = ctx.control {
+            if control.is_cancelled() {
+                state.degraded = true;
+                let explored = state.explored;
+                state
+                    .fault
+                    .get_or_insert_with(|| format!("cancelled after {explored} expansions"));
+                state.done = true;
+                return;
+            }
+        }
+        if let Some(max) = ctx.job.budget.max_explored {
+            if state.explored >= max {
+                // Budget exhausted: stop expanding, keep the incumbent.
+                state.done = true;
+                return;
+            }
+        }
+        let key = head_key(&state.frontier, ctx.job.strategy).expect("frontier checked non-empty");
+        let seq = key.1 as usize;
+        if ctx.job.strategy == SearchStrategy::BestFirst
+            && state.entries[seq].lower_bound >= state.best.cost
+        {
+            // Dominance: dropped unexplored, like the sequential
+            // best-first frontier — even if a speculative expansion is
+            // in flight or finished (its result is simply discarded).
+            state.frontier.remove(&key);
+            discard_entry(&mut state.entries[seq], garbage);
+            continue;
+        }
+        match state.entries[seq].state {
+            EntryState::Ready(_) => {
+                state.frontier.remove(&key);
+                let prior = std::mem::replace(&mut state.entries[seq].state, EntryState::Discarded);
+                let EntryState::Ready(ready) = prior else {
+                    unreachable!("matched Ready above");
+                };
+                apply_expansion(state, shared, ctx, seq, *ready, garbage);
+            }
+            EntryState::Pending | EntryState::Running => return,
+            EntryState::Discarded => {
+                // Defensive: a discarded entry never stays in the
+                // frontier, but dropping it again is harmless.
+                state.frontier.remove(&key);
+            }
+        }
+    }
+}
+
+/// Claims a `Pending`, not best-first-dominated entry within `lookahead`
+/// of the frontier head, in pop order — with owner affinity: a worker
+/// first looks for a subproblem *it* created (whose BDDs sit live in its
+/// own warm session), and only when it owns nothing claimable does it
+/// steal, taking the head-most entry of at least `steal_threshold` pairs.
+/// Affinity changes which worker expands what, never what is expanded:
+/// commits still apply in pop order regardless of who computed them.
+fn claim_work(
+    state: &mut CommitState,
+    w: usize,
+    ctx: &RunContext<'_>,
+    bound: &SharedBound,
+) -> Option<Claimed> {
+    let budget_left = ctx
+        .job
+        .budget
+        .max_explored
+        .map_or(usize::MAX, |max| max.saturating_sub(state.explored))
+        .max(1);
+    let limit = ctx.options.lookahead.max(1).min(budget_left);
+    let keys: Vec<(u64, u64)> = match ctx.job.strategy {
+        SearchStrategy::Dfs => state.frontier.iter().rev().take(limit).copied().collect(),
+        SearchStrategy::Fifo | SearchStrategy::BestFirst => {
+            state.frontier.iter().take(limit).copied().collect()
+        }
+    };
+    for steal_pass in [false, true] {
+        for &key in &keys {
+            let seq = key.1 as usize;
+            let best_cost = state.best.cost;
+            let entry = &mut state.entries[seq];
+            if !matches!(entry.state, EntryState::Pending) {
+                continue;
+            }
+            if ctx.job.strategy == SearchStrategy::BestFirst && entry.lower_bound >= best_cost {
+                // Will be dominance-dropped at commit; not worth expanding.
+                continue;
+            }
+            let Some(handle) = entry.relation.as_ref() else {
+                continue;
+            };
+            let own = entry.owner == w;
+            if own == steal_pass {
+                continue;
+            }
+            if !own {
+                // Steal gate: `num_pairs` is one sat-count over the
+                // handle's characteristic BDD — cheap enough to ask under
+                // the state lock (the owner's session mutex is a leaf
+                // lock, never held across a wait on the state lock). The
+                // serialization itself happens outside, in the stealer's
+                // loop.
+                if handle.num_pairs() < ctx.options.steal_threshold as u128 {
+                    continue;
+                }
+            }
+            let relation = entry.relation.take().expect("checked Some above");
+            entry.owner = w;
+            entry.state = EntryState::Running;
+            return Some(Claimed {
+                seq,
+                depth: entry.depth,
+                lower_bound: entry.lower_bound,
+                relation,
+                snapshot: bound.get(),
+                stolen: !own,
+            });
+        }
+    }
+    None
+}
+
+/// Runs one speculative expansion in this worker's space and packages
+/// the result for commit. Pure in `(relation, prune_bound)`.
+fn execute_expand(
+    space: &RelationSpace,
+    relation: &BooleanRelation,
+    cost_fn: &CostFn,
     prune_bound: u64,
-    warm: &mut WarmSession,
-    guard: &WideGuard<'_>,
-) -> Result<WideExpansion, RelationError> {
-    // The per-expansion span; the nested session `rehydrate` span (see
-    // `WarmSession::rehydrate`) separates rehydration cost from expand
-    // proper in the phase report's self time.
-    let _span = brel_obs::span!(
-        brel_obs::Category::Engine,
-        "expand",
-        "depth" => spec.depth,
-        "bound" => spec.lower_bound,
-    );
-    let (space, relation, _was_warm) = warm.rehydrate(&spec.relation);
-    let governed = guard.max_live_nodes.is_some() || guard.deadline.is_some();
+    ctx: &RunContext<'_>,
+) -> Result<ReadyExpansion, RelationError> {
+    let governed = ctx.job.fault.max_live_nodes.is_some() || ctx.deadline.is_some();
     if governed {
         let mut governor = ResourceGovernor::new();
-        if let Some(max) = guard.max_live_nodes {
+        if let Some(max) = ctx.job.fault.max_live_nodes {
             governor = governor.with_max_live_nodes(max);
         }
-        if let Some(at) = guard.deadline {
+        if let Some(at) = ctx.deadline {
             governor = governor.with_deadline_at(at);
         }
         space.mgr().set_governor(governor);
     }
-    space.mgr().reset_peak_live_nodes();
-    let before = space.mgr().stats_snapshot();
     let minimizer = IsfMinimizer::default();
     let quick = QuickSolver::new().with_minimizer(minimizer);
-    let cost_fn = cost.to_cost_fn();
-    let expansion = expand(&minimizer, &cost_fn, &quick, &relation, prune_bound)?;
-    let children = match &expansion.split {
-        Some(split) => Some([
-            RelationSpec::from_relation(&split.negative)?,
-            RelationSpec::from_relation(&split.positive)?,
-        ]),
-        None => None,
-    };
-    let after = space.mgr().stats_snapshot();
+    let result = expand(&minimizer, cost_fn, &quick, relation, prune_bound);
     if governed {
         space.mgr().clear_governor();
     }
-    Ok(WideExpansion {
+    let expansion = result?;
+    // Scoring a cover re-runs ISOP per output — compute it at most once
+    // per function, and only when the result can still beat the bound
+    // (the bound at commit is never above `prune_bound`, the claim-time
+    // snapshot, so anything at or above it is dead on arrival).
+    let cover = (expansion.compatible && expansion.candidate_cost < prune_bound).then(|| {
+        let cover = expansion.candidate.to_multicover();
+        (cover.num_cubes(), cover.num_literals())
+    });
+    let quick = expansion
+        .quick
+        .as_ref()
+        .filter(|(_, q_cost)| *q_cost < prune_bound)
+        .map(|(q, q_cost)| {
+            let cover = q.to_multicover();
+            (*q_cost, cover.num_cubes(), cover.num_literals())
+        });
+    Ok(ReadyExpansion {
         candidate_cost: expansion.candidate_cost,
         compatible: expansion.compatible,
-        cubes: expansion.candidate.num_cubes(),
-        literals: expansion.candidate.num_literals(),
-        quick: expansion
-            .quick
-            .as_ref()
-            .map(|(q, q_cost)| (*q_cost, q.num_cubes(), q.num_literals())),
-        children,
-        cache: after.cache.delta_since(&before.cache),
-        gc: after.gc.delta_since(&before.gc),
+        cover,
+        quick,
+        children: expansion
+            .split
+            .map(|split| [split.negative, split.positive]),
     })
 }
 
-/// Runs one round of expansions over a scoped worker pool (strided
-/// assignment; results re-ordered by round index, so the merge is
-/// worker-count independent). Failures are deterministic too: the merge
-/// resolves slots by ascending round index.
-///
-/// Every expansion runs inside the panic-isolation boundary: a panic (or
-/// injected fault) is caught in the worker, the worker quarantines its own
-/// session and ships a structured [`WideFailure`], so the coordinator's
-/// collection loop below can never hang on a dead worker. Should a worker
-/// thread still die without reporting (a panic outside the boundary), its
-/// unfilled slots resolve to a structured failure instead of poisoning the
-/// round.
-fn run_round(
-    picked: &[SubproblemSpec],
-    cost: CostSpec,
-    prune_bound: u64,
-    sessions: &mut [WarmSession],
-    guard: &WideGuard<'_>,
-    base: usize,
-) -> Vec<Result<WideExpansion, WideFailure>> {
-    let workers = sessions.len().clamp(1, picked.len().max(1));
-    let (tx, rx) = mpsc::channel::<(usize, Result<WideExpansion, WideFailure>)>();
-    thread::scope(|scope| {
-        let dispatch = brel_obs::span(brel_obs::Category::Engine, "dispatch");
-        for (w, warm) in sessions.iter_mut().take(workers).enumerate() {
-            let tx = tx.clone();
-            scope.spawn(move || {
-                // Scoped threads are respawned every round; pinning the
-                // track by worker index keeps one stable per-worker track
-                // in the trace across rounds.
-                let _track = brel_obs::enabled(brel_obs::Category::Engine)
-                    .then(|| brel_obs::set_track(&format!("wide-worker-{w}")));
-                for (index, spec) in picked.iter().enumerate().skip(w).step_by(workers) {
-                    let outcome = catch_fault(|| {
-                        fire_worker_injections(guard.injections, base + index);
-                        expand_spec(spec, cost, prune_bound, warm, guard)
-                    });
-                    let message = match outcome {
-                        Ok(Ok(expansion)) => Ok(expansion),
-                        Ok(Err(RelationError::ResourceExhausted(err))) => {
-                            warm.quarantine();
-                            Err(WideFailure::Fault(FaultClass::from_resource(&err)))
-                        }
-                        Ok(Err(error)) => Err(WideFailure::Error(error)),
-                        Err(fault) => {
-                            // The session may be mid-operation: discard it
-                            // before this worker touches the next stride.
-                            warm.quarantine();
-                            Err(WideFailure::Fault(fault))
-                        }
-                    };
-                    // The receiver outlives the scope; a send only fails if
-                    // the collector stopped early.
-                    let _ = tx.send((index, message));
+/// One worker's commit / claim / execute loop. Returns when the search
+/// is done (complete, degraded or errored).
+fn worker_loop(w: usize, space: RelationSpace, shared: &Shared, ctx: &RunContext<'_>) {
+    let _drive = brel_obs::span(brel_obs::Category::Engine, "drive");
+    let cost_fn = ctx.job.cost.to_cost_fn();
+    loop {
+        let mut garbage: Vec<BooleanRelation> = Vec::new();
+        let mut claimed = None;
+        let mut finished = false;
+        {
+            let mut guard = shared.state.lock().expect("wide state lock");
+            let entries_before = guard.entries.len();
+            commit_ready(&mut guard, shared, ctx, &mut garbage);
+            let committed = guard.entries.len() != entries_before;
+            if guard.done {
+                finished = true;
+            } else {
+                claimed = claim_work(&mut guard, w, ctx, &shared.bound);
+                if claimed.is_none() {
+                    // Nothing claimable: the head is in flight elsewhere.
+                    // Wait (bounded — wakeups also come from commits by
+                    // other workers) and re-drive the commit sequence.
+                    let _idle = brel_obs::span(brel_obs::Category::Engine, "idle");
+                    let (guard, _timeout) = shared
+                        .work_ready
+                        .wait_timeout(guard, Duration::from_millis(25))
+                        .expect("wide state lock");
+                    drop(guard);
                 }
-            });
+            }
+            if committed {
+                shared.work_ready.notify_all();
+            }
         }
-        drop(tx);
-        drop(dispatch);
-        // The round barrier: the coordinator blocks here until every
-        // worker has drained its stride — the wait ROADMAP item 1 wants
-        // attributed.
-        let _barrier = brel_obs::span(brel_obs::Category::Engine, "barrier_wait");
-        let mut slots: Vec<Option<Result<WideExpansion, WideFailure>>> =
-            (0..picked.len()).map(|_| None).collect();
-        for (index, result) in rx.iter() {
-            slots[index] = Some(result);
+        // BDD handles freed outside the lock: a drop locks the owning
+        // session, which must never nest inside the state lock.
+        drop(garbage);
+        if finished {
+            shared.work_ready.notify_all();
+            return;
         }
-        slots
-            .into_iter()
-            .map(|slot| {
-                slot.unwrap_or_else(|| {
-                    Err(WideFailure::Fault(FaultClass::Panicked(
-                        "wide worker died before reporting an expansion".to_string(),
-                    )))
-                })
-            })
-            .collect()
-    })
-}
-
-/// Accumulates one expansion's kernel counters into the run total:
-/// counters add, per-manager gauges keep their maximum (each expansion ran
-/// in its own manager, so a sum would be meaningless).
-fn accumulate_cache(total: &mut CacheStats, delta: &CacheStats) {
-    total.unique_lookups += delta.unique_lookups;
-    total.unique_hits += delta.unique_hits;
-    total.cache_lookups += delta.cache_lookups;
-    total.cache_hits += delta.cache_hits;
-    total.cache_inserts += delta.cache_inserts;
-    total.cache_evictions += delta.cache_evictions;
-    total.unique_len = total.unique_len.max(delta.unique_len);
-    total.unique_capacity = total.unique_capacity.max(delta.unique_capacity);
-    total.cache_slots = total.cache_slots.max(delta.cache_slots);
-    total.num_nodes = total.num_nodes.max(delta.num_nodes);
-}
-
-/// Like [`accumulate_cache`], for the lifecycle block.
-fn accumulate_gc(total: &mut GcStats, delta: &GcStats) {
-    total.collections += delta.collections;
-    total.nodes_reclaimed += delta.nodes_reclaimed;
-    total.reorder_passes += delta.reorder_passes;
-    total.live_nodes = total.live_nodes.max(delta.live_nodes);
-    total.peak_live_nodes = total.peak_live_nodes.max(delta.peak_live_nodes);
-    if total.var_order_hash == 0 {
-        total.var_order_hash = delta.var_order_hash;
-    }
-}
-
-/// The positions of the frontier entries in the order the sequential
-/// strategy would pop them: FIFO by ascending sequence number (the vector
-/// is append-only between rounds, so positional order is insertion order),
-/// DFS by descending, best-first by ascending `(lower_bound, seq)`.
-fn pop_order(frontier: &[SubproblemSpec], strategy: SearchStrategy) -> Vec<usize> {
-    match strategy {
-        SearchStrategy::Fifo => (0..frontier.len()).collect(),
-        SearchStrategy::Dfs => (0..frontier.len()).rev().collect(),
-        SearchStrategy::BestFirst => {
-            let mut order: Vec<usize> = (0..frontier.len()).collect();
-            order.sort_by_key(|&i| (frontier[i].lower_bound, frontier[i].seq));
-            order
-        }
-    }
-}
-
-/// Pops up to `round_k` subproblems from the frontier in strategy order,
-/// dropping dominated entries on the way under best-first (the same rule
-/// the sequential `BestFirstFrontier` enables). One O(n log n) pass per
-/// round — the frontier can be unbounded, so per-pop scans would turn
-/// best-first rounds quadratic.
-fn select_round(
-    frontier: &mut Vec<SubproblemSpec>,
-    strategy: SearchStrategy,
-    round_k: usize,
-    prune_bound: u64,
-) -> Vec<SubproblemSpec> {
-    let order = pop_order(frontier, strategy);
-    let mut slots: Vec<Option<SubproblemSpec>> = frontier.drain(..).map(Some).collect();
-    let mut picked = Vec::with_capacity(round_k.min(slots.len()));
-    for position in order {
-        if picked.len() >= round_k {
-            break;
-        }
-        let spec = slots[position].take().expect("each position visited once");
-        if strategy == SearchStrategy::BestFirst && spec.lower_bound >= prune_bound {
-            // Dominance: dropped unexplored, like the sequential explorer.
+        let Some(task) = claimed else {
             continue;
+        };
+
+        if let Some(plan) = ctx.options.stagger {
+            if plan.max_micros > 0 {
+                let mut state = plan.seed ^ ((w as u64) << 32) ^ task.seq as u64;
+                let delay = splitmix64(&mut state) % plan.max_micros;
+                thread::sleep(Duration::from_micros(delay));
+            }
         }
-        picked.push(spec);
+
+        let mut relation = task.relation;
+        if task.stolen {
+            brel_obs::event(brel_obs::Category::Engine, "steal");
+            // A steal ships the subproblem by structural BDD import from
+            // the old owner's live handle — O(nodes), no row enumeration.
+            // The two session mutexes are leaf locks taken one at a time,
+            // so concurrent steals in any direction cannot deadlock.
+            let built = {
+                let _span = brel_obs::span(brel_obs::Category::Engine, "steal_build");
+                BooleanRelation::import_into(&space, &relation)
+            };
+            match built {
+                Ok(rebuilt) => relation = rebuilt,
+                Err(error) => {
+                    let mut guard = shared.state.lock().expect("wide state lock");
+                    guard.error.get_or_insert(error);
+                    guard.done = true;
+                    drop(guard);
+                    shared.work_ready.notify_all();
+                    return;
+                }
+            }
+        }
+
+        let outcome = catch_fault(|| {
+            let _span = brel_obs::span!(
+                brel_obs::Category::Engine,
+                "expand",
+                "depth" => task.depth,
+                "bound" => task.lower_bound,
+            );
+            execute_expand(&space, &relation, &cost_fn, task.snapshot, ctx)
+        });
+
+        let mut garbage: Vec<BooleanRelation> = Vec::new();
+        let mut fatal = false;
+        {
+            let mut guard = shared.state.lock().expect("wide state lock");
+            match outcome {
+                Ok(Ok(ready)) => {
+                    let entry = &mut guard.entries[task.seq];
+                    if matches!(entry.state, EntryState::Discarded) {
+                        // Dominance-dropped while in flight: wasted work
+                        // by design, never wrong work.
+                        if let Some(children) = ready.children {
+                            garbage.extend(children);
+                        }
+                    } else {
+                        entry.state = EntryState::Ready(Box::new(ready));
+                    }
+                }
+                Ok(Err(RelationError::ResourceExhausted(err))) => {
+                    // A genuine governor abort: the session may be
+                    // mid-operation — degrade the search on the incumbent
+                    // and flag this worker's session for quarantine.
+                    guard.degraded = true;
+                    guard
+                        .fault
+                        .get_or_insert_with(|| FaultClass::from_resource(&err).describe());
+                    guard.quarantine_worker.get_or_insert(w);
+                    guard.done = true;
+                    fatal = true;
+                }
+                Ok(Err(error)) => {
+                    guard.error.get_or_insert(error);
+                    guard.done = true;
+                    fatal = true;
+                }
+                Err(class) => {
+                    // A genuine panic escaped the expansion: contain it
+                    // like the round-mode worker did — quarantine and
+                    // close the search on the incumbent.
+                    guard.degraded = true;
+                    guard.fault.get_or_insert_with(|| class.describe());
+                    guard.quarantine_worker.get_or_insert(w);
+                    guard.done = true;
+                    fatal = true;
+                }
+            }
+        }
+        drop(garbage);
+        shared.work_ready.notify_all();
+        if fatal {
+            return;
+        }
     }
-    // Untouched entries stay pending, in their original insertion order.
-    frontier.extend(slots.into_iter().flatten());
-    picked
 }
 
-/// Solves the BREL backend of `job` with parallel frontier expansion and
-/// scores it into the same [`SolutionReport`] shape as the sequential
-/// backend. Deterministic across worker counts (not across modes: wide
-/// rounds explore in a different order than the sequential explorer, so
+/// Solves the BREL backend of `job` with work-stealing parallel search
+/// and scores it into the same [`SolutionReport`] shape as the
+/// sequential backend. Deterministic across worker counts (not across
+/// modes: wide commits in strategy pop order over its own frontier, so
 /// `explored`/`splits` may differ from a narrow run with the same spec).
 ///
-/// Symmetry pruning is not available in wide mode (the symmetry cache
-/// holds manager-rooted BDDs that cannot cross threads); jobs run as if
-/// `use_symmetry` were off, which is the engine default.
+/// Symmetry pruning is not available in wide mode (the symmetry cache is
+/// per-session); jobs run as if `use_symmetry` were off, which is the
+/// engine default.
 ///
 /// # Errors
 ///
@@ -391,272 +750,163 @@ pub fn solve_wide(
 }
 
 /// [`solve_wide`] over the caller's persistent per-worker sessions (one
-/// worker per session): rounds — and, through the batch engine, successive
-/// jobs — reuse warm managers instead of building one per expansion.
+/// worker per session): workers — and, through the batch engine,
+/// successive jobs — reuse warm managers instead of building one per
+/// expansion.
 pub fn solve_wide_with(
     job: &JobSpec,
     options: WideOptions,
     sessions: &mut [WarmSession],
 ) -> Result<SolutionReport, RelationError> {
-    solve_wide_faulted(job, options, sessions, &[]).map(|(report, _)| report)
+    solve_wide_faulted(job, options, sessions, None, &[]).map(|(report, _)| report)
 }
 
-/// The fault-aware core of wide mode. On top of [`solve_wide_with`] it
-/// honors the job's [`crate::fault::FaultPolicy`] (wall deadline, node
-/// quota, step deadline) and the deterministic injection slice. A faulted
-/// or truncated search *degrades*: the round's surviving expansions are
-/// merged, the loop closes, and the report keeps the best incumbent (wide
-/// mode always holds one from the quick seed) with `degraded` set and the
-/// first fault described in the second tuple slot. Structural errors still
-/// fail the job.
+/// The fault- and control-aware core of wide mode. On top of
+/// [`solve_wide_with`] it honors the job's [`crate::fault::FaultPolicy`]
+/// (wall deadline, node quota, step deadline), cooperative cancellation
+/// and incumbent streaming through `control`, and the deterministic
+/// injection slice. A faulted, cancelled or truncated search *degrades*:
+/// the commit sequence closes, and the report keeps the best incumbent
+/// (wide mode always holds one from the quick seed) with `degraded` set
+/// and the first fault described in the second tuple slot. Structural
+/// errors still fail the job.
 pub(crate) fn solve_wide_faulted(
     job: &JobSpec,
     options: WideOptions,
     sessions: &mut [WarmSession],
+    control: Option<&JobControl>,
     injections: &[&FaultInjection],
 ) -> Result<(SolutionReport, Option<String>), RelationError> {
+    if sessions.is_empty() {
+        let mut local = vec![WarmSession::cold()];
+        return solve_wide_faulted(job, options, &mut local, control, injections);
+    }
     let start = Instant::now();
     let solve_span = brel_obs::span(brel_obs::Category::Engine, "wide_solve");
-    let top_k = options.top_k.max(1);
 
-    // Seed the incumbent on the first worker's session: rehydrate the root
-    // once for the quick incumbent (the §7.2 guarantee), then drop the
-    // space — rounds reset and reuse the same sessions.
+    // Seed on the first worker's session: the root rehydrates exactly
+    // once per solve (auto-reorder pinned off — a warm session's reorder
+    // timing would otherwise depend on what it computed before, which
+    // steal order must never influence).
     let seed_span = brel_obs::span(brel_obs::Category::Engine, "seed");
-    let (space, root, seed_warm) = match sessions.first_mut() {
-        Some(first) => first.rehydrate(&job.relation),
-        None => {
-            let (space, root) = job.relation.rehydrate();
-            (space, root, false)
-        }
-    };
+    let (space0, root, seed_warm) = sessions[0].rehydrate_stable(&job.relation);
     if !root.is_well_defined() {
         return Err(RelationError::NotWellDefined);
     }
-    space.mgr().reset_peak_live_nodes();
-    let before = space.mgr().stats_snapshot();
+    space0.mgr().reset_peak_live_nodes();
+    let before = space0.mgr().stats_snapshot();
     let cost_fn = job.cost.to_cost_fn();
     let seed = QuickSolver::new()
         .with_minimizer(IsfMinimizer::default())
         .solve(&root)?;
-    let mut best = Incumbent {
+    let best = Incumbent {
         cost: cost_fn.cost(&seed),
         cubes: seed.num_cubes(),
         literals: seed.num_literals(),
     };
-    let after = space.mgr().stats_snapshot();
-    let mut cache = after.cache.delta_since(&before.cache);
-    let mut gc = after.gc.delta_since(&before.gc);
-    drop((seed, root, space));
+    let after = space0.mgr().stats_snapshot();
+    // Kernel counters are scoped to the deterministic seed phase: the
+    // speculative phase's counters depend on steal order, and the report
+    // must stay byte-identical across worker counts.
+    let cache = after.cache.delta_since(&before.cache);
+    let gc = after.gc.delta_since(&before.gc);
+    drop(seed);
     drop(seed_span);
-
-    let mut frontier: Vec<SubproblemSpec> = vec![SubproblemSpec {
-        relation: job.relation.clone(),
-        depth: 0,
-        lower_bound: 0,
-        seq: 0,
-    }];
-    let mut next_seq = 1u64;
-    let mut explored = 0usize;
-    let mut splits = 0usize;
-    let mut frontier_peak = 1usize;
-
-    let deadline = job
-        .fault
-        .deadline_ms
-        .map(|ms| Instant::now() + Duration::from_millis(ms));
-    let guard = WideGuard {
-        deadline,
-        max_live_nodes: job.fault.max_live_nodes,
-        injections,
-    };
-    let mut fault: Option<String> = None;
-    let mut degraded = false;
-
-    let mut round_index = 0u64;
-    loop {
-        if frontier.is_empty() {
-            break;
-        }
-        // Deterministic truncations first: an injected step deadline fires
-        // once the cumulative expansion count reaches its mark…
-        for injection in injections {
-            if injection.kind() == FaultKind::StepDeadline
-                && explored >= injection.at_expansion()
-                && injection.fire()
-            {
-                degraded = true;
-                fault.get_or_insert_with(|| {
-                    format!(
-                        "injected step deadline at expansion {} of job {}",
-                        injection.at_expansion(),
-                        injection.job()
-                    )
-                });
-            }
-        }
-        // …and the policy step deadline bounds the same counter.
-        if !degraded {
-            if let Some(limit) = job.fault.step_deadline {
-                if explored >= limit {
-                    degraded = true;
-                    fault.get_or_insert_with(|| {
-                        format!("step deadline expired after {explored} expansions")
-                    });
-                }
-            }
-        }
-        if degraded {
-            break;
-        }
-        // The wall deadline is timing-dependent by nature; determinism
-        // gates use step deadlines instead.
-        if let Some(at) = deadline {
-            if Instant::now() >= at {
-                degraded = true;
-                fault.get_or_insert_with(|| FaultClass::Deadline.describe());
-                break;
-            }
-        }
-        let budget_left = job
-            .budget
-            .max_explored
-            .map_or(usize::MAX, |max| max.saturating_sub(explored));
-        if budget_left == 0 {
-            // Budget exhausted: stop expanding, keep the incumbent.
-            break;
-        }
-
-        let mut round_span = brel_obs::span(brel_obs::Category::Engine, "round");
-        round_span
-            .arg("round", round_index)
-            .arg("frontier", frontier.len() as u64);
-        round_index += 1;
-
-        // A pending step deadline (policy or injected) clamps the round
-        // width so the cumulative count lands exactly on the mark instead
-        // of overshooting by up to a round.
-        let mut step_left = job
-            .fault
-            .step_deadline
-            .map_or(usize::MAX, |limit| limit.saturating_sub(explored));
-        for injection in injections {
-            if injection.kind() == FaultKind::StepDeadline && !injection.has_fired() {
-                step_left = step_left.min(injection.at_expansion().saturating_sub(explored));
-            }
-        }
-        let round_k = top_k.min(budget_left).min(step_left.max(1));
-        let picked = {
-            let _select = brel_obs::span(brel_obs::Category::Engine, "select");
-            select_round(&mut frontier, job.strategy, round_k, best.cost)
-        };
-        if picked.is_empty() {
-            break;
-        }
-
-        // Parallel expansion against the round-start bound…
-        let round_bound = best.cost;
-        let results = run_round(&picked, job.cost, round_bound, sessions, &guard, explored);
-
-        // …and the deterministic merge, in ascending round index: the
-        // round's successes are merged in full, then the first failure (by
-        // round index) resolves the round — a structural error fails the
-        // job, a fault closes the search on the incumbent.
-        let _merge = brel_obs::span(brel_obs::Category::Engine, "merge");
-        let mut round_fault: Option<FaultClass> = None;
-        for (spec, slot) in picked.iter().zip(results) {
-            let expansion = match slot {
-                Ok(expansion) => expansion,
-                Err(WideFailure::Error(error)) => return Err(error),
-                Err(WideFailure::Fault(class)) => {
-                    if round_fault.is_none() {
-                        round_fault = Some(class);
-                    }
-                    continue;
-                }
-            };
-            explored += 1;
-            accumulate_cache(&mut cache, &expansion.cache);
-            accumulate_gc(&mut gc, &expansion.gc);
-            if expansion.candidate_cost >= best.cost {
-                continue;
-            }
-            if expansion.compatible {
-                best = Incumbent {
-                    cost: expansion.candidate_cost,
-                    cubes: expansion.cubes,
-                    literals: expansion.literals,
-                };
-                continue;
-            }
-            if let Some((q_cost, q_cubes, q_literals)) = expansion.quick {
-                if q_cost < best.cost {
-                    best = Incumbent {
-                        cost: q_cost,
-                        cubes: q_cubes,
-                        literals: q_literals,
-                    };
-                }
-            }
-            let children = expansion
-                .children
-                .expect("expand splits every unpruned incompatible candidate");
-            splits += 1;
-            for child in children {
-                if let Some(cap) = job.budget.fifo_capacity {
-                    if frontier.len() >= cap {
-                        continue;
-                    }
-                }
-                frontier.push(SubproblemSpec {
-                    relation: child,
-                    depth: spec.depth + 1,
-                    lower_bound: expansion.candidate_cost,
-                    seq: next_seq,
-                });
-                next_seq += 1;
-                frontier_peak = frontier_peak.max(frontier.len());
-            }
-        }
-        if let Some(class) = round_fault {
-            degraded = true;
-            fault.get_or_insert_with(|| class.describe());
-            break;
-        }
+    if let Some(control) = control {
+        control.notify_incumbent(best.cost, 0);
     }
 
-    // The narrow loop's injection check precedes the would-be next step
-    // even when the frontier is exhausted; mirror that so a plan aimed at
-    // the tail of a short search still fires deterministically.
-    for injection in injections {
-        if injection.at_expansion() <= explored && injection.fire() {
-            degraded = true;
-            fault.get_or_insert_with(|| match injection.kind() {
-                FaultKind::Panic => InjectedPanic {
-                    job: injection.job().to_string(),
-                    at_expansion: injection.at_expansion(),
-                }
-                .describe(),
-                FaultKind::QuotaTrip => FaultClass::Quota.describe(),
-                FaultKind::StepDeadline => format!(
-                    "injected step deadline at expansion {} of job {}",
-                    injection.at_expansion(),
-                    injection.job()
-                ),
-            });
-        }
+    let bound = SharedBound::new();
+    bound.improve(best.cost);
+    let shared = Shared {
+        state: Mutex::new(CommitState {
+            entries: vec![Entry {
+                depth: 0,
+                lower_bound: 0,
+                owner: 0,
+                relation: Some(root),
+                state: EntryState::Pending,
+            }],
+            frontier: BTreeSet::from([frontier_key(job.strategy, 0, 0)]),
+            best,
+            explored: 0,
+            splits: 0,
+            frontier_peak: 1,
+            done: false,
+            degraded: false,
+            fault: None,
+            error: None,
+            quarantine_worker: None,
+        }),
+        work_ready: Condvar::new(),
+        bound,
+    };
+    let ctx = RunContext {
+        job,
+        options,
+        deadline: job
+            .fault
+            .deadline_ms
+            .map(|ms| Instant::now() + Duration::from_millis(ms)),
+        control,
+        injections,
+    };
+
+    let num_inputs = job.relation.num_inputs();
+    let num_outputs = job.relation.num_outputs();
+    let num_vars = num_inputs + num_outputs;
+    let pairs: usize = job
+        .relation
+        .rows()
+        .iter()
+        .map(|(_, outs)| outs.len().max(1))
+        .sum();
+    let expected_nodes = pairs.saturating_mul(num_vars);
+
+    let (first, rest) = sessions.split_at_mut(1);
+    {
+        // Everything between spawning the stealing workers and joining
+        // them, so the coordinator track's wide_solve time decomposes
+        // into seed + parallel with no unattributed gap.
+        let _parallel = brel_obs::span(brel_obs::Category::Engine, "parallel");
+        thread::scope(|scope| {
+            for (offset, warm) in rest.iter_mut().enumerate() {
+                let w = offset + 1;
+                let shared = &shared;
+                let ctx = &ctx;
+                scope.spawn(move || {
+                    let _track = brel_obs::enabled(brel_obs::Category::Engine)
+                        .then(|| brel_obs::set_track(&format!("wide-worker-{w}")));
+                    let (session, _warm) = warm.prepare(num_vars, expected_nodes);
+                    let space = RelationSpace::from_session(session, num_inputs, num_outputs);
+                    worker_loop(w, space, shared, ctx);
+                });
+            }
+            worker_loop(0, space0, &shared, &ctx);
+        });
+    }
+    let _ = first;
+
+    let state = shared.state.into_inner().expect(
+        "wide workers cannot poison the state: faults are caught at the expansion boundary",
+    );
+    if let Some(w) = state.quarantine_worker {
+        sessions[w].quarantine();
+    }
+    if let Some(error) = state.error {
+        return Err(error);
     }
 
     drop(solve_span);
     Ok((
         SolutionReport {
             backend: BackendKind::Brel,
-            cost: best.cost,
-            cubes: best.cubes,
-            literals: best.literals,
-            explored,
-            splits,
-            frontier_peak,
+            cost: state.best.cost,
+            cubes: state.best.cubes,
+            literals: state.best.literals,
+            explored: state.explored,
+            splits: state.splits,
+            frontier_peak: state.frontier_peak,
             strategy: Some(job.strategy),
             cache,
             gc,
@@ -664,18 +914,19 @@ pub(crate) fn solve_wide_faulted(
                 warm_session: seed_warm,
                 subrel_cache_hit: false,
             },
-            degraded,
+            degraded: state.degraded,
             wall_micros: brel_obs::wall_micros(start),
         },
-        fault,
+        state.fault,
     ))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::job::JobBudget;
+    use crate::job::{JobBudget, RelationSpec};
     use brel_relation::{BooleanRelation, RelationSpace};
+    use std::sync::{Arc, Mutex as StdMutex};
 
     fn fig10_job() -> JobSpec {
         let space = RelationSpace::with_names(&["a", "b"], &["x", "y"]);
@@ -710,15 +961,73 @@ mod tests {
     fn wide_mode_is_worker_count_invariant() {
         for strategy in SearchStrategy::all() {
             let job = fig10_job().with_strategy(strategy);
+            let options = WideOptions {
+                lookahead: 3,
+                ..WideOptions::default()
+            };
             let mask = |mut r: SolutionReport| {
                 r.wall_micros = 0;
                 r
             };
-            let one = mask(solve_wide(&job, 1, WideOptions { top_k: 3 }).unwrap());
-            let two = mask(solve_wide(&job, 2, WideOptions { top_k: 3 }).unwrap());
-            let eight = mask(solve_wide(&job, 8, WideOptions { top_k: 3 }).unwrap());
+            let one = mask(solve_wide(&job, 1, options).unwrap());
+            let two = mask(solve_wide(&job, 2, options).unwrap());
+            let eight = mask(solve_wide(&job, 8, options).unwrap());
             assert_eq!(one, two, "{strategy}: 1 vs 2 workers");
             assert_eq!(one, eight, "{strategy}: 1 vs 8 workers");
+        }
+    }
+
+    #[test]
+    fn steal_thresholds_never_change_results() {
+        // The threshold decides *where* a subproblem may run, never what
+        // it computes: everything-stealable and nothing-stealable must
+        // produce the same report at any worker count.
+        for strategy in SearchStrategy::all() {
+            let job = fig10_job().with_strategy(strategy);
+            let mask = |mut r: SolutionReport| {
+                r.wall_micros = 0;
+                r
+            };
+            let reports: Vec<SolutionReport> = [0usize, 2, usize::MAX]
+                .into_iter()
+                .map(|steal_threshold| {
+                    let options = WideOptions {
+                        steal_threshold,
+                        ..WideOptions::default()
+                    };
+                    mask(solve_wide(&job, 4, options).unwrap())
+                })
+                .collect();
+            assert_eq!(reports[0], reports[1], "{strategy}: threshold 0 vs 2");
+            assert_eq!(reports[0], reports[2], "{strategy}: stealable vs pinned");
+        }
+    }
+
+    #[test]
+    fn staggered_schedules_are_steal_order_invariant() {
+        // A seeded artificial delay scrambles claim/commit interleaving;
+        // the committed outcome must not move.
+        let job = fig10_job().with_strategy(SearchStrategy::BestFirst);
+        let mask = |mut r: SolutionReport| {
+            r.wall_micros = 0;
+            r
+        };
+        let baseline = mask(solve_wide(&job, 1, WideOptions::default()).unwrap());
+        for workers in [1usize, 2, 8] {
+            for seed in [1u64, 0xBEEF] {
+                let options = WideOptions {
+                    stagger: Some(StaggerPlan {
+                        seed,
+                        max_micros: 300,
+                    }),
+                    ..WideOptions::default()
+                };
+                let staggered = mask(solve_wide(&job, workers, options).unwrap());
+                assert_eq!(
+                    baseline, staggered,
+                    "stagger seed {seed} at {workers} workers changed the result"
+                );
+            }
         }
     }
 
@@ -728,27 +1037,90 @@ mod tests {
             max_explored: Some(1),
             ..JobBudget::default()
         });
-        let report = solve_wide(&job, 4, WideOptions { top_k: 8 }).unwrap();
-        assert_eq!(report.explored, 1, "top-k must be clamped to the budget");
+        let options = WideOptions {
+            lookahead: 8,
+            ..WideOptions::default()
+        };
+        let report = solve_wide(&job, 4, options).unwrap();
+        assert_eq!(report.explored, 1, "commits must stop at the budget");
         assert!(report.cost >= 2);
     }
 
     #[test]
+    fn wide_mode_streams_monotone_incumbents() {
+        let seen: Arc<StdMutex<Vec<(u64, usize)>>> = Arc::new(StdMutex::new(Vec::new()));
+        let sink = seen.clone();
+        let control = JobControl::new().on_incumbent(move |cost, explored| {
+            sink.lock().unwrap().push((cost, explored));
+        });
+        let job = fig10_job().with_strategy(SearchStrategy::BestFirst);
+        let mut sessions: Vec<WarmSession> = (0..4).map(|_| WarmSession::new()).collect();
+        let (report, fault) = solve_wide_faulted(
+            &job,
+            WideOptions::default(),
+            &mut sessions,
+            Some(&control),
+            &[],
+        )
+        .unwrap();
+        drop(control);
+        assert_eq!(fault, None);
+        let stream = seen.lock().unwrap();
+        assert!(!stream.is_empty(), "the quick seed must be streamed");
+        assert_eq!(stream[0].1, 0, "the seed arrives before any expansion");
+        for pair in stream.windows(2) {
+            assert!(
+                pair[1].0 < pair[0].0,
+                "incumbents must strictly improve: {stream:?}"
+            );
+        }
+        assert_eq!(stream.last().unwrap().0, report.cost);
+    }
+
+    #[test]
+    fn cancellation_degrades_on_the_incumbent() {
+        let control = JobControl::new();
+        control.cancel_token().cancel();
+        let job = fig10_job();
+        let mut sessions: Vec<WarmSession> = (0..2).map(|_| WarmSession::new()).collect();
+        let (report, fault) = solve_wide_faulted(
+            &job,
+            WideOptions::default(),
+            &mut sessions,
+            Some(&control),
+            &[],
+        )
+        .unwrap();
+        assert!(report.degraded);
+        assert_eq!(report.explored, 0);
+        assert!(fault
+            .as_deref()
+            .unwrap()
+            .contains("cancelled after 0 expansions"));
+        assert!(report.cost >= 2, "quick-seed incumbent survives");
+    }
+
+    #[test]
     fn a_wide_worker_panic_degrades_instead_of_hanging() {
-        // Satellite regression: a worker death mid-round must surface as a
-        // structured per-subproblem failure, never a hung barrier. The
-        // injected panic unwinds inside the worker; the coordinator merges
-        // the round and closes on the quick-seed incumbent.
+        // Satellite regression: an injected worker death must surface as
+        // a degraded report, never a hang. The injection is synthesized
+        // at commit, so it fires at the same expansion index — and
+        // quarantines one session — at every worker count.
         let job = fig10_job();
         let injection = FaultInjection::new("fig10", 0, FaultKind::Panic);
         let mut sessions: Vec<WarmSession> = (0..2).map(|_| WarmSession::new()).collect();
-        let (report, fault) =
-            solve_wide_faulted(&job, WideOptions::default(), &mut sessions, &[&injection])
-                .expect("a fault degrades, it does not error");
+        let (report, fault) = solve_wide_faulted(
+            &job,
+            WideOptions::default(),
+            &mut sessions,
+            None,
+            &[&injection],
+        )
+        .expect("a fault degrades, it does not error");
         assert!(injection.has_fired());
         assert!(report.degraded);
         assert!(fault.as_deref().unwrap().contains("injected panic"));
-        assert_eq!(report.explored, 0, "the only round-0 slot faulted");
+        assert_eq!(report.explored, 0, "the fault fired before any commit");
         assert!(report.cost >= 2, "quick-seed incumbent survives");
         let quarantines: u64 = sessions.iter().map(|s| s.counts().2).sum();
         assert_eq!(quarantines, 1, "the faulted worker discards its session");
@@ -766,9 +1138,12 @@ mod tests {
             // Injections are armed-once, so each run gets a fresh one.
             let injection = FaultInjection::new("fig10", 1, FaultKind::QuotaTrip);
             let mut sessions: Vec<WarmSession> = (0..workers).map(|_| WarmSession::new()).collect();
+            let options = WideOptions {
+                lookahead: 3,
+                ..WideOptions::default()
+            };
             let (report, fault) =
-                solve_wide_faulted(&job, WideOptions { top_k: 3 }, &mut sessions, &[&injection])
-                    .unwrap();
+                solve_wide_faulted(&job, options, &mut sessions, None, &[&injection]).unwrap();
             runs.push((mask(report), fault));
         }
         assert_eq!(runs[0], runs[1], "1 vs 2 workers");
@@ -782,13 +1157,18 @@ mod tests {
         let job = fig10_job();
         let injection = FaultInjection::new("fig10", 1, FaultKind::StepDeadline);
         let mut sessions: Vec<WarmSession> = (0..2).map(|_| WarmSession::new()).collect();
-        let (report, fault) =
-            solve_wide_faulted(&job, WideOptions { top_k: 8 }, &mut sessions, &[&injection])
-                .unwrap();
+        let (report, fault) = solve_wide_faulted(
+            &job,
+            WideOptions::default(),
+            &mut sessions,
+            None,
+            &[&injection],
+        )
+        .unwrap();
         assert!(report.degraded);
         assert_eq!(
             report.explored, 1,
-            "the round width must clamp to the injected mark"
+            "the commit sequence must stop exactly at the injected mark"
         );
         assert!(fault.as_deref().unwrap().contains("injected step deadline"));
         // Truncation is a clean return: no session is quarantined.

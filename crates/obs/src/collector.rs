@@ -295,7 +295,12 @@ impl RecordingCollector {
             .iter()
             .map(|(&(cat, name), &agg)| (cat, name, agg))
             .collect::<Vec<_>>();
-        PhaseReport::build(&state.spans, &phases, collect_counters(&state.agg))
+        PhaseReport::build(
+            &state.spans,
+            &phases,
+            collect_counters(&state.agg),
+            &crate::track_names(),
+        )
     }
 
     /// Discards all recorded data, keeping the collector installed.

@@ -440,6 +440,39 @@ impl BooleanRelation {
         Ok(rows)
     }
 
+    /// Copies `source` into `space` by structural BDD import
+    /// ([`brel_bdd::BddSession::import`]): one `mk` per node of the
+    /// characteristic function, no enumeration, no 16-variable ceiling.
+    /// This is the cheap way to move a relation across sessions when both
+    /// order their variables identically — the engine's wide mode ships
+    /// stolen subproblems this way.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RelationError::DimensionMismatch`] if the spaces
+    /// disagree on the input or output arity.
+    pub fn import_into(
+        space: &RelationSpace,
+        source: &BooleanRelation,
+    ) -> Result<Self, RelationError> {
+        if space.num_inputs() != source.space.num_inputs() {
+            return Err(RelationError::DimensionMismatch {
+                expected: space.num_inputs(),
+                found: source.space.num_inputs(),
+            });
+        }
+        if space.num_outputs() != source.space.num_outputs() {
+            return Err(RelationError::DimensionMismatch {
+                expected: space.num_outputs(),
+                found: source.space.num_outputs(),
+            });
+        }
+        Ok(BooleanRelation {
+            space: space.clone(),
+            chi: space.mgr().import(source.characteristic()),
+        })
+    }
+
     /// Builds a relation from `(input vertex, output vertices)` rows, the
     /// inverse of [`BooleanRelation::to_rows`]. Rows with an empty image
     /// contribute no pairs; missing input vertices are simply unrelated.

@@ -29,7 +29,9 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use brel_core::CancelToken;
-use brel_engine::{run_job_controlled, FaultPlan, JobControl, WarmSession};
+use brel_engine::{
+    run_job_controlled, run_job_wide_controlled, FaultPlan, JobControl, WarmSession, WideOptions,
+};
 use brel_obs::Category;
 
 use crate::protocol::{Frame, FrameReader, StatsSnapshot, Submit};
@@ -54,6 +56,12 @@ pub struct ServeConfig {
     /// jobs whose names the plan targets, exactly as in `engine_batch
     /// --chaos`.
     pub fault_plan: Option<Arc<FaultPlan>>,
+    /// Solve BREL jobs with the engine's wide (work-stealing) search on
+    /// `(search workers, options)` instead of the narrow walk. Each serve
+    /// worker owns its own set of persistent search sessions; the shared
+    /// incumbent bound streams *every* worker's improvement out as an
+    /// [`Frame::Incumbent`], strictly decreasing. `None` keeps narrow.
+    pub wide: Option<(usize, WideOptions)>,
 }
 
 impl Default for ServeConfig {
@@ -67,6 +75,7 @@ impl Default for ServeConfig {
             poll_ms: 10,
             idle_timeout_ms: 30_000,
             fault_plan: None,
+            wide: None,
         }
     }
 }
@@ -533,6 +542,13 @@ fn handle_submit(shared: &Arc<Shared>, conn_id: u64, reply: &Sender<Frame>, subm
 fn worker_loop(shared: &Arc<Shared>, worker_id: usize) {
     let _track = brel_obs::set_track(&format!("serve-worker-{worker_id}"));
     let mut warm = WarmSession::new();
+    // Wide mode: this serve worker's persistent search sessions, reused
+    // across jobs exactly like the batch engine's.
+    let mut wide_sessions: Vec<WarmSession> = shared
+        .config
+        .wide
+        .map(|(n, _)| (0..n.max(1)).map(|_| WarmSession::new()).collect())
+        .unwrap_or_default();
     let mut last_counts = (0u64, 0u64, 0u64);
     let tick = shared.poll_tick();
     while let Some(mut job) = shared.queue.pop(tick) {
@@ -610,12 +626,29 @@ fn worker_loop(shared: &Arc<Shared>, worker_id: usize) {
         let report = {
             let mut span = brel_obs::span(Category::Serve, "solve");
             span.arg("ticket", ticket);
-            run_job_controlled(ticket as usize, &job.spec, &mut warm, &control, &injections)
+            match shared.config.wide {
+                Some((_, options)) => run_job_wide_controlled(
+                    ticket as usize,
+                    &job.spec,
+                    options,
+                    &mut warm,
+                    &mut wide_sessions,
+                    &control,
+                    &injections,
+                ),
+                None => {
+                    run_job_controlled(ticket as usize, &job.spec, &mut warm, &control, &injections)
+                }
+            }
         };
         let solve_us = solve_start.elapsed().as_micros() as u64;
 
-        // Fold this worker's warm-pool movement into the shared counters.
-        let counts = warm.counts();
+        // Fold this worker's warm-pool movement into the shared counters
+        // (the wide search sessions count like any other warm session).
+        let counts = wide_sessions.iter().fold(warm.counts(), |acc, s| {
+            let c = s.counts();
+            (acc.0 + c.0, acc.1 + c.1, acc.2 + c.2)
+        });
         shared
             .counters
             .warm_reuses

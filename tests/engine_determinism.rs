@@ -125,7 +125,10 @@ fn best_first_batches_are_byte_identical_across_1_2_and_8_workers() {
         .into_iter()
         .map(|w| {
             Engine::with_workers(w)
-                .with_wide(WideOptions { top_k: 4 })
+                .with_wide(WideOptions {
+                    lookahead: 4,
+                    ..WideOptions::default()
+                })
                 .solve_batch(&jobs)
                 .to_json(false)
         })
@@ -138,14 +141,20 @@ fn best_first_batches_are_byte_identical_across_1_2_and_8_workers() {
         .into_iter()
         .map(|w| {
             Engine::with_workers(w)
-                .with_wide(WideOptions { top_k: 4 })
+                .with_wide(WideOptions {
+                    lookahead: 4,
+                    ..WideOptions::default()
+                })
                 .solve_batch(&jobs)
                 .to_csv(false)
         })
         .collect();
     assert_eq!(wide_csv[0], wide_csv[1], "wide CSV: 1 vs 8 workers");
     let report = Engine::with_workers(2)
-        .with_wide(WideOptions { top_k: 4 })
+        .with_wide(WideOptions {
+            lookahead: 4,
+            ..WideOptions::default()
+        })
         .solve_batch(&jobs);
     assert_eq!(report.num_solved(), jobs.len());
     // Wide mode still escapes the quick solver's local minimum on fig10.

@@ -112,7 +112,7 @@ proptest! {
             .map(|j| j.with_strategy(SearchStrategy::BestFirst))
             .collect();
         let names: Vec<&str> = jobs.iter().map(|j| j.name.as_str()).collect();
-        let wide = WideOptions { top_k: 4 };
+        let wide = WideOptions { lookahead: 4, ..WideOptions::default() };
         let clean = Engine::with_workers(1).with_wide(wide).solve_batch(&jobs);
         let targets_owned = FaultPlan::seeded(seed, &names);
         let targets = targets_owned.targets();

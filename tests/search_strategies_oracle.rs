@@ -113,3 +113,65 @@ proptest! {
         }
     }
 }
+
+mod wide_invariance {
+    use super::*;
+    use brel_suite::engine::{
+        BackendKind, Engine, JobSpec, RelationSpec, StaggerPlan, WideOptions,
+    };
+
+    /// One seeded batch run in wide mode at the given worker count.
+    fn run_wide(jobs: &[JobSpec], workers: usize, options: WideOptions) -> (String, String) {
+        let report = Engine::with_workers(workers)
+            .with_wide(options)
+            .solve_batch(jobs);
+        (report.to_json(false), report.to_csv(false))
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(6))]
+
+        /// Steal-order invariance: seeded per-worker stagger delays
+        /// scramble which thread claims (and steals) each subproblem, yet
+        /// the committed sequence — and therefore the timing-free JSON and
+        /// CSV reports — stays byte-identical across 1, 2, and 8 workers.
+        #[test]
+        fn stagger_scrambled_wide_runs_are_byte_identical_across_worker_counts(
+            seed in any::<u64>(),
+            stagger_seed in any::<u64>(),
+            max_micros in 1u64..200,
+        ) {
+            let mut jobs = Vec::new();
+            for j in 0..2u64 {
+                let (_space, r) =
+                    random_well_defined_relation(4, 2, 0.3, seed.wrapping_add(j));
+                jobs.push(JobSpec::single(
+                    format!("inv{j}"),
+                    RelationSpec::from_relation(&r).unwrap(),
+                    BackendKind::Brel,
+                ));
+            }
+            let options = WideOptions {
+                lookahead: 4,
+                steal_threshold: 2,
+                stagger: Some(StaggerPlan { seed: stagger_seed, max_micros }),
+            };
+            let baseline = run_wide(&jobs, 1, options);
+            for workers in [2usize, 8] {
+                let scrambled = run_wide(&jobs, workers, options);
+                prop_assert_eq!(
+                    &baseline.0,
+                    &scrambled.0,
+                    "JSON drifted at {} workers",
+                    workers
+                );
+                prop_assert_eq!(
+                    &baseline.1,
+                    &scrambled.1,
+                    "CSV drifted at {} workers",
+                    workers
+                );
+            }
+        }
+    }
+}
